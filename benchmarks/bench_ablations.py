@@ -1,0 +1,21 @@
+"""Benchmark E12 — module/parameter/engine ablations."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.5
+
+
+def test_ablations(benchmark, save_result):
+    _spec, run = get_experiment("E12")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    module_rows = [row for row in result.rows if row["ablation"] == "modules"]
+    by_setting = {}
+    for row in module_rows:
+        by_setting.setdefault(row["setting"], []).append(
+            row["mean time (parallel)"]
+        )
+    # backup-only pays the full epoch schedule: far slower than full PLL.
+    assert min(by_setting["backup-only"]) > max(by_setting["full"])

@@ -1,0 +1,14 @@
+"""Benchmark E8 — Lemma 12: BackUp from B_start in O(log^2 n)."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.4
+
+
+def test_lemma12_backup_from_bstart(benchmark, save_result):
+    _spec, run = get_experiment("E8")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    assert all(row["zero-leader runs"] == 0 for row in result.rows)

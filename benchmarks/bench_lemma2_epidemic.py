@@ -1,0 +1,14 @@
+"""Benchmark E3 — Lemma 2's epidemic tail bound."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.5
+
+
+def test_lemma2_epidemic_tail(benchmark, save_result):
+    _spec, run = get_experiment("E3")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    assert all(row["consistent"] for row in result.rows)

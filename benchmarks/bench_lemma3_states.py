@@ -1,0 +1,17 @@
+"""Benchmark E11 — Lemma 3: O(log n) states per agent."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.5
+
+
+def test_lemma3_state_audit(benchmark, save_result):
+    _spec, run = get_experiment("E11")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    pll_rows = [row for row in result.rows if row["protocol"] == "PLL"]
+    ratios = [row["bound / m"] for row in pll_rows]
+    # O(log n) states: the bound per unit of m stays flat across n.
+    assert max(ratios) / min(ratios) < 1.6

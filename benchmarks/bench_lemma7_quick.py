@@ -1,0 +1,15 @@
+"""Benchmark E6 — Lemma 7's survivor-count law for QuickElimination."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.5
+
+
+def test_lemma7_survivor_distribution(benchmark, save_result):
+    _spec, run = get_experiment("E6")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    assert any("zero-leader runs: 0" in note for note in result.notes)
+    assert all(row["consistent"] for row in result.rows)

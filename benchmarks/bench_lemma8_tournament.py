@@ -1,0 +1,15 @@
+"""Benchmark E7 — Lemma 8: unique leader before epoch 4 (whp)."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.15  # epoch-4 entry takes ~3 full timer periods per run
+
+
+def test_lemma8_tournament_effectiveness(benchmark, save_result):
+    _spec, run = get_experiment("E7")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    full_rows = [r for r in result.rows if r["variant"].startswith("full")]
+    assert all(row["consistent"] is True for row in full_rows)

@@ -1,0 +1,14 @@
+"""Benchmark E13 — Lemmas 9/10: recovery from adversarial configurations."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.4
+
+
+def test_robustness_recovery(benchmark, save_result):
+    _spec, run = get_experiment("E13")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    assert all(row["consistent"] for row in result.rows)

@@ -1,0 +1,19 @@
+"""Benchmark E10 — Section 4: the symmetric variant and its coins."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.5
+
+
+def test_section4_symmetric(benchmark, save_result):
+    _spec, run = get_experiment("E10")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    balance_rows = [
+        row for row in result.rows if "symmetry property" in row["check"]
+    ]
+    assert all(row["consistent"] for row in balance_rows)
+    coin_rows = [row for row in result.rows if "head frequency" in row["check"]]
+    assert all(row["consistent"] for row in coin_rows)

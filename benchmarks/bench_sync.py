@@ -1,0 +1,21 @@
+"""Benchmarks E4/E5 — the synchronization lemmas (Lemma 5 and Lemma 6)."""
+
+from repro.experiments import get_experiment
+
+
+def test_lemma5_countup_cadence(benchmark, save_result):
+    _spec, run = get_experiment("E4")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": 0.4, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    assert all(row["consistent (gap = O(m))"] for row in result.rows)
+
+
+def test_lemma6_sync_propositions(benchmark, save_result):
+    _spec, run = get_experiment("E5")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": 0.4, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    assert all(row["consistent"] for row in result.rows)

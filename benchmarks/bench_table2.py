@@ -1,0 +1,15 @@
+"""Benchmark E2 — regenerate Table 2 (lower-bound consistency checks)."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.5
+
+
+def test_table2_lower_bounds(benchmark, save_result):
+    _spec, run = get_experiment("E2")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    # Measured times must never beat the bounds.
+    assert all(row["consistent"] for row in result.rows)

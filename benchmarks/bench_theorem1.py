@@ -1,0 +1,33 @@
+"""Benchmark E9 — Theorem 1: PLL stabilizes in O(log n) parallel time.
+
+The headline reproduction.  Also exercises the count-based engine on the
+largest population in the grid.
+"""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.5
+
+
+def test_theorem1_scaling(benchmark, save_result):
+    _spec, run = get_experiment("E9")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    # The growth fit must be logarithmic.
+    assert any("best-fit growth model" in note and "log" in note
+               for note in result.notes)
+
+
+def test_theorem1_multiset_engine(benchmark, save_result):
+    _spec, run = get_experiment("E9")
+    result = benchmark.pedantic(
+        run,
+        kwargs={"scale": 0.3, "seed": 100, "engine": "multiset"},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result, "-multiset")
+    ratios = result.column("trimmed / lg n")
+    assert all(r > 0 for r in ratios)

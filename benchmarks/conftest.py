@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper artifact by calling the same
+experiment ``run`` function the CLI uses, at a reduced ``scale``, then
+saves the rendered table under ``benchmarks/results/`` so the rows are
+inspectable after a plain ``pytest benchmarks/ --benchmark-only`` run
+(pytest captures stdout; the files are the durable record).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist an ExperimentResult's rendering and echo it to stdout."""
+
+    def _save(result, suffix: str = "") -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.spec.id}{suffix}.txt"
+        text = result.render()
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

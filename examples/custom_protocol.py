@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Build your own population protocol on the library's engine.
+
+The engine is protocol-agnostic: anything implementing the three-method
+``Protocol`` interface gets interning, transition memoization, both
+engines, hooks, traces and convergence detection for free.  This example
+implements the classic *approximate majority* protocol (Angluin, Aspnes,
+Eisenstat 2008) — a three-state protocol where two initial opinions fight
+and the initial majority wins with high probability:
+
+    X x Y -> B x B          (conflicting opinions cancel to 'blank')
+    X x B -> X x X          (opinions recruit blanks)
+    Y x B -> Y x Y
+
+Run:  python examples/custom_protocol.py
+"""
+
+from repro import AgentSimulator, Protocol
+
+X, Y, BLANK = "x", "y", "b"
+
+
+class ApproximateMajority(Protocol):
+    """Three-state approximate majority (one-way variant)."""
+
+    name = "approximate-majority"
+
+    def initial_state(self) -> str:
+        return BLANK  # populations are loaded explicitly below
+
+    def transition(self, initiator: str, responder: str) -> tuple[str, str]:
+        if {initiator, responder} == {X, Y}:
+            return BLANK, BLANK
+        if BLANK in (initiator, responder):
+            opinion = initiator if initiator != BLANK else responder
+            if opinion != BLANK:
+                return opinion, opinion
+        return initiator, responder
+
+    def output(self, state: str) -> str:
+        return state
+
+    def state_bound(self) -> int:
+        return 3
+
+
+def run_once(n: int, x_fraction: float, seed: int) -> str:
+    protocol = ApproximateMajority()
+    sim = AgentSimulator(protocol, n, seed=seed)
+    x_count = int(n * x_fraction)
+    sim.load_configuration([X] * x_count + [Y] * (n - x_count))
+    # Phase 1: run until one opinion goes extinct ...
+    sim.run(
+        500 * n,
+        until=lambda s: s.output_counts.get(X, 0) == 0
+        or s.output_counts.get(Y, 0) == 0,
+        check_every=32,
+    )
+    # ... then let the surviving opinion absorb the remaining blanks.
+    sim.run(
+        500 * n,
+        until=lambda s: s.output_counts.get(BLANK, 0) == 0,
+        check_every=32,
+    )
+    counts = sim.output_counts
+    if counts.get(X, 0) == n:
+        return X
+    if counts.get(Y, 0) == n:
+        return Y
+    return "undecided"  # both opinions annihilated into blanks
+
+
+def main() -> None:
+    n = 300
+    for x_fraction in (0.55, 0.65, 0.80):
+        wins = sum(
+            1 for seed in range(20) if run_once(n, x_fraction, seed) == X
+        )
+        print(
+            f"initial X share {x_fraction:.2f}: X wins {wins}/20 runs "
+            f"(majority amplification)"
+        )
+    print()
+    print("A five-line protocol class inherits the whole toolkit:")
+    print("both engines, memoized transitions, hooks, and detectors.")
+    print("(A library-grade version of this protocol — plus the 4-state")
+    print("exact-majority protocol — lives in repro.protocols.majority.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on offline environments whose pip/setuptools
+cannot build PEP 660 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

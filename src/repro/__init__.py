@@ -1,0 +1,76 @@
+"""repro — reproduction of Sudo et al., "Logarithmic Expected-Time Leader
+Election in Population Protocol Model" (PODC 2019).
+
+Quickstart::
+
+    from repro import AgentSimulator, PLLProtocol
+
+    protocol = PLLProtocol.for_population(256)
+    sim = AgentSimulator(protocol, n=256, seed=1)
+    sim.run_until_stabilized()
+    print(sim.parallel_time, sim.leader_count)  # O(log n) expected, 1
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol
+from repro.core.state import PLLState
+from repro.core.symmetric import SymmetricPLLProtocol
+from repro.engine import (
+    AgentSimulator,
+    Configuration,
+    DeterministicSchedule,
+    FOLLOWER,
+    LEADER,
+    LeaderElectionProtocol,
+    MonotoneLeaderStabilization,
+    MultisetSimulator,
+    Protocol,
+    RandomScheduler,
+    SilenceDetector,
+    check_symmetry,
+)
+from repro.errors import (
+    ConvergenceError,
+    ExperimentError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.protocols import AngluinProtocol, FastNonceProtocol, lottery_protocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgentSimulator",
+    "AngluinProtocol",
+    "Configuration",
+    "ConvergenceError",
+    "DeterministicSchedule",
+    "ExperimentError",
+    "FastNonceProtocol",
+    "FOLLOWER",
+    "LEADER",
+    "LeaderElectionProtocol",
+    "MonotoneLeaderStabilization",
+    "MultisetSimulator",
+    "ParameterError",
+    "PLLParameters",
+    "PLLProtocol",
+    "PLLState",
+    "Protocol",
+    "ProtocolError",
+    "RandomScheduler",
+    "ReproError",
+    "ScheduleError",
+    "SilenceDetector",
+    "SimulationError",
+    "SymmetricPLLProtocol",
+    "check_symmetry",
+    "lottery_protocol",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Statistics, scaling fits, distribution checks, and table rendering."""
+
+from repro.analysis.expectations import (
+    angluin_expected_parallel_time,
+    coupon_collector_expected_parallel_time,
+    harmonic,
+    pairwise_meeting_expected_parallel_time,
+)
+from repro.analysis.distributions import (
+    BinomialCheck,
+    check_fair_coin,
+    chi_square_uniform,
+    geometric_heads_pmf,
+    survivor_law_violations,
+)
+from repro.analysis.scaling import MODELS, ModelFit, ScalingFit, fit_model, fit_scaling
+from repro.analysis.stats import (
+    SampleSummary,
+    bootstrap_ci,
+    count_distribution,
+    summarize,
+    tail_frequency,
+)
+from repro.analysis.tables import Table, format_value
+
+__all__ = [
+    "BinomialCheck",
+    "MODELS",
+    "angluin_expected_parallel_time",
+    "coupon_collector_expected_parallel_time",
+    "harmonic",
+    "pairwise_meeting_expected_parallel_time",
+    "ModelFit",
+    "SampleSummary",
+    "ScalingFit",
+    "Table",
+    "bootstrap_ci",
+    "check_fair_coin",
+    "chi_square_uniform",
+    "count_distribution",
+    "fit_model",
+    "fit_scaling",
+    "format_value",
+    "geometric_heads_pmf",
+    "summarize",
+    "survivor_law_violations",
+    "tail_frequency",
+]

@@ -1,0 +1,116 @@
+"""Distribution-level checks used by the per-lemma experiments.
+
+* Lemma 7 needs the survivor-count law ``P(#survivors = i) <= 2^(1-i)``.
+* The Tournament analysis needs nonces to be uniform on ``[0, 2^Phi)``.
+* The coin constructions need head frequencies indistinguishable from 1/2.
+
+Statistical tests are implemented with plain numpy (a normal-approximation
+binomial test and a chi-square statistic with a conservative threshold) so
+the core library does not depend on scipy; the test suite cross-checks the
+chi-square against ``scipy.stats`` where available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "survivor_law_violations",
+    "BinomialCheck",
+    "check_fair_coin",
+    "chi_square_uniform",
+    "geometric_heads_pmf",
+]
+
+
+def survivor_law_violations(
+    distribution: Mapping[int, float],
+    trials: int,
+    slack_sigmas: float = 3.0,
+) -> list[int]:
+    """Survivor counts whose empirical frequency exceeds the Lemma 7 bound.
+
+    ``distribution`` maps survivor count ``i`` to empirical frequency over
+    ``trials`` runs.  The paper bounds ``P(#survivors = i) <= 2^(1-i)`` for
+    ``i >= 2``; with finite trials we allow ``slack_sigmas`` standard errors
+    above the bound before flagging ``i`` as violated.  Returns the list of
+    violated ``i`` (empty = consistent with the paper).
+    """
+    if trials < 1:
+        raise ParameterError("trials must be positive")
+    violations = []
+    for survivors, frequency in distribution.items():
+        if survivors < 2:
+            continue
+        bound = 2.0 ** (1 - survivors)
+        stderr = math.sqrt(bound * (1 - bound) / trials)
+        if frequency > bound + slack_sigmas * stderr:
+            violations.append(survivors)
+    return sorted(violations)
+
+
+@dataclass(frozen=True)
+class BinomialCheck:
+    """Result of a normal-approximation two-sided binomial test."""
+
+    successes: int
+    trials: int
+    expected_p: float
+    z_score: float
+
+    @property
+    def frequency(self) -> float:
+        return self.successes / self.trials
+
+    def consistent(self, z_threshold: float = 4.0) -> bool:
+        """Whether the observation is within ``z_threshold`` sigmas."""
+        return abs(self.z_score) <= z_threshold
+
+
+def check_fair_coin(successes: int, trials: int, p: float = 0.5) -> BinomialCheck:
+    """Normal-approximation test of ``successes ~ Binomial(trials, p)``."""
+    if trials < 1:
+        raise ParameterError("trials must be positive")
+    if not 0 < p < 1:
+        raise ParameterError(f"p must be in (0, 1), got {p}")
+    expected = trials * p
+    sigma = math.sqrt(trials * p * (1 - p))
+    z_score = (successes - expected) / sigma if sigma else 0.0
+    return BinomialCheck(
+        successes=successes, trials=trials, expected_p=p, z_score=z_score
+    )
+
+
+def chi_square_uniform(counts: Sequence[int]) -> float:
+    """Chi-square statistic of observed counts against the uniform law.
+
+    Degrees of freedom are ``len(counts) - 1``; a value below
+    ``dof + 4 * sqrt(2 * dof)`` (about four standard deviations of the
+    chi-square distribution) is comfortably consistent with uniformity.
+    """
+    if len(counts) < 2:
+        raise ParameterError("need at least two categories")
+    observed = np.asarray(counts, dtype=float)
+    total = observed.sum()
+    if total == 0:
+        raise ParameterError("need at least one observation")
+    expected = total / len(observed)
+    return float(((observed - expected) ** 2 / expected).sum())
+
+
+def geometric_heads_pmf(level: int) -> float:
+    """P(a QuickElimination player reaches exactly ``level`` heads).
+
+    The number of heads before the first tail is geometric:
+    ``P(levelQ = j) = 2^-(j+1)``.  Used to validate the coin-flip phase of
+    Algorithm 3 against its intended distribution.
+    """
+    if level < 0:
+        raise ParameterError("level must be non-negative")
+    return 2.0 ** -(level + 1)

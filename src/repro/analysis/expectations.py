@@ -1,0 +1,83 @@
+"""Closed-form expected values for validation.
+
+Where a process admits an exact expectation, measuring against it is a
+far stronger check than fitting growth shapes.  These formulas back the
+engine-validation tests and the E1/E2 experiments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "angluin_expected_parallel_time",
+    "pairwise_meeting_expected_parallel_time",
+    "coupon_collector_expected_parallel_time",
+    "harmonic",
+]
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H_n``."""
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    return sum(1.0 / k for k in range(1, n + 1))
+
+
+def angluin_expected_parallel_time(n: int) -> float:
+    """Exact expected stabilization time of the 2-state protocol.
+
+    With ``k`` leaders, a leader–leader meeting occurs with probability
+    ``C(k,2)/C(n,2)`` per step, so the expected number of steps is
+
+        ``sum_{k=2..n} C(n,2)/C(k,2) = n(n-1) sum_{k=2..n} 1/(k(k-1))
+          = n(n-1) (1 - 1/n) = (n-1)^2``,
+
+    i.e. ``(n-1)^2 / n`` parallel time — the ``Theta(n)`` of Table 1 with
+    its exact constant.
+    """
+    if n < 1:
+        raise ParameterError(f"population size must be positive, got {n}")
+    return (n - 1) ** 2 / n
+
+
+def pairwise_meeting_expected_parallel_time(n: int) -> float:
+    """Expected parallel time for two *specific* agents to meet.
+
+    A given unordered pair interacts with probability ``2/(n(n-1))`` per
+    step: expected ``n(n-1)/2`` steps = ``(n-1)/2`` parallel time.  This
+    is the last-two-leaders bottleneck behind every ``O(n)`` fallback in
+    the paper (Lemma 10, line 58).
+    """
+    if n < 2:
+        raise ParameterError(f"need at least 2 agents, got {n}")
+    return (n - 1) / 2
+
+
+def coupon_collector_expected_parallel_time(n: int) -> float:
+    """Exact expected parallel time until every agent has interacted.
+
+    Let ``E_j`` be the expected remaining steps with ``j`` agents still
+    untouched.  A step touches two untouched agents with probability
+    ``C(j,2)/C(n,2)``, exactly one with probability ``j(n-j)/C(n,2)``,
+    and none otherwise, giving the recurrence
+
+        ``E_j = (1 + p1 E_{j-1} + p2 E_{j-2}) / (p1 + p2)``.
+
+    The value is ``~ (ln n)/2 + O(1)`` parallel time — the floor behind
+    the ``Omega(log n)`` intuition in Section 1 (every agent starts in
+    the same leader state, so no agent can become a follower before its
+    first interaction).
+    """
+    if n < 2:
+        raise ParameterError(f"need at least 2 agents, got {n}")
+    total_pairs = n * (n - 1) / 2
+    expected = [0.0] * (n + 1)  # expected[j] = E_j
+    for j in range(1, n + 1):
+        p_two = (j * (j - 1) / 2) / total_pairs
+        p_one = (j * (n - j)) / total_pairs
+        touch = p_one + p_two
+        carry_one = p_one * expected[j - 1]
+        carry_two = p_two * expected[j - 2] if j >= 2 else 0.0
+        expected[j] = (1.0 + carry_one + carry_two) / touch
+    return expected[n] / n

@@ -1,0 +1,101 @@
+"""Asymptotic-shape fitting for measured time/state curves.
+
+Table 1 compares protocols by asymptotic class (``O(log n)``, ``O(n)``,
+``O(log^2 n)``, ...).  To reproduce the *shape* of those rows empirically,
+this module fits one-parameter models ``y = c * f(n)`` through the origin
+by least squares and selects the model with the smallest normalized RMSE.
+A one-parameter family is deliberate: with measurements at a handful of
+``n`` values, richer families overfit and every protocol looks like every
+model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["MODELS", "ModelFit", "ScalingFit", "fit_model", "fit_scaling"]
+
+#: Candidate one-parameter growth models ``f(n)``.
+MODELS: dict[str, Callable[[float], float]] = {
+    "const": lambda n: 1.0,
+    "loglog": lambda n: math.log2(max(math.log2(n), 1.0000001)),
+    "log": lambda n: math.log2(n),
+    "log^2": lambda n: math.log2(n) ** 2,
+    "sqrt": lambda n: math.sqrt(n),
+    "linear": lambda n: float(n),
+    "nlogn": lambda n: n * math.log2(n),
+}
+
+
+@dataclass(frozen=True)
+class ModelFit:
+    """Least-squares fit of ``y = c * f(n)`` for one model."""
+
+    model: str
+    coefficient: float
+    nrmse: float  # RMSE / mean(y): scale-free comparison across models
+
+    def predict(self, n: float) -> float:
+        return self.coefficient * MODELS[self.model](n)
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """All model fits for one curve, ranked by normalized RMSE."""
+
+    fits: tuple[ModelFit, ...]
+
+    @property
+    def best(self) -> ModelFit:
+        return self.fits[0]
+
+    def fit_for(self, model: str) -> ModelFit:
+        for fit in self.fits:
+            if fit.model == model:
+                return fit
+        raise ParameterError(f"model {model!r} was not fitted")
+
+    def __str__(self) -> str:
+        best = self.best
+        return f"~ {best.coefficient:.3g} * {best.model}(n) (nrmse {best.nrmse:.2g})"
+
+
+def fit_model(
+    ns: Sequence[float], ys: Sequence[float], model: str
+) -> ModelFit:
+    """Fit ``y = c * f(n)`` by least squares through the origin."""
+    if model not in MODELS:
+        raise ParameterError(f"unknown model {model!r}; choose from {list(MODELS)}")
+    if len(ns) != len(ys) or len(ns) == 0:
+        raise ParameterError("ns and ys must be equal-length and non-empty")
+    if any(n < 2 for n in ns):
+        raise ParameterError("population sizes must be >= 2 for scaling fits")
+    f = np.array([MODELS[model](n) for n in ns], dtype=float)
+    y = np.asarray(ys, dtype=float)
+    denom = float((f * f).sum())
+    coefficient = float((f * y).sum() / denom) if denom else 0.0
+    residuals = y - coefficient * f
+    rmse = math.sqrt(float((residuals**2).mean()))
+    mean_y = float(np.abs(y).mean())
+    nrmse = rmse / mean_y if mean_y else math.inf
+    return ModelFit(model=model, coefficient=coefficient, nrmse=nrmse)
+
+
+def fit_scaling(
+    ns: Sequence[float],
+    ys: Sequence[float],
+    models: Sequence[str] | None = None,
+) -> ScalingFit:
+    """Fit every candidate model and rank by normalized RMSE."""
+    chosen = tuple(models) if models is not None else tuple(MODELS)
+    fits = sorted(
+        (fit_model(ns, ys, model) for model in chosen),
+        key=lambda fit: fit.nrmse,
+    )
+    return ScalingFit(fits=tuple(fits))

@@ -1,0 +1,105 @@
+"""Descriptive statistics for experiment measurements.
+
+Numpy-only (no scipy hard dependency): confidence intervals use the normal
+approximation, adequate for the trial counts the experiments run, with a
+bootstrap alternative for small or skewed samples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "bootstrap_ci",
+    "tail_frequency",
+    "count_distribution",
+]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    ci95_low: float
+    ci95_high: float
+    median: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.3g} ± {(self.ci95_high - self.ci95_low) / 2:.2g} "
+            f"(median {self.median:.3g}, k={self.count})"
+        )
+
+
+def summarize(samples: Sequence[float]) -> SampleSummary:
+    """Summary statistics with a normal-approximation 95% CI on the mean."""
+    if len(samples) == 0:
+        raise ParameterError("cannot summarize an empty sample")
+    data = np.asarray(samples, dtype=float)
+    mean = float(data.mean())
+    std = float(data.std(ddof=1)) if len(data) > 1 else 0.0
+    half_width = 1.96 * std / math.sqrt(len(data)) if len(data) > 1 else 0.0
+    return SampleSummary(
+        count=len(data),
+        mean=mean,
+        std=std,
+        ci95_low=mean - half_width,
+        ci95_high=mean + half_width,
+        median=float(np.median(data)),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+    )
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int | None = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic``."""
+    if len(samples) == 0:
+        raise ParameterError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ParameterError(f"confidence must be in (0, 1), got {confidence}")
+    data = np.asarray(samples, dtype=float)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(data), size=(resamples, len(data)))
+    estimates = np.array([statistic(data[row]) for row in indices])
+    alpha = (1 - confidence) / 2
+    return (
+        float(np.quantile(estimates, alpha)),
+        float(np.quantile(estimates, 1 - alpha)),
+    )
+
+
+def tail_frequency(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly above ``threshold`` (empirical tail)."""
+    if len(samples) == 0:
+        raise ParameterError("cannot compute tail of an empty sample")
+    data = np.asarray(samples, dtype=float)
+    return float((data > threshold).mean())
+
+
+def count_distribution(values: Iterable[int]) -> dict[int, float]:
+    """Empirical PMF of integer-valued observations (e.g. survivor counts)."""
+    counts = Counter(values)
+    total = sum(counts.values())
+    if total == 0:
+        raise ParameterError("cannot build a distribution from no observations")
+    return {value: count / total for value, count in sorted(counts.items())}

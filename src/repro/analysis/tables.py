@@ -1,0 +1,86 @@
+"""Plain-text table rendering for experiment reports.
+
+The paper's evaluation artifacts are tables; the experiments print the same
+row structure (and EXPERIMENTS.md records them).  No plotting dependencies:
+aligned monospace text and GitHub-flavoured markdown are the two output
+formats.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["Table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly formatting: floats get 4 significant digits."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """A simple column-ordered table of stringifiable cells."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ParameterError("a table needs at least one column")
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [format_value(value) for value in values]
+        if len(row) != len(self.headers):
+            raise ParameterError(
+                f"row has {len(row)} cells for {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_record(self, record: Mapping[str, object]) -> None:
+        """Add a row from a mapping keyed by header names."""
+        self.add_row([record.get(header, "") for header in self.headers])
+
+    @classmethod
+    def from_records(
+        cls, headers: Sequence[str], records: Iterable[Mapping[str, object]]
+    ) -> "Table":
+        table = cls(headers)
+        for record in records:
+            table.add_record(record)
+        return table
+
+    def render(self) -> str:
+        """Aligned monospace rendering."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(header.ljust(widths[i]) for i, header in enumerate(self.headers)),
+            "  ".join("-" * widths[i] for i in range(len(self.headers))),
+        ]
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = [
+            "| " + " | ".join(self.headers) + " |",
+            "|" + "|".join("---" for _ in self.headers) + "|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro list                      # enumerate the experiment registry
+    repro run E9 [--scale 1.0]      # run an experiment, print its table
+    repro simulate --protocol pll --n 256 [--seed 0] [--engine agent]
+
+``repro run all`` executes the full per-lemma/per-table sweep (the data
+behind EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol
+from repro.core.symmetric import SymmetricPLLProtocol
+from repro.experiments import all_experiments, get_experiment, make_simulator
+from repro.protocols.angluin import AngluinProtocol
+from repro.protocols.fast_nonce import FastNonceProtocol
+from repro.protocols.loose_stabilization import LooselyStabilizingProtocol
+from repro.protocols.lottery import lottery_protocol
+
+__all__ = ["main", "build_parser"]
+
+#: Protocol factories for `repro simulate`.
+PROTOCOLS = {
+    "pll": lambda n: PLLProtocol.for_population(n),
+    "pll-symmetric": SymmetricPLLProtocol.for_population,
+    "pll-no-tournament": lambda n: PLLProtocol.for_population(
+        n, variant="no-tournament"
+    ),
+    "pll-backup-only": lambda n: PLLProtocol.for_population(n, variant="backup-only"),
+    "lottery": lambda n: lottery_protocol(PLLParameters.for_population(n)),
+    "angluin": lambda n: AngluinProtocol(),
+    "fast-nonce": FastNonceProtocol.for_population,
+    "loose": LooselyStabilizingProtocol.for_population,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Logarithmic Expected-Time Leader Election in "
+            "Population Protocol Model' (Sudo et al., PODC 2019)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the experiment registry")
+
+    run_parser = subparsers.add_parser("run", help="run an experiment")
+    run_parser.add_argument("experiment", help="experiment id (e.g. E9) or 'all'")
+    run_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="trial-count scale factor (default 1.0)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="base seed")
+    run_parser.add_argument(
+        "--out",
+        default=None,
+        help="also append the rendered report(s) to this file",
+    )
+
+    sim_parser = subparsers.add_parser(
+        "simulate", help="run one protocol to stabilization"
+    )
+    sim_parser.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="pll"
+    )
+    sim_parser.add_argument("--n", type=int, default=256, help="population size")
+    sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument(
+        "--engine", choices=("agent", "multiset"), default="agent"
+    )
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id, (spec, _run) in all_experiments().items():
+        print(f"{experiment_id:4s} {spec.paper_artifact:18s} {spec.title}")
+    return 0
+
+
+def _command_run(
+    experiment: str, scale: float, seed: int, out: str | None = None
+) -> int:
+    if experiment.lower() == "all":
+        ids = list(all_experiments())
+    else:
+        ids = [experiment]
+    for experiment_id in ids:
+        _spec, run = get_experiment(experiment_id)
+        result = run(scale=scale, seed=seed)
+        report = result.render()
+        print(report)
+        print()
+        if out is not None:
+            with open(out, "a", encoding="utf-8") as sink:
+                sink.write(report + "\n\n")
+    return 0
+
+
+def _command_simulate(protocol_name: str, n: int, seed: int, engine: str) -> int:
+    protocol = PROTOCOLS[protocol_name](n)
+    sim = make_simulator(protocol, n, seed=seed, engine=engine)
+    steps = sim.run_until_stabilized()
+    print(sim.describe())
+    print(
+        f"stabilized after {steps} interactions = "
+        f"{sim.parallel_time:.2f} parallel time; "
+        f"{sim.distinct_states_seen()} distinct states reached"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args.experiment, args.scale, args.seed, args.out)
+    if args.command == "simulate":
+        return _command_simulate(args.protocol, args.n, args.seed, args.engine)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

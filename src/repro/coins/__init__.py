@@ -1,0 +1,33 @@
+"""Coin-flip constructs for both the asymmetric and symmetric PP models."""
+
+from repro.coins.role_coin import (
+    HEADS,
+    TAILS,
+    CoinSequenceRecorder,
+    role_bit,
+)
+from repro.coins.symmetric_coin import (
+    COIN_HEAD,
+    COIN_J,
+    COIN_K,
+    COIN_STATUSES,
+    COIN_TAIL,
+    coin_counts_balanced,
+    coin_flip_value,
+    pair_coins,
+)
+
+__all__ = [
+    "COIN_HEAD",
+    "COIN_J",
+    "COIN_K",
+    "COIN_STATUSES",
+    "COIN_TAIL",
+    "CoinSequenceRecorder",
+    "HEADS",
+    "TAILS",
+    "coin_counts_balanced",
+    "coin_flip_value",
+    "pair_coins",
+    "role_bit",
+]

@@ -1,0 +1,68 @@
+"""Interaction-role coin flips (the asymmetric model's randomness source).
+
+The paper extracts fair coin flips from the uniformly random scheduler: when
+an agent participates in an interaction, "head" means it was the initiator
+and "tail" that it was the responder (Section 3.1.1).  At every step each
+agent is the initiator with probability ``1/n`` and the responder with
+probability ``1/n``, so conditioned on participating, the bit is fair.
+
+Independence requires care: the two participants of one interaction see
+*opposite* bits, so a protocol must consume at most one coin per interaction
+(PLL flips only when a leader meets a follower — Lemma 7's argument).  The
+helpers here make that reasoning executable and testable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["role_bit", "HEADS", "TAILS", "CoinSequenceRecorder"]
+
+#: Bit value recorded for an initiator ("head" in the paper).
+HEADS = 1
+
+#: Bit value recorded for a responder ("tail" in the paper).
+TAILS = 0
+
+
+def role_bit(is_initiator: bool) -> int:
+    """The coin value an agent observes from its interaction role."""
+    return HEADS if is_initiator else TAILS
+
+
+class CoinSequenceRecorder:
+    """Simulator hook recording each agent's role-bit sequence.
+
+    ``sequences[v]`` is the list of bits agent ``v`` observed, in order.
+    ``pairs_per_step`` retains, per step, which two agents shared the step —
+    the anti-correlation witness (the two bits of one step always differ).
+    Used by tests to confirm fairness and the one-coin-per-interaction
+    discipline.
+    """
+
+    def __init__(self) -> None:
+        self.sequences: dict[int, list[int]] = defaultdict(list)
+        self.pairs_per_step: list[tuple[int, int]] = []
+
+    def __call__(self, sim, u, v, pre0, pre1, post0, post1) -> None:
+        self.sequences[u].append(HEADS)
+        self.sequences[v].append(TAILS)
+        self.pairs_per_step.append((u, v))
+
+    def heads_fraction(self, agent: int) -> float:
+        """Empirical fraction of heads agent ``agent`` observed."""
+        bits = self.sequences.get(agent, [])
+        if not bits:
+            return 0.0
+        return sum(bits) / len(bits)
+
+    def longest_head_run(self, agent: int) -> int:
+        """Longest run of consecutive heads (the QuickElimination statistic)."""
+        longest = current = 0
+        for bit in self.sequences.get(agent, []):
+            if bit == HEADS:
+                current += 1
+                longest = max(longest, current)
+            else:
+                current = 0
+        return longest

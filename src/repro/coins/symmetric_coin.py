@@ -1,0 +1,86 @@
+"""Fair, independent coin flips for the *symmetric* model (Section 4).
+
+A symmetric protocol may not use the initiator/responder distinction, so
+the role-bit trick is unavailable.  Section 4 proposes the first
+implementation of totally independent and fair coin flips in the symmetric
+PP model:
+
+Every follower carries a coin status in ``{J, K, F0, F1}``; a follower is
+born with status ``J``.  When two followers meet, their statuses update by
+
+    ``J x J -> K x K``,  ``K x K -> J x J``,  ``J x K -> F0 x F1``.
+
+These rules create ``F0`` and ``F1`` followers strictly in pairs, so the
+populations of ``F0`` and ``F1`` are *always exactly equal* — the invariant
+that makes a leader's flip fair: a leader meeting a follower whose coin
+status is ``F0`` reads "head", ``F1`` reads "tail"; since its partner is
+uniform over all agents, the conditional head probability is exactly 1/2,
+and successive flips are independent because partner draws are independent.
+
+The mixed-pair update is deliberately *role-agnostic* (the ``J`` agent
+becomes ``F0`` whichever side initiated), so the construct satisfies the
+symmetry property and is usable inside symmetric protocols.  Coin statuses
+are stored as plain strings to keep protocol states cheap and hashable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COIN_J",
+    "COIN_K",
+    "COIN_HEAD",
+    "COIN_TAIL",
+    "COIN_STATUSES",
+    "pair_coins",
+    "coin_flip_value",
+    "coin_counts_balanced",
+]
+
+#: Unsettled coin statuses.
+COIN_J = "J"
+COIN_K = "K"
+
+#: Settled coin statuses: ``F0`` reads as head, ``F1`` as tail.
+COIN_HEAD = "F0"
+COIN_TAIL = "F1"
+
+#: All valid coin statuses.
+COIN_STATUSES = (COIN_J, COIN_K, COIN_HEAD, COIN_TAIL)
+
+
+def pair_coins(a: str, b: str) -> tuple[str, str]:
+    """Apply the Section 4 follower/follower coin rules to a pair.
+
+    The result is returned in argument order.  Pairs not matched by a rule
+    are unchanged (``F0``/``F1`` are absorbing; a settled coin meeting an
+    unsettled one does nothing).
+    """
+    if a == COIN_J and b == COIN_J:
+        return COIN_K, COIN_K
+    if a == COIN_K and b == COIN_K:
+        return COIN_J, COIN_J
+    if a == COIN_J and b == COIN_K:
+        return COIN_HEAD, COIN_TAIL
+    if a == COIN_K and b == COIN_J:
+        return COIN_TAIL, COIN_HEAD
+    return a, b
+
+
+def coin_flip_value(status: str | None) -> int | None:
+    """Coin value a leader reads from a follower's status.
+
+    ``1`` (head) for ``F0``, ``0`` (tail) for ``F1``, ``None`` when the
+    follower's coin is not yet settled (no flip happens).
+    """
+    if status == COIN_HEAD:
+        return 1
+    if status == COIN_TAIL:
+        return 0
+    return None
+
+
+def coin_counts_balanced(statuses: list[str | None]) -> bool:
+    """The fairness invariant: ``#F0 == #F1`` (checked by tests/invariants)."""
+    heads = sum(1 for status in statuses if status == COIN_HEAD)
+    tails = sum(1 for status in statuses if status == COIN_TAIL)
+    return heads == tails

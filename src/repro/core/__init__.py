@@ -1,0 +1,50 @@
+"""The paper's contribution: PLL and its symmetric variant."""
+
+from repro.core.backup import backup
+from repro.core.countup_module import count_up
+from repro.core.invariants import (
+    GroupCensus,
+    census,
+    check_at_least_one_leader,
+    check_coin_balance,
+    check_lemma4,
+    check_state_domains,
+)
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol, VARIANTS
+from repro.core.quick_elimination import quick_elimination
+from repro.core.state import (
+    EPOCH_MAX,
+    STATUS_CANDIDATE,
+    STATUS_INITIAL,
+    STATUS_INITIAL_ALT,
+    STATUS_TIMER,
+    PLLState,
+    WorkAgent,
+)
+from repro.core.symmetric import SymmetricPLLProtocol
+from repro.core.tournament import tournament
+
+__all__ = [
+    "EPOCH_MAX",
+    "GroupCensus",
+    "PLLParameters",
+    "PLLProtocol",
+    "PLLState",
+    "STATUS_CANDIDATE",
+    "STATUS_INITIAL",
+    "STATUS_INITIAL_ALT",
+    "STATUS_TIMER",
+    "SymmetricPLLProtocol",
+    "VARIANTS",
+    "WorkAgent",
+    "backup",
+    "census",
+    "check_at_least_one_leader",
+    "check_coin_balance",
+    "check_lemma4",
+    "check_state_domains",
+    "count_up",
+    "quick_elimination",
+    "tournament",
+]

@@ -1,0 +1,50 @@
+"""BackUp() — Algorithm 5: tick-paced levels plus pairwise election.
+
+The unconditional safety net: elects a unique leader from *any* reachable
+configuration.  A leader gets one coin-flip opportunity per tick (i.e. once
+per synchronized color change, every Theta(log n) parallel time): if it
+initiates an interaction with a follower while its tick is raised, it
+increments ``levelB`` (capped at ``lmax``).  The maximum ``levelB`` spreads
+through ``V_A`` by one-way epidemic and demotes smaller-valued leaders —
+halving (in expectation) the leader count per level — and, as a final
+resort, two equal-level leaders meeting directly resolve by demoting the
+responder (the [Ang+06] election rule, line 58).
+
+From ``B_start`` this elects a unique leader within ``O(log^2 n)`` expected
+parallel time (Lemma 12); from an arbitrary configuration, within ``O(n)``
+(Lemma 10) — the path that guarantees correctness with probability 1 even
+when synchronization has failed.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PLLParameters
+from repro.core.state import WorkAgent
+
+__all__ = ["backup"]
+
+
+def backup(agents: list[WorkAgent], params: PLLParameters) -> None:
+    """Apply Algorithm 5 to an interacting pair (in place).
+
+    Only called when the shared epoch is 4, so ``V_A`` agents carry
+    ``levelB``.  Line 52's cap is ``min`` (DESIGN.md D1).
+    """
+    initiator, responder = agents
+    # Lines 51-53: the tick-paced coin flip.  Only the initiator role
+    # counts as "head"; being a responder with a raised tick is the tail
+    # and does nothing.
+    if initiator.tick and initiator.leader and not responder.leader:
+        initiator.level_b = min(initiator.level_b + 1, params.lmax)
+    # Lines 54-57: epidemic of the maximum levelB over V_A; the smaller
+    # side adopts the value and is demoted.
+    if initiator.in_v_a and responder.in_v_a:
+        for i in (0, 1):
+            mine, other = agents[i], agents[1 - i]
+            if mine.level_b < other.level_b:
+                mine.level_b = other.level_b
+                mine.leader = False
+    # Line 58: two surviving leaders necessarily have equal levelB here;
+    # the responder concedes ([Ang+06] pairwise election).
+    if initiator.leader and responder.leader:
+        responder.leader = False

@@ -1,0 +1,39 @@
+"""CountUp() — Algorithm 2: count-up timers and the color epidemic.
+
+Timer agents (``V_B``) increment ``count`` modulo ``cmax`` at every
+interaction; a rollover advances the agent's ``color`` modulo 3 and raises
+its ``tick``.  Independently, an agent whose partner shows the *next* color
+(cyclically) adopts it, raises its ``tick``, and — if it is itself a timer —
+resets its ``count``.  Ticks drive epoch advancement in Algorithm 1 and the
+coin-flip schedule of BackUp.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PLLParameters
+from repro.core.state import WorkAgent
+
+__all__ = ["count_up"]
+
+
+def count_up(agents: list[WorkAgent], params: PLLParameters) -> None:
+    """Apply Algorithm 2 to an interacting pair (in place)."""
+    cmax = params.cmax
+    # Lines 23-29: every timer counts the interaction; rollover = new color.
+    for agent in agents:
+        if agent.in_v_b:
+            agent.count = (agent.count + 1) % cmax
+            if agent.count == 0:
+                agent.color = (agent.color + 1) % 3
+                agent.tick = True
+    # Lines 30-34: one-way epidemic of the newer color.  At most one of the
+    # two directions can match: colors differing by exactly 1 both ways
+    # would need 2 == 0 (mod 3).  After an adoption the colors are equal,
+    # so the second iteration cannot fire spuriously.
+    for i in (0, 1):
+        mine, other = agents[i], agents[1 - i]
+        if other.color == (mine.color + 1) % 3:
+            mine.color = other.color
+            mine.tick = True
+            if mine.in_v_b:
+                mine.count = 0

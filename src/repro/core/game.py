@@ -1,0 +1,71 @@
+"""The abstract competition game of Section 3.1.1.
+
+QuickElimination simulates this game: every player flips a fair coin until
+the first tail, scoring the number of heads; the players with the maximum
+score win.  The paper's analysis shows ``P(#winners = i) <= 2^(1-i)`` for
+``i >= 2`` by solving ``p_{i,j} = 2^{-i} + 2^{-i} p_{i,j+1}`` (the
+probability that ``i`` tied players all stay tied to the end is
+``1/(2^i - 1)``).
+
+This module implements the game directly — no protocol, no scheduler — so
+the survivor law can be validated independently of the simulation stack,
+and the protocol's measured distribution (experiment E6) can be compared
+against the game it is supposed to simulate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "play_competition_game",
+    "winner_distribution",
+    "tie_survival_probability",
+]
+
+
+def play_competition_game(
+    n: int, rng: np.random.Generator
+) -> tuple[int, list[int]]:
+    """One round of the game: returns (#winners, all scores).
+
+    Each player's score is geometric: the number of heads before the first
+    tail of a fair coin.
+    """
+    if n < 1:
+        raise ParameterError(f"the game needs at least one player, got {n}")
+    # Geometric(1/2) counting failures before the first success:
+    scores = rng.geometric(0.5, size=n) - 1
+    best = int(scores.max())
+    winners = int((scores == best).sum())
+    return winners, scores.tolist()
+
+
+def winner_distribution(
+    n: int, trials: int, seed: int | None = None
+) -> dict[int, float]:
+    """Empirical PMF of the winner count over repeated games."""
+    if trials < 1:
+        raise ParameterError(f"trials must be positive, got {trials}")
+    rng = np.random.default_rng(seed)
+    counts: Counter[int] = Counter()
+    for _ in range(trials):
+        winners, _scores = play_competition_game(n, rng)
+        counts[winners] += 1
+    return {winners: count / trials for winners, count in sorted(counts.items())}
+
+
+def tie_survival_probability(i: int) -> float:
+    """``p_{i,j} = 1/(2^i - 1)``: the exact tie-to-the-end probability.
+
+    This is the closed form the paper derives for the probability that,
+    once exactly ``i`` players share the lead, all ``i`` end up winning.
+    It is bounded by ``2^(1-i)``, which is the form Lemma 7 uses.
+    """
+    if i < 1:
+        raise ParameterError(f"i must be at least 1, got {i}")
+    return 1.0 / (2**i - 1) if i > 1 else 1.0

@@ -1,0 +1,180 @@
+"""Runtime invariant checkers for PLL configurations.
+
+These functions make the paper's structural guarantees executable; the test
+suite applies them to every configuration along random executions
+(property-based failure hunting), and the experiments use them as safety
+rails.  All take decoded configurations (sequences of
+:class:`~repro.core.state.PLLState`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.coins.symmetric_coin import COIN_STATUSES, coin_counts_balanced
+from repro.core.params import PLLParameters
+from repro.core.state import (
+    EPOCH_MAX,
+    STATUS_CANDIDATE,
+    STATUS_INITIAL,
+    STATUS_INITIAL_ALT,
+    STATUS_TIMER,
+    PLLState,
+)
+from repro.errors import SimulationError
+
+__all__ = [
+    "GroupCensus",
+    "census",
+    "check_lemma4",
+    "check_at_least_one_leader",
+    "check_state_domains",
+    "check_coin_balance",
+]
+
+
+@dataclass(frozen=True)
+class GroupCensus:
+    """Population counts by status/output group (the paper's V_Z sets)."""
+
+    n: int
+    v_x: int  # unassigned agents (statuses X and Y)
+    v_a: int
+    v_b: int
+    leaders: int
+    followers: int
+
+    @property
+    def all_assigned(self) -> bool:
+        return self.v_x == 0
+
+
+def census(config: Sequence[PLLState]) -> GroupCensus:
+    """Tally the group sizes of a configuration."""
+    v_x = v_a = v_b = leaders = 0
+    for state in config:
+        if state.status == STATUS_CANDIDATE:
+            v_a += 1
+        elif state.status == STATUS_TIMER:
+            v_b += 1
+        else:
+            v_x += 1
+        if state.leader:
+            leaders += 1
+    n = len(config)
+    return GroupCensus(
+        n=n,
+        v_x=v_x,
+        v_a=v_a,
+        v_b=v_b,
+        leaders=leaders,
+        followers=n - leaders,
+    )
+
+
+def check_lemma4(config: Sequence[PLLState]) -> None:
+    """Lemma 4: once every agent is assigned, ``|V_A| >= n/2``,
+    ``|V_F| >= n/2`` and ``|V_B| >= 1``.
+
+    No-op while unassigned agents remain (the lemma's precondition).
+    Raises :class:`~repro.errors.SimulationError` on violation.
+    """
+    counts = census(config)
+    if not counts.all_assigned:
+        return
+    if 2 * counts.v_a < counts.n:
+        raise SimulationError(
+            f"Lemma 4 violated: |V_A| = {counts.v_a} < n/2 = {counts.n / 2}"
+        )
+    if 2 * counts.followers < counts.n:
+        raise SimulationError(
+            f"Lemma 4 violated: |V_F| = {counts.followers} < n/2 = {counts.n / 2}"
+        )
+    if counts.v_b < 1:
+        raise SimulationError("Lemma 4 violated: V_B is empty")
+
+
+def check_at_least_one_leader(config: Sequence[PLLState]) -> None:
+    """No module may ever eliminate all leaders (Sections 3.2.3-3.2.5)."""
+    if not any(state.leader for state in config):
+        raise SimulationError("all leaders were eliminated")
+
+
+def check_state_domains(state: PLLState, params: PLLParameters) -> None:
+    """Table 3 domain and group-consistency check for a single state.
+
+    Verifies every defined variable is within its domain and that exactly
+    the variables of the agent's group are defined (``None`` elsewhere),
+    per the normalization rules in :mod:`repro.core.state`.
+    """
+
+    def fail(reason: str) -> None:
+        raise SimulationError(f"invalid state {state!r}: {reason}")
+
+    if state.status not in (
+        STATUS_INITIAL,
+        STATUS_INITIAL_ALT,
+        STATUS_CANDIDATE,
+        STATUS_TIMER,
+    ):
+        fail(f"unknown status {state.status!r}")
+    if not 1 <= state.epoch <= EPOCH_MAX:
+        fail(f"epoch {state.epoch} outside 1..{EPOCH_MAX}")
+    if state.color not in (0, 1, 2):
+        fail(f"color {state.color} outside 0..2")
+    if state.coin is not None and state.coin not in COIN_STATUSES:
+        fail(f"unknown coin status {state.coin!r}")
+    if state.coin is not None and state.leader:
+        fail("leaders do not carry coins")
+    if state.duel is not None and not state.leader:
+        fail("only leaders carry duel bits")
+
+    if state.status == STATUS_TIMER:
+        if state.count is None or not 0 <= state.count < params.cmax:
+            fail(f"V_B count {state.count} outside 0..{params.cmax - 1}")
+        if state.leader:
+            fail("V_B agents are never leaders")
+        for name in ("level_q", "done", "rand", "index", "level_b"):
+            if getattr(state, name) is not None:
+                fail(f"V_B agent defines {name}")
+        return
+
+    if state.count is not None:
+        fail("non-timer agent defines count")
+
+    if state.status in (STATUS_INITIAL, STATUS_INITIAL_ALT):
+        if not state.leader:
+            fail("unassigned agents are leaders")
+        for name in ("level_q", "done", "rand", "index", "level_b", "coin", "duel"):
+            if getattr(state, name) is not None:
+                fail(f"unassigned agent defines {name}")
+        return
+
+    # V_A: exactly the current epoch's variables are defined.
+    epoch = state.epoch
+    if epoch == 1:
+        if state.level_q is None or not 0 <= state.level_q <= params.lmax:
+            fail(f"levelQ {state.level_q} outside 0..{params.lmax}")
+        if state.done is None:
+            fail("V_A ∩ V_1 agent lacks done")
+        stale = ("rand", "index", "level_b")
+    elif epoch in (2, 3):
+        if state.rand is None or not 0 <= state.rand < params.rand_space:
+            fail(f"rand {state.rand} outside 0..{params.rand_space - 1}")
+        if state.index is None or not 0 <= state.index <= params.phi:
+            fail(f"index {state.index} outside 0..{params.phi}")
+        stale = ("level_q", "done", "level_b")
+    else:
+        if state.level_b is None or not 0 <= state.level_b <= params.lmax:
+            fail(f"levelB {state.level_b} outside 0..{params.lmax}")
+        stale = ("level_q", "done", "rand", "index")
+    for name in stale:
+        if getattr(state, name) is not None:
+            fail(f"agent in epoch {epoch} still defines {name}")
+
+
+def check_coin_balance(config: Sequence[PLLState]) -> None:
+    """Section 4 fairness invariant: ``#F0 == #F1`` at all times."""
+    if not coin_counts_balanced([state.coin for state in config]):
+        raise SimulationError("coin populations unbalanced: #F0 != #F1")

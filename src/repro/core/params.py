@@ -1,0 +1,112 @@
+"""Protocol parameters for PLL.
+
+PLL is non-uniform: it takes a rough knowledge ``m`` of the population size
+``n`` with ``m >= log2(n)`` and ``m = Theta(log n)`` (Section 1).  All of
+the protocol's constants derive from ``m`` (Algorithm 1, Notations):
+
+* ``lmax = 5 m``   — cap on ``levelQ`` and ``levelB``,
+* ``cmax = 41 m``  — count-up timer period,
+* ``Phi = ceil((2/3) * lg m)`` — bits per Tournament nonce.
+
+The ``2/3`` exponent is what keeps the state count at ``O(log n)``: an
+agent in ``V_A ∩ (V_2 ∪ V_3)`` stores both ``rand`` (``2^Phi`` values) and
+``index`` (``Phi + 1`` values), and ``2^Phi * Phi = O(m^(2/3) log m)``
+is ``O(log n)`` (Lemma 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["PLLParameters"]
+
+
+@dataclass(frozen=True)
+class PLLParameters:
+    """The input ``m`` and the constants PLL derives from it."""
+
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ParameterError(f"m must be a positive integer, got {self.m}")
+
+    @classmethod
+    def for_population(cls, n: int, slack: float = 1.0) -> "PLLParameters":
+        """Parameters for a population of ``n`` agents.
+
+        Chooses ``m = ceil(slack * log2 n)`` (at least 1), satisfying the
+        paper's requirement ``m >= log2 n`` for ``slack >= 1``.  ``slack``
+        models the roughness of the knowledge of ``n``: the paper only asks
+        for ``m = Theta(log n)``, so over-estimates are legal and their cost
+        is explored by the ablation experiment E12.
+        """
+        if n < 2:
+            raise ParameterError(f"population size must be at least 2, got {n}")
+        if slack < 1.0:
+            raise ParameterError(
+                f"slack must be >= 1 so that m >= log2(n); got {slack}"
+            )
+        return cls(m=max(1, math.ceil(slack * math.log2(n))))
+
+    def validate_for(self, n: int) -> None:
+        """Check ``m >= log2(n)`` (raises otherwise).
+
+        The paper's guarantee is stated under this assumption; running with
+        a too-small ``m`` keeps correctness (BackUp is unconditional) but
+        voids the ``O(log n)`` bound, so experiments call this first.
+        """
+        if n >= 2 and self.m < math.log2(n) - 1e-12:
+            raise ParameterError(
+                f"m={self.m} violates m >= log2(n) for n={n} "
+                f"(need m >= {math.log2(n):.2f})"
+            )
+
+    @property
+    def lmax(self) -> int:
+        """Cap on ``levelQ`` and ``levelB``: ``5 m``."""
+        return 5 * self.m
+
+    @property
+    def cmax(self) -> int:
+        """Count-up timer period: ``41 m``."""
+        return 41 * self.m
+
+    @property
+    def phi(self) -> int:
+        """Tournament nonce length in bits: ``ceil((2/3) lg m)``."""
+        if self.m == 1:
+            return 0
+        return math.ceil((2.0 / 3.0) * math.log2(self.m))
+
+    @property
+    def rand_space(self) -> int:
+        """Number of possible Tournament nonces: ``2^Phi``."""
+        return 1 << self.phi
+
+    def state_bound(self) -> int:
+        """Upper bound on the number of agent states (Lemma 3 audit).
+
+        Counts, per group, the product of that group's variable domains
+        (``tick`` is not stored — DESIGN.md D2 — and ``init`` always equals
+        ``epoch`` between interactions — DESIGN.md D6):
+
+        * common factor: ``leader(2) * color(3) * epoch(4)``,
+        * ``V_X``: the single initial state,
+        * ``V_B``: ``cmax`` counts (always follower),
+        * ``V_A ∩ V_1``: ``(lmax + 1) * 2`` for (levelQ, done),
+        * ``V_A ∩ (V_2 ∪ V_3)``: ``2^Phi * (Phi + 1)`` for (rand, index),
+        * ``V_A ∩ V_4``: ``lmax + 1`` for levelB.
+
+        The bound is deliberately loose (epoch/group combinations overlap);
+        what matters for Lemma 3 is that it is ``O(m) = O(log n)``.
+        """
+        common = 2 * 3  # leader x color; epoch folded into the group terms
+        v_b = 3 * 4 * self.cmax
+        v_a_1 = common * (self.lmax + 1) * 2
+        v_a_23 = common * 2 * self.rand_space * (self.phi + 1)
+        v_a_4 = common * (self.lmax + 1)
+        return 1 + v_b + v_a_1 + v_a_23 + v_a_4

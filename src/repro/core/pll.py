@@ -1,0 +1,159 @@
+"""The protocol ``P_LL`` — Algorithm 1 of the paper.
+
+``PLLProtocol`` is the paper's primary contribution: leader election with
+``O(log n)`` expected parallel stabilization time and ``O(log n)`` states
+per agent, given the rough size knowledge ``m``.
+
+The main transition proceeds in the paper's four parts: (1) status
+assignment, (2) tick/epoch management via CountUp, (3) group variable
+initialization on epoch entry, (4) dispatch to the epoch's module —
+QuickElimination (epoch 1), Tournament (epochs 2 and 3), BackUp (epoch 4).
+
+``variant`` selects which modules are active, giving the ablation
+protocols used by experiments E1/E12: ``"full"`` is PLL; ``"no-tournament"``
+(QuickElimination + BackUp) is the lottery-style baseline in the spirit of
+[Ali+17] — its expected time degrades to ``O(log^2 n)`` because a
+constant-probability QuickElimination tie must be resolved by BackUp;
+``"backup-only"`` strips both fast modules and relies on the safety net
+alone.
+"""
+
+from __future__ import annotations
+
+from repro.core.backup import backup
+from repro.core.countup_module import count_up
+from repro.core.params import PLLParameters
+from repro.core.quick_elimination import quick_elimination
+from repro.core.state import (
+    EPOCH_MAX,
+    STATUS_CANDIDATE,
+    STATUS_INITIAL,
+    STATUS_TIMER,
+    PLLState,
+    WorkAgent,
+)
+from repro.core.tournament import tournament
+from repro.engine.protocol import FOLLOWER, LEADER, LeaderElectionProtocol
+from repro.errors import ParameterError
+
+__all__ = ["PLLProtocol", "VARIANTS"]
+
+#: Recognized protocol variants (see module docstring).
+VARIANTS = ("full", "no-tournament", "backup-only")
+
+
+class PLLProtocol(LeaderElectionProtocol):
+    """Leader election in ``O(log n)`` time and ``O(log n)`` states."""
+
+    monotone_leader = True
+
+    def __init__(self, params: PLLParameters, variant: str = "full") -> None:
+        if variant not in VARIANTS:
+            raise ParameterError(
+                f"unknown variant {variant!r}; expected one of {VARIANTS}"
+            )
+        self.params = params
+        self.variant = variant
+        self.name = "PLL" if variant == "full" else f"PLL[{variant}]"
+
+    @classmethod
+    def for_population(cls, n: int, variant: str = "full") -> "PLLProtocol":
+        """PLL with the canonical parameters ``m = ceil(log2 n)``."""
+        return cls(PLLParameters.for_population(n), variant=variant)
+
+    # ------------------------------------------------------------------
+    # Protocol interface
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> PLLState:
+        return PLLState.initial()
+
+    def output(self, state: PLLState) -> str:
+        return LEADER if state.leader else FOLLOWER
+
+    def state_bound(self) -> int:
+        return self.params.state_bound()
+
+    def transition(
+        self, initiator: PLLState, responder: PLLState
+    ) -> tuple[PLLState, PLLState]:
+        agents = [WorkAgent(initiator), WorkAgent(responder)]
+        self._assign_status(agents)
+        self._advance_epochs(agents)
+        self._run_module(agents)
+        return agents[0].freeze(), agents[1].freeze()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, part by part
+    # ------------------------------------------------------------------
+
+    def _assign_status(self, agents: list[WorkAgent]) -> None:
+        """Lines 1-6: give undetermined agents status A or B."""
+        first, second = agents
+        if first.status == STATUS_INITIAL and second.status == STATUS_INITIAL:
+            # Line 2: the initiator becomes a leader candidate that will
+            # play the QuickElimination lottery ...
+            first.status = STATUS_CANDIDATE
+            first.level_q = 0
+            first.done = False
+            first.leader = True
+            # Line 3: ... and the responder becomes a timer agent.
+            second.status = STATUS_TIMER
+            second.count = 0
+            second.leader = False
+        else:
+            # Lines 4-5: a late starter joins V_A as a follower that never
+            # plays the lottery (done = true).
+            for i in (0, 1):
+                mine, other = agents[i], agents[1 - i]
+                if mine.status == STATUS_INITIAL and other.status != STATUS_INITIAL:
+                    mine.status = STATUS_CANDIDATE
+                    mine.level_q = 0
+                    mine.done = True
+                    mine.leader = False
+
+    def _advance_epochs(self, agents: list[WorkAgent]) -> None:
+        """Lines 7-15: CountUp, epoch advancement, group initialization."""
+        # Line 7 is implicit: WorkAgent construction resets tick.
+        count_up(agents, self.params)  # line 8
+        for agent in agents:  # line 9 (min cap per D1)
+            if agent.tick:
+                agent.epoch = min(agent.epoch + 1, EPOCH_MAX)
+        shared_epoch = max(agents[0].epoch, agents[1].epoch)  # line 10
+        for agent in agents:  # lines 11-15
+            agent.epoch = shared_epoch
+            if shared_epoch > agent.epoch_at_entry:
+                self._enter_epoch(agent)
+                agent.epoch_at_entry = shared_epoch  # `init <- epoch`
+
+    def _enter_epoch(self, agent: WorkAgent) -> None:
+        """Initialize the additional variables of the group just entered.
+
+        Variables belonging to groups the agent has left become undefined
+        again (``None``), which keeps the reachable state space at the
+        Table 3 inventory (and the Lemma 3 audit honest).
+        """
+        if not agent.in_v_a:
+            return  # V_B keeps its count; V_X cannot advance epochs.
+        agent.level_q = None
+        agent.done = None
+        agent.rand = None
+        agent.index = None
+        agent.level_b = None
+        if agent.epoch in (2, 3):  # line 12
+            agent.rand = 0
+            agent.index = 0
+        elif agent.epoch == EPOCH_MAX:  # line 13
+            agent.level_b = 0
+
+    def _run_module(self, agents: list[WorkAgent]) -> None:
+        """Lines 16-22: dispatch on the (now shared) epoch."""
+        epoch = agents[0].epoch
+        if epoch == 1:
+            if self.variant != "backup-only":
+                quick_elimination(agents, self.params)
+        elif epoch in (2, 3):
+            if self.variant == "full":
+                tournament(agents, self.params)
+        else:
+            backup(agents, self.params)

@@ -1,0 +1,53 @@
+"""QuickElimination() — Algorithm 3: the lottery on geometric levels.
+
+Each leader plays the competition game of Section 3.1.1: it flips a fair
+coin per interaction with a follower — "head" when it is the initiator —
+counting heads in ``levelQ`` until the first tail sets ``done``.  Agents in
+``V_A`` that have stopped (``done``) run a one-way epidemic of the maximum
+``levelQ``; a leader observing a larger value becomes a follower.
+
+Coin flips are fair *and mutually independent* because at most one flip
+happens per interaction (a flip needs a leader–follower pair, and the two
+roles of one interaction cannot both be flipping leaders).
+
+Survivor-count law (Lemma 7): for every ``i >= 2``, the probability that
+exactly ``i`` leaders survive is at most ``2^(1-i)`` (plus an ``O(1/n)``
+failure term); the maximum-level leader always survives, so the module can
+never eliminate all leaders.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PLLParameters
+from repro.core.state import WorkAgent
+
+__all__ = ["quick_elimination"]
+
+
+def quick_elimination(agents: list[WorkAgent], params: PLLParameters) -> None:
+    """Apply Algorithm 3 to an interacting pair (in place).
+
+    Only called when the shared epoch is 1, so ``V_A`` agents carry
+    ``levelQ``/``done``.  The ``i = 0`` branch of line 36 uses a ``min``
+    cap (DESIGN.md D1): ``levelQ`` saturates at ``lmax``.
+    """
+    # Lines 35-38: the coin flip.  `i` is the agent's role: 0 = initiator
+    # (head), 1 = responder (tail).  Only a still-playing leader facing a
+    # follower flips; the two guards are mutually exclusive since a leader
+    # is never in V_F.
+    for i in (0, 1):
+        mine, other = agents[i], agents[1 - i]
+        if mine.leader and not other.leader and mine.done is False:
+            if i == 0:
+                mine.level_q = min(mine.level_q + 1, params.lmax)
+            else:
+                mine.done = True
+    # Lines 39-42: one-way epidemic of the maximum levelQ among stopped
+    # V_A agents; the smaller side adopts the value and drops out.
+    first, second = agents
+    if first.in_v_a and second.in_v_a and first.done and second.done:
+        for i in (0, 1):
+            mine, other = agents[i], agents[1 - i]
+            if mine.level_q < other.level_q:
+                mine.leader = False
+                mine.level_q = other.level_q

@@ -1,0 +1,162 @@
+"""Agent state for PLL (the paper's Table 3).
+
+A PLL agent carries six common variables and, depending on its group, up to
+two additional variables.  We store states as an immutable named tuple
+(:class:`PLLState`); fields that are "Undefined" for the agent's group in
+Table 3 are ``None``.  Two normalizations against the paper's table, both
+behaviour-preserving (DESIGN.md D2/D6):
+
+* ``tick`` is not stored: it is reset at the start of every interaction and
+  read only within the same interaction, so persisting it would only double
+  the reachable state count.
+* ``init`` is not stored: lines 11–15 set ``init = epoch`` for both parties
+  of every interaction, so between interactions ``init == epoch`` always —
+  the within-transition comparison uses the epoch value at entry instead.
+
+Transitions are computed on a mutable scratch record (:class:`WorkAgent`)
+and frozen back into :class:`PLLState`, keeping the module code close to
+the paper's imperative pseudocode while the engine only ever sees hashable
+values.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = [
+    "STATUS_INITIAL",
+    "STATUS_INITIAL_ALT",
+    "STATUS_CANDIDATE",
+    "STATUS_TIMER",
+    "EPOCH_MAX",
+    "PLLState",
+    "WorkAgent",
+]
+
+#: The "initial" status ``X``.
+STATUS_INITIAL = "X"
+
+#: The auxiliary initial status ``Y`` used by the symmetric variant (Sec. 4).
+STATUS_INITIAL_ALT = "Y"
+
+#: Status ``A``: leader candidate.
+STATUS_CANDIDATE = "A"
+
+#: Status ``B``: timer agent.
+STATUS_TIMER = "B"
+
+#: Epochs run 1..4; epoch 4 (BackUp) is terminal.
+EPOCH_MAX = 4
+
+
+class PLLState(NamedTuple):
+    """Immutable PLL agent state (Table 3, normalized per D2/D6).
+
+    ``coin`` and ``duel`` are used only by the symmetric variant (Section
+    4): ``coin`` is the follower's coin status (``J``/``K``/``F0``/``F1``)
+    and ``duel`` is an epoch-4 leader's symmetry-breaking bit.  Both stay
+    ``None`` in the asymmetric protocol so the two variants share one state
+    type without inflating each other's state space.
+    """
+
+    leader: bool
+    status: str
+    epoch: int
+    color: int
+    count: int | None = None  # V_B only
+    level_q: int | None = None  # V_A ∩ V_1
+    done: bool | None = None  # V_A ∩ V_1
+    rand: int | None = None  # V_A ∩ (V_2 ∪ V_3)
+    index: int | None = None  # V_A ∩ (V_2 ∪ V_3)
+    level_b: int | None = None  # V_A ∩ V_4
+    coin: str | None = None  # symmetric variant, followers only
+    duel: int | None = None  # symmetric variant, epoch-4 leaders only
+
+    @classmethod
+    def initial(cls) -> "PLLState":
+        """``s_init``: leader, status X, epoch 1, color 0 (Table 3)."""
+        return cls(leader=True, status=STATUS_INITIAL, epoch=1, color=0)
+
+    @property
+    def in_v_a(self) -> bool:
+        return self.status == STATUS_CANDIDATE
+
+    @property
+    def in_v_b(self) -> bool:
+        return self.status == STATUS_TIMER
+
+    @property
+    def unassigned(self) -> bool:
+        """Whether the agent still has an initial status (``X`` or ``Y``)."""
+        return self.status in (STATUS_INITIAL, STATUS_INITIAL_ALT)
+
+
+class WorkAgent:
+    """Mutable scratch copy of one agent's state during a transition.
+
+    Mirrors :class:`PLLState` plus the two within-interaction variables the
+    paper uses: ``tick`` (line 7 resets it, CountUp may raise it) and
+    ``epoch_at_entry`` (the stored-state role of ``init``; see D6).
+    """
+
+    __slots__ = (
+        "leader",
+        "status",
+        "epoch",
+        "color",
+        "count",
+        "level_q",
+        "done",
+        "rand",
+        "index",
+        "level_b",
+        "coin",
+        "duel",
+        "tick",
+        "epoch_at_entry",
+    )
+
+    def __init__(self, state: PLLState) -> None:
+        self.leader = state.leader
+        self.status = state.status
+        self.epoch = state.epoch
+        self.color = state.color
+        self.count = state.count
+        self.level_q = state.level_q
+        self.done = state.done
+        self.rand = state.rand
+        self.index = state.index
+        self.level_b = state.level_b
+        self.coin = state.coin
+        self.duel = state.duel
+        self.tick = False  # line 7
+        self.epoch_at_entry = state.epoch  # the `init` variable (D6)
+
+    def freeze(self) -> PLLState:
+        """Snapshot back to an immutable state (``tick`` dropped per D2)."""
+        return PLLState(
+            leader=self.leader,
+            status=self.status,
+            epoch=self.epoch,
+            color=self.color,
+            count=self.count,
+            level_q=self.level_q,
+            done=self.done,
+            rand=self.rand,
+            index=self.index,
+            level_b=self.level_b,
+            coin=self.coin,
+            duel=self.duel,
+        )
+
+    @property
+    def in_v_a(self) -> bool:
+        return self.status == STATUS_CANDIDATE
+
+    @property
+    def in_v_b(self) -> bool:
+        return self.status == STATUS_TIMER
+
+    @property
+    def unassigned(self) -> bool:
+        return self.status in (STATUS_INITIAL, STATUS_INITIAL_ALT)

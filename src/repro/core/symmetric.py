@@ -1,0 +1,287 @@
+"""The symmetric variant of PLL (Section 4).
+
+The asymmetric PLL uses initiator/responder roles in exactly two places:
+status assignment and coin flips.  Section 4 replaces both:
+
+* **Status assignment** gains an auxiliary initial status ``Y`` and the
+  role-free rules ``X x X -> Y x Y``, ``Y x Y -> X x X``,
+  ``X x Y -> A x B`` (the ``X`` party becomes the candidate); an ``X`` or
+  ``Y`` agent meeting an ``A`` or ``B`` agent becomes an ``A`` follower.
+* **Coin flips** use the follower coin construct of
+  :mod:`repro.coins.symmetric_coin`: every follower carries a coin status
+  (born ``J``); follower pairs churn ``J``/``K`` into exactly balanced
+  ``F0``/``F1`` populations; a leader flips by *reading* a settled coin —
+  ``F0`` is head, ``F1`` is tail — which is fair and independent across
+  flips.
+
+Two deviations the paper's two-paragraph sketch leaves open (DESIGN.md):
+
+* **D7** — line 58 ("two equal leaders: the responder concedes") is
+  inherently asymmetric and in fact *cannot* be made symmetric for agents
+  in identical states.  We give each epoch-4 leader a ``duel`` bit that it
+  refreshes from every settled coin it reads; when two ``V_A`` leaders
+  meet with *different* duel bits, the tail-bit one concedes.  Identical
+  states imply equal bits, so the symmetry property holds, while two
+  leaders still resolve in ``O(n)`` expected parallel time.
+* **D8** — for ``n = 2`` the initial configuration is symmetric and every
+  interaction preserves symmetry (``X,X <-> Y,Y`` forever), so *no*
+  symmetric protocol elects a leader from two agents; the variant requires
+  ``n >= 3``.
+
+Unlike the asymmetric protocol, agents can be stored with status ``X`` or
+``Y`` *and* an advanced epoch (they keep exchanging colors while waiting to
+be assigned), so group-variable initialization on conversion is forced by
+resetting the stored-``init`` surrogate to 0 and extending epoch-entry
+initialization to epoch 1.
+"""
+
+from __future__ import annotations
+
+from repro.coins.symmetric_coin import COIN_J, coin_flip_value, pair_coins
+from repro.core.countup_module import count_up
+from repro.core.params import PLLParameters
+from repro.core.state import (
+    EPOCH_MAX,
+    STATUS_CANDIDATE,
+    STATUS_INITIAL,
+    STATUS_INITIAL_ALT,
+    STATUS_TIMER,
+    PLLState,
+    WorkAgent,
+)
+from repro.engine.protocol import FOLLOWER, LEADER, LeaderElectionProtocol
+from repro.errors import ParameterError
+
+__all__ = ["SymmetricPLLProtocol"]
+
+
+def _demote(agent: WorkAgent) -> None:
+    """Turn a leader into a follower; a fresh follower's coin starts at J.
+
+    A no-op for agents that are already followers: the epidemic rules call
+    this on whichever side holds the smaller value, which may be a follower
+    relaying the maximum — resetting *its* coin would orphan the matching
+    ``F0``/``F1`` partner and break the exact-balance invariant.
+    """
+    if agent.leader:
+        agent.leader = False
+        agent.coin = COIN_J
+        agent.duel = None
+
+
+class SymmetricPLLProtocol(LeaderElectionProtocol):
+    """Leader election with symmetric transitions (Section 4)."""
+
+    monotone_leader = True
+
+    def __init__(self, params: PLLParameters) -> None:
+        self.params = params
+        self.name = "PLL-symmetric"
+
+    @classmethod
+    def for_population(cls, n: int) -> "SymmetricPLLProtocol":
+        """Canonical parameters; requires ``n >= 3`` (DESIGN.md D8)."""
+        if n < 3:
+            raise ParameterError(
+                "the symmetric variant cannot elect a leader from n < 3 "
+                "agents (symmetric trajectories never break a 2-agent tie)"
+            )
+        return cls(PLLParameters.for_population(n))
+
+    def initial_state(self) -> PLLState:
+        return PLLState.initial()
+
+    def output(self, state: PLLState) -> str:
+        return LEADER if state.leader else FOLLOWER
+
+    def is_symmetric(self) -> bool:
+        return True
+
+    def state_bound(self) -> int:
+        # Followers additionally carry one of 4 coin statuses; epoch-4
+        # leaders carry a duel bit.  Still O(m) overall.
+        return self.params.state_bound() * 8
+
+    def transition(
+        self, initiator: PLLState, responder: PLLState
+    ) -> tuple[PLLState, PLLState]:
+        agents = [WorkAgent(initiator), WorkAgent(responder)]
+        self._assign_status(agents)
+        self._advance_epochs(agents)
+        self._update_coins(agents)
+        self._run_module(agents)
+        return agents[0].freeze(), agents[1].freeze()
+
+    # ------------------------------------------------------------------
+    # status assignment (role-free)
+    # ------------------------------------------------------------------
+
+    def _assign_status(self, agents: list[WorkAgent]) -> None:
+        first, second = agents
+        statuses = (first.status, second.status)
+        if statuses == (STATUS_INITIAL, STATUS_INITIAL):
+            first.status = STATUS_INITIAL_ALT
+            second.status = STATUS_INITIAL_ALT
+            return
+        if statuses == (STATUS_INITIAL_ALT, STATUS_INITIAL_ALT):
+            first.status = STATUS_INITIAL
+            second.status = STATUS_INITIAL
+            return
+        if set(statuses) == {STATUS_INITIAL, STATUS_INITIAL_ALT}:
+            # X x Y -> A x B, decided by *state*, not by role: the X party
+            # becomes the leader candidate, the Y party the timer.
+            for agent in agents:
+                if agent.status == STATUS_INITIAL:
+                    agent.status = STATUS_CANDIDATE
+                    agent.epoch_at_entry = 0  # force group init (any epoch)
+                else:
+                    agent.status = STATUS_TIMER
+                    agent.count = 0
+                    _demote(agent)
+            return
+        # An X or Y agent meeting an assigned (A/B) agent joins V_A as a
+        # follower that never plays the lottery.
+        for i in (0, 1):
+            mine, other = agents[i], agents[1 - i]
+            if mine.unassigned and not other.unassigned:
+                mine.status = STATUS_CANDIDATE
+                mine.epoch_at_entry = 0  # force group init
+                _demote(mine)
+
+    # ------------------------------------------------------------------
+    # epochs (identical to Algorithm 1 lines 7-15, epoch-1 entry added)
+    # ------------------------------------------------------------------
+
+    def _advance_epochs(self, agents: list[WorkAgent]) -> None:
+        count_up(agents, self.params)
+        for agent in agents:
+            if agent.tick:
+                agent.epoch = min(agent.epoch + 1, EPOCH_MAX)
+        shared_epoch = max(agents[0].epoch, agents[1].epoch)
+        for agent in agents:
+            agent.epoch = shared_epoch
+            if shared_epoch > agent.epoch_at_entry:
+                self._enter_epoch(agent)
+                agent.epoch_at_entry = shared_epoch
+
+    def _enter_epoch(self, agent: WorkAgent) -> None:
+        if not agent.in_v_a:
+            return
+        agent.level_q = None
+        agent.done = None
+        agent.rand = None
+        agent.index = None
+        agent.level_b = None
+        agent.duel = None
+        if agent.epoch == 1:
+            # Conversions can happen at any stored epoch (see module
+            # docstring); a fresh candidate still playing the lottery has
+            # done=False, a fresh follower has done=True.
+            agent.level_q = 0
+            agent.done = not agent.leader
+        elif agent.epoch in (2, 3):
+            agent.rand = 0
+            agent.index = 0
+        else:
+            agent.level_b = 0
+            if agent.leader:
+                agent.duel = 0
+
+    # ------------------------------------------------------------------
+    # follower coins
+    # ------------------------------------------------------------------
+
+    def _update_coins(self, agents: list[WorkAgent]) -> None:
+        first, second = agents
+        if (
+            not first.leader
+            and not second.leader
+            and first.coin is not None
+            and second.coin is not None
+        ):
+            first.coin, second.coin = pair_coins(first.coin, second.coin)
+
+    # ------------------------------------------------------------------
+    # modules (coin reads replace role bits)
+    # ------------------------------------------------------------------
+
+    def _run_module(self, agents: list[WorkAgent]) -> None:
+        epoch = agents[0].epoch
+        if epoch == 1:
+            self._quick_elimination(agents)
+        elif epoch in (2, 3):
+            self._tournament(agents)
+        else:
+            self._backup(agents)
+
+    def _quick_elimination(self, agents: list[WorkAgent]) -> None:
+        lmax = self.params.lmax
+        for i in (0, 1):
+            mine, other = agents[i], agents[1 - i]
+            if (
+                mine.leader
+                and mine.in_v_a
+                and not other.leader
+                and mine.done is False
+            ):
+                flip = coin_flip_value(other.coin)
+                if flip == 1:
+                    mine.level_q = min(mine.level_q + 1, lmax)
+                elif flip == 0:
+                    mine.done = True
+        first, second = agents
+        if first.in_v_a and second.in_v_a and first.done and second.done:
+            for i in (0, 1):
+                mine, other = agents[i], agents[1 - i]
+                if mine.level_q < other.level_q:
+                    mine.level_q = other.level_q
+                    _demote(mine)
+
+    def _tournament(self, agents: list[WorkAgent]) -> None:
+        phi = self.params.phi
+        for i in (0, 1):
+            mine, other = agents[i], agents[1 - i]
+            if mine.in_v_a and not other.leader and mine.index < phi:
+                flip = coin_flip_value(other.coin)
+                if flip is None:
+                    continue
+                if mine.leader:
+                    mine.rand = 2 * mine.rand + flip
+                mine.index = min(mine.index + 1, phi)
+        first, second = agents
+        if (
+            first.in_v_a
+            and second.in_v_a
+            and first.index == phi
+            and second.index == phi
+        ):
+            for i in (0, 1):
+                mine, other = agents[i], agents[1 - i]
+                if mine.rand < other.rand:
+                    mine.rand = other.rand
+                    _demote(mine)
+
+    def _backup(self, agents: list[WorkAgent]) -> None:
+        lmax = self.params.lmax
+        for i in (0, 1):
+            mine, other = agents[i], agents[1 - i]
+            if mine.leader and mine.in_v_a and not other.leader:
+                flip = coin_flip_value(other.coin)
+                if flip is None:
+                    continue
+                mine.duel = flip  # refresh the symmetry-breaking bit (D7)
+                if mine.tick and flip == 1:
+                    mine.level_b = min(mine.level_b + 1, lmax)
+        first, second = agents
+        if first.in_v_a and second.in_v_a:
+            for i in (0, 1):
+                mine, other = agents[i], agents[1 - i]
+                if mine.level_b < other.level_b:
+                    mine.level_b = other.level_b
+                    _demote(mine)
+        # D7: symmetric stand-in for line 58 — duel bits decide; equal
+        # bits (in particular identical states) change nothing.
+        first, second = agents
+        if first.leader and second.leader and first.in_v_a and second.in_v_a:
+            if first.duel != second.duel:
+                _demote(first if first.duel == 0 else second)

@@ -1,0 +1,52 @@
+"""Tournament() — Algorithm 4: uniform nonces and a max-nonce epidemic.
+
+Each leader assembles a ``Phi``-bit uniform random nonce in ``rand``, one
+bit per interaction with a follower (the bit is its interaction role), with
+``index`` counting assembled bits.  Once assembled, the maximum nonce
+spreads through ``V_A`` by one-way epidemic and leaders holding a smaller
+nonce are eliminated.  The module runs twice (epochs 2 and 3, with
+``rand``/``index`` re-initialized at the boundary), which squares its
+failure probability: each round leaves more than one leader with
+probability ``O(log log n / log^(2/3) n)`` (Lemma 8).
+
+Faithfulness note (DESIGN.md D3): as printed, only leaders advance
+``index``, yet the epidemic of line 47 requires *both* parties to have
+``index = Phi`` — followers could then never relay the max nonce and the
+epidemic could not cover ``V_A`` as Lemma 8's proof requires.  We let every
+``V_A`` agent advance ``index`` on the same trigger (partner is a
+follower); only leaders record bits, so a follower's ``rand`` is always a
+value received from the epidemic (hence never exceeds the maximum leader
+nonce, preserving "never eliminates all leaders").
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PLLParameters
+from repro.core.state import WorkAgent
+
+__all__ = ["tournament"]
+
+
+def tournament(agents: list[WorkAgent], params: PLLParameters) -> None:
+    """Apply Algorithm 4 to an interacting pair (in place).
+
+    Only called when the shared epoch is 2 or 3, so ``V_A`` agents carry
+    ``rand``/``index``.  Line 45's cap is ``min`` (DESIGN.md D1).
+    """
+    phi = params.phi
+    # Lines 43-46 (+D3): assemble nonce bits.  `i` is the agent's role
+    # (0 = initiator, 1 = responder) and doubles as the appended bit.
+    for i in (0, 1):
+        mine, other = agents[i], agents[1 - i]
+        if mine.in_v_a and not other.leader and mine.index < phi:
+            if mine.leader:
+                mine.rand = 2 * mine.rand + i
+            mine.index = min(mine.index + 1, phi)
+    # Lines 47-50: epidemic of the maximum nonce among finished V_A agents.
+    first, second = agents
+    if first.in_v_a and second.in_v_a and first.index == phi and second.index == phi:
+        for i in (0, 1):
+            mine, other = agents[i], agents[1 - i]
+            if mine.rand < other.rand:
+                mine.leader = False
+                mine.rand = other.rand

@@ -1,0 +1,68 @@
+"""Population-protocol simulation substrate.
+
+Two engines share one contract (protocols, interning, caching, detectors):
+
+* :class:`~repro.engine.simulator.AgentSimulator` — per-agent identity;
+  supports hooks, traces, epidemics, failure injection.
+* :class:`~repro.engine.multiset.MultisetSimulator` — count-based with
+  Fenwick-tree sampling; per-step cost independent of ``n``.
+"""
+
+from repro.engine.cache import CacheStats, TransitionCache
+from repro.engine.convergence import (
+    MonotoneLeaderStabilization,
+    SilenceDetector,
+    StabilizationDetector,
+    output_stable_forever,
+)
+from repro.engine.fenwick import FenwickTree
+from repro.engine.interner import StateInterner
+from repro.engine.metrics import InteractionCounter, StateChangeCounter, parallel_time
+from repro.engine.multiset import MultisetSimulator
+from repro.engine.population import Configuration
+from repro.engine.protocol import (
+    FOLLOWER,
+    LEADER,
+    LeaderElectionProtocol,
+    Protocol,
+    State,
+    check_symmetry,
+)
+from repro.engine.scheduler import (
+    DeterministicSchedule,
+    PairScheduler,
+    RandomScheduler,
+    RestrictedScheduler,
+)
+from repro.engine.simulator import AgentSimulator
+from repro.engine.trace import ConfigurationSnapshot, TraceRecorder, replay
+
+__all__ = [
+    "AgentSimulator",
+    "CacheStats",
+    "Configuration",
+    "ConfigurationSnapshot",
+    "DeterministicSchedule",
+    "FenwickTree",
+    "FOLLOWER",
+    "InteractionCounter",
+    "LEADER",
+    "LeaderElectionProtocol",
+    "MonotoneLeaderStabilization",
+    "MultisetSimulator",
+    "PairScheduler",
+    "Protocol",
+    "RandomScheduler",
+    "RestrictedScheduler",
+    "SilenceDetector",
+    "StabilizationDetector",
+    "State",
+    "StateChangeCounter",
+    "StateInterner",
+    "TraceRecorder",
+    "TransitionCache",
+    "check_symmetry",
+    "output_stable_forever",
+    "parallel_time",
+    "replay",
+]

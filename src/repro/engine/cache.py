@@ -1,0 +1,88 @@
+"""Memoized transition application over interned state ids.
+
+Population protocol transitions are deterministic functions of the ordered
+(initiator, responder) state pair, so ``T`` can be memoized exactly.  The
+cache is bounded: once ``max_entries`` distinct pairs have been stored,
+further misses are computed directly without insertion, so memory stays
+bounded even for protocols with high-entropy components (e.g. the ``V_B``
+count-up timers of PLL, whose ``count`` variable cycles through ``41 m``
+values and makes most timer/timer pairs cold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.interner import StateInterner
+from repro.engine.protocol import Protocol
+
+__all__ = ["CacheStats", "TransitionCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of transitions requested through the cache."""
+        return self.hits + self.misses + self.bypasses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class TransitionCache:
+    """Apply a protocol's transition on int ids with exact memoization."""
+
+    __slots__ = ("_protocol", "_interner", "_table", "_max_entries", "stats")
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        interner: StateInterner,
+        max_entries: int = 1 << 20,
+    ) -> None:
+        self._protocol = protocol
+        self._interner = interner
+        self._table: dict[tuple[int, int], tuple[int, int]] = {}
+        self._max_entries = max_entries
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def apply(self, initiator_id: int, responder_id: int) -> tuple[int, int]:
+        """Return post-state ids for an ordered pre-state id pair."""
+        key = (initiator_id, responder_id)
+        found = self._table.get(key)
+        if found is not None:
+            self.stats.hits += 1
+            return found
+        result = self._compute(initiator_id, responder_id)
+        if len(self._table) < self._max_entries:
+            self.stats.misses += 1
+            self._table[key] = result
+        else:
+            self.stats.bypasses += 1
+        return result
+
+    def _compute(self, initiator_id: int, responder_id: int) -> tuple[int, int]:
+        interner = self._interner
+        pre_initiator = interner.state_of(initiator_id)
+        pre_responder = interner.state_of(responder_id)
+        post_initiator, post_responder = self._protocol.transition(
+            pre_initiator, pre_responder
+        )
+        return interner.intern(post_initiator), interner.intern(post_responder)

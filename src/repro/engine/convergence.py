@@ -1,0 +1,121 @@
+"""Stabilization detection.
+
+Leader election stabilizes when the population reaches a configuration in
+``S_P``: exactly one agent outputs ``L`` and no schedule can change any
+output thereafter (Section 2).  Two detectors cover the two regimes:
+
+* :class:`MonotoneLeaderStabilization` — for protocols whose leader count
+  is monotone non-increasing and always positive (every protocol in this
+  library; see DESIGN.md Section 3).  For those, the first configuration
+  with exactly one leader is already stable, so detection is an O(1)
+  counter comparison.
+* :class:`SilenceDetector` — protocol-agnostic: checks that no ordered pair
+  of *present* states changes anything.  Cost is quadratic in the number of
+  distinct present states, so it is meant to be polled sparsely.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.engine.protocol import LEADER
+
+__all__ = [
+    "StabilizationDetector",
+    "MonotoneLeaderStabilization",
+    "SilenceDetector",
+    "output_stable_forever",
+]
+
+
+class StabilizationDetector(ABC):
+    """Predicate over a simulator, polled during a run."""
+
+    @abstractmethod
+    def check(self, sim) -> bool:
+        """Whether the simulator's current configuration counts as stable."""
+
+
+class MonotoneLeaderStabilization(StabilizationDetector):
+    """Stable iff exactly ``target`` leaders exist (monotone protocols)."""
+
+    def __init__(self, target: int = 1) -> None:
+        self.target = target
+
+    def check(self, sim) -> bool:
+        return sim.output_counts.get(LEADER, 0) == self.target
+
+
+class SilenceDetector(StabilizationDetector):
+    """Stable iff no applicable transition changes any state.
+
+    A configuration is *silent* when for every ordered pair of states
+    ``(p, q)`` present in the configuration (with ``p == q`` requiring
+    multiplicity at least 2), ``T(p, q) == (p, q)``.  Silence implies
+    output stability; it is sufficient but not necessary, which is fine for
+    the protocols here whose stable configurations are eventually silent
+    only in their output-relevant components.
+    """
+
+    def check(self, sim) -> bool:
+        counts = sim.state_id_counts()
+        present = [sid for sid, count in counts.items() if count > 0]
+        cache = sim.cache
+        for sid0 in present:
+            for sid1 in present:
+                if sid0 == sid1 and counts[sid0] < 2:
+                    continue
+                if cache.apply(sid0, sid1) != (sid0, sid1):
+                    return False
+        return True
+
+
+def output_stable_forever(sim) -> bool:
+    """Exact check that no reachable successor changes any *output*.
+
+    Explores the reachable configuration space from the simulator's current
+    configuration by breadth-first search over configurations (as state
+    multisets) and verifies the output vector never changes.  Exponential in
+    general — only call this on tiny populations (n <= 6 or so) in tests.
+    """
+    protocol = sim.protocol
+    interner = sim.interner
+
+    def outputs_of(counts: tuple[tuple[int, int], ...]) -> tuple[tuple[str, int], ...]:
+        tally: dict[str, int] = {}
+        for sid, count in counts:
+            symbol = protocol.output(interner.state_of(sid))
+            tally[symbol] = tally.get(symbol, 0) + count
+        return tuple(sorted(tally.items()))
+
+    def canonical(counts: dict[int, int]) -> tuple[tuple[int, int], ...]:
+        return tuple(sorted((sid, c) for sid, c in counts.items() if c > 0))
+
+    start = canonical(sim.state_id_counts())
+    target_outputs = outputs_of(start)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        counts = dict(node)
+        present = list(counts)
+        for sid0 in present:
+            for sid1 in present:
+                if sid0 == sid1 and counts[sid0] < 2:
+                    continue
+                post0, post1 = sim.cache.apply(sid0, sid1)
+                if (post0, post1) == (sid0, sid1):
+                    continue
+                successor = dict(counts)
+                successor[sid0] -= 1
+                successor[sid1] -= 1
+                successor[post0] = successor.get(post0, 0) + 1
+                successor[post1] = successor.get(post1, 0) + 1
+                key = canonical(successor)
+                if key in seen:
+                    continue
+                if outputs_of(key) != target_outputs:
+                    return False
+                seen.add(key)
+                frontier.append(key)
+    return True

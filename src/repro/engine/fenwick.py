@@ -1,0 +1,110 @@
+"""Fenwick (binary indexed) tree for dynamic weighted sampling.
+
+The multiset engine (:mod:`repro.engine.multiset`) keeps the configuration
+as state counts and must repeatedly sample a state with probability
+proportional to its count, under point updates.  A Fenwick tree gives
+``O(log k)`` updates and ``O(log k)`` inverse-CDF sampling where ``k`` is
+the number of distinct states — independent of the population size ``n``,
+which is what makes large-``n`` stabilization runs tractable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FenwickTree"]
+
+
+class FenwickTree:
+    """Fenwick tree over non-negative integer weights with sampling support.
+
+    Indices are ``0 .. size-1``.  The tree grows automatically (capacity
+    doubles) when :meth:`add` touches an index at or past the current size.
+    """
+
+    __slots__ = ("_tree", "_size", "_total")
+
+    def __init__(self, size: int = 16) -> None:
+        if size < 1:
+            size = 1
+        self._size = size
+        self._tree = [0] * (size + 1)
+        self._total = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def total(self) -> int:
+        """Sum of all weights."""
+        return self._total
+
+    def _grow(self, minimum_size: int) -> None:
+        new_size = self._size
+        while new_size < minimum_size:
+            new_size *= 2
+        weights = [self.get(i) for i in range(self._size)]
+        self._size = new_size
+        self._tree = [0] * (new_size + 1)
+        self._total = 0
+        for index, weight in enumerate(weights):
+            if weight:
+                self.add(index, weight)
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to the weight at ``index`` (may grow the tree)."""
+        if index < 0:
+            raise IndexError(f"negative index: {index}")
+        if index >= self._size:
+            self._grow(index + 1)
+        self._total += delta
+        tree = self._tree
+        i = index + 1
+        size = self._size
+        while i <= size:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of weights at indices ``0 .. index`` inclusive."""
+        if index >= self._size:
+            index = self._size - 1
+        total = 0
+        tree = self._tree
+        i = index + 1
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def get(self, index: int) -> int:
+        """Weight currently stored at ``index``."""
+        if index < 0 or index >= self._size:
+            return 0
+        return self.prefix_sum(index) - (self.prefix_sum(index - 1) if index else 0)
+
+    def find(self, cumulative: int) -> int:
+        """Smallest index whose prefix sum exceeds ``cumulative``.
+
+        With ``cumulative`` drawn uniformly from ``[0, total)`` this samples
+        an index with probability proportional to its weight.
+        """
+        if not 0 <= cumulative < self._total:
+            raise ValueError(
+                f"cumulative value {cumulative} outside [0, {self._total})"
+            )
+        index = 0
+        bitmask = 1
+        while bitmask * 2 <= self._size:
+            bitmask *= 2
+        tree = self._tree
+        remaining = cumulative
+        while bitmask:
+            candidate = index + bitmask
+            if candidate <= self._size and tree[candidate] <= remaining:
+                index = candidate
+                remaining -= tree[candidate]
+            bitmask //= 2
+        return index  # 0-based: `index` is count of positions fully skipped
+
+    def weights(self) -> list[int]:
+        """All weights as a plain list (for tests and debugging)."""
+        return [self.get(i) for i in range(self._size)]

@@ -1,0 +1,64 @@
+"""Dense integer interning of protocol states.
+
+The simulation hot loop works exclusively on small integers.  The interner
+assigns each distinct state a dense id (0, 1, 2, ...) on first sight and
+keeps both directions of the mapping.  Because population-protocol state
+spaces are small (the whole point of the paper is an ``O(log n)`` bound),
+the tables stay tiny even in long runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.engine.protocol import State
+
+__all__ = ["StateInterner"]
+
+
+class StateInterner:
+    """Bidirectional mapping between hashable states and dense int ids."""
+
+    __slots__ = ("_id_of", "_state_of")
+
+    def __init__(self) -> None:
+        self._id_of: dict[State, int] = {}
+        self._state_of: list[State] = []
+
+    def intern(self, state: State) -> int:
+        """Return the id of ``state``, assigning the next free id if new."""
+        sid = self._id_of.get(state)
+        if sid is None:
+            sid = len(self._state_of)
+            self._id_of[state] = sid
+            self._state_of.append(state)
+        return sid
+
+    def state_of(self, sid: int) -> State:
+        """Return the state with id ``sid`` (inverse of :meth:`intern`)."""
+        return self._state_of[sid]
+
+    def id_of(self, state: State) -> int | None:
+        """Return the id of ``state`` if already interned, else ``None``."""
+        return self._id_of.get(state)
+
+    def __len__(self) -> int:
+        return len(self._state_of)
+
+    def __contains__(self, state: State) -> bool:
+        return state in self._id_of
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._state_of)
+
+    def states(self) -> list[State]:
+        """All states seen so far, in id order (a copy)."""
+        return list(self._state_of)
+
+    def map_ids(self, fn: Callable[[State], object]) -> list[object]:
+        """Apply ``fn`` to every interned state, returning a list by id.
+
+        Used to build id-indexed side tables (e.g. output symbols) that the
+        engines consult without re-deriving values from state objects.
+        """
+        return [fn(state) for state in self._state_of]

@@ -1,0 +1,79 @@
+"""Measurement helpers: parallel time and per-interaction instrumentation.
+
+The paper measures stabilization time in *parallel time*: the number of
+steps (interactions) divided by the population size ``n`` (Section 2).
+Hooks in this module can be attached to :class:`repro.engine.simulator.
+AgentSimulator` to count per-agent participations or state changes without
+touching the engine's hot loop when unused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "parallel_time",
+    "InteractionCounter",
+    "StateChangeCounter",
+]
+
+
+def parallel_time(steps: int, n: int) -> float:
+    """Convert a step count to parallel time (steps / n)."""
+    if n <= 0:
+        raise ValueError(f"population size must be positive, got {n}")
+    return steps / n
+
+
+class InteractionCounter:
+    """Hook counting how many interactions each agent participates in.
+
+    The coupon-collector argument behind the Omega(log n) lower bound
+    (Table 2, [SM19]) is about the first time every agent has interacted;
+    this hook lets experiment E2 measure that time directly.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.counts = np.zeros(n, dtype=np.int64)
+        self._untouched = n
+
+    def __call__(self, sim, u, v, pre0, pre1, post0, post1) -> None:
+        counts = self.counts
+        if counts[u] == 0:
+            self._untouched -= 1
+        counts[u] += 1
+        if counts[v] == 0:
+            self._untouched -= 1
+        counts[v] += 1
+
+    @property
+    def all_touched(self) -> bool:
+        """Whether every agent has participated in at least one interaction."""
+        return self._untouched == 0
+
+    @property
+    def min_count(self) -> int:
+        """Fewest interactions any single agent has participated in."""
+        return int(self.counts.min())
+
+
+class StateChangeCounter:
+    """Hook counting interactions that changed at least one agent's state.
+
+    A long suffix with no effective transitions is a cheap signal that a
+    run has gone silent — useful when debugging new protocols.
+    """
+
+    def __init__(self) -> None:
+        self.effective = 0
+        self.null = 0
+
+    def __call__(self, sim, u, v, pre0, pre1, post0, post1) -> None:
+        if pre0 != post0 or pre1 != post1:
+            self.effective += 1
+        else:
+            self.null += 1
+
+    @property
+    def total(self) -> int:
+        return self.effective + self.null

@@ -1,0 +1,76 @@
+"""Configuration-level utilities.
+
+A *configuration* is a mapping from agents to states (Section 2).  This
+module provides an immutable configuration value type used by tests and
+invariant checkers, independent of any live simulator.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.engine.protocol import LEADER, Protocol, State
+
+__all__ = ["Configuration"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable assignment of states to the agents ``0 .. n-1``."""
+
+    states: tuple[State, ...]
+
+    @classmethod
+    def uniform(cls, state: State, n: int) -> "Configuration":
+        """The configuration where every agent is in ``state``.
+
+        ``Configuration.uniform(protocol.initial_state(), n)`` is the
+        paper's ``C_init,P``.
+        """
+        return cls(states=(state,) * n)
+
+    @classmethod
+    def of(cls, states: Iterable[State]) -> "Configuration":
+        return cls(states=tuple(states))
+
+    @property
+    def n(self) -> int:
+        return len(self.states)
+
+    def counts(self) -> Counter:
+        """Multiset view of the configuration."""
+        return Counter(self.states)
+
+    def outputs(self, protocol: Protocol) -> Counter:
+        """Tally of output symbols under ``protocol``."""
+        return Counter(protocol.output(state) for state in self.states)
+
+    def leaders(self, protocol: Protocol) -> list[int]:
+        """Agent indices outputting ``L`` under ``protocol``."""
+        return [
+            agent
+            for agent, state in enumerate(self.states)
+            if protocol.output(state) == LEADER
+        ]
+
+    def replace(self, assignments: dict[int, State]) -> "Configuration":
+        """A copy with the given agents' states replaced."""
+        states = list(self.states)
+        for agent, state in assignments.items():
+            states[agent] = state
+        return Configuration(states=tuple(states))
+
+    def apply(
+        self, protocol: Protocol, schedule: Sequence[tuple[int, int]]
+    ) -> "Configuration":
+        """Apply a deterministic schedule, returning the final configuration.
+
+        Pure-functional counterpart of simulation: convenient for writing
+        pen-and-paper unit tests against the paper's pseudocode.
+        """
+        states = list(self.states)
+        for u, v in schedule:
+            states[u], states[v] = protocol.transition(states[u], states[v])
+        return Configuration(states=tuple(states))

@@ -1,0 +1,129 @@
+"""Protocol interface for the population protocol model.
+
+A population protocol (Section 2 of the paper) is a tuple
+``P(Q, s_init, T, Y, pi_out)``: a finite state set ``Q``, an initial state
+``s_init``, a deterministic transition function ``T : Q x Q -> Q x Q``
+applied to (initiator, responder) pairs, an output alphabet ``Y`` and an
+output map ``pi_out : Q -> Y``.
+
+This module defines the abstract interface every protocol in this library
+implements, plus small helpers shared by leader-election protocols. States
+may be any hashable value; the engines intern them to dense integer ids
+(:mod:`repro.engine.interner`), so rich state objects (named tuples,
+frozen dataclasses) cost nothing in the hot loop.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "State",
+    "Protocol",
+    "LEADER",
+    "FOLLOWER",
+    "LeaderElectionProtocol",
+    "check_symmetry",
+]
+
+#: Protocol states may be any hashable value.
+State = Hashable
+
+#: Output symbol for "leader" (``L`` in the paper).
+LEADER = "L"
+
+#: Output symbol for "follower" (``F`` in the paper).
+FOLLOWER = "F"
+
+
+class Protocol(ABC):
+    """Abstract population protocol ``P(Q, s_init, T, Y, pi_out)``.
+
+    Subclasses implement :meth:`initial_state`, :meth:`transition` and
+    :meth:`output`.  Transitions must be *deterministic*: all randomness in
+    the population protocol model comes from the scheduler, never from the
+    transition function.  The engines rely on this to memoize transitions.
+    """
+
+    #: Human-readable protocol name (used in reports and benchmarks).
+    name: str = "protocol"
+
+    @abstractmethod
+    def initial_state(self) -> State:
+        """Return ``s_init``, the state every agent starts in."""
+
+    @abstractmethod
+    def transition(self, initiator: State, responder: State) -> tuple[State, State]:
+        """Apply ``T`` to an ordered (initiator, responder) state pair.
+
+        Must be a pure function of its arguments and must not mutate them;
+        returning the argument objects unchanged is the idiomatic way to
+        express a null transition.
+        """
+
+    @abstractmethod
+    def output(self, state: State) -> str:
+        """Return ``pi_out(state)``."""
+
+    def state_bound(self) -> int | None:
+        """Documented upper bound on ``|Q|``, or ``None`` if unstated.
+
+        Used by the Lemma 3 state-audit experiment to compare the number of
+        states actually reached against the protocol's advertised bound.
+        """
+        return None
+
+    def is_symmetric(self) -> bool:
+        """Whether the protocol claims the symmetry property.
+
+        A protocol is symmetric when ``p == q`` implies the two post-states
+        are equal (Section 4).  The claim is verified empirically by
+        :func:`check_symmetry` over states reached in simulation.
+        """
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class LeaderElectionProtocol(Protocol):
+    """Base class for protocols whose outputs are ``L`` / ``F``.
+
+    The leader election problem (Section 2) requires each agent to output
+    ``L`` or ``F``, and the population to reach — with probability 1 — a
+    configuration with exactly one ``L`` that never changes thereafter.
+
+    Every protocol in this library additionally satisfies the *monotone
+    leader* property: the number of leaders never increases and never drops
+    to zero.  For such protocols, the first configuration with exactly one
+    leader is already stable, which makes stabilization detection O(1) per
+    step (see :mod:`repro.engine.convergence`).
+    """
+
+    #: Declared by subclasses whose leader count is monotone non-increasing
+    #: and always positive.  Checked by property tests, relied upon by
+    #: :class:`repro.engine.convergence.MonotoneLeaderStabilization`.
+    monotone_leader: bool = True
+
+    def is_leader_state(self, state: State) -> bool:
+        """Convenience: whether ``pi_out(state) == L``."""
+        return self.output(state) == LEADER
+
+
+def check_symmetry(protocol: Protocol, states: Iterable[State]) -> None:
+    """Verify ``T(p, p)`` produces equal post-states for each ``p`` given.
+
+    Raises :class:`~repro.errors.ProtocolError` on the first violation.
+    This is the executable form of the paper's symmetry definition
+    (Section 4): ``p = q  =>  p' = q'``.
+    """
+    for state in states:
+        post_initiator, post_responder = protocol.transition(state, state)
+        if post_initiator != post_responder:
+            raise ProtocolError(
+                f"protocol {protocol.name!r} is not symmetric: "
+                f"T({state!r}, {state!r}) = ({post_initiator!r}, {post_responder!r})"
+            )

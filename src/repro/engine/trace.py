@@ -1,0 +1,82 @@
+"""Execution traces and deterministic replay.
+
+The paper distinguishes the random scheduler ``Gamma`` from deterministic
+schedules ``gamma`` (lowercase).  A :class:`TraceRecorder` captures the
+interaction sequence of a live run so it can be re-executed as a
+deterministic schedule — bit-for-bit reproducible — which is how the test
+suite pins down corner-case behaviours observed in random runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.protocol import Protocol, State
+from repro.engine.scheduler import DeterministicSchedule
+from repro.engine.simulator import AgentSimulator
+
+__all__ = ["TraceRecorder", "ConfigurationSnapshot", "replay"]
+
+
+class TraceRecorder:
+    """Hook recording every interaction pair of a run."""
+
+    def __init__(self) -> None:
+        self.pairs: list[tuple[int, int]] = []
+
+    def __call__(self, sim, u, v, pre0, pre1, post0, post1) -> None:
+        self.pairs.append((u, v))
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def schedule(self) -> DeterministicSchedule:
+        """The recorded interactions as a replayable schedule."""
+        return DeterministicSchedule(self.pairs)
+
+
+@dataclass
+class ConfigurationSnapshot:
+    """Immutable capture of a simulator's configuration and step count."""
+
+    states: tuple[State, ...]
+    steps: int = 0
+    label: str = ""
+    _outputs: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def capture(cls, sim: AgentSimulator, label: str = "") -> "ConfigurationSnapshot":
+        return cls(states=tuple(sim.configuration()), steps=sim.steps, label=label)
+
+    def restore(self, sim: AgentSimulator) -> None:
+        """Load this snapshot's configuration into ``sim`` (steps unchanged)."""
+        sim.load_configuration(list(self.states))
+
+    def output_counts(self, protocol: Protocol) -> dict[str, int]:
+        """Tally of output symbols under ``protocol``."""
+        tally: dict[str, int] = {}
+        for state in self.states:
+            symbol = protocol.output(state)
+            tally[symbol] = tally.get(symbol, 0) + 1
+        return tally
+
+
+def replay(
+    protocol: Protocol,
+    n: int,
+    pairs: Sequence[tuple[int, int]],
+    initial: Sequence[State] | None = None,
+) -> AgentSimulator:
+    """Re-execute a recorded interaction sequence deterministically.
+
+    Returns the simulator after the full schedule has run.  When ``initial``
+    is given, the run starts from that configuration instead of the
+    protocol's all-``s_init`` configuration.
+    """
+    schedule = DeterministicSchedule.validated(pairs, n)
+    sim = AgentSimulator(protocol, n, scheduler=schedule)
+    if initial is not None:
+        sim.load_configuration(list(initial))
+    sim.run(len(pairs))
+    return sim

@@ -1,0 +1,29 @@
+"""One-way epidemic primitive and the paper's probability bounds."""
+
+from repro.epidemic.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    epidemic_steps_for_confidence,
+    lemma2_failure_bound,
+    lemma2_steps,
+)
+from repro.epidemic.epidemic import (
+    EpidemicResult,
+    EpidemicTracker,
+    MaxPropagationProtocol,
+    epidemic_on_schedule,
+    simulate_epidemic,
+)
+
+__all__ = [
+    "EpidemicResult",
+    "EpidemicTracker",
+    "MaxPropagationProtocol",
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "epidemic_on_schedule",
+    "epidemic_steps_for_confidence",
+    "lemma2_failure_bound",
+    "lemma2_steps",
+    "simulate_epidemic",
+]

@@ -1,0 +1,97 @@
+"""Executable forms of the paper's probability bounds.
+
+* Lemma 1 — two Chernoff bounds for sums of independent Poisson trials
+  ([MU05] Theorems 4.4/4.5).
+* Lemma 2 — the sub-population epidemic tail bound:
+  ``P(I_{V',r,Gamma}(2 * ceil(n/n') * t) != V') <= n * exp(-t / n)``.
+
+These are used by experiments E3–E5 to compare measured tail frequencies
+against the analytical guarantees, and by the protocol code to size step
+budgets ("sufficiently long but Theta(log n) time").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "lemma2_failure_bound",
+    "lemma2_steps",
+    "epidemic_steps_for_confidence",
+]
+
+
+def chernoff_upper_tail(delta: float, expectation: float) -> float:
+    """Lemma 1, eq. (1): ``P(X >= (1+delta) E[X]) <= exp(-delta^2 E[X] / 3)``.
+
+    Valid for ``0 <= delta <= 1``.
+    """
+    if not 0 <= delta <= 1:
+        raise ParameterError(f"delta must be in [0, 1], got {delta}")
+    if expectation < 0:
+        raise ParameterError(f"expectation must be non-negative, got {expectation}")
+    return math.exp(-delta * delta * expectation / 3)
+
+
+def chernoff_lower_tail(delta: float, expectation: float) -> float:
+    """Lemma 1, eq. (2): ``P(X <= (1-delta) E[X]) <= exp(-delta^2 E[X] / 2)``.
+
+    Valid for ``0 < delta < 1``.
+    """
+    if not 0 < delta < 1:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+    if expectation < 0:
+        raise ParameterError(f"expectation must be non-negative, got {expectation}")
+    return math.exp(-delta * delta * expectation / 2)
+
+
+def lemma2_steps(n: int, n_prime: int, t: float) -> int:
+    """The step horizon ``2 * ceil(n / n') * t`` appearing in Lemma 2."""
+    _validate_sizes(n, n_prime)
+    if t < 0:
+        raise ParameterError(f"t must be non-negative, got {t}")
+    return int(2 * math.ceil(n / n_prime) * t)
+
+
+def lemma2_failure_bound(n: int, n_prime: int, steps: int) -> float:
+    """Lemma 2 as a function of a step budget.
+
+    Inverts ``steps = 2 * ceil(n/n') * t`` and returns the bound
+    ``min(1, n * exp(-t / n))`` on the probability that the epidemic in a
+    sub-population of size ``n'`` is incomplete after ``steps`` steps.
+    """
+    _validate_sizes(n, n_prime)
+    if steps < 0:
+        raise ParameterError(f"steps must be non-negative, got {steps}")
+    t = steps / (2 * math.ceil(n / n_prime))
+    return min(1.0, n * math.exp(-t / n))
+
+
+def epidemic_steps_for_confidence(
+    n: int, n_prime: int, failure_probability: float
+) -> int:
+    """Smallest Lemma 2 horizon with failure bound <= ``failure_probability``.
+
+    Solving ``n * exp(-t/n) <= p`` gives ``t >= n * ln(n / p)``; the
+    returned step count is ``2 * ceil(n/n') * t`` for that ``t``.  This is
+    the quantitative meaning of "sufficiently long but Theta(log n) parallel
+    time" used throughout Section 3.
+    """
+    _validate_sizes(n, n_prime)
+    if not 0 < failure_probability < 1:
+        raise ParameterError(
+            f"failure probability must be in (0, 1), got {failure_probability}"
+        )
+    t = n * math.log(n / failure_probability)
+    return lemma2_steps(n, n_prime, math.ceil(t))
+
+
+def _validate_sizes(n: int, n_prime: int) -> None:
+    if n < 1:
+        raise ParameterError(f"n must be positive, got {n}")
+    if not 1 <= n_prime <= n:
+        raise ParameterError(f"n' must be in 1..n, got n'={n_prime}, n={n}")

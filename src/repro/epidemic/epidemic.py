@@ -1,0 +1,203 @@
+"""One-way epidemic (Section 2 of the paper).
+
+Given an infinite interaction sequence ``gamma``, a sub-population
+``V' ⊆ V`` and a root ``r ∈ V'``, the epidemic function ``I_{V',r,gamma}``
+starts with only ``r`` infected; whenever an interaction involves an
+infected agent, both of its participants *that belong to V'* become
+infected.  One-way epidemic is the workhorse of the paper's analysis: the
+propagation of maximum ``levelQ`` / ``rand`` / ``levelB`` values and of
+colors are all epidemics, and Lemma 2 bounds their completion time.
+
+This module provides the epidemic both as a standalone stochastic process
+(fast, no protocol needed — used by experiment E3) and as a simulator hook
+(used to observe epidemics inside live protocol runs), plus a two-state
+max-propagation protocol for cross-validating the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.protocol import Protocol
+from repro.engine.scheduler import RandomScheduler
+from repro.errors import SimulationError
+
+__all__ = [
+    "EpidemicResult",
+    "simulate_epidemic",
+    "epidemic_on_schedule",
+    "EpidemicTracker",
+    "MaxPropagationProtocol",
+]
+
+
+@dataclass(frozen=True)
+class EpidemicResult:
+    """Outcome of a one-way epidemic run.
+
+    ``completion_step`` is the step index at which the last member of the
+    sub-population became infected (``None`` if the budget ran out first);
+    ``infection_steps[v]`` is the step at which agent ``v`` became infected
+    (``-1`` for agents never infected, including agents outside ``V'``).
+    """
+
+    n: int
+    subpopulation_size: int
+    completion_step: int | None
+    infection_steps: tuple[int, ...]
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_step is not None
+
+    def infected_count_at(self, step: int) -> int:
+        """Number of infected agents after ``step`` steps."""
+        return sum(1 for s in self.infection_steps if 0 <= s <= step)
+
+
+def simulate_epidemic(
+    n: int,
+    root: int = 0,
+    subpopulation: Iterable[int] | None = None,
+    seed: int | None = None,
+    max_steps: int | None = None,
+) -> EpidemicResult:
+    """Run a one-way epidemic under the uniformly random scheduler.
+
+    This is the bare process ``I_{V',r,Gamma}`` — no protocol, no states —
+    so it is fast enough to estimate tail probabilities for Lemma 2.
+    """
+    members = set(range(n)) if subpopulation is None else set(subpopulation)
+    _validate(n, root, members)
+    if max_steps is None:
+        # Lemma 2 with t = n * ln(n / p): generous default budget.
+        max_steps = int(2 * np.ceil(n / len(members)) * 40 * n * max(1, np.log(n)))
+    scheduler = RandomScheduler(n, seed)
+    return _run_epidemic(
+        n, root, members, (scheduler.next_pair() for _ in range(max_steps))
+    )
+
+
+def epidemic_on_schedule(
+    n: int,
+    schedule: Sequence[tuple[int, int]],
+    root: int = 0,
+    subpopulation: Iterable[int] | None = None,
+) -> EpidemicResult:
+    """Run the epidemic on an explicit deterministic schedule ``gamma``."""
+    members = set(range(n)) if subpopulation is None else set(subpopulation)
+    _validate(n, root, members)
+    return _run_epidemic(n, root, members, iter(schedule))
+
+
+def _validate(n: int, root: int, members: set[int]) -> None:
+    if not members:
+        raise SimulationError("sub-population must be non-empty")
+    if not members <= set(range(n)):
+        raise SimulationError("sub-population contains agents outside 0..n-1")
+    if root not in members:
+        raise SimulationError(f"root {root} is not in the sub-population")
+
+
+def _run_epidemic(
+    n: int,
+    root: int,
+    members: set[int],
+    pairs: Iterable[tuple[int, int]],
+) -> EpidemicResult:
+    infection_steps = [-1] * n
+    infection_steps[root] = 0
+    infected = bytearray(n)
+    infected[root] = 1
+    is_member = bytearray(n)
+    for member in members:
+        is_member[member] = 1
+    remaining = len(members) - 1
+    completion_step = 0 if remaining == 0 else None
+    step = 0
+    for u, v in pairs:
+        step += 1
+        if remaining == 0:
+            break
+        if infected[u] or infected[v]:
+            for agent in (u, v):
+                if is_member[agent] and not infected[agent]:
+                    infected[agent] = 1
+                    infection_steps[agent] = step
+                    remaining -= 1
+            if remaining == 0:
+                completion_step = step
+                break
+    return EpidemicResult(
+        n=n,
+        subpopulation_size=len(members),
+        completion_step=completion_step,
+        infection_steps=tuple(infection_steps),
+    )
+
+
+class EpidemicTracker:
+    """Simulator hook tracking ``I_{V',r,gamma}`` inside a live run.
+
+    Attach to an :class:`~repro.engine.simulator.AgentSimulator` *before*
+    running; the tracker follows the definition in Section 2 exactly and is
+    independent of the protocol's own state updates — it only watches which
+    agents interact.
+    """
+
+    def __init__(self, n: int, root: int, subpopulation: Iterable[int] | None = None):
+        members = set(range(n)) if subpopulation is None else set(subpopulation)
+        _validate(n, root, members)
+        self.members = members
+        self.infected: set[int] = {root}
+        self.completion_step: int | None = (
+            0 if len(members) == 1 else None
+        )
+
+    def __call__(self, sim, u, v, pre0, pre1, post0, post1) -> None:
+        if self.completion_step is not None:
+            return
+        infected = self.infected
+        if u in infected or v in infected:
+            if u in self.members:
+                infected.add(u)
+            if v in self.members:
+                infected.add(v)
+            if len(infected) == len(self.members):
+                self.completion_step = sim.steps
+
+    @property
+    def complete(self) -> bool:
+        return self.completion_step is not None
+
+
+class MaxPropagationProtocol(Protocol):
+    """Two-value protocol whose dynamics *are* a one-way epidemic.
+
+    States are ``0`` and ``1``; interactions propagate ``1``.  Starting from
+    a configuration with a single ``1``, the number of ``1``-agents follows
+    exactly the epidemic process, which makes this protocol the natural
+    cross-validation vehicle between the agent-based and multiset engines.
+    """
+
+    name = "max-propagation"
+
+    def initial_state(self) -> int:
+        return 0
+
+    def transition(self, initiator: int, responder: int) -> tuple[int, int]:
+        if initiator or responder:
+            return 1, 1
+        return 0, 0
+
+    def output(self, state: int) -> str:
+        return str(state)
+
+    def state_bound(self) -> int:
+        return 2
+
+    def is_symmetric(self) -> bool:
+        return True

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ProtocolError",
+    "SimulationError",
+    "ConvergenceError",
+    "ParameterError",
+    "ScheduleError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ProtocolError(ReproError):
+    """A protocol definition is malformed or produced an invalid state."""
+
+
+class SimulationError(ReproError):
+    """A simulation was driven into an invalid configuration or misused."""
+
+
+class ConvergenceError(SimulationError):
+    """A run exceeded its step budget before reaching its target predicate."""
+
+    def __init__(self, message: str, steps: int | None = None) -> None:
+        super().__init__(message)
+        #: Number of steps executed before giving up (``None`` if unknown).
+        self.steps = steps
+
+
+class ParameterError(ReproError, ValueError):
+    """A protocol or experiment parameter is out of its documented domain."""
+
+
+class ScheduleError(ReproError):
+    """A deterministic schedule is malformed (bad pair, exhausted, ...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification or run is invalid."""

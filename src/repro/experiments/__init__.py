@@ -1,0 +1,45 @@
+"""Experiment harness: one module per reproduced paper artifact.
+
+Importing this package registers every experiment; enumerate them with
+:func:`~repro.experiments.spec.all_experiments` or run one from the CLI
+(``repro run E9``).
+"""
+
+from repro.experiments import (  # noqa: F401  (import-for-registration)
+    ablations,
+    lemma2_epidemic,
+    lemma3_states,
+    lemma5_countup,
+    lemma6_sync,
+    lemma7_quick_elimination,
+    lemma8_tournament,
+    lemma12_backup,
+    robustness,
+    section4_symmetric,
+    table1_comparison,
+    table2_lower_bounds,
+    theorem1_scaling,
+)
+from repro.experiments.runner import (
+    TrialOutcome,
+    make_simulator,
+    stabilization_trials,
+)
+from repro.experiments.spec import (
+    ExperimentResult,
+    ExperimentSpec,
+    all_experiments,
+    get_experiment,
+    register,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "TrialOutcome",
+    "all_experiments",
+    "get_experiment",
+    "make_simulator",
+    "register",
+    "stabilization_trials",
+]

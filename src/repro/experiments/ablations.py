@@ -1,0 +1,123 @@
+"""E12 — ablations of PLL's design choices, plus engine throughput.
+
+Three design questions DESIGN.md calls out, made measurable:
+
+* **What does each module buy?**  Compare the ``full``, ``no-tournament``
+  and ``backup-only`` variants: removing Tournament leaves constant-
+  probability ties to the ``O(log^2 n)`` BackUp; removing QuickElimination
+  too makes every run pay the full BackUp schedule.
+* **How rough may the size knowledge be?**  The paper allows any
+  ``m = Theta(log n)`` with ``m >= log2 n``; over-estimating ``m`` slows
+  the timers proportionally (time scales with ``cmax = 41 m``).
+* **What do the engines cost?**  Steps/second of the agent-based and
+  multiset engines on the same workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.stats import summarize
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol
+from repro.engine.multiset import MultisetSimulator
+from repro.engine.simulator import AgentSimulator
+from repro.experiments.hooks import EpochEntryTracker
+from repro.experiments.runner import stabilization_trials
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register, scaled
+
+SPEC = ExperimentSpec(
+    id="E12",
+    title="Module, parameter, and engine ablations",
+    paper_artifact="design choices (Sections 3.1-3.2)",
+    paper_claim=(
+        "QuickElimination + Tournament reduce expected time from O(log^2 n) "
+        "to O(log n); any m = Theta(log n), m >= lg n works"
+    ),
+    bench="benchmarks/bench_ablations.py",
+)
+
+
+@register(SPEC)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    trials = scaled([8], scale)[0]
+    headers = ["ablation", "setting", "n", "mean time (parallel)", "note"]
+    rows = []
+
+    # Module ablations.
+    for n in (64, 256):
+        for variant in ("full", "no-tournament", "backup-only"):
+            outcomes = stabilization_trials(
+                lambda n=n, v=variant: PLLProtocol.for_population(n, variant=v),
+                n,
+                trials,
+                base_seed=seed,
+            )
+            mean = summarize([o.parallel_time for o in outcomes]).mean
+            rows.append(
+                {
+                    "ablation": "modules",
+                    "setting": variant,
+                    "n": n,
+                    "mean time (parallel)": mean,
+                    "note": "",
+                }
+            )
+
+    # Size-knowledge slack.  Stabilization time only feels m on the slow
+    # path (runs that must wait for Tournament/BackUp epochs), so the
+    # clean observable is the first epoch advance — one full timer period,
+    # deterministic-ish at cmax/2 = 20.5 m parallel time.
+    n = 128
+    for slack in (1.0, 2.0, 4.0):
+        params = PLLParameters.for_population(n, slack=slack)
+        first_ticks = []
+        for trial in range(trials):
+            sim = AgentSimulator(PLLProtocol(params), n, seed=seed + trial)
+            tracker = EpochEntryTracker()
+            sim.add_hook(tracker)
+            sim.run(
+                60 * params.m * n,
+                until=lambda s, t=tracker: t.reached(2),
+                check_every=16,
+            )
+            if tracker.reached(2):
+                first_ticks.append(tracker.first_step[2] / n)
+        mean_tick = summarize(first_ticks).mean
+        rows.append(
+            {
+                "ablation": "m slack",
+                "setting": f"m = {params.m} ({slack}x lg n)",
+                "n": n,
+                "mean time (parallel)": mean_tick,
+                "note": f"first epoch advance; 20.5 m = {20.5 * params.m:.0f}",
+            }
+        )
+
+    # Engine throughput.
+    n = 1024
+    budget = scaled([200000], scale)[0]
+    for engine_name, engine_cls in (
+        ("agent", AgentSimulator),
+        ("multiset", MultisetSimulator),
+    ):
+        sim = engine_cls(PLLProtocol.for_population(n), n, seed=seed)
+        started = time.perf_counter()
+        sim.run(budget)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "ablation": "engine throughput",
+                "setting": engine_name,
+                "n": n,
+                "mean time (parallel)": budget / elapsed,
+                "note": "steps per second (higher is better)",
+            }
+        )
+    notes = [
+        f"{trials} trials per ablation row",
+        "module rows: expect full < no-tournament < backup-only in time",
+    ]
+    return ExperimentResult(
+        spec=SPEC, headers=headers, rows=rows, notes=notes, scale=scale, seed=seed
+    )

@@ -1,0 +1,91 @@
+"""Instrumentation hooks shared by the synchronization experiments.
+
+These decode only the fields they need, caching per state id, so they can
+ride along full-length runs without dominating the step cost.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ColorGenerationTracker", "EpochEntryTracker"]
+
+
+class ColorGenerationTracker:
+    """Track per-agent color *generations* along a PLL run.
+
+    Colors cycle mod 3, so the tracker counts how many color changes each
+    agent has been through (its generation); an agent at generation ``g``
+    shows color ``g mod 3``.  Records, per generation ``g``:
+
+    * ``first_step[g]`` — the step at which the *first* agent reached
+      generation ``g`` (the paper's ``C_start`` moments), and
+    * ``all_step[g]`` — the first step at which *every* agent had reached
+      generation ``>= g`` (the paper's ``C_color`` moments).
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._generation = [0] * n
+        self._at_generation = {0: n}
+        self._min_generation = 0
+        self._color_of_id: dict[int, int] = {}
+        self.first_step: dict[int, int] = {0: 0}
+        self.all_step: dict[int, int] = {0: 0}
+
+    def _color(self, sim, sid: int) -> int:
+        color = self._color_of_id.get(sid)
+        if color is None:
+            # Works for PLLState and for the standalone TimerState alike —
+            # anything exposing a `color` field.
+            color = sim.interner.state_of(sid).color
+            self._color_of_id[sid] = color
+        return color
+
+    def __call__(self, sim, u, v, pre0, pre1, post0, post1) -> None:
+        for agent, pre, post in ((u, pre0, post0), (v, pre1, post1)):
+            if pre == post:
+                continue
+            old_color = self._color(sim, pre)
+            new_color = self._color(sim, post)
+            if old_color == new_color:
+                continue
+            generation = self._generation[agent] + 1
+            self._generation[agent] = generation
+            counts = self._at_generation
+            counts[generation - 1] -= 1
+            counts[generation] = counts.get(generation, 0) + 1
+            if generation not in self.first_step:
+                self.first_step[generation] = sim.steps
+            while counts.get(self._min_generation, 0) == 0:
+                self._min_generation += 1
+                self.all_step[self._min_generation] = sim.steps
+
+    def generation_of(self, agent: int) -> int:
+        return self._generation[agent]
+
+    @property
+    def max_generation(self) -> int:
+        return max(self.first_step)
+
+
+class EpochEntryTracker:
+    """Record the first step at which any agent reaches each epoch."""
+
+    def __init__(self) -> None:
+        self.first_step: dict[int, int] = {1: 0}
+        self._epoch_of_id: dict[int, int] = {}
+
+    def _epoch(self, sim, sid: int) -> int:
+        epoch = self._epoch_of_id.get(sid)
+        if epoch is None:
+            epoch = sim.interner.state_of(sid).epoch
+            self._epoch_of_id[sid] = epoch
+        return epoch
+
+    def __call__(self, sim, u, v, pre0, pre1, post0, post1) -> None:
+        for post in (post0, post1):
+            epoch = self._epoch(sim, post)
+            if epoch not in self.first_step:
+                self.first_step[epoch] = sim.steps
+
+    def reached(self, epoch: int) -> bool:
+        return epoch in self.first_step

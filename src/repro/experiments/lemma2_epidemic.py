@@ -1,0 +1,79 @@
+"""E3 — Lemma 2: the sub-population epidemic tail bound.
+
+Lemma 2: for a sub-population ``V'`` of size ``n'`` with root ``r``,
+``P(I_{V',r,Gamma}(2 ceil(n/n') t) != V') <= n e^(-t/n)``.
+
+We run the bare epidemic process many times, record completion steps, and
+compare the empirical tail frequency at the lemma's step horizons against
+the analytic bound for several ``t`` and sub-population fractions.  The
+bound is loose by design (it powers union bounds downstream), so measured
+frequencies should sit *well below* it — what must never happen is the
+empirical value exceeding the bound beyond sampling noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.epidemic.bounds import lemma2_failure_bound, lemma2_steps
+from repro.epidemic.epidemic import simulate_epidemic
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register, scaled
+
+SPEC = ExperimentSpec(
+    id="E3",
+    title="One-way epidemic completion tail vs Lemma 2 bound",
+    paper_artifact="Lemma 2",
+    paper_claim="P(epidemic in V' incomplete after 2*ceil(n/n')*t steps) <= n*e^(-t/n)",
+    bench="benchmarks/bench_lemma2_epidemic.py",
+)
+
+
+@register(SPEC)
+def run(scale: float = 1.0, seed: int = 0, n: int = 256) -> ExperimentResult:
+    trials = scaled([400], scale)[0]
+    headers = [
+        "n",
+        "n'",
+        "t/n",
+        "step horizon",
+        "empirical P(incomplete)",
+        "Lemma 2 bound",
+        "consistent",
+    ]
+    rows = []
+    for fraction in (1.0, 0.5, 0.25):
+        n_prime = max(1, int(n * fraction))
+        members = list(range(n_prime))
+        completions = []
+        for trial in range(trials):
+            result = simulate_epidemic(
+                n, root=0, subpopulation=members, seed=seed + trial
+            )
+            completions.append(result.completion_step)
+        for t_over_n in (2.0, 4.0, 8.0):
+            t = t_over_n * n
+            horizon = lemma2_steps(n, n_prime, t)
+            bound = lemma2_failure_bound(n, n_prime, horizon)
+            incomplete = sum(
+                1 for step in completions if step is None or step > horizon
+            )
+            frequency = incomplete / trials
+            stderr = math.sqrt(max(bound * (1 - bound), 1e-12) / trials)
+            rows.append(
+                {
+                    "n": n,
+                    "n'": n_prime,
+                    "t/n": t_over_n,
+                    "step horizon": horizon,
+                    "empirical P(incomplete)": frequency,
+                    "Lemma 2 bound": min(bound, 1.0),
+                    "consistent": frequency <= min(bound, 1.0) + 3 * stderr + 1e-9,
+                }
+            )
+    notes = [
+        f"{trials} epidemic runs per sub-population size; completion steps "
+        "reused across all t horizons",
+    ]
+    return ExperimentResult(
+        spec=SPEC, headers=headers, rows=rows, notes=notes, scale=scale, seed=seed
+    )

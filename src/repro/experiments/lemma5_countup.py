@@ -1,0 +1,93 @@
+"""E4 — Lemma 5: timers get a new color every O(log n) parallel time.
+
+Lemma 5: in an execution from the initial configuration, each ``V_B``
+agent gets a new color within ``O(log n)`` parallel time with high
+probability (each color period costs a timer at most ``cmax = 41 m``
+participations, i.e. ``~ 20.5 m`` parallel time, plus the epidemic).
+
+We measure color-generation gaps on the isolated count-up timer protocol
+(every agent a timer — the primitive in its purest form) and report the
+largest observed gap in units of ``m ~ lg n``: a flat ratio across ``n``
+is the lemma's shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import PLLParameters
+from repro.engine.simulator import AgentSimulator
+from repro.experiments.hooks import ColorGenerationTracker
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register, scaled
+from repro.sync.countup import CountUpTimerProtocol
+
+SPEC = ExperimentSpec(
+    id="E4",
+    title="Count-up timers: color-change cadence",
+    paper_artifact="Lemma 5",
+    paper_claim="each V_B agent gets a new color within O(log n) parallel time whp",
+    bench="benchmarks/bench_sync.py",
+)
+
+#: Number of color generations observed per run.
+GENERATIONS = 3
+
+
+@register(SPEC)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    trials = scaled([20], scale)[0]
+    headers = [
+        "n",
+        "m",
+        "mean gap (parallel time)",
+        "max gap (parallel time)",
+        "max gap / m",
+        "consistent (gap = O(m))",
+    ]
+    rows = []
+    for n in (32, 128, 512):
+        params = PLLParameters.for_population(n)
+        protocol = CountUpTimerProtocol(cmax=params.cmax)
+        gaps: list[float] = []
+        for trial in range(trials):
+            sim = AgentSimulator(protocol, n, seed=seed + trial)
+            tracker = ColorGenerationTracker(n)
+            sim.add_hook(tracker)
+            budget = GENERATIONS * 30 * params.m * n
+            sim.run(
+                budget,
+                until=lambda s, t=tracker: t.max_generation >= GENERATIONS,
+                check_every=64,
+            )
+            # Gaps between consecutive global color starts (C_start events).
+            reached = sorted(g for g in tracker.first_step if g > 0)
+            steps = [tracker.first_step[g] for g in reached]
+            previous = 0
+            for step in steps:
+                gaps.append((step - previous) / n)
+                previous = step
+        mean_gap = sum(gaps) / len(gaps)
+        max_gap = max(gaps)
+        ratio = max_gap / params.m
+        rows.append(
+            {
+                "n": n,
+                "m": params.m,
+                "mean gap (parallel time)": mean_gap,
+                "max gap (parallel time)": max_gap,
+                "max gap / m": ratio,
+                # cmax/2 = 20.5 m parallel time is the deterministic center;
+                # allow a factor-2 whp envelope.
+                "consistent (gap = O(m))": ratio < 41.0,
+            }
+        )
+    notes = [
+        f"{trials} runs per n, {GENERATIONS} color generations each; a gap "
+        "is the parallel time between consecutive global first-arrivals at "
+        "a new color (the paper's C_start events)",
+        "the deterministic center is cmax/2 = 20.5 m parallel time per "
+        "generation (each timer participates in ~2 interactions per unit)",
+    ]
+    return ExperimentResult(
+        spec=SPEC, headers=headers, rows=rows, notes=notes, scale=scale, seed=seed
+    )

@@ -1,0 +1,116 @@
+"""E5 — Lemma 6: the three synchronization propositions P1/P2/P3.
+
+From a configuration in ``C_start(i)`` (a new color has just appeared):
+
+* **P1** — no agent gets color ``i+1`` within the first ``21 n ln n``
+  steps, with high probability (the timers cannot wrap that fast);
+* **P2** — all agents have color ``i`` within ``4 n ln n`` steps whp
+  (the color epidemic completes);
+* **P3** — the next ``C_start`` arrives within ``O(log n)`` parallel time.
+
+The initial configuration is in ``C_start(0)``, and every later
+generation-``g`` first-arrival is (up to the timers' count phases) a
+``C_start`` moment, so one full PLL run measures all three propositions
+across several generations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.pll import PLLProtocol
+from repro.engine.simulator import AgentSimulator
+from repro.experiments.hooks import ColorGenerationTracker
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register, scaled
+
+SPEC = ExperimentSpec(
+    id="E5",
+    title="Synchronization: color holds, spreads, and renews on schedule",
+    paper_artifact="Lemma 6 (P1, P2, P3)",
+    paper_claim=(
+        "P1: no next color within 21 n ln n steps whp; P2: color epidemic "
+        "done within 4 n ln n steps whp; P3: next C_start within O(log n)"
+    ),
+    bench="benchmarks/bench_sync.py",
+)
+
+#: Color generations observed per run.
+GENERATIONS = 3
+
+
+@register(SPEC)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    trials = scaled([15], scale)[0]
+    headers = ["n", "proposition", "threshold (steps)", "violations/observations", "consistent"]
+    rows = []
+    for n in (64, 256):
+        protocol = PLLProtocol.for_population(n)
+        p1_threshold = math.floor(21 * n * math.log(n))
+        p2_threshold = math.floor(4 * n * math.log(n))
+        p1_violations = p1_observations = 0
+        p2_violations = p2_observations = 0
+        p3_gaps: list[float] = []
+        for trial in range(trials):
+            sim = AgentSimulator(protocol, n, seed=seed + trial)
+            tracker = ColorGenerationTracker(n)
+            sim.add_hook(tracker)
+            budget = (GENERATIONS + 1) * 30 * protocol.params.m * n
+            sim.run(
+                budget,
+                until=lambda s, t=tracker: t.max_generation > GENERATIONS,
+                check_every=64,
+            )
+            for generation in range(1, GENERATIONS + 1):
+                start = tracker.first_step.get(generation)
+                next_start = tracker.first_step.get(generation + 1)
+                covered = tracker.all_step.get(generation)
+                previous = tracker.first_step.get(generation - 1, 0)
+                # P1: the next color must not appear too soon after this one.
+                if start is not None:
+                    p1_observations += 1
+                    if start - previous < p1_threshold:
+                        p1_violations += 1
+                # P2: everyone shows generation >= g soon after g appears.
+                if start is not None and covered is not None:
+                    p2_observations += 1
+                    if covered - start > p2_threshold:
+                        p2_violations += 1
+                # P3: gap between consecutive C_start moments.
+                if start is not None and next_start is not None:
+                    p3_gaps.append((next_start - start) / n)
+        rows.append(
+            {
+                "n": n,
+                "proposition": "P1: color held >= 21 n ln n steps",
+                "threshold (steps)": p1_threshold,
+                "violations/observations": f"{p1_violations}/{p1_observations}",
+                "consistent": p1_violations <= max(1, p1_observations // 20),
+            }
+        )
+        rows.append(
+            {
+                "n": n,
+                "proposition": "P2: epidemic done in 4 n ln n steps",
+                "threshold (steps)": p2_threshold,
+                "violations/observations": f"{p2_violations}/{p2_observations}",
+                "consistent": p2_violations <= max(1, p2_observations // 20),
+            }
+        )
+        max_gap = max(p3_gaps) if p3_gaps else float("nan")
+        m = protocol.params.m
+        rows.append(
+            {
+                "n": n,
+                "proposition": "P3: next C_start within O(log n)",
+                "threshold (steps)": f"gap/m <= 41 (max gap {max_gap:.1f})",
+                "violations/observations": f"max gap/m = {max_gap / m:.2f}",
+                "consistent": bool(p3_gaps) and max_gap / m < 41.0,
+            }
+        )
+    notes = [
+        f"{trials} PLL runs per n, {GENERATIONS} color generations each; "
+        "'whp' allows a <=5% violation rate at these n",
+    ]
+    return ExperimentResult(
+        spec=SPEC, headers=headers, rows=rows, notes=notes, scale=scale, seed=seed
+    )

@@ -1,0 +1,68 @@
+"""E6 — Lemma 7: the QuickElimination survivor-count law.
+
+Lemma 7: in configuration ``C_{floor(21 n ln n)}`` of an execution from
+the initial configuration, ``P(#leaders = i) < 2^(1-i) + eps_i`` for every
+``i >= 2`` (``sum eps_i = O(1/n)``).
+
+We run PLL to exactly that step, record the leader count, and compare the
+empirical distribution with the ``2^(1-i)`` law — also checking that no run
+ever eliminates every leader.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.distributions import survivor_law_violations
+from repro.analysis.stats import count_distribution
+from repro.core.pll import PLLProtocol
+from repro.engine.simulator import AgentSimulator
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register, scaled
+
+SPEC = ExperimentSpec(
+    id="E6",
+    title="QuickElimination survivor distribution",
+    paper_artifact="Lemma 7",
+    paper_claim="P(#leaders = i at step 21 n ln n) <= 2^(1-i) + eps_i, i >= 2",
+    bench="benchmarks/bench_lemma7_quick.py",
+)
+
+
+@register(SPEC)
+def run(scale: float = 1.0, seed: int = 0, n: int = 128) -> ExperimentResult:
+    trials = scaled([300], scale)[0]
+    horizon = math.floor(21 * n * math.log(n))
+    protocol = PLLProtocol.for_population(n)
+    survivor_counts = []
+    zero_leader_runs = 0
+    for trial in range(trials):
+        sim = AgentSimulator(protocol, n, seed=seed + trial)
+        sim.run(horizon)
+        leaders = sim.leader_count
+        survivor_counts.append(leaders)
+        if leaders == 0:
+            zero_leader_runs += 1
+    distribution = count_distribution(survivor_counts)
+    violations = survivor_law_violations(distribution, trials)
+    headers = ["#leaders i", "empirical P(i)", "bound 2^(1-i)", "consistent"]
+    rows = []
+    max_i = max(distribution)
+    for i in range(1, max_i + 1):
+        frequency = distribution.get(i, 0.0)
+        bound = 2.0 ** (1 - i) if i >= 2 else 1.0
+        rows.append(
+            {
+                "#leaders i": i,
+                "empirical P(i)": frequency,
+                "bound 2^(1-i)": bound if i >= 2 else "(none for i=1)",
+                "consistent": i not in violations,
+            }
+        )
+    notes = [
+        f"n={n}, horizon = floor(21 n ln n) = {horizon} steps, {trials} trials",
+        f"zero-leader runs: {zero_leader_runs} (must be 0)",
+        f"law violations beyond 3 sigma: {violations or 'none'}",
+    ]
+    return ExperimentResult(
+        spec=SPEC, headers=headers, rows=rows, notes=notes, scale=scale, seed=seed
+    )

@@ -1,0 +1,79 @@
+"""Seeded multi-trial measurement helpers shared by all experiments.
+
+Every trial gets its own derived seed (``base_seed + trial``), so any
+single data point in EXPERIMENTS.md can be reproduced in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.engine.multiset import MultisetSimulator
+from repro.engine.protocol import Protocol
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ExperimentError
+
+__all__ = ["TrialOutcome", "stabilization_trials", "make_simulator"]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One stabilization measurement."""
+
+    seed: int
+    steps: int
+    parallel_time: float
+    leader_count: int
+    distinct_states: int
+
+
+def make_simulator(
+    protocol: Protocol,
+    n: int,
+    seed: int,
+    engine: str = "agent",
+):
+    """Build the requested engine (``"agent"`` or ``"multiset"``)."""
+    if engine == "agent":
+        return AgentSimulator(protocol, n, seed=seed)
+    if engine == "multiset":
+        return MultisetSimulator(protocol, n, seed=seed)
+    raise ExperimentError(f"unknown engine {engine!r}; use 'agent' or 'multiset'")
+
+
+def stabilization_trials(
+    protocol_factory: Callable[[], Protocol],
+    n: int,
+    trials: int,
+    base_seed: int = 0,
+    engine: str = "agent",
+    max_steps: int | None = None,
+) -> list[TrialOutcome]:
+    """Measure stabilization over ``trials`` independent runs.
+
+    A fresh protocol instance per trial keeps per-instance caches (none
+    today, but custom protocols may memoize) from leaking across trials.
+    """
+    if trials < 1:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    outcomes = []
+    for trial in range(trials):
+        seed = base_seed + trial
+        sim = make_simulator(protocol_factory(), n, seed=seed, engine=engine)
+        steps = sim.run_until_stabilized(max_steps=max_steps)
+        outcomes.append(
+            TrialOutcome(
+                seed=seed,
+                steps=steps,
+                parallel_time=sim.parallel_time,
+                leader_count=sim.leader_count,
+                distinct_states=sim.distinct_states_seen(),
+            )
+        )
+    return outcomes
+
+
+def parallel_times(outcomes: Sequence[TrialOutcome]) -> list[float]:
+    """Extract the parallel-time column from trial outcomes."""
+    return [outcome.parallel_time for outcome in outcomes]

@@ -1,0 +1,112 @@
+"""Experiment specifications, results, and the registry.
+
+Every reproduced paper artifact (table, lemma, theorem — see DESIGN.md §6)
+is an *experiment*: a spec describing the paper's claim, a ``run``
+function producing structured rows, and a rendered table matching what
+EXPERIMENTS.md records.  Benchmarks call the same ``run`` functions at a
+reduced ``scale`` so the two never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.tables import Table
+from repro.errors import ExperimentError
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "all_experiments",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata linking an experiment to the paper artifact it reproduces."""
+
+    id: str  # e.g. "E9"
+    title: str
+    paper_artifact: str  # e.g. "Theorem 1"
+    paper_claim: str
+    bench: str  # the pytest-benchmark target regenerating it
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment run, plus provenance."""
+
+    spec: ExperimentSpec
+    headers: list[str]
+    rows: list[dict]
+    notes: list[str] = field(default_factory=list)
+    scale: float = 1.0
+    seed: int = 0
+
+    def table(self) -> Table:
+        return Table.from_records(self.headers, self.rows)
+
+    def render(self) -> str:
+        """Full plain-text report: header, claim, table, notes."""
+        lines = [
+            f"[{self.spec.id}] {self.spec.title}",
+            f"paper artifact: {self.spec.paper_artifact}",
+            f"paper claim:    {self.spec.paper_claim}",
+            f"(scale={self.scale}, seed={self.seed})",
+            "",
+            self.table().render(),
+        ]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        if name not in self.headers:
+            raise ExperimentError(f"no column {name!r} in experiment {self.spec.id}")
+        return [row.get(name) for row in self.rows]
+
+
+#: Registered experiments: id -> (spec, run callable).
+_REGISTRY: dict[str, tuple[ExperimentSpec, Callable[..., ExperimentResult]]] = {}
+
+
+def register(
+    spec: ExperimentSpec,
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Decorator registering an experiment ``run`` function under its id."""
+
+    def decorator(run: Callable[..., ExperimentResult]):
+        if spec.id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {spec.id!r}")
+        _REGISTRY[spec.id] = (spec, run)
+        return run
+
+    return decorator
+
+
+def get_experiment(
+    experiment_id: str,
+) -> tuple[ExperimentSpec, Callable[..., ExperimentResult]]:
+    """Look up a registered experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[key]
+
+
+def all_experiments() -> Mapping[str, tuple[ExperimentSpec, Callable[..., ExperimentResult]]]:
+    """All registered experiments, keyed by id."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def scaled(values: Sequence[int], scale: float, minimum: int = 1) -> list[int]:
+    """Scale a trial/size grid, keeping every entry at least ``minimum``."""
+    if scale <= 0:
+        raise ExperimentError(f"scale must be positive, got {scale}")
+    return [max(minimum, round(value * scale)) for value in values]

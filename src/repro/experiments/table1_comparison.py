@@ -1,0 +1,118 @@
+"""E1 — empirical analogue of Table 1 (protocol comparison).
+
+Table 1 lists leader-election protocols by state count and expected
+stabilization time.  We measure both for every implemented row: mean
+parallel stabilization time across a grid of ``n``, the growth model that
+fits the curve best, and the number of distinct states actually reached at
+the largest ``n``.  The paper's ordering must reproduce: Angluin is linear
+in time but constant in states; the lottery composition is polylog-time;
+the fast-nonce baseline and PLL are logarithmic-time, but the former pays
+polynomially many states where PLL pays ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import fit_scaling
+from repro.analysis.stats import summarize
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol
+from repro.core.symmetric import SymmetricPLLProtocol
+from repro.experiments.runner import stabilization_trials
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register, scaled
+from repro.protocols.angluin import AngluinProtocol
+from repro.protocols.fast_nonce import FastNonceProtocol
+from repro.protocols.lottery import lottery_protocol
+
+SPEC = ExperimentSpec(
+    id="E1",
+    title="Protocol comparison: states and stabilization time",
+    paper_artifact="Table 1",
+    paper_claim=(
+        "[Ang+06] O(1) states / O(n) time; [Ali+17]-style lottery polylog/"
+        "polylog; [MST18]-style O(poly n) states / O(log n) time; "
+        "PLL O(log n) states / O(log n) time"
+    ),
+    bench="benchmarks/bench_table1.py",
+)
+
+#: (row label, factory(n) -> protocol, paper states, paper time, fit models)
+ROWS = (
+    (
+        "angluin2006 [Ang+06]",
+        lambda n: AngluinProtocol(),
+        "O(1)",
+        "O(n)",
+        ("log", "linear"),
+    ),
+    (
+        "lottery-backup [Ali+17]-style",
+        lambda n: lottery_protocol(PLLParameters.for_population(n)),
+        "O(log n)",
+        "O(log^2 n)",
+        ("log", "log^2", "linear"),
+    ),
+    (
+        "fast-nonce [MST18]-style",
+        FastNonceProtocol.for_population,
+        "O(poly n)",
+        "O(log n)",
+        ("log", "linear"),
+    ),
+    (
+        "PLL (this work)",
+        PLLProtocol.for_population,
+        "O(log n)",
+        "O(log n)",
+        ("log", "linear"),
+    ),
+    (
+        "PLL symmetric (Sec. 4)",
+        SymmetricPLLProtocol.for_population,
+        "O(log n)",
+        "O(log n)",
+        ("log", "linear"),
+    ),
+)
+
+
+@register(SPEC)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    ns = [32, 64, 128, 256]
+    trials = scaled([16], scale)[0]
+    headers = [
+        "protocol",
+        "paper states",
+        "paper time",
+        "measured states (n=max)",
+        *[f"time n={n}" for n in ns],
+        "best fit",
+    ]
+    rows = []
+    notes = [
+        "times are mean parallel stabilization times over "
+        f"{trials} trials; 'best fit' is the least-NRMSE model among the "
+        "row's candidates",
+    ]
+    for label, factory, paper_states, paper_time, models in ROWS:
+        means = []
+        states_at_max = 0
+        for n in ns:
+            outcomes = stabilization_trials(
+                lambda n=n: factory(n), n, trials, base_seed=seed
+            )
+            means.append(summarize([o.parallel_time for o in outcomes]).mean)
+            states_at_max = max(o.distinct_states for o in outcomes)
+        fit = fit_scaling(ns, means, models=models)
+        row = {
+            "protocol": label,
+            "paper states": paper_states,
+            "paper time": paper_time,
+            "measured states (n=max)": states_at_max,
+            "best fit": str(fit),
+        }
+        for n, mean in zip(ns, means):
+            row[f"time n={n}"] = mean
+        rows.append(row)
+    return ExperimentResult(
+        spec=SPEC, headers=headers, rows=rows, notes=notes, scale=scale, seed=seed
+    )

@@ -1,0 +1,29 @@
+"""Baselines (Table 1 rows) and paper-adjacent extension protocols."""
+
+from repro.protocols.angluin import AngluinProtocol
+from repro.protocols.fast_nonce import FastNonceProtocol, FastNonceState
+from repro.protocols.loose_stabilization import (
+    LooselyStabilizingProtocol,
+    LooseState,
+)
+from repro.protocols.lottery import lottery_protocol
+from repro.protocols.majority import ApproximateMajority, ExactMajority
+from repro.protocols.size_estimation import (
+    SizeEstimateState,
+    SizeEstimationProtocol,
+    m_hat_from_level,
+)
+
+__all__ = [
+    "AngluinProtocol",
+    "ApproximateMajority",
+    "ExactMajority",
+    "FastNonceProtocol",
+    "FastNonceState",
+    "LooselyStabilizingProtocol",
+    "LooseState",
+    "SizeEstimateState",
+    "SizeEstimationProtocol",
+    "lottery_protocol",
+    "m_hat_from_level",
+]

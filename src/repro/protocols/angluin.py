@@ -1,0 +1,38 @@
+"""The constant-space leader election of Angluin et al. [Ang+06].
+
+Every agent starts as a leader; when two leaders meet, the responder
+concedes.  One leader always remains, the leader count is monotone, and
+the expected stabilization time is ``Theta(n)`` parallel time (the last
+two leaders must meet each other: ``n(n-1)/2`` expected steps).
+
+This is Table 1's first row — ``O(1)`` states, ``O(n)`` time — and, by
+[DS18] (Table 2), optimal among constant-space protocols.  PLL embeds this
+rule as BackUp's line 58.
+"""
+
+from __future__ import annotations
+
+from repro.engine.protocol import FOLLOWER, LEADER, LeaderElectionProtocol
+
+__all__ = ["AngluinProtocol"]
+
+
+class AngluinProtocol(LeaderElectionProtocol):
+    """Two-state pairwise-elimination leader election."""
+
+    name = "angluin2006"
+    monotone_leader = True
+
+    def initial_state(self) -> bool:
+        return True  # every agent starts as a leader
+
+    def transition(self, initiator: bool, responder: bool) -> tuple[bool, bool]:
+        if initiator and responder:
+            return True, False
+        return initiator, responder
+
+    def output(self, state: bool) -> str:
+        return LEADER if state else FOLLOWER
+
+    def state_bound(self) -> int:
+        return 2

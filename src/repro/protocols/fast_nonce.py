@@ -1,0 +1,101 @@
+"""Fast leader election with large random nonces, in the spirit of [MST18].
+
+Michail, Spirakis and Theofilatos [MST18] achieve ``O(log n)`` expected
+time by letting agents gamble on large random values — buying time
+optimality with a super-poly-logarithmic state count (Table 1's
+``O(n)``-states row).  This baseline reproduces that profile:
+
+* every agent assembles a ``bits``-long uniform nonce from its interaction
+  roles (one bit per interaction while assembling);
+* finished agents spread the maximum nonce by one-way epidemic; observing
+  a larger nonce demotes a leader;
+* equal-nonce leaders resolve by pairwise elimination ([Ang+06]) — the
+  probability-1 backstop.
+
+With ``bits = 3 ceil(lg n)`` the collision probability among nonces is at
+most ``n^2 2^(-bits) <= 1/n``, so the backstop contributes ``O(1)``
+expected parallel time and the total is ``O(log n)`` — with ``2^bits =
+Theta(n^3)`` states.
+
+Fidelity note (DESIGN.md, substitutions): when two assembling agents meet,
+*both* append their role bit, so the two bits of that step are opposite.
+Each agent's nonce is still marginally uniform; cross-agent nonces are not
+fully independent, but shared-step bits make the pair *differ* at that
+position, which only lowers the collision probability the analysis needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from repro.engine.protocol import FOLLOWER, LEADER, LeaderElectionProtocol
+from repro.errors import ParameterError
+
+__all__ = ["FastNonceState", "FastNonceProtocol"]
+
+
+class FastNonceState(NamedTuple):
+    """(leader, bits_done, nonce); an agent is "finished" at full bits."""
+
+    leader: bool
+    bits_done: int
+    nonce: int
+
+
+class FastNonceProtocol(LeaderElectionProtocol):
+    """O(poly n) states, O(log n) expected time (MST18-style)."""
+
+    monotone_leader = True
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ParameterError(f"nonce length must be positive, got {bits}")
+        self.bits = bits
+        self.name = f"fast-nonce[{bits}b]"
+
+    @classmethod
+    def for_population(cls, n: int) -> "FastNonceProtocol":
+        """Canonical sizing: ``bits = 3 ceil(lg n)`` (collision prob <= 1/n)."""
+        if n < 2:
+            raise ParameterError(f"population size must be at least 2, got {n}")
+        return cls(bits=3 * math.ceil(math.log2(n)))
+
+    def initial_state(self) -> FastNonceState:
+        return FastNonceState(leader=True, bits_done=0, nonce=0)
+
+    def transition(
+        self, initiator: FastNonceState, responder: FastNonceState
+    ) -> tuple[FastNonceState, FastNonceState]:
+        agents = [initiator, responder]
+        bits = self.bits
+        # Assemble nonce bits from interaction roles (initiator = 1).
+        for i in (0, 1):
+            agent = agents[i]
+            if agent.bits_done < bits:
+                agents[i] = FastNonceState(
+                    leader=agent.leader,
+                    bits_done=agent.bits_done + 1,
+                    nonce=2 * agent.nonce + (1 - i),
+                )
+        # Epidemic of the maximum nonce among finished agents.
+        first, second = agents
+        if first.bits_done == bits and second.bits_done == bits:
+            for i in (0, 1):
+                mine, other = agents[i], agents[1 - i]
+                if mine.nonce < other.nonce:
+                    agents[i] = FastNonceState(
+                        leader=False, bits_done=bits, nonce=other.nonce
+                    )
+            # Equal-nonce leaders: the responder concedes.
+            first, second = agents
+            if first.leader and second.leader and first.nonce == second.nonce:
+                agents[1] = second._replace(leader=False)
+        return agents[0], agents[1]
+
+    def output(self, state: FastNonceState) -> str:
+        return LEADER if state.leader else FOLLOWER
+
+    def state_bound(self) -> int:
+        # leader flag x bit counter x nonce value.
+        return 2 * (self.bits + 1) * (1 << self.bits)

@@ -1,0 +1,111 @@
+"""Loosely-stabilizing leader election, after Sudo et al. [Sud+12].
+
+The paper proves Lemma 2 by generalizing a bound from the authors' own
+loosely-stabilizing leader election work [Sud+12], and the contrast
+motivates PLL's design: a (strictly) stabilizing protocol like PLL never
+creates new leaders, so once the unique leader is lost — a crash, an
+adversarial reset — the population is leaderless *forever*.  A loosely-
+stabilizing protocol trades the "forever" guarantee for recovery: from
+*any* configuration it reaches a unique-leader configuration quickly and
+then holds it for a long (here: effectively unbounded in practice) time.
+
+Mechanics (the timer scheme of [Sud+12], simplified to the complete
+interaction graph): every agent carries a countdown timer in
+``[0, tmax]``.
+
+* When two agents meet, both adopt ``max(their timers) - 1`` — the
+  maximum decays by one per propagation hop, so timer values measure
+  "how recently have I heard from a leader".
+* Two leaders meeting resolve by demoting the responder ([Ang+06]).
+* A leader always resets its timer to ``tmax``.
+* A non-leader whose timer has decayed to 0 concludes the leader is gone
+  and promotes itself.
+
+With a unique leader and ``tmax = c log n`` for a healthy constant, the
+max-decay epidemic keeps every timer far from 0 between leader contacts,
+so spurious promotions are (exponentially in ``c``) rare — that is the
+*holding* guarantee.  With no leader, all timers decay to 0 within
+``O(tmax)`` parallel time and promotions recreate leaders — that is
+*recovery*.  See ``examples/failure_injection.py`` for the side-by-side
+with PLL.
+
+Unlike every other protocol in this library, the leader count is **not**
+monotone (self-promotion creates leaders), so ``monotone_leader`` is
+``False`` and tests use explicit predicates instead of the monotone
+detector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from repro.engine.protocol import FOLLOWER, LEADER, LeaderElectionProtocol
+from repro.errors import ParameterError
+
+__all__ = ["LooseState", "LooselyStabilizingProtocol"]
+
+
+class LooseState(NamedTuple):
+    """(is_leader, timer)."""
+
+    is_leader: bool
+    timer: int
+
+
+class LooselyStabilizingProtocol(LeaderElectionProtocol):
+    """[Sud+12]-style leader election with self-healing leadership."""
+
+    monotone_leader = False  # self-promotion can create leaders
+
+    def __init__(self, tmax: int) -> None:
+        if tmax < 2:
+            raise ParameterError(f"tmax must be at least 2, got {tmax}")
+        self.tmax = tmax
+        self.name = f"loose-le[tmax={tmax}]"
+
+    @classmethod
+    def for_population(cls, n: int, holding_factor: int = 16) -> "LooselyStabilizingProtocol":
+        """``tmax = holding_factor * ceil(lg n)``.
+
+        Larger ``holding_factor`` buys exponentially longer holding time
+        at a linear cost in recovery time and states.
+        """
+        if n < 2:
+            raise ParameterError(f"population size must be at least 2, got {n}")
+        return cls(tmax=holding_factor * max(1, math.ceil(math.log2(n))))
+
+    def initial_state(self) -> LooseState:
+        # Loose stabilization makes no promises about the initial
+        # configuration anyway; all-zero timers bootstrap via promotion.
+        return LooseState(is_leader=False, timer=0)
+
+    def transition(
+        self, initiator: LooseState, responder: LooseState
+    ) -> tuple[LooseState, LooseState]:
+        tmax = self.tmax
+        # Timer propagation: both adopt the decayed maximum.
+        decayed = max(initiator.timer, responder.timer) - 1
+        if decayed < 0:
+            decayed = 0
+        leaders = [initiator.is_leader, responder.is_leader]
+        # Pairwise election: the responder concedes.
+        if leaders[0] and leaders[1]:
+            leaders[1] = False
+        agents = []
+        for i in (0, 1):
+            if leaders[i]:
+                agents.append(LooseState(is_leader=True, timer=tmax))
+            elif decayed == 0:
+                # The leader has been silent for a full timer horizon:
+                # self-promote.
+                agents.append(LooseState(is_leader=True, timer=tmax))
+            else:
+                agents.append(LooseState(is_leader=False, timer=decayed))
+        return agents[0], agents[1]
+
+    def output(self, state: LooseState) -> str:
+        return LEADER if state.is_leader else FOLLOWER
+
+    def state_bound(self) -> int:
+        return 2 * (self.tmax + 1)

@@ -1,0 +1,31 @@
+"""Lottery-style baseline in the spirit of Alistarh et al. [Ali+17].
+
+The lottery protocol of [Ali+17] lets every contender draw a geometric
+level by fair coin flips, keeps only the maximum level (spread by one-way
+epidemic), and falls back to slow pairwise elimination for ties.  PLL's
+QuickElimination *is* this lottery (Section 3.1.1 credits it explicitly);
+composing it with BackUp and skipping Tournament reproduces the lottery
+protocol's behaviour profile: polylogarithmic states and polylogarithmic —
+but super-logarithmic — expected time, because a tie survives the lottery
+with constant probability and must then be resolved by the ``O(log^2 n)``
+backup.
+
+Rather than re-implementing the machinery, this module instantiates the
+``"no-tournament"`` variant of :class:`~repro.core.pll.PLLProtocol` (see
+DESIGN.md, substitutions).  The same object doubles as the Tournament
+ablation in experiment E12.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol
+
+__all__ = ["lottery_protocol"]
+
+
+def lottery_protocol(params: PLLParameters) -> PLLProtocol:
+    """Lottery + backup composition (PLL without Tournament)."""
+    protocol = PLLProtocol(params, variant="no-tournament")
+    protocol.name = "lottery-backup"
+    return protocol

@@ -1,0 +1,98 @@
+"""Majority protocols — the other canonical population-protocol problem.
+
+Leader election and majority are the two benchmark problems of the PP
+literature (several of the paper's cited works — [AAG18], [Bil+17],
+[ER18] — are majority papers).  This module provides the two classic
+constructions so the toolkit covers both problems:
+
+* :class:`ApproximateMajority` — the 3-state protocol of Angluin, Aspnes
+  and Eisenstat (2008): conflicting opinions annihilate into blanks,
+  opinions recruit blanks.  Converges in ``O(log n)`` parallel time and
+  decides the initial majority with high probability when the margin is
+  ``Omega(sqrt(n log n))``.
+* :class:`ExactMajority` — the 4-state protocol (Draief–Vojnović /
+  Bénézit et al.): strong opinions annihilate pairwise into weak
+  opinions, weak opinions follow strong ones.  Always correct (even for
+  margin 1) but ``Theta(n log n)``-ish slow — the exactness/speed
+  trade-off mirrors Table 1's state/time trade-off for leader election.
+
+Outputs are the opinion symbols ``"x"`` / ``"y"`` (weak states output the
+opinion they currently lean towards).
+"""
+
+from __future__ import annotations
+
+from repro.engine.protocol import Protocol
+
+__all__ = ["ApproximateMajority", "ExactMajority", "OPINION_X", "OPINION_Y", "BLANK"]
+
+OPINION_X = "x"
+OPINION_Y = "y"
+BLANK = "b"
+
+#: Weak (follower) forms of the two opinions in the exact protocol.
+WEAK_X = "wx"
+WEAK_Y = "wy"
+
+
+class ApproximateMajority(Protocol):
+    """Three-state approximate majority (one-way variant, AAE 2008)."""
+
+    name = "approximate-majority"
+
+    def initial_state(self) -> str:
+        return BLANK  # load opinions explicitly via load_configuration
+
+    def transition(self, initiator: str, responder: str) -> tuple[str, str]:
+        if {initiator, responder} == {OPINION_X, OPINION_Y}:
+            return BLANK, BLANK
+        if initiator == BLANK and responder in (OPINION_X, OPINION_Y):
+            return responder, responder
+        if responder == BLANK and initiator in (OPINION_X, OPINION_Y):
+            return initiator, initiator
+        return initiator, responder
+
+    def output(self, state: str) -> str:
+        return state
+
+    def state_bound(self) -> int:
+        return 3
+
+    def is_symmetric(self) -> bool:
+        return True  # equal states never match an asymmetric rule
+
+
+class ExactMajority(Protocol):
+    """Four-state exact majority: always decides the true majority.
+
+    Strong opinions (``x``/``y``) annihilate into weak ones; weak
+    opinions (``wx``/``wy``) flip to follow any strong opinion they meet.
+    The sign of the strong-opinion difference is invariant, so the last
+    surviving strong opinion is the initial majority and eventually
+    converts every weak agent.  Ties (margin 0) end with no strong agents
+    and weak agents frozen at their last lean — detectable but undecided,
+    as the 4-state protocol inherently is.
+    """
+
+    name = "exact-majority"
+
+    def initial_state(self) -> str:
+        return WEAK_X  # load opinions explicitly via load_configuration
+
+    def transition(self, initiator: str, responder: str) -> tuple[str, str]:
+        pair = {initiator, responder}
+        if pair == {OPINION_X, OPINION_Y}:
+            return WEAK_X, WEAK_Y  # annihilation preserves the difference
+        if initiator in (OPINION_X, OPINION_Y) and responder in (WEAK_X, WEAK_Y):
+            return initiator, WEAK_X if initiator == OPINION_X else WEAK_Y
+        if responder in (OPINION_X, OPINION_Y) and initiator in (WEAK_X, WEAK_Y):
+            return WEAK_X if responder == OPINION_X else WEAK_Y, responder
+        return initiator, responder
+
+    def output(self, state: str) -> str:
+        if state in (OPINION_X, WEAK_X):
+            return OPINION_X
+        return OPINION_Y
+
+    def state_bound(self) -> int:
+        return 4

@@ -1,0 +1,104 @@
+"""Population-size estimation — towards a *uniform* PLL (extension).
+
+PLL is non-uniform: it must be compiled with a rough size knowledge
+``m >= log2(n)``, ``m = Theta(log n)`` (the paper lists this alongside all
+non-constant-state predecessors).  This module implements the standard
+geometric-race estimator that removes the assumption in practice:
+
+* every agent flips role-coins until its first tail and records the number
+  of heads (``level``, a geometric variable — identical to the
+  QuickElimination lottery);
+* the maximum level spreads by one-way epidemic;
+* the estimate is ``m_hat = 2 * max_level + 2``.
+
+Concentration: ``max_level`` is the maximum of (roughly) ``n/2``
+independent geometrics, so ``P(max_level < (lg n)/2) <= exp(-Theta(sqrt n))``
+and ``P(max_level > 3 lg n) <= n^-2`` — hence ``m_hat >= lg n`` and
+``m_hat = Theta(log n)`` with high probability, exactly the contract
+``PLLParameters`` needs.  The estimator itself uses ``O(log n)`` states
+and stabilizes its output in ``O(log n)`` parallel time whp.
+
+``examples/uniform_leader_election.py`` composes the two phases into a
+pipeline (estimate, then elect).  Folding both into a *single* protocol —
+restarting PLL's timers when the estimate grows — is genuine future work
+the paper leaves open; the pipeline documents what the composition must
+achieve.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.engine.protocol import Protocol
+from repro.errors import ParameterError
+
+__all__ = ["SizeEstimateState", "SizeEstimationProtocol", "m_hat_from_level"]
+
+
+def m_hat_from_level(max_level: int) -> int:
+    """Size-knowledge estimate from the winning geometric level."""
+    if max_level < 0:
+        raise ParameterError(f"level must be non-negative, got {max_level}")
+    return 2 * max_level + 2
+
+
+class SizeEstimateState(NamedTuple):
+    """(flipping, level, seen): own race state plus the epidemic maximum."""
+
+    flipping: bool
+    level: int
+    seen: int
+
+
+class SizeEstimationProtocol(Protocol):
+    """Estimate ``lg n`` by a geometric race plus max-epidemic.
+
+    The output of an agent is its current estimate of the maximum level
+    (as a string, per the protocol-output contract); once the epidemic
+    settles, every agent outputs the same value and ``m_hat_from_level``
+    turns it into a PLL-compatible ``m``.
+
+    ``level_cap`` bounds the state space (the paper's own ``lmax`` trick);
+    the default cap of 64 supports populations beyond 2^21 with margin.
+    """
+
+    name = "size-estimation"
+
+    def __init__(self, level_cap: int = 64) -> None:
+        if level_cap < 1:
+            raise ParameterError(f"level cap must be positive, got {level_cap}")
+        self.level_cap = level_cap
+
+    def initial_state(self) -> SizeEstimateState:
+        return SizeEstimateState(flipping=True, level=0, seen=0)
+
+    def transition(
+        self, initiator: SizeEstimateState, responder: SizeEstimateState
+    ) -> tuple[SizeEstimateState, SizeEstimateState]:
+        agents = [initiator, responder]
+        # The geometric race: initiator role = head, responder role = tail.
+        for i in (0, 1):
+            agent = agents[i]
+            if agent.flipping:
+                if i == 0:
+                    level = min(agent.level + 1, self.level_cap)
+                    agents[i] = agent._replace(level=level)
+                else:
+                    agents[i] = agent._replace(
+                        flipping=False, seen=max(agent.seen, agent.level)
+                    )
+        # One-way epidemic of the maximum finished level.
+        best = max(agents[0].seen, agents[1].seen)
+        agents[0] = agents[0]._replace(seen=best)
+        agents[1] = agents[1]._replace(seen=best)
+        return agents[0], agents[1]
+
+    def output(self, state: SizeEstimateState) -> str:
+        return str(state.seen)
+
+    def state_bound(self) -> int:
+        return 2 * (self.level_cap + 1) * (self.level_cap + 1)
+
+    def estimate(self, state: SizeEstimateState) -> int:
+        """The ``m_hat`` this agent would hand to ``PLLParameters``."""
+        return m_hat_from_level(state.seen)

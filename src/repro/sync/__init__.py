@@ -1,0 +1,13 @@
+"""Synchronization substrates: count-up timers and phase clocks."""
+
+from repro.sync.countup import CountUpTimerProtocol, TimerState, advance_color
+from repro.sync.phase_clock import ClockState, LeaderDrivenPhaseClock, circular_ahead
+
+__all__ = [
+    "ClockState",
+    "CountUpTimerProtocol",
+    "LeaderDrivenPhaseClock",
+    "TimerState",
+    "advance_color",
+    "circular_ahead",
+]

@@ -1,0 +1,88 @@
+"""Standalone count-up timer synchronization (Algorithm 2, isolated).
+
+PLL synchronizes the population with count-up timers held by the ``V_B``
+agents: each timer increments a counter mod ``cmax`` at every interaction;
+a rollover advances the agent's color (mod 3), and the new color spreads to
+everyone else by one-way epidemic, resetting the count of ``V_B`` agents it
+reaches.  Every color change raises a "tick" that drives the epoch counter.
+
+This module isolates that primitive as a protocol of its own so it can be
+studied and tested independently of leader election (experiments E4/E5 run
+both this isolated form and the full PLL).  All agents here are timers —
+the ``|V_B| >= 1`` requirement is trivially met.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.engine.protocol import Protocol
+from repro.errors import ParameterError
+
+__all__ = ["TimerState", "CountUpTimerProtocol", "advance_color"]
+
+
+def advance_color(color: int) -> int:
+    """Next color in the 3-cycle."""
+    return (color + 1) % 3
+
+
+class TimerState(NamedTuple):
+    """State of a count-up timer agent: (count, color, ticks_seen).
+
+    ``ticks_seen`` saturates at a small cap; it exists so experiments can
+    read how many color changes an agent has been through (the analogue of
+    PLL's epoch, without the cap at 4 hiding later rounds).
+    """
+
+    count: int
+    color: int
+    ticks_seen: int
+
+
+class CountUpTimerProtocol(Protocol):
+    """All-timer population running Algorithm 2's CountUp dynamics."""
+
+    name = "countup-timer"
+
+    def __init__(self, cmax: int, max_ticks: int = 1 << 30) -> None:
+        if cmax < 1:
+            raise ParameterError(f"cmax must be positive, got {cmax}")
+        self.cmax = cmax
+        self.max_ticks = max_ticks
+
+    def initial_state(self) -> TimerState:
+        return TimerState(count=0, color=0, ticks_seen=0)
+
+    def transition(
+        self, initiator: TimerState, responder: TimerState
+    ) -> tuple[TimerState, TimerState]:
+        agents = [initiator, responder]
+        # Lines 23-29: every timer increments; rollover yields a new color.
+        for i, agent in enumerate(agents):
+            count = (agent.count + 1) % self.cmax
+            if count == 0:
+                agents[i] = TimerState(
+                    count=0,
+                    color=advance_color(agent.color),
+                    ticks_seen=min(agent.ticks_seen + 1, self.max_ticks),
+                )
+            else:
+                agents[i] = agent._replace(count=count)
+        # Lines 30-34: one-way epidemic of the newer color.
+        for i in (0, 1):
+            other = agents[1 - i]
+            mine = agents[i]
+            if other.color == advance_color(mine.color):
+                agents[i] = TimerState(
+                    count=0,
+                    color=other.color,
+                    ticks_seen=min(mine.ticks_seen + 1, self.max_ticks),
+                )
+        return agents[0], agents[1]
+
+    def output(self, state: TimerState) -> str:
+        return str(state.color)
+
+    def state_bound(self) -> int:
+        return self.cmax * 3 * (self.max_ticks + 1)

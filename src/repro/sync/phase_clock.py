@@ -1,0 +1,114 @@
+"""Leader-driven phase clock [AAE08] — ablation substrate.
+
+The paper notes (Section 3.2.2) that with a unique leader the population can
+be synchronized by constant-space phase clocks [AAE08], but PLL cannot
+assume a unique leader and therefore uses count-up timers instead.  This
+module implements the classic leader-driven phase clock so experiment E12
+can compare the two synchronization primitives — an ablation of the design
+choice DESIGN.md calls out.
+
+Mechanics (following [AAE08]'s leader-as-clock-source design): the leader's
+hour advances by one at *every* interaction it participates in, modulo the
+ring size; it never adopts anyone else's hour.  A follower adopts its
+partner's hour whenever that hour is *ahead* of its own — reachable within
+half the ring going forward — so each new hour value spreads from the
+leader by one-way epidemic.  A follower that sleeps through more than half
+a ring is temporarily "lapped" and waits for the leader's hour to swing
+back into its forward window; with a ring of ``Theta(log n)`` hours this
+is a low-probability, self-healing event, which is exactly the failure
+profile the original construction tolerates (and one reason PLL prefers
+count-up timers when no unique leader exists).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.engine.protocol import Protocol
+from repro.errors import ParameterError
+
+__all__ = ["ClockState", "LeaderDrivenPhaseClock", "circular_ahead"]
+
+
+def circular_ahead(a: int, b: int, ring: int) -> bool:
+    """Whether hour ``a`` is strictly ahead of hour ``b`` on the ring.
+
+    "Ahead" means reachable from ``b`` by fewer than ``ring / 2`` forward
+    steps.  Antipodal or equal hours are not ahead.
+    """
+    diff = (a - b) % ring
+    return 0 < diff < (ring + 1) // 2
+
+
+class ClockState(NamedTuple):
+    """(is_leader, hour, rounds): ``rounds`` counts completed ring laps."""
+
+    is_leader: bool
+    hour: int
+    rounds: int
+
+
+class LeaderDrivenPhaseClock(Protocol):
+    """Phase clock driven by a designated leader agent.
+
+    The initial configuration for experiments is built with
+    :meth:`leader_state` for exactly one agent and :meth:`initial_state`
+    (follower) for the rest — use
+    :meth:`repro.engine.simulator.AgentSimulator.load_configuration`.
+    """
+
+    name = "phase-clock"
+
+    def __init__(self, ring: int = 64) -> None:
+        if ring < 4:
+            raise ParameterError(f"ring size must be at least 4, got {ring}")
+        self.ring = ring
+
+    @classmethod
+    def for_population(cls, n: int) -> "LeaderDrivenPhaseClock":
+        """Ring sized so one lap dominates the epidemic spread time.
+
+        The leader ticks at rate ``2/n`` per step, so a lap takes
+        ``ring / 2`` parallel time; choosing ``ring = 12 ceil(lg n)`` makes
+        that ``Theta(log n)`` with a constant comfortably above the
+        ``~2 ln n`` one-way epidemic time, which keeps followers coherent
+        with high probability.
+        """
+        import math
+
+        if n < 2:
+            raise ParameterError(f"population size must be at least 2, got {n}")
+        return cls(ring=12 * max(1, math.ceil(math.log2(n))))
+
+    def initial_state(self) -> ClockState:
+        return ClockState(is_leader=False, hour=0, rounds=0)
+
+    def leader_state(self) -> ClockState:
+        return ClockState(is_leader=True, hour=0, rounds=0)
+
+    def _advance(self, state: ClockState) -> ClockState:
+        hour = (state.hour + 1) % self.ring
+        rounds = state.rounds + (1 if hour == 0 else 0)
+        return state._replace(hour=hour, rounds=rounds)
+
+    def transition(
+        self, initiator: ClockState, responder: ClockState
+    ) -> tuple[ClockState, ClockState]:
+        agents = [initiator, responder]
+        before = (initiator, responder)
+        for i in (0, 1):
+            mine, other = agents[i], before[1 - i]
+            if mine.is_leader:
+                # The leader is the clock source: one tick per interaction,
+                # never adopting.
+                agents[i] = self._advance(mine)
+            elif circular_ahead(other.hour, mine.hour, self.ring):
+                laps = mine.rounds + (1 if other.hour < mine.hour else 0)
+                agents[i] = mine._replace(hour=other.hour, rounds=laps)
+        return agents[0], agents[1]
+
+    def output(self, state: ClockState) -> str:
+        return str(state.hour)
+
+    def state_bound(self) -> int | None:
+        return None  # unbounded `rounds` (an observation counter, not state)

@@ -1,0 +1,113 @@
+"""Tests for repro.analysis.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    check_fair_coin,
+    chi_square_uniform,
+    geometric_heads_pmf,
+    survivor_law_violations,
+)
+from repro.errors import ParameterError
+
+
+class TestSurvivorLaw:
+    def test_accepts_the_law_itself(self):
+        distribution = {1: 0.5, 2: 0.3, 3: 0.12, 4: 0.05}
+        assert survivor_law_violations(distribution, trials=1000) == []
+
+    def test_flags_gross_violation(self):
+        distribution = {2: 0.9}
+        assert survivor_law_violations(distribution, trials=1000) == [2]
+
+    def test_i1_is_never_checked(self):
+        assert survivor_law_violations({1: 1.0}, trials=100) == []
+
+    def test_slack_absorbs_sampling_noise(self):
+        # Frequency slightly over the bound at few trials: not flagged.
+        distribution = {2: 0.55}
+        assert survivor_law_violations(distribution, trials=50) == []
+
+    def test_trials_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            survivor_law_violations({2: 0.1}, trials=0)
+
+
+class TestFairCoin:
+    def test_exact_half_has_zero_z(self):
+        check = check_fair_coin(successes=500, trials=1000)
+        assert check.z_score == pytest.approx(0.0)
+        assert check.consistent()
+
+    def test_biased_coin_flagged(self):
+        check = check_fair_coin(successes=900, trials=1000)
+        assert not check.consistent()
+
+    def test_frequency(self):
+        assert check_fair_coin(25, 100).frequency == 0.25
+
+    def test_domain_validation(self):
+        with pytest.raises(ParameterError):
+            check_fair_coin(0, 0)
+        with pytest.raises(ParameterError):
+            check_fair_coin(0, 10, p=1.0)
+
+    def test_small_samples_are_tolerant(self):
+        assert check_fair_coin(7, 10).consistent()
+
+
+class TestChiSquareUniform:
+    def test_perfectly_uniform_is_zero(self):
+        assert chi_square_uniform([10, 10, 10, 10]) == pytest.approx(0.0)
+
+    def test_skewed_counts_large(self):
+        assert chi_square_uniform([100, 0, 0, 0]) > 100
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        counts = [12, 18, 9, 21, 15]
+        ours = chi_square_uniform(counts)
+        theirs = scipy_stats.chisquare(counts).statistic
+        assert ours == pytest.approx(float(theirs))
+
+    def test_uniform_samples_pass_threshold(self):
+        rng = np.random.default_rng(0)
+        counts = np.bincount(rng.integers(0, 8, 8000), minlength=8).tolist()
+        dof = 7
+        assert chi_square_uniform(counts) < dof + 4 * (2 * dof) ** 0.5
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            chi_square_uniform([5])
+        with pytest.raises(ParameterError):
+            chi_square_uniform([0, 0])
+
+
+class TestGeometricPmf:
+    def test_values(self):
+        assert geometric_heads_pmf(0) == 0.5
+        assert geometric_heads_pmf(1) == 0.25
+        assert geometric_heads_pmf(3) == pytest.approx(1 / 16)
+
+    def test_sums_to_one(self):
+        assert sum(geometric_heads_pmf(j) for j in range(60)) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            geometric_heads_pmf(-1)
+
+    def test_matches_quick_elimination_empirics(self):
+        """The levelQ of an isolated player is geometric (Section 3.1.1)."""
+        from repro.coins.role_coin import HEADS
+        rng = np.random.default_rng(42)
+        trials = 20000
+        counts: dict[int, int] = {}
+        for _ in range(trials):
+            level = 0
+            while rng.integers(0, 2) == HEADS:
+                level += 1
+            counts[level] = counts.get(level, 0) + 1
+        for level in (0, 1, 2, 3):
+            empirical = counts.get(level, 0) / trials
+            assert empirical == pytest.approx(geometric_heads_pmf(level), abs=0.02)

@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.expectations — closed forms vs measurements."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expectations import (
+    angluin_expected_parallel_time,
+    coupon_collector_expected_parallel_time,
+    harmonic,
+    pairwise_meeting_expected_parallel_time,
+)
+from repro.engine.metrics import InteractionCounter
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ParameterError
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestFormulas:
+    def test_harmonic(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_angluin_closed_form(self):
+        # (n-1)^2 / n
+        assert angluin_expected_parallel_time(2) == pytest.approx(0.5)
+        assert angluin_expected_parallel_time(10) == pytest.approx(8.1)
+
+    def test_angluin_n1_is_zero(self):
+        assert angluin_expected_parallel_time(1) == 0.0
+
+    def test_pairwise_meeting(self):
+        assert pairwise_meeting_expected_parallel_time(2) == 0.5
+        assert pairwise_meeting_expected_parallel_time(101) == 50.0
+
+    def test_coupon_small_cases(self):
+        # n=2: the first step touches both agents: exactly 1 step = 0.5.
+        assert coupon_collector_expected_parallel_time(2) == pytest.approx(0.5)
+
+    def test_coupon_grows_like_half_log(self):
+        value = coupon_collector_expected_parallel_time(10_000)
+        assert value == pytest.approx(np.log(10_000) / 2, rel=0.25)
+
+    def test_domain_validation(self):
+        for fn in (
+            angluin_expected_parallel_time,
+            pairwise_meeting_expected_parallel_time,
+            coupon_collector_expected_parallel_time,
+        ):
+            with pytest.raises(ParameterError):
+                fn(0)
+
+
+class TestFormulasAgainstSimulation:
+    def test_angluin_measured_mean_matches_exact(self):
+        """The strongest engine validation we have: an exact expectation."""
+        n, trials = 24, 200
+        times = []
+        for seed in range(trials):
+            sim = AgentSimulator(AngluinProtocol(), n, seed=seed)
+            sim.run_until_stabilized()
+            times.append(sim.parallel_time)
+        measured = float(np.mean(times))
+        exact = angluin_expected_parallel_time(n)
+        # Std of one run is ~ exact; 200 trials give ~7% standard error.
+        assert measured == pytest.approx(exact, rel=0.25)
+
+    def test_coupon_measured_mean_matches_exact(self):
+        n, trials = 32, 300
+        times = []
+        for seed in range(trials):
+            sim = AgentSimulator(AngluinProtocol(), n, seed=seed)
+            counter = InteractionCounter(n)
+            sim.add_hook(counter)
+            while not counter.all_touched:
+                sim.step()
+            times.append(sim.parallel_time)
+        measured = float(np.mean(times))
+        exact = coupon_collector_expected_parallel_time(n)
+        assert measured == pytest.approx(exact, rel=0.15)

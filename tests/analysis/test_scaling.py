@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.scaling."""
+
+import math
+
+import pytest
+
+from repro.analysis.scaling import MODELS, fit_model, fit_scaling
+from repro.errors import ParameterError
+
+
+def curve(model_fn, coefficient, ns):
+    return [coefficient * model_fn(n) for n in ns]
+
+
+NS = [32, 64, 128, 256, 512, 1024]
+
+
+class TestFitModel:
+    def test_recovers_coefficient_exactly_on_clean_data(self):
+        ys = curve(MODELS["log"], 3.5, NS)
+        fit = fit_model(NS, ys, "log")
+        assert fit.coefficient == pytest.approx(3.5)
+        assert fit.nrmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_predict(self):
+        fit = fit_model(NS, curve(MODELS["linear"], 2.0, NS), "linear")
+        assert fit.predict(100) == pytest.approx(200.0)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ParameterError):
+            fit_model(NS, NS, "cubic")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParameterError):
+            fit_model([1, 2], [1.0], "log")
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ParameterError):
+            fit_model([1, 2], [1.0, 2.0], "log")
+
+
+class TestFitScaling:
+    @pytest.mark.parametrize("truth", ["log", "linear", "log^2", "nlogn"])
+    def test_selects_the_generating_model(self, truth):
+        ys = curve(MODELS[truth], 2.0, NS)
+        fit = fit_scaling(NS, ys)
+        assert fit.best.model == truth
+
+    def test_selects_log_under_noise(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        ys = [
+            2.0 * math.log2(n) * float(rng.uniform(0.9, 1.1)) for n in NS
+        ]
+        fit = fit_scaling(NS, ys, models=("log", "linear", "log^2"))
+        assert fit.best.model == "log"
+
+    def test_fit_for_lookup(self):
+        ys = curve(MODELS["log"], 1.0, NS)
+        fit = fit_scaling(NS, ys, models=("log", "linear"))
+        assert fit.fit_for("linear").model == "linear"
+        with pytest.raises(ParameterError):
+            fit.fit_for("sqrt")
+
+    def test_fits_are_sorted_by_nrmse(self):
+        ys = curve(MODELS["linear"], 1.0, NS)
+        fit = fit_scaling(NS, ys)
+        errors = [f.nrmse for f in fit.fits]
+        assert errors == sorted(errors)
+
+    def test_str_mentions_model(self):
+        ys = curve(MODELS["log"], 2.0, NS)
+        assert "log" in str(fit_scaling(NS, ys, models=("log", "linear")))
+
+    def test_constant_model(self):
+        fit = fit_scaling(NS, [7.0] * len(NS))
+        assert fit.best.model == "const"
+        assert fit.best.coefficient == pytest.approx(7.0)

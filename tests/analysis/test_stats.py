@@ -1,0 +1,90 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    count_distribution,
+    summarize,
+    tail_frequency,
+)
+from repro.errors import ParameterError
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.count == 4
+
+    def test_single_sample_has_zero_width_ci(self):
+        summary = summarize([5.0])
+        assert summary.ci95_low == summary.ci95_high == 5.0
+        assert summary.std == 0.0
+
+    def test_ci_contains_mean(self):
+        summary = summarize(list(range(50)))
+        assert summary.ci95_low < summary.mean < summary.ci95_high
+
+    def test_ci_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(0, 1, 20).tolist())
+        large = summarize(rng.normal(0, 1, 2000).tolist())
+        assert (large.ci95_high - large.ci95_low) < (
+            small.ci95_high - small.ci95_low
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            summarize([])
+
+    def test_str_mentions_mean_and_count(self):
+        text = str(summarize([2.0, 2.0]))
+        assert "2" in text and "k=2" in text
+
+
+class TestBootstrap:
+    def test_interval_contains_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10, 2, 100).tolist()
+        low, high = bootstrap_ci(data, seed=0)
+        assert low < 10.5 and high > 9.5
+
+    def test_reproducible_with_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_confidence_domain(self):
+        with pytest.raises(ParameterError):
+            bootstrap_ci([1.0], confidence=1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            bootstrap_ci([])
+
+
+class TestTailFrequency:
+    def test_counts_strictly_above(self):
+        assert tail_frequency([1, 2, 3, 4], 2) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            tail_frequency([], 0)
+
+
+class TestCountDistribution:
+    def test_normalizes(self):
+        dist = count_distribution([1, 1, 2, 4])
+        assert dist == {1: 0.5, 2: 0.25, 4: 0.25}
+
+    def test_sorted_keys(self):
+        dist = count_distribution([3, 1, 2])
+        assert list(dist) == [1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            count_distribution([])

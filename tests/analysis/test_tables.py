@@ -1,0 +1,74 @@
+"""Tests for repro.analysis.tables."""
+
+import pytest
+
+from repro.analysis.tables import Table, format_value
+from repro.errors import ParameterError
+
+
+class TestFormatValue:
+    def test_floats_get_four_significant_digits(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_extreme_floats_use_scientific(self):
+        assert "e" in format_value(1234567.0)
+        assert "e" in format_value(0.0000123)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_non_floats_are_str(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+        assert format_value(True) == "True"
+        assert format_value(None) == "None"
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ParameterError):
+            Table([])
+
+    def test_row_arity_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ParameterError):
+            table.add_row([1])
+
+    def test_render_aligns_columns(self):
+        table = Table(["name", "value"])
+        table.add_row(["x", 1])
+        table.add_row(["longer-name", 22])
+        lines = table.render().splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:3])
+
+    def test_render_contains_cells(self):
+        table = Table(["h"])
+        table.add_row([3.5])
+        assert "3.5" in table.render()
+
+    def test_add_record_uses_headers(self):
+        table = Table(["a", "b"])
+        table.add_record({"b": 2, "a": 1, "ignored": 9})
+        assert table.rows == [["1", "2"]]
+
+    def test_add_record_missing_key_is_blank(self):
+        table = Table(["a", "b"])
+        table.add_record({"a": 1})
+        assert table.rows == [["1", ""]]
+
+    def test_from_records(self):
+        table = Table.from_records(["a"], [{"a": 1}, {"a": 2}])
+        assert len(table.rows) == 2
+
+    def test_markdown_rendering(self):
+        table = Table(["a", "b"])
+        table.add_row([1, 2])
+        markdown = table.render_markdown()
+        assert markdown.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2 |" in markdown
+
+    def test_str_is_render(self):
+        table = Table(["a"])
+        table.add_row([1])
+        assert str(table) == table.render()

@@ -1,0 +1,62 @@
+"""Tests for repro.coins.role_coin."""
+
+from repro.coins.role_coin import HEADS, TAILS, CoinSequenceRecorder, role_bit
+from repro.engine.scheduler import DeterministicSchedule
+from repro.engine.simulator import AgentSimulator
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestRoleBit:
+    def test_initiator_is_head(self):
+        assert role_bit(True) == HEADS
+
+    def test_responder_is_tail(self):
+        assert role_bit(False) == TAILS
+
+    def test_symbols(self):
+        assert HEADS == 1
+        assert TAILS == 0
+
+
+class TestCoinSequenceRecorder:
+    def run_with_recorder(self, pairs, n=4):
+        sim = AgentSimulator(
+            AngluinProtocol(), n, scheduler=DeterministicSchedule(pairs)
+        )
+        recorder = CoinSequenceRecorder()
+        sim.add_hook(recorder)
+        sim.run(len(pairs))
+        return recorder
+
+    def test_records_role_bits(self):
+        recorder = self.run_with_recorder([(0, 1), (1, 0), (0, 2)])
+        assert recorder.sequences[0] == [HEADS, TAILS, HEADS]
+        assert recorder.sequences[1] == [TAILS, HEADS]
+        assert recorder.sequences[2] == [TAILS]
+
+    def test_step_bits_are_anti_correlated(self):
+        """The two participants of one interaction see opposite bits."""
+        recorder = self.run_with_recorder([(0, 1), (2, 3), (3, 1)])
+        for u, v in recorder.pairs_per_step:
+            assert u != v  # roles are distinct, bits opposite by design
+
+    def test_heads_fraction(self):
+        recorder = self.run_with_recorder([(0, 1), (0, 2), (1, 0)])
+        assert recorder.heads_fraction(0) == 2 / 3
+
+    def test_heads_fraction_of_silent_agent(self):
+        recorder = self.run_with_recorder([(0, 1)])
+        assert recorder.heads_fraction(3) == 0.0
+
+    def test_longest_head_run(self):
+        recorder = self.run_with_recorder([(0, 1), (0, 2), (1, 0), (0, 3)])
+        # Agent 0: H, H, T, H -> longest run 2.
+        assert recorder.longest_head_run(0) == 2
+
+    def test_fairness_under_random_scheduler(self):
+        sim = AgentSimulator(AngluinProtocol(), 8, seed=13)
+        recorder = CoinSequenceRecorder()
+        sim.add_hook(recorder)
+        sim.run(20000)
+        fraction = recorder.heads_fraction(0)
+        assert abs(fraction - 0.5) < 0.03

@@ -1,0 +1,94 @@
+"""Tests for repro.coins.symmetric_coin."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coins.symmetric_coin import (
+    COIN_HEAD,
+    COIN_J,
+    COIN_K,
+    COIN_STATUSES,
+    COIN_TAIL,
+    coin_counts_balanced,
+    coin_flip_value,
+    pair_coins,
+)
+
+coin_strategy = st.sampled_from(COIN_STATUSES)
+
+
+class TestPairRules:
+    def test_jj_to_kk(self):
+        assert pair_coins(COIN_J, COIN_J) == (COIN_K, COIN_K)
+
+    def test_kk_to_jj(self):
+        assert pair_coins(COIN_K, COIN_K) == (COIN_J, COIN_J)
+
+    def test_jk_settles(self):
+        assert pair_coins(COIN_J, COIN_K) == (COIN_HEAD, COIN_TAIL)
+
+    def test_kj_settles_role_agnostically(self):
+        """The J party becomes F0 regardless of argument order."""
+        assert pair_coins(COIN_K, COIN_J) == (COIN_TAIL, COIN_HEAD)
+
+    def test_settled_coins_are_absorbing(self):
+        for other in COIN_STATUSES:
+            assert pair_coins(COIN_HEAD, other) == (COIN_HEAD, other)
+            assert pair_coins(other, COIN_TAIL) == (other, COIN_TAIL)
+
+    @given(coin_strategy)
+    def test_equal_pairs_stay_equal(self, coin):
+        """The symmetry property on the coin sub-automaton."""
+        a, b = pair_coins(coin, coin)
+        assert a == b
+
+
+class TestFlipValues:
+    def test_head_value(self):
+        assert coin_flip_value(COIN_HEAD) == 1
+
+    def test_tail_value(self):
+        assert coin_flip_value(COIN_TAIL) == 0
+
+    def test_unsettled_values(self):
+        assert coin_flip_value(COIN_J) is None
+        assert coin_flip_value(COIN_K) is None
+        assert coin_flip_value(None) is None
+
+
+class TestBalanceInvariant:
+    def test_balanced_empty(self):
+        assert coin_counts_balanced([])
+
+    def test_balanced_with_nones(self):
+        assert coin_counts_balanced([None, COIN_J, COIN_K])
+
+    def test_unbalanced(self):
+        assert not coin_counts_balanced([COIN_HEAD])
+
+    def test_balanced_pairs(self):
+        assert coin_counts_balanced([COIN_HEAD, COIN_TAIL, COIN_HEAD, COIN_TAIL])
+
+    @given(st.lists(st.integers(0, 200), max_size=50))
+    def test_random_churn_preserves_balance(self, pair_indices):
+        """Any sequence of pairwise interactions keeps #F0 == #F1."""
+        coins = [COIN_J] * 21
+        for raw in pair_indices:
+            u = raw % len(coins)
+            v = (raw // len(coins) + u + 1) % len(coins)
+            if u == v:
+                continue
+            coins[u], coins[v] = pair_coins(coins[u], coins[v])
+            assert coin_counts_balanced(coins)
+
+    def test_settled_fraction_grows(self):
+        """Under random churn, coins settle (F0/F1 absorb the population)."""
+        rng = np.random.default_rng(0)
+        n = 40
+        coins = [COIN_J] * n
+        for _ in range(4000):
+            u, v = rng.choice(n, size=2, replace=False)
+            coins[u], coins[v] = pair_coins(coins[u], coins[v])
+        settled = sum(1 for c in coins if c in (COIN_HEAD, COIN_TAIL))
+        assert settled >= n - 2  # at most one J/K leftover pair-parity-wise

@@ -1,0 +1,41 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol
+from repro.core.symmetric import SymmetricPLLProtocol
+
+# Property tests that drive full simulations are expensive per example;
+# keep example counts moderate and deadline off (simulation times vary).
+# database=None keeps hypothesis from writing a .hypothesis/ cache into
+# the repository root.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    database=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def params8() -> PLLParameters:
+    """Parameters sized for n <= 256 (m = 8)."""
+    return PLLParameters(m=8)
+
+
+@pytest.fixture
+def pll8(params8: PLLParameters) -> PLLProtocol:
+    """A PLL instance with m = 8."""
+    return PLLProtocol(params8)
+
+
+@pytest.fixture
+def sym8(params8: PLLParameters) -> SymmetricPLLProtocol:
+    """A symmetric PLL instance with m = 8."""
+    return SymmetricPLLProtocol(params8)

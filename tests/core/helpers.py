@@ -1,0 +1,98 @@
+"""Builders for group-consistent PLL states used across core tests."""
+
+from __future__ import annotations
+
+from repro.core.state import (
+    PLLState,
+    STATUS_CANDIDATE,
+    STATUS_INITIAL,
+    STATUS_TIMER,
+)
+
+
+def initial() -> PLLState:
+    return PLLState.initial()
+
+
+def v1_candidate(
+    leader: bool = True,
+    level_q: int = 0,
+    done: bool = False,
+    color: int = 0,
+    coin: str | None = None,
+) -> PLLState:
+    """A V_A agent in epoch 1."""
+    return PLLState(
+        leader=leader,
+        status=STATUS_CANDIDATE,
+        epoch=1,
+        color=color,
+        level_q=level_q,
+        done=done,
+        coin=coin,
+    )
+
+
+def v23_candidate(
+    leader: bool = True,
+    rand: int = 0,
+    index: int = 0,
+    epoch: int = 2,
+    color: int = 0,
+    coin: str | None = None,
+) -> PLLState:
+    """A V_A agent in epoch 2 or 3 (Tournament)."""
+    return PLLState(
+        leader=leader,
+        status=STATUS_CANDIDATE,
+        epoch=epoch,
+        color=color,
+        rand=rand,
+        index=index,
+        coin=coin,
+    )
+
+
+def v4_candidate(
+    leader: bool = True,
+    level_b: int = 0,
+    color: int = 0,
+    coin: str | None = None,
+    duel: int | None = None,
+) -> PLLState:
+    """A V_A agent in epoch 4 (BackUp)."""
+    return PLLState(
+        leader=leader,
+        status=STATUS_CANDIDATE,
+        epoch=4,
+        color=color,
+        level_b=level_b,
+        coin=coin,
+        duel=duel,
+    )
+
+
+def timer(
+    count: int = 0, color: int = 0, epoch: int = 1, coin: str | None = None
+) -> PLLState:
+    """A V_B timer agent (always a follower)."""
+    return PLLState(
+        leader=False,
+        status=STATUS_TIMER,
+        epoch=epoch,
+        color=color,
+        count=count,
+        coin=coin,
+    )
+
+
+__all__ = [
+    "initial",
+    "timer",
+    "v1_candidate",
+    "v23_candidate",
+    "v4_candidate",
+    "STATUS_CANDIDATE",
+    "STATUS_INITIAL",
+    "STATUS_TIMER",
+]

@@ -1,0 +1,110 @@
+"""Tests for BackUp (Algorithm 5) through full PLL transitions."""
+
+import pytest
+
+from repro.core.pll import PLLProtocol
+from repro.core.state import PLLState, STATUS_TIMER
+
+from tests.core.helpers import timer, v4_candidate
+
+
+@pytest.fixture
+def protocol(params8):
+    return PLLProtocol(params8)
+
+
+def ticking_timer(protocol, color=0):
+    """A timer one interaction away from rolling over (raises tick)."""
+    return PLLState(
+        leader=False,
+        status=STATUS_TIMER,
+        epoch=4,
+        color=color,
+        count=protocol.params.cmax - 1,
+    )
+
+
+class TestTickPacedFlips:
+    def test_no_increment_without_tick(self, protocol):
+        leader = v4_candidate(leader=True, level_b=2)
+        follower = v4_candidate(leader=False, level_b=2)
+        post_leader, _ = protocol.transition(leader, follower)
+        assert post_leader.level_b == 2
+
+    def test_initiator_with_tick_increments(self, protocol):
+        """A leader whose color is pulled forward this interaction (tick)
+        and who initiates with a follower counts a head."""
+        leader = v4_candidate(leader=True, level_b=2, color=0)
+        ahead_follower = v4_candidate(leader=False, level_b=2, color=1)
+        post_leader, _ = protocol.transition(leader, ahead_follower)
+        assert post_leader.color == 1
+        assert post_leader.level_b == 3
+
+    def test_responder_with_tick_does_not_increment(self, protocol):
+        """Line 51 requires the *initiator* role (tail otherwise)."""
+        leader = v4_candidate(leader=True, level_b=2, color=0)
+        ahead_follower = v4_candidate(leader=False, level_b=2, color=1)
+        _, post_leader = protocol.transition(ahead_follower, leader)
+        assert post_leader.color == 1
+        assert post_leader.level_b == 2
+
+    def test_tick_with_leader_partner_does_not_increment(self, protocol):
+        a = v4_candidate(leader=True, level_b=2, color=0)
+        b = v4_candidate(leader=True, level_b=2, color=1)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.level_b == post_b.level_b == 2
+
+    def test_level_caps_at_lmax(self, protocol):
+        lmax = protocol.params.lmax
+        leader = v4_candidate(leader=True, level_b=lmax, color=0)
+        ahead = v4_candidate(leader=False, level_b=lmax, color=1)
+        post_leader, _ = protocol.transition(leader, ahead)
+        assert post_leader.level_b == lmax
+
+
+class TestLevelEpidemic:
+    def test_smaller_level_leader_demoted(self, protocol):
+        low = v4_candidate(leader=True, level_b=1)
+        high = v4_candidate(leader=True, level_b=3)
+        post_low, post_high = protocol.transition(low, high)
+        assert post_low.leader is False
+        assert post_low.level_b == 3
+        assert post_high.leader is True
+
+    def test_follower_relays_level(self, protocol):
+        low = v4_candidate(leader=False, level_b=0)
+        high = v4_candidate(leader=False, level_b=4)
+        post_low, _ = protocol.transition(low, high)
+        assert post_low.level_b == 4
+
+    def test_timer_excluded_from_epidemic(self, protocol):
+        leader = v4_candidate(leader=True, level_b=2)
+        post_leader, post_timer = protocol.transition(leader, timer(epoch=4))
+        assert post_leader.level_b == 2
+        assert post_timer.count == 1
+
+
+class TestPairwiseElection:
+    def test_equal_level_leaders_responder_concedes(self, protocol):
+        a = v4_candidate(leader=True, level_b=2)
+        b = v4_candidate(leader=True, level_b=2)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.leader is True
+        assert post_b.leader is False
+
+    def test_line58_after_epidemic_resolution(self, protocol):
+        """Lines 54-57 already demote the smaller side; line 58 then sees
+        at most one leader, so exactly one survives either way."""
+        a = v4_candidate(leader=True, level_b=5)
+        b = v4_candidate(leader=True, level_b=2)
+        post_a, post_b = protocol.transition(a, b)
+        assert (post_a.leader, post_b.leader) == (True, False)
+        assert post_b.level_b == 5
+
+    def test_never_eliminates_the_last_leader(self, protocol):
+        leader = v4_candidate(leader=True, level_b=0)
+        follower = v4_candidate(leader=False, level_b=0)
+        post_leader, _ = protocol.transition(leader, follower)
+        assert post_leader.leader is True
+        _, post_leader = protocol.transition(follower, leader)
+        assert post_leader.leader is True

@@ -1,0 +1,83 @@
+"""Tests for repro.core.countup_module (Algorithm 2) via PLL transitions."""
+
+from repro.core.params import PLLParameters
+from repro.core.countup_module import count_up
+from repro.core.state import WorkAgent
+
+from tests.core.helpers import timer, v1_candidate
+
+
+def apply_count_up(state0, state1, m=8):
+    agents = [WorkAgent(state0), WorkAgent(state1)]
+    count_up(agents, PLLParameters(m=m))
+    return agents
+
+
+class TestTimerCounting:
+    def test_both_timers_count(self):
+        a, b = apply_count_up(timer(count=0), timer(count=5))
+        assert (a.count, b.count) == (1, 6)
+
+    def test_candidate_does_not_count(self):
+        a, b = apply_count_up(v1_candidate(), timer(count=0))
+        assert a.count is None
+        assert b.count == 1
+
+    def test_rollover_advances_color_and_ticks(self):
+        m = 8
+        a, _ = apply_count_up(timer(count=41 * m - 1), timer(count=0), m=m)
+        assert a.count == 0
+        assert a.color == 1
+        assert a.tick is True
+
+    def test_no_tick_without_rollover(self):
+        a, b = apply_count_up(timer(count=3), timer(count=4))
+        assert not a.tick and not b.tick
+
+
+class TestColorEpidemic:
+    def test_behind_agent_adopts_next_color(self):
+        a, b = apply_count_up(timer(count=5, color=0), timer(count=9, color=1))
+        assert a.color == 1
+        assert a.tick is True
+        assert a.count == 0  # timers reset their count on adoption
+        assert b.color == 1 and not b.tick
+
+    def test_candidate_adopts_without_count_reset(self):
+        a, b = apply_count_up(v1_candidate(color=0), timer(count=9, color=1))
+        assert a.color == 1
+        assert a.tick is True
+        assert a.count is None
+
+    def test_wraparound_adoption(self):
+        """color 2 meets color 0: 0 == 2+1 (mod 3), so 2 adopts 0."""
+        a, b = apply_count_up(timer(count=1, color=2), timer(count=1, color=0))
+        assert a.color == 0
+        assert b.color == 0
+
+    def test_two_apart_is_one_behind_cyclically(self):
+        """color 0 meets color 2: the color-0 agent is NOT one behind."""
+        a, b = apply_count_up(timer(count=1, color=0), timer(count=1, color=2))
+        assert a.color == 0  # 0's successor is 1, not 2: no adoption by a
+        assert b.color == 0  # but 2's successor IS 0: b adopts
+
+    def test_equal_colors_no_adoption(self):
+        a, b = apply_count_up(timer(count=1, color=1), timer(count=2, color=1))
+        assert a.color == b.color == 1
+        assert not a.tick and not b.tick
+
+    def test_rollover_then_partner_adopts_within_same_interaction(self):
+        """A rollover's new color is seen by the partner immediately."""
+        m = 8
+        a, b = apply_count_up(
+            timer(count=41 * m - 1, color=0), timer(count=3, color=0), m=m
+        )
+        assert a.color == 1
+        assert b.color == 1
+        assert b.tick is True
+
+    def test_adoption_is_not_chained_twice(self):
+        """After one adoption the colors are equal; the other direction
+        cannot then fire in the same interaction."""
+        a, b = apply_count_up(timer(count=5, color=1), timer(count=5, color=2))
+        assert (a.color, b.color) == (2, 2)

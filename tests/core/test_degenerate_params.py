@@ -1,0 +1,96 @@
+"""Edge-of-domain tests: tiny populations and degenerate parameters.
+
+DESIGN.md D4: for ``m = 1`` (only possible at n <= 2) the Tournament
+nonce length ``Phi`` is 0, making Tournament a structural no-op; BackUp
+still elects.  These tests pin the degenerate paths the formulas imply.
+"""
+
+import pytest
+
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol
+from repro.engine.simulator import AgentSimulator
+
+from tests.core.helpers import v23_candidate
+
+
+class TestPhiZero:
+    @pytest.fixture
+    def protocol(self):
+        return PLLProtocol(PLLParameters(m=1))  # phi == 0
+
+    def test_phi_is_zero(self, protocol):
+        assert protocol.params.phi == 0
+        assert protocol.params.rand_space == 1
+
+    def test_everyone_is_born_finished(self, protocol):
+        """index starts at 0 == Phi: the epidemic guard is immediately met."""
+        leader = v23_candidate(leader=True, rand=0, index=0)
+        follower = v23_candidate(leader=False, rand=0, index=0)
+        post_leader, post_follower = protocol.transition(leader, follower)
+        assert post_leader.index == 0
+        assert post_leader.rand == 0
+
+    def test_tournament_eliminates_nobody(self, protocol):
+        """All nonces equal 0: Tournament cannot demote anyone."""
+        a = v23_candidate(leader=True, rand=0, index=0)
+        b = v23_candidate(leader=True, rand=0, index=0)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.leader and post_b.leader
+
+    def test_n2_still_elects_via_backup(self, protocol):
+        sim = AgentSimulator(protocol, 2, seed=0)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+
+class TestSmallPopulations:
+    @pytest.mark.parametrize("n", [2, 3])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_asymmetric_elects(self, n, seed):
+        sim = AgentSimulator(PLLProtocol.for_population(n), n, seed=seed)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_n2_has_one_candidate_one_timer(self):
+        sim = AgentSimulator(PLLProtocol.for_population(2), 2, seed=1)
+        sim.run(1)
+        statuses = sorted(state.status for state in sim.configuration())
+        assert statuses == ["A", "B"]
+
+    def test_oversized_m_still_correct(self):
+        """m far above lg n costs time (E12) but never correctness."""
+        protocol = PLLProtocol(PLLParameters(m=40))  # n=8 needs only m=3
+        sim = AgentSimulator(protocol, 8, seed=2)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+
+class TestMultisetIntegration:
+    """PLL on the count-based engine (the large-n path of E9)."""
+
+    @pytest.mark.parametrize("n", [8, 64])
+    def test_pll_stabilizes_on_multiset_engine(self, n):
+        from repro.engine.multiset import MultisetSimulator
+
+        sim = MultisetSimulator(PLLProtocol.for_population(n), n, seed=n)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_symmetric_pll_stabilizes_on_multiset_engine(self):
+        from repro.core.symmetric import SymmetricPLLProtocol
+        from repro.engine.multiset import MultisetSimulator
+
+        sim = MultisetSimulator(
+            SymmetricPLLProtocol.for_population(24), 24, seed=5
+        )
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_population_conserved_under_pll(self):
+        from repro.engine.multiset import MultisetSimulator
+
+        sim = MultisetSimulator(PLLProtocol.for_population(16), 16, seed=0)
+        for _ in range(3000):
+            sim.step()
+        assert sum(sim.state_id_counts().values()) == 16

@@ -1,0 +1,80 @@
+"""Tests for the abstract competition game (Section 3.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import survivor_law_violations
+from repro.core.game import (
+    play_competition_game,
+    tie_survival_probability,
+    winner_distribution,
+)
+from repro.errors import ParameterError
+
+
+class TestGameMechanics:
+    def test_single_player_always_wins(self):
+        rng = np.random.default_rng(0)
+        winners, scores = play_competition_game(1, rng)
+        assert winners == 1
+        assert len(scores) == 1
+
+    def test_winner_count_in_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            winners, scores = play_competition_game(10, rng)
+            assert 1 <= winners <= 10
+            assert winners == scores.count(max(scores))
+
+    def test_rejects_empty_game(self):
+        with pytest.raises(ParameterError):
+            play_competition_game(0, np.random.default_rng(0))
+
+    def test_scores_are_geometric(self):
+        """P(score = 0) = 1/2, P(score = 1) = 1/4, ..."""
+        rng = np.random.default_rng(2)
+        scores = []
+        for _ in range(4000):
+            _winners, round_scores = play_competition_game(5, rng)
+            scores.extend(round_scores)
+        freq0 = scores.count(0) / len(scores)
+        freq1 = scores.count(1) / len(scores)
+        assert freq0 == pytest.approx(0.5, abs=0.02)
+        assert freq1 == pytest.approx(0.25, abs=0.02)
+
+
+class TestTieSurvival:
+    def test_closed_form(self):
+        assert tie_survival_probability(1) == 1.0
+        assert tie_survival_probability(2) == pytest.approx(1 / 3)
+        assert tie_survival_probability(3) == pytest.approx(1 / 7)
+
+    def test_bounded_by_lemma7_form(self):
+        for i in range(2, 12):
+            assert tie_survival_probability(i) <= 2.0 ** (1 - i)
+
+    def test_rejects_bad_i(self):
+        with pytest.raises(ParameterError):
+            tie_survival_probability(0)
+
+
+class TestWinnerDistribution:
+    def test_satisfies_survivor_law(self):
+        """The law Lemma 7 transfers to QuickElimination, on the game itself."""
+        trials = 4000
+        distribution = winner_distribution(64, trials, seed=0)
+        assert survivor_law_violations(distribution, trials) == []
+
+    def test_distribution_sums_to_one(self):
+        distribution = winner_distribution(16, 500, seed=1)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_matches_quick_elimination_measurements(self):
+        """The game's P(1 winner) matches the protocol's E6 measurement
+        (~0.72 for moderate n) within statistical tolerance."""
+        distribution = winner_distribution(128, 3000, seed=2)
+        assert distribution[1] == pytest.approx(0.72, abs=0.05)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ParameterError):
+            winner_distribution(8, 0)

@@ -1,0 +1,64 @@
+"""Golden-trace regression pins for the full transition semantics.
+
+These runs were executed once and their exact final configurations
+embedded below.  Any change to any line of the transition logic — status
+assignment, CountUp, epoch handling, the three modules, the coin rules —
+will move these configurations and trip the test.  That is the point:
+pseudocode-faithfulness changes must be deliberate and reviewed, never
+accidental.  (The schedulers are seeded numpy generators, so the traces
+are stable across platforms for a given numpy major line.)
+"""
+
+from repro.core.pll import PLLProtocol
+from repro.core.state import PLLState
+from repro.core.symmetric import SymmetricPLLProtocol
+from repro.engine.simulator import AgentSimulator
+
+N = 6
+SEED = 2026
+STEPS = 5000
+
+
+def _state(values) -> PLLState:
+    return PLLState(*values)
+
+
+GOLDEN_ASYMMETRIC = [
+    _state((True, "A", 4, 2, None, None, None, None, None, 3, None, None)),
+    _state((False, "B", 4, 2, 18, None, None, None, None, None, None, None)),
+    _state((False, "A", 4, 2, None, None, None, None, None, 3, None, None)),
+    _state((False, "A", 4, 2, None, None, None, None, None, 3, None, None)),
+    _state((False, "B", 4, 2, 12, None, None, None, None, None, None, None)),
+    _state((False, "A", 4, 2, None, None, None, None, None, 3, None, None)),
+]
+
+GOLDEN_SYMMETRIC = [
+    _state((False, "A", 4, 1, None, None, None, None, None, 5, "F0", None)),
+    _state((False, "B", 4, 1, 11, None, None, None, None, None, "J", None)),
+    _state((False, "A", 4, 1, None, None, None, None, None, 5, "F1", None)),
+    _state((True, "A", 4, 1, None, None, None, None, None, 5, None, 0)),
+    _state((False, "A", 4, 1, None, None, None, None, None, 5, "F0", None)),
+    _state((False, "A", 4, 1, None, None, None, None, None, 5, "F1", None)),
+]
+
+
+class TestGoldenTraces:
+    def test_asymmetric_pll_trace(self):
+        sim = AgentSimulator(PLLProtocol.for_population(N), N, seed=SEED)
+        sim.run(STEPS)
+        assert sim.configuration() == GOLDEN_ASYMMETRIC
+
+    def test_symmetric_pll_trace(self):
+        sim = AgentSimulator(SymmetricPLLProtocol.for_population(N), N, seed=SEED)
+        sim.run(STEPS)
+        assert sim.configuration() == GOLDEN_SYMMETRIC
+
+    def test_golden_configurations_are_stable_and_legal(self):
+        """The pinned configurations themselves satisfy the invariants."""
+        from repro.core.invariants import check_state_domains
+
+        params = PLLProtocol.for_population(N).params
+        for state in GOLDEN_ASYMMETRIC + GOLDEN_SYMMETRIC:
+            check_state_domains(state, params)
+        assert sum(1 for s in GOLDEN_ASYMMETRIC if s.leader) == 1
+        assert sum(1 for s in GOLDEN_SYMMETRIC if s.leader) == 1

@@ -1,0 +1,148 @@
+"""Tests for repro.core.invariants."""
+
+import pytest
+
+from repro.core.invariants import (
+    census,
+    check_at_least_one_leader,
+    check_coin_balance,
+    check_lemma4,
+    check_state_domains,
+)
+from repro.core.params import PLLParameters
+from repro.core.state import PLLState
+from repro.errors import SimulationError
+
+from tests.core.helpers import initial, timer, v1_candidate, v23_candidate, v4_candidate
+
+
+class TestCensus:
+    def test_counts_groups(self):
+        config = [initial(), timer(), v1_candidate(), v1_candidate(leader=False, done=True)]
+        counts = census(config)
+        assert counts.v_x == 1
+        assert counts.v_b == 1
+        assert counts.v_a == 2
+        assert counts.leaders == 2  # the X agent and the candidate
+        assert counts.followers == 2
+
+    def test_all_assigned_flag(self):
+        assert not census([initial(), timer()]).all_assigned
+        assert census([v1_candidate(), timer()]).all_assigned
+
+
+class TestLemma4:
+    def test_passes_on_balanced_configuration(self):
+        config = [v1_candidate(), timer(), v1_candidate(leader=False, done=True), timer()]
+        check_lemma4(config)
+
+    def test_skips_while_unassigned_agents_remain(self):
+        # Violating proportions, but an X agent means the lemma's
+        # precondition is unmet: no exception.
+        check_lemma4([initial(), timer(), timer(), timer()])
+
+    def test_rejects_missing_timers(self):
+        config = [v1_candidate(), v1_candidate(leader=False, done=True)]
+        with pytest.raises(SimulationError):
+            check_lemma4(config)
+
+    def test_rejects_too_few_candidates(self):
+        config = [v1_candidate(), timer(), timer(), timer()]
+        with pytest.raises(SimulationError):
+            check_lemma4(config)
+
+    def test_rejects_too_many_leaders(self):
+        config = [v1_candidate(), v1_candidate(), v1_candidate(), timer()]
+        with pytest.raises(SimulationError):
+            check_lemma4(config)
+
+
+class TestLeaderPresence:
+    def test_accepts_single_leader(self):
+        check_at_least_one_leader([v1_candidate(), timer()])
+
+    def test_rejects_zero_leaders(self):
+        with pytest.raises(SimulationError):
+            check_at_least_one_leader(
+                [v1_candidate(leader=False, done=True), timer()]
+            )
+
+
+class TestStateDomains:
+    @pytest.fixture
+    def params(self):
+        return PLLParameters(m=8)
+
+    def test_accepts_valid_states(self, params):
+        for state in (
+            initial(),
+            timer(count=5),
+            v1_candidate(level_q=3),
+            v23_candidate(rand=3, index=2, epoch=3),
+            v4_candidate(level_b=7),
+        ):
+            check_state_domains(state, params)
+
+    def test_rejects_count_out_of_domain(self, params):
+        with pytest.raises(SimulationError):
+            check_state_domains(timer(count=params.cmax), params)
+
+    def test_rejects_leader_timer(self, params):
+        bad = timer()._replace(leader=True)
+        with pytest.raises(SimulationError):
+            check_state_domains(bad, params)
+
+    def test_rejects_stale_group_variables(self, params):
+        bad = v23_candidate()._replace(level_q=0)
+        with pytest.raises(SimulationError):
+            check_state_domains(bad, params)
+
+    def test_rejects_level_q_above_lmax(self, params):
+        with pytest.raises(SimulationError):
+            check_state_domains(v1_candidate(level_q=params.lmax + 1), params)
+
+    def test_rejects_rand_outside_space(self, params):
+        with pytest.raises(SimulationError):
+            check_state_domains(
+                v23_candidate(rand=params.rand_space, index=0), params
+            )
+
+    def test_rejects_unassigned_follower(self, params):
+        bad = initial()._replace(leader=False)
+        with pytest.raises(SimulationError):
+            check_state_domains(bad, params)
+
+    def test_rejects_unknown_status(self, params):
+        bad = initial()._replace(status="Z")
+        with pytest.raises(SimulationError):
+            check_state_domains(bad, params)
+
+    def test_rejects_epoch_out_of_range(self, params):
+        bad = PLLState(leader=True, status="X", epoch=5, color=0)
+        with pytest.raises(SimulationError):
+            check_state_domains(bad, params)
+
+    def test_rejects_leader_with_coin(self, params):
+        bad = v1_candidate(leader=True, coin="J")
+        with pytest.raises(SimulationError):
+            check_state_domains(bad, params)
+
+    def test_rejects_follower_with_duel(self, params):
+        bad = v4_candidate(leader=False)._replace(duel=1)
+        with pytest.raises(SimulationError):
+            check_state_domains(bad, params)
+
+
+class TestCoinBalance:
+    def test_balanced_configuration(self):
+        config = [
+            v1_candidate(leader=False, done=True, coin="F0"),
+            v1_candidate(leader=False, done=True, coin="F1"),
+            v1_candidate(),
+        ]
+        check_coin_balance(config)
+
+    def test_unbalanced_configuration(self):
+        config = [v1_candidate(leader=False, done=True, coin="F0"), timer()]
+        with pytest.raises(SimulationError):
+            check_coin_balance(config)

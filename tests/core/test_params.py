@@ -1,0 +1,84 @@
+"""Tests for repro.core.params."""
+
+import math
+
+import pytest
+
+from repro.core.params import PLLParameters
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_rejects_non_positive_m(self):
+        with pytest.raises(ParameterError):
+            PLLParameters(m=0)
+
+    def test_for_population_meets_paper_requirement(self):
+        """m >= log2 n for every n in a wide range."""
+        for n in (2, 3, 7, 64, 100, 1023, 4096):
+            params = PLLParameters.for_population(n)
+            assert params.m >= math.log2(n) - 1e-9
+
+    def test_for_population_minimal_cases(self):
+        assert PLLParameters.for_population(2).m == 1
+        assert PLLParameters.for_population(4).m == 2
+        assert PLLParameters.for_population(1024).m == 10
+
+    def test_for_population_rejects_tiny_n(self):
+        with pytest.raises(ParameterError):
+            PLLParameters.for_population(1)
+
+    def test_slack_multiplies_m(self):
+        assert PLLParameters.for_population(256, slack=2.0).m == 16
+
+    def test_slack_below_one_rejected(self):
+        with pytest.raises(ParameterError):
+            PLLParameters.for_population(256, slack=0.5)
+
+    def test_validate_for_accepts_matching_n(self):
+        PLLParameters(m=8).validate_for(256)
+
+    def test_validate_for_rejects_oversized_n(self):
+        with pytest.raises(ParameterError):
+            PLLParameters(m=4).validate_for(1024)
+
+
+class TestDerivedConstants:
+    def test_lmax_is_5m(self):
+        assert PLLParameters(m=7).lmax == 35
+
+    def test_cmax_is_41m(self):
+        assert PLLParameters(m=7).cmax == 287
+
+    def test_phi_formula(self):
+        # Phi = ceil((2/3) lg m)
+        assert PLLParameters(m=1).phi == 0
+        assert PLLParameters(m=2).phi == 1
+        assert PLLParameters(m=8).phi == 2
+        assert PLLParameters(m=12).phi == 3
+        assert PLLParameters(m=64).phi == 4
+
+    def test_rand_space(self):
+        assert PLLParameters(m=8).rand_space == 4
+        assert PLLParameters(m=1).rand_space == 1
+
+    def test_frozen(self):
+        params = PLLParameters(m=3)
+        with pytest.raises(AttributeError):
+            params.m = 4  # type: ignore[misc]
+
+
+class TestStateBound:
+    def test_bound_is_linear_in_m(self):
+        """Lemma 3: the bound grows as O(m) = O(log n)."""
+        ratios = [PLLParameters(m=m).state_bound() / m for m in (8, 16, 32, 64)]
+        assert max(ratios) / min(ratios) < 1.6
+
+    def test_bound_positive(self):
+        assert PLLParameters(m=1).state_bound() > 0
+
+    def test_rand_index_product_stays_sublinear(self):
+        """2^Phi * (Phi+1) = O(m^(2/3) log m) << m for large m."""
+        for m in (64, 256, 1024):
+            params = PLLParameters(m=m)
+            assert params.rand_space * (params.phi + 1) < m * 5

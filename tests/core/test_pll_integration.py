@@ -1,0 +1,137 @@
+"""Integration and property tests: full PLL executions.
+
+These are the executable forms of the paper's global guarantees: exactly
+one leader with probability 1 (stabilization), monotone non-increasing
+leader count, at least one leader always, Lemma 4's group sizes, and the
+Table 3 state inventory along arbitrary random executions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.invariants import (
+    census,
+    check_at_least_one_leader,
+    check_lemma4,
+    check_state_domains,
+)
+from repro.core.pll import PLLProtocol
+from repro.engine.scheduler import DeterministicSchedule
+from repro.engine.simulator import AgentSimulator
+
+
+class TestStabilization:
+    @pytest.mark.parametrize("n", [2, 3, 4, 8, 32, 100])
+    def test_elects_exactly_one_leader(self, n):
+        sim = AgentSimulator(PLLProtocol.for_population(n), n, seed=n)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_many_seeds_stabilize(self, seed):
+        sim = AgentSimulator(PLLProtocol.for_population(24), 24, seed=seed)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    @pytest.mark.parametrize("variant", ["no-tournament", "backup-only"])
+    def test_variants_also_stabilize(self, variant):
+        protocol = PLLProtocol.for_population(16, variant=variant)
+        sim = AgentSimulator(protocol, 16, seed=3)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_all_agents_eventually_reach_epoch4(self):
+        protocol = PLLProtocol.for_population(16)
+        sim = AgentSimulator(protocol, 16, seed=5)
+        budget = 400 * protocol.params.m * 16
+        sim.run(
+            budget,
+            until=lambda s: all(st.epoch == 4 for st in s.configuration()),
+            check_every=256,
+        )
+        assert all(state.epoch == 4 for state in sim.configuration())
+
+    def test_stays_stable_after_stabilization(self):
+        sim = AgentSimulator(PLLProtocol.for_population(12), 12, seed=2)
+        sim.run_until_stabilized()
+        sim.run(20000)
+        assert sim.leader_count == 1
+
+
+class TestRunInvariants:
+    def test_leader_count_monotone_and_positive(self):
+        sim = AgentSimulator(PLLProtocol.for_population(16), 16, seed=1)
+        previous = sim.leader_count
+        for _ in range(20000):
+            sim.step()
+            current = sim.leader_count
+            assert 1 <= current <= previous
+            previous = current
+
+    def test_lemma4_holds_along_run(self):
+        sim = AgentSimulator(PLLProtocol.for_population(20), 20, seed=4)
+        for _ in range(100):
+            sim.run(200)
+            config = sim.configuration()
+            check_lemma4(config)
+            check_at_least_one_leader(config)
+
+    def test_all_reached_states_are_table3_consistent(self):
+        protocol = PLLProtocol.for_population(20)
+        sim = AgentSimulator(protocol, 20, seed=6)
+        sim.run(30000)
+        for state in sim.interner.states():
+            check_state_domains(state, protocol.params)
+
+    def test_v_b_is_at_least_one_and_v_a_at_least_half(self):
+        sim = AgentSimulator(PLLProtocol.for_population(9), 9, seed=7)
+        sim.run(5000)
+        counts = census(sim.configuration())
+        assert counts.all_assigned
+        assert counts.v_b >= 1
+        assert 2 * counts.v_a >= counts.n
+
+
+class TestPropertyBased:
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40)
+    def test_any_schedule_preserves_invariants(self, pairs):
+        """Adversarial-schedule safety: Lemma 4 + domains + >= 1 leader
+        hold on every prefix of every deterministic schedule."""
+        protocol = PLLProtocol.for_population(6)
+        sim = AgentSimulator(
+            protocol, 6, scheduler=DeterministicSchedule(list(pairs))
+        )
+        for _ in range(len(pairs)):
+            sim.step()
+            config = sim.configuration()
+            check_at_least_one_leader(config)
+            check_lemma4(config)
+        for state in sim.interner.states():
+            check_state_domains(state, protocol.params)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_random_runs_stabilize_to_one_leader(self, seed):
+        sim = AgentSimulator(PLLProtocol.for_population(10), 10, seed=seed)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15)
+    def test_cache_agrees_with_direct_transitions(self, seed):
+        """Memoized execution equals uncached execution step for step."""
+        protocol = PLLProtocol.for_population(8)
+        cached = AgentSimulator(protocol, 8, seed=seed)
+        uncached = AgentSimulator(protocol, 8, seed=seed, cache_entries=0)
+        cached.run(400)
+        uncached.run(400)
+        assert cached.configuration() == uncached.configuration()

@@ -1,0 +1,167 @@
+"""Tests for Algorithm 1's main transition: status, epochs, dispatch."""
+
+import pytest
+
+from repro.core.pll import PLLProtocol, VARIANTS
+from repro.core.state import (
+    EPOCH_MAX,
+    PLLState,
+    STATUS_CANDIDATE,
+    STATUS_TIMER,
+)
+from repro.errors import ParameterError
+
+from tests.core.helpers import initial, timer, v1_candidate, v23_candidate
+
+
+@pytest.fixture
+def protocol(params8):
+    return PLLProtocol(params8)
+
+
+class TestStatusAssignment:
+    def test_xx_creates_candidate_and_timer(self, protocol):
+        post0, post1 = protocol.transition(initial(), initial())
+        assert post0.status == STATUS_CANDIDATE
+        assert post0.leader is True
+        assert post0.done is False
+        # The fresh candidate immediately flips a head against the fresh
+        # follower within the same interaction (lines 35-36):
+        assert post0.level_q == 1
+        assert post1.status == STATUS_TIMER
+        assert post1.leader is False
+        assert post1.count == 1  # CountUp already ran once
+
+    def test_x_meets_candidate_becomes_follower(self, protocol):
+        post0, _ = protocol.transition(initial(), v1_candidate())
+        assert post0.status == STATUS_CANDIDATE
+        assert post0.leader is False
+        assert post0.done is True
+        assert post0.level_q == 0
+
+    def test_x_meets_timer_becomes_follower(self, protocol):
+        _, post1 = protocol.transition(timer(), initial())
+        assert post1.status == STATUS_CANDIDATE
+        assert post1.leader is False
+        assert post1.done is True
+
+    def test_assigned_agents_keep_status(self, protocol):
+        post0, post1 = protocol.transition(v1_candidate(), timer())
+        assert post0.status == STATUS_CANDIDATE
+        assert post1.status == STATUS_TIMER
+
+
+class TestEpochManagement:
+    def test_epochs_merge_to_maximum(self, protocol):
+        behind = v1_candidate(leader=False, done=True)
+        ahead = v23_candidate(leader=True, epoch=3)
+        post_behind, post_ahead = protocol.transition(behind, ahead)
+        assert post_behind.epoch == 3
+        assert post_ahead.epoch == 3
+
+    def test_entering_epoch2_initializes_tournament_variables(self, protocol):
+        behind = v1_candidate(leader=True, level_q=7, done=True)
+        ahead = v23_candidate(leader=False, epoch=2)
+        post_behind, _ = protocol.transition(behind, ahead)
+        assert post_behind.rand == 0
+        assert post_behind.index in (0, 1)  # may progress this interaction
+        assert post_behind.level_q is None  # stale group variables cleared
+        assert post_behind.done is None
+
+    def test_entering_epoch4_initializes_level_b(self, protocol):
+        behind = v23_candidate(leader=True, rand=3, index=2, epoch=3)
+        ahead = PLLState(
+            leader=False, status=STATUS_CANDIDATE, epoch=4, color=0, level_b=2
+        )
+        post_behind, _ = protocol.transition(behind, ahead)
+        assert post_behind.epoch == 4
+        assert post_behind.level_b in (0, 2)  # 0, possibly pulled by epidemic
+        assert post_behind.rand is None
+        assert post_behind.index is None
+
+    def test_timer_rollover_advances_both_epochs(self, protocol):
+        cmax = protocol.params.cmax
+        rolling = timer(count=cmax - 1)
+        partner = v1_candidate(leader=False, done=True)
+        post_rolling, post_partner = protocol.transition(rolling, partner)
+        assert post_rolling.epoch == 2
+        assert post_rolling.color == 1
+        # Partner adopts the new color (tick) and advances too:
+        assert post_partner.epoch == 2
+        assert post_partner.color == 1
+
+    def test_epoch_caps_at_four(self, protocol):
+        cmax = protocol.params.cmax
+        rolling = timer(count=cmax - 1, epoch=4, color=1)
+        partner = timer(count=0, epoch=4, color=1)
+        post_rolling, _ = protocol.transition(rolling, partner)
+        assert post_rolling.epoch == EPOCH_MAX
+        assert post_rolling.color == 2  # colors keep cycling
+
+    def test_x_agent_pulled_to_late_epoch_gets_its_group(self, protocol):
+        late = v23_candidate(leader=True, epoch=3)
+        post_x, _ = protocol.transition(initial(), late)
+        assert post_x.epoch == 3
+        assert post_x.status == STATUS_CANDIDATE
+        assert post_x.leader is False
+        assert post_x.rand == 0  # epoch-3 group variables, not epoch-1's
+        assert post_x.level_q is None
+
+
+class TestVariants:
+    def test_unknown_variant_rejected(self, params8):
+        with pytest.raises(ParameterError):
+            PLLProtocol(params8, variant="bogus")
+
+    def test_variant_names(self, params8):
+        assert PLLProtocol(params8).name == "PLL"
+        assert PLLProtocol(params8, variant="no-tournament").name == "PLL[no-tournament]"
+        assert set(VARIANTS) == {"full", "no-tournament", "backup-only"}
+
+    def test_no_tournament_skips_nonce_assembly(self, params8):
+        protocol = PLLProtocol(params8, variant="no-tournament")
+        leader = v23_candidate(leader=True, rand=0, index=0)
+        follower = v23_candidate(leader=False, rand=0, index=0)
+        post_leader, _ = protocol.transition(leader, follower)
+        assert post_leader.index == 0
+        assert post_leader.rand == 0
+
+    def test_backup_only_skips_quick_elimination(self, params8):
+        protocol = PLLProtocol(params8, variant="backup-only")
+        leader = v1_candidate(leader=True, level_q=0, done=False)
+        post_leader, _ = protocol.transition(leader, timer())
+        assert post_leader.level_q == 0
+        assert post_leader.done is False
+
+    def test_backup_module_active_in_all_variants(self, params8):
+        from tests.core.helpers import v4_candidate
+
+        for variant in VARIANTS:
+            protocol = PLLProtocol(params8, variant=variant)
+            a = v4_candidate(leader=True, level_b=1)
+            b = v4_candidate(leader=True, level_b=1)
+            post_a, post_b = protocol.transition(a, b)
+            assert (post_a.leader, post_b.leader) == (True, False)
+
+
+class TestProtocolInterface:
+    def test_initial_state(self, protocol):
+        assert protocol.initial_state() == PLLState.initial()
+
+    def test_output_map(self, protocol):
+        assert protocol.output(PLLState.initial()) == "L"
+        assert protocol.output(timer()) == "F"
+
+    def test_state_bound_delegates_to_params(self, protocol, params8):
+        assert protocol.state_bound() == params8.state_bound()
+
+    def test_for_population_validates(self):
+        protocol = PLLProtocol.for_population(256)
+        protocol.params.validate_for(256)
+
+    def test_transition_is_pure(self, protocol):
+        """Inputs are not mutated (frozen NamedTuples by construction)."""
+        a, b = initial(), timer(count=5)
+        protocol.transition(a, b)
+        assert a == initial()
+        assert b == timer(count=5)

@@ -1,0 +1,104 @@
+"""Tests for QuickElimination (Algorithm 3) through full PLL transitions."""
+
+import pytest
+
+from repro.core.pll import PLLProtocol
+
+from tests.core.helpers import timer, v1_candidate
+
+
+@pytest.fixture
+def protocol(params8):
+    return PLLProtocol(params8)
+
+
+class TestCoinFlips:
+    def test_initiating_leader_counts_a_head(self, protocol):
+        leader = v1_candidate(leader=True, level_q=3, done=False)
+        follower = v1_candidate(leader=False, level_q=0, done=True)
+        post_leader, _ = protocol.transition(leader, follower)
+        assert post_leader.level_q == 4
+        assert post_leader.done is False
+
+    def test_responding_leader_sees_tail_and_stops(self, protocol):
+        leader = v1_candidate(leader=True, level_q=3, done=False)
+        follower = v1_candidate(leader=False, level_q=0, done=True)
+        _, post_leader = protocol.transition(follower, leader)
+        assert post_leader.done is True
+        assert post_leader.level_q == 3
+
+    def test_head_against_timer_follower(self, protocol):
+        """Any follower works as coin partner, including V_B agents."""
+        leader = v1_candidate(leader=True, level_q=0, done=False)
+        post_leader, _ = protocol.transition(leader, timer(count=3))
+        assert post_leader.level_q == 1
+
+    def test_stopped_leader_does_not_flip(self, protocol):
+        leader = v1_candidate(leader=True, level_q=2, done=True)
+        follower = v1_candidate(leader=False, level_q=2, done=True)
+        post_leader, _ = protocol.transition(leader, follower)
+        assert post_leader.level_q == 2
+        assert post_leader.done is True
+
+    def test_leader_pair_does_not_flip(self, protocol):
+        """Coin flips need a leader-follower pair (independence argument)."""
+        a = v1_candidate(leader=True, level_q=1, done=False)
+        b = v1_candidate(leader=True, level_q=2, done=False)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.level_q == 1 and post_b.level_q == 2
+        assert post_a.done is False and post_b.done is False
+
+    def test_level_caps_at_lmax(self, protocol):
+        """DESIGN.md D1: the paper's max(levelQ+1, lmax) is a min-cap."""
+        lmax = protocol.params.lmax
+        leader = v1_candidate(leader=True, level_q=lmax, done=False)
+        post_leader, _ = protocol.transition(leader, timer())
+        assert post_leader.level_q == lmax
+
+
+class TestMaxLevelEpidemic:
+    def test_smaller_done_leader_is_eliminated(self, protocol):
+        low = v1_candidate(leader=True, level_q=1, done=True)
+        high = v1_candidate(leader=True, level_q=4, done=True)
+        post_low, post_high = protocol.transition(low, high)
+        assert post_low.leader is False
+        assert post_low.level_q == 4
+        assert post_high.leader is True
+
+    def test_equal_levels_no_elimination(self, protocol):
+        a = v1_candidate(leader=True, level_q=3, done=True)
+        b = v1_candidate(leader=True, level_q=3, done=True)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.leader and post_b.leader
+
+    def test_followers_relay_the_maximum(self, protocol):
+        low = v1_candidate(leader=False, level_q=1, done=True)
+        high = v1_candidate(leader=False, level_q=5, done=True)
+        post_low, _ = protocol.transition(low, high)
+        assert post_low.level_q == 5
+        assert post_low.leader is False
+
+    def test_not_done_pairs_do_not_compare(self, protocol):
+        """Line 39 requires both agents stopped."""
+        playing = v1_candidate(leader=True, level_q=1, done=False)
+        stopped = v1_candidate(leader=True, level_q=4, done=True)
+        post_playing, _ = protocol.transition(playing, stopped)
+        assert post_playing.leader is True
+        assert post_playing.level_q == 1
+
+    def test_tail_then_compare_in_same_interaction(self, protocol):
+        """A responder leader stops (line 37) and can immediately lose the
+        comparison of lines 39-42 within the same interaction."""
+        follower = v1_candidate(leader=False, level_q=6, done=True)
+        leader = v1_candidate(leader=True, level_q=2, done=False)
+        _, post_leader = protocol.transition(follower, leader)
+        assert post_leader.done is True
+        assert post_leader.leader is False  # eliminated by the larger value
+        assert post_leader.level_q == 6
+
+    def test_timer_does_not_join_epidemic(self, protocol):
+        """V_B agents carry no levelQ and never relay it."""
+        done_leader = v1_candidate(leader=True, level_q=2, done=True)
+        post_leader, post_timer = protocol.transition(done_leader, timer())
+        assert post_leader.level_q == 2
+        assert post_timer.count == 1

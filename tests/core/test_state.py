@@ -1,0 +1,83 @@
+"""Tests for repro.core.state."""
+
+from repro.core.state import (
+    PLLState,
+    STATUS_CANDIDATE,
+    STATUS_INITIAL,
+    STATUS_TIMER,
+    WorkAgent,
+)
+
+
+class TestPLLState:
+    def test_initial_matches_table3(self):
+        state = PLLState.initial()
+        assert state.leader is True
+        assert state.status == STATUS_INITIAL
+        assert state.epoch == 1
+        assert state.color == 0
+
+    def test_initial_additional_variables_undefined(self):
+        state = PLLState.initial()
+        for field in ("count", "level_q", "done", "rand", "index", "level_b"):
+            assert getattr(state, field) is None
+
+    def test_group_predicates(self):
+        assert PLLState.initial().unassigned
+        timer = PLLState(leader=False, status=STATUS_TIMER, epoch=1, color=0, count=0)
+        assert timer.in_v_b and not timer.in_v_a
+        candidate = PLLState(
+            leader=True, status=STATUS_CANDIDATE, epoch=1, color=0, level_q=0, done=False
+        )
+        assert candidate.in_v_a and not candidate.in_v_b
+
+    def test_states_are_hashable_values(self):
+        assert PLLState.initial() == PLLState.initial()
+        assert hash(PLLState.initial()) == hash(PLLState.initial())
+        assert PLLState.initial() != PLLState.initial()._replace(color=1)
+
+
+class TestWorkAgent:
+    def test_roundtrip_preserves_fields(self):
+        state = PLLState(
+            leader=False,
+            status=STATUS_CANDIDATE,
+            epoch=3,
+            color=2,
+            rand=5,
+            index=2,
+        )
+        assert WorkAgent(state).freeze() == state
+
+    def test_tick_starts_false(self):
+        """Line 7 of Algorithm 1: tick is reset on interaction entry."""
+        agent = WorkAgent(PLLState.initial())
+        assert agent.tick is False
+
+    def test_tick_not_persisted(self):
+        """DESIGN.md D2: a raised tick never reaches the stored state."""
+        agent = WorkAgent(PLLState.initial())
+        agent.tick = True
+        frozen = agent.freeze()
+        assert not hasattr(frozen, "tick")
+
+    def test_epoch_at_entry_mirrors_init_variable(self):
+        """DESIGN.md D6: `init` == stored epoch at interaction entry."""
+        state = PLLState(
+            leader=True, status=STATUS_CANDIDATE, epoch=2, color=0, rand=0, index=0
+        )
+        assert WorkAgent(state).epoch_at_entry == 2
+
+    def test_mutation_does_not_touch_source_state(self):
+        state = PLLState.initial()
+        agent = WorkAgent(state)
+        agent.color = 2
+        assert state.color == 0
+
+    def test_group_predicates(self):
+        agent = WorkAgent(PLLState.initial())
+        assert agent.unassigned
+        agent.status = STATUS_TIMER
+        assert agent.in_v_b
+        agent.status = STATUS_CANDIDATE
+        assert agent.in_v_a

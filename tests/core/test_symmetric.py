@@ -1,0 +1,208 @@
+"""Tests for the symmetric variant (Section 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coins.symmetric_coin import COIN_HEAD, COIN_J, COIN_TAIL
+from repro.core.invariants import (
+    check_at_least_one_leader,
+    check_coin_balance,
+    check_state_domains,
+)
+from repro.core.state import (
+    PLLState,
+    STATUS_CANDIDATE,
+    STATUS_INITIAL,
+    STATUS_INITIAL_ALT,
+    STATUS_TIMER,
+)
+from repro.core.symmetric import SymmetricPLLProtocol
+from repro.engine.protocol import check_symmetry
+from repro.engine.scheduler import DeterministicSchedule
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ParameterError
+
+from tests.core.helpers import initial, timer, v1_candidate, v4_candidate
+
+
+@pytest.fixture
+def protocol(params8):
+    return SymmetricPLLProtocol(params8)
+
+
+class TestStatusRules:
+    def test_xx_to_yy(self, protocol):
+        post0, post1 = protocol.transition(initial(), initial())
+        assert post0.status == STATUS_INITIAL_ALT
+        assert post1.status == STATUS_INITIAL_ALT
+        assert post0.leader and post1.leader
+
+    def test_yy_back_to_xx(self, protocol):
+        y_state = initial()._replace(status=STATUS_INITIAL_ALT)
+        post0, post1 = protocol.transition(y_state, y_state)
+        assert post0.status == STATUS_INITIAL
+        assert post1.status == STATUS_INITIAL
+
+    def test_xy_assigns_by_state_not_role(self, protocol):
+        y_state = initial()._replace(status=STATUS_INITIAL_ALT)
+        # X as initiator:
+        post_x, post_y = protocol.transition(initial(), y_state)
+        assert post_x.status == STATUS_CANDIDATE and post_x.leader
+        assert post_y.status == STATUS_TIMER and not post_y.leader
+        # X as responder — same outcome per state:
+        post_y2, post_x2 = protocol.transition(y_state, initial())
+        assert post_x2.status == STATUS_CANDIDATE and post_x2.leader
+        assert post_y2.status == STATUS_TIMER and not post_y2.leader
+
+    def test_fresh_timer_gets_coin_j(self, protocol):
+        y_state = initial()._replace(status=STATUS_INITIAL_ALT)
+        _, post_timer = protocol.transition(initial(), y_state)
+        assert post_timer.coin == COIN_J
+
+    def test_late_starter_becomes_follower_with_coin(self, protocol):
+        post_x, _ = protocol.transition(initial(), v1_candidate())
+        assert post_x.status == STATUS_CANDIDATE
+        assert not post_x.leader
+        assert post_x.coin == COIN_J
+        assert post_x.done is True
+
+    def test_y_meets_assigned_converts_too(self, protocol):
+        y_state = initial()._replace(status=STATUS_INITIAL_ALT)
+        post_y, _ = protocol.transition(y_state, timer(coin=COIN_J))
+        assert post_y.status == STATUS_CANDIDATE
+        assert not post_y.leader
+
+    def test_conversion_at_late_epoch_gets_right_group(self, protocol):
+        """A Y agent already in epoch 4 converts into the epoch-4 group."""
+        late_y = PLLState(
+            leader=True, status=STATUS_INITIAL_ALT, epoch=4, color=0
+        )
+        partner = v4_candidate(leader=False, level_b=1, coin=COIN_J)
+        post_y, _ = protocol.transition(late_y, partner)
+        assert post_y.status == STATUS_CANDIDATE
+        assert post_y.level_b is not None
+        assert post_y.level_q is None
+
+
+class TestSymmetricCoinFlips:
+    def test_head_read_increments_level_q(self, protocol):
+        leader = v1_candidate(leader=True, level_q=2, done=False)
+        head_follower = v1_candidate(
+            leader=False, level_q=0, done=True, coin=COIN_HEAD
+        )
+        post_leader, _ = protocol.transition(leader, head_follower)
+        assert post_leader.level_q == 3
+
+    def test_tail_read_stops_the_lottery(self, protocol):
+        leader = v1_candidate(leader=True, level_q=2, done=False)
+        tail_follower = v1_candidate(
+            leader=False, level_q=0, done=True, coin=COIN_TAIL
+        )
+        post_leader, _ = protocol.transition(leader, tail_follower)
+        assert post_leader.done is True
+
+    def test_unsettled_coin_is_no_flip(self, protocol):
+        leader = v1_candidate(leader=True, level_q=2, done=False)
+        unsettled = v1_candidate(leader=False, level_q=0, done=True, coin=COIN_J)
+        post_leader, _ = protocol.transition(leader, unsettled)
+        assert post_leader.level_q == 2
+        assert post_leader.done is False
+
+    def test_role_does_not_matter_for_flip_value(self, protocol):
+        """The same coin read gives the same result from either role."""
+        leader = v1_candidate(leader=True, level_q=2, done=False)
+        head = v1_candidate(leader=False, level_q=0, done=True, coin=COIN_HEAD)
+        as_initiator, _ = protocol.transition(leader, head)
+        _, as_responder = protocol.transition(head, leader)
+        assert as_initiator.level_q == as_responder.level_q == 3
+
+    def test_follower_pair_churns_coins(self, protocol):
+        a = v1_candidate(leader=False, done=True, coin=COIN_J)
+        b = v1_candidate(leader=False, done=True, coin=COIN_J)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.coin == post_b.coin == "K"
+
+    def test_demoted_leader_gets_fresh_j_coin(self, protocol):
+        low = v1_candidate(leader=True, level_q=0, done=True)
+        high = v1_candidate(leader=False, level_q=5, done=True, coin=COIN_HEAD)
+        post_low, post_high = protocol.transition(low, high)
+        assert post_low.leader is False
+        assert post_low.coin == COIN_J
+        # The relaying follower's settled coin is untouched (balance!):
+        assert post_high.coin == COIN_HEAD
+
+
+class TestDuelBits:
+    def test_equal_duel_bits_no_demotion(self, protocol):
+        a = v4_candidate(leader=True, level_b=0, duel=1)
+        b = v4_candidate(leader=True, level_b=0, duel=1)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.leader and post_b.leader
+
+    def test_different_duel_bits_tail_concedes(self, protocol):
+        head = v4_candidate(leader=True, level_b=0, duel=1)
+        tail = v4_candidate(leader=True, level_b=0, duel=0)
+        post_head, post_tail = protocol.transition(head, tail)
+        assert post_head.leader is True
+        assert post_tail.leader is False
+        # Role independence:
+        post_tail2, post_head2 = protocol.transition(tail, head)
+        assert post_head2.leader is True
+        assert post_tail2.leader is False
+
+    def test_duel_bit_refreshes_from_coin_reads(self, protocol):
+        leader = v4_candidate(leader=True, level_b=0, duel=0)
+        head_follower = v4_candidate(leader=False, level_b=0, coin=COIN_HEAD)
+        post_leader, _ = protocol.transition(leader, head_follower)
+        assert post_leader.duel == 1
+
+
+class TestSymmetryProperty:
+    def test_for_population_rejects_n2(self):
+        """DESIGN.md D8: no symmetric protocol elects from 2 agents."""
+        with pytest.raises(ParameterError):
+            SymmetricPLLProtocol.for_population(2)
+
+    def test_n2_never_stabilizes_structurally(self, protocol):
+        """With n=2 the configuration oscillates X,X <-> Y,Y forever."""
+        sim = AgentSimulator(protocol, 2, seed=0)
+        sim.run(2000)
+        assert sim.leader_count == 2
+
+    @pytest.mark.parametrize("n", [3, 4, 9, 33])
+    def test_stabilizes_for_n_at_least_3(self, n):
+        sim = AgentSimulator(SymmetricPLLProtocol.for_population(n), n, seed=n)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_symmetry_over_reached_states(self):
+        protocol = SymmetricPLLProtocol.for_population(12)
+        sim = AgentSimulator(protocol, 12, seed=3)
+        sim.run(30000)
+        check_symmetry(protocol, sim.interner.states())
+
+    def test_is_symmetric_flag(self, protocol):
+        assert protocol.is_symmetric()
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=30)
+    def test_any_schedule_preserves_balance_and_domains(self, pairs):
+        protocol = SymmetricPLLProtocol.for_population(5)
+        sim = AgentSimulator(
+            protocol, 5, scheduler=DeterministicSchedule(list(pairs))
+        )
+        for _ in range(len(pairs)):
+            sim.step()
+            config = sim.configuration()
+            check_at_least_one_leader(config)
+            check_coin_balance(config)
+        for state in sim.interner.states():
+            check_state_domains(state, protocol.params)

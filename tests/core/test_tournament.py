@@ -1,0 +1,120 @@
+"""Tests for Tournament (Algorithm 4) through full PLL transitions."""
+
+import pytest
+
+from repro.core.pll import PLLProtocol
+
+from tests.core.helpers import timer, v23_candidate
+
+
+@pytest.fixture
+def protocol(params8):
+    return PLLProtocol(params8)  # m=8 -> Phi=2, rand in [0, 4)
+
+
+class TestNonceAssembly:
+    def test_initiating_leader_appends_zero_bit(self, protocol):
+        leader = v23_candidate(leader=True, rand=1, index=1)
+        follower = v23_candidate(leader=False, rand=0, index=0)
+        post_leader, _ = protocol.transition(leader, follower)
+        assert post_leader.rand == 2  # 2*1 + 0
+        assert post_leader.index == 2
+
+    def test_responding_leader_appends_one_bit(self, protocol):
+        leader = v23_candidate(leader=True, rand=1, index=1)
+        follower = v23_candidate(leader=False, rand=0, index=0)
+        _, post_leader = protocol.transition(follower, leader)
+        assert post_leader.rand == 3  # 2*1 + 1
+        assert post_leader.index == 2
+
+    def test_finished_leader_stops_assembling(self, protocol):
+        phi = protocol.params.phi
+        leader = v23_candidate(leader=True, rand=3, index=phi)
+        follower = v23_candidate(leader=False, rand=0, index=0)
+        post_leader, _ = protocol.transition(leader, follower)
+        assert post_leader.rand == 3
+        assert post_leader.index == phi
+
+    def test_follower_advances_index_without_bits(self, protocol):
+        """DESIGN.md D3: followers progress so they can relay the epidemic."""
+        follower = v23_candidate(leader=False, rand=0, index=0)
+        other_follower = v23_candidate(leader=False, rand=0, index=1)
+        post_a, post_b = protocol.transition(follower, other_follower)
+        assert post_a.index == 1
+        assert post_a.rand == 0  # followers never generate nonce bits
+        assert post_b.index == 2
+        assert post_b.rand == 0
+
+    def test_no_progress_against_a_leader(self, protocol):
+        """The trigger is a *follower* partner (one coin per interaction)."""
+        a = v23_candidate(leader=True, rand=0, index=0)
+        b = v23_candidate(leader=True, rand=0, index=1)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.index == 0
+        assert post_b.index == 1
+
+    def test_timer_partner_counts_as_follower(self, protocol):
+        leader = v23_candidate(leader=True, rand=0, index=0, epoch=2)
+        post_leader, _ = protocol.transition(leader, timer(epoch=2))
+        assert post_leader.index == 1
+
+
+class TestMaxNonceEpidemic:
+    def test_smaller_nonce_leader_eliminated(self, protocol):
+        phi = protocol.params.phi
+        low = v23_candidate(leader=True, rand=1, index=phi)
+        high = v23_candidate(leader=True, rand=3, index=phi)
+        post_low, post_high = protocol.transition(low, high)
+        assert post_low.leader is False
+        assert post_low.rand == 3
+        assert post_high.leader is True
+
+    def test_equal_nonces_both_survive(self, protocol):
+        phi = protocol.params.phi
+        a = v23_candidate(leader=True, rand=2, index=phi)
+        b = v23_candidate(leader=True, rand=2, index=phi)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.leader and post_b.leader
+
+    def test_unfinished_agents_do_not_compare(self, protocol):
+        phi = protocol.params.phi
+        unfinished = v23_candidate(leader=True, rand=0, index=phi - 1)
+        finished = v23_candidate(leader=True, rand=3, index=phi)
+        post_unfinished, _ = protocol.transition(unfinished, finished)
+        assert post_unfinished.leader is True
+
+    def test_follower_relays_max_nonce(self, protocol):
+        phi = protocol.params.phi
+        relay = v23_candidate(leader=False, rand=3, index=phi)
+        victim = v23_candidate(leader=True, rand=1, index=phi)
+        _, post_victim = protocol.transition(relay, victim)
+        assert post_victim.leader is False
+        assert post_victim.rand == 3
+
+    def test_follower_nonce_never_exceeds_leaders(self, protocol):
+        """A follower's rand only comes from the epidemic, so a lone
+        max-nonce leader can never be eliminated by a follower."""
+        phi = protocol.params.phi
+        follower = v23_candidate(leader=False, rand=2, index=phi)
+        leader = v23_candidate(leader=True, rand=2, index=phi)
+        post_follower, post_leader = protocol.transition(follower, leader)
+        assert post_leader.leader is True
+        assert post_follower.leader is False
+
+
+class TestTwoRounds:
+    def test_epoch_boundary_resets_rand_and_index(self, protocol):
+        """Entering epoch 3 re-initializes the Tournament variables."""
+        veteran = v23_candidate(leader=True, rand=3, index=2, epoch=2)
+        herald = v23_candidate(leader=False, rand=0, index=0, epoch=3)
+        post_veteran, _ = protocol.transition(veteran, herald)
+        assert post_veteran.epoch == 3
+        assert post_veteran.rand == 0
+        assert post_veteran.index in (0, 1)  # may progress immediately
+
+    def test_epoch_2_and_3_both_run_tournament(self, protocol):
+        for epoch in (2, 3):
+            leader = v23_candidate(leader=True, rand=0, index=0, epoch=epoch)
+            follower = v23_candidate(leader=False, rand=0, index=1, epoch=epoch)
+            post_leader, _ = protocol.transition(leader, follower)
+            assert post_leader.index == 1

@@ -1,0 +1,90 @@
+"""Tests for repro.engine.cache."""
+
+from repro.engine.cache import TransitionCache
+from repro.engine.interner import StateInterner
+from repro.epidemic.epidemic import MaxPropagationProtocol
+from repro.protocols.angluin import AngluinProtocol
+
+
+def make_cache(max_entries: int = 1 << 20):
+    protocol = AngluinProtocol()
+    interner = StateInterner()
+    leader = interner.intern(True)
+    follower = interner.intern(False)
+    return TransitionCache(protocol, interner, max_entries), leader, follower
+
+
+class TestCacheCorrectness:
+    def test_applies_protocol_transition(self):
+        cache, leader, follower = make_cache()
+        assert cache.apply(leader, leader) == (leader, follower)
+
+    def test_null_transition_returns_same_ids(self):
+        cache, leader, follower = make_cache()
+        assert cache.apply(follower, follower) == (follower, follower)
+
+    def test_order_matters(self):
+        cache, leader, follower = make_cache()
+        assert cache.apply(leader, follower) == (leader, follower)
+        assert cache.apply(follower, leader) == (follower, leader)
+
+    def test_result_matches_direct_computation_for_new_states(self):
+        protocol = MaxPropagationProtocol()
+        interner = StateInterner()
+        cache = TransitionCache(protocol, interner)
+        zero = interner.intern(0)
+        one = interner.intern(1)
+        assert cache.apply(zero, one) == (one, one)
+
+    def test_new_post_states_are_interned(self):
+        protocol = MaxPropagationProtocol()
+        interner = StateInterner()
+        cache = TransitionCache(protocol, interner)
+        zero = interner.intern(0)
+        # 1 has never been interned; the transition creates it... but
+        # (0, 0) -> (0, 0), so nothing new:
+        cache.apply(zero, zero)
+        assert len(interner) == 1
+
+
+class TestCacheStatistics:
+    def test_miss_then_hit(self):
+        cache, leader, follower = make_cache()
+        cache.apply(leader, leader)
+        assert (cache.stats.misses, cache.stats.hits) == (1, 0)
+        cache.apply(leader, leader)
+        assert (cache.stats.misses, cache.stats.hits) == (1, 1)
+
+    def test_len_tracks_stored_pairs(self):
+        cache, leader, follower = make_cache()
+        cache.apply(leader, leader)
+        cache.apply(leader, follower)
+        cache.apply(leader, leader)
+        assert len(cache) == 2
+
+    def test_hit_rate(self):
+        cache, leader, follower = make_cache()
+        assert cache.stats.hit_rate == 0.0
+        cache.apply(leader, leader)
+        cache.apply(leader, leader)
+        cache.apply(leader, leader)
+        assert cache.stats.hit_rate == 2 / 3
+
+    def test_bounded_cache_bypasses_beyond_cap(self):
+        cache, leader, follower = make_cache(max_entries=1)
+        cache.apply(leader, leader)  # stored
+        cache.apply(leader, follower)  # bypassed
+        assert len(cache) == 1
+        assert cache.stats.bypasses == 1
+
+    def test_bypassed_transitions_still_correct(self):
+        cache, leader, follower = make_cache(max_entries=1)
+        cache.apply(follower, follower)
+        assert cache.apply(leader, leader) == (leader, follower)
+        assert cache.apply(leader, leader) == (leader, follower)
+
+    def test_lookups_total(self):
+        cache, leader, follower = make_cache()
+        for _ in range(5):
+            cache.apply(leader, follower)
+        assert cache.stats.lookups == 5

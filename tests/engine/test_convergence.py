@@ -1,0 +1,77 @@
+"""Tests for repro.engine.convergence."""
+
+from repro.engine.convergence import (
+    MonotoneLeaderStabilization,
+    SilenceDetector,
+    output_stable_forever,
+)
+from repro.engine.simulator import AgentSimulator
+from repro.epidemic.epidemic import MaxPropagationProtocol
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestMonotoneLeaderStabilization:
+    def test_fires_on_exactly_one_leader(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.load_configuration([True, False, False, False])
+        assert MonotoneLeaderStabilization().check(sim)
+
+    def test_does_not_fire_with_two_leaders(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.load_configuration([True, True, False, False])
+        assert not MonotoneLeaderStabilization().check(sim)
+
+    def test_custom_target(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.load_configuration([True, True, False, False])
+        assert MonotoneLeaderStabilization(target=2).check(sim)
+
+
+class TestSilenceDetector:
+    def test_silent_configuration(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.load_configuration([True, False, False, False])
+        assert SilenceDetector().check(sim)
+
+    def test_noisy_configuration(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        # Two leaders can still interact: not silent.
+        sim.load_configuration([True, True, False, False])
+        assert not SilenceDetector().check(sim)
+
+    def test_multiplicity_matters_for_same_state_pairs(self):
+        sim = AgentSimulator(MaxPropagationProtocol(), 3, seed=0)
+        sim.load_configuration([1, 1, 1])  # all infected: silent
+        assert SilenceDetector().check(sim)
+
+    def test_epidemic_mid_flight_is_not_silent(self):
+        sim = AgentSimulator(MaxPropagationProtocol(), 3, seed=0)
+        sim.load_configuration([1, 0, 0])
+        assert not SilenceDetector().check(sim)
+
+
+class TestOutputStableForever:
+    def test_stable_single_leader(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.load_configuration([True, False, False, False])
+        assert output_stable_forever(sim)
+
+    def test_unstable_two_leaders(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.load_configuration([True, True, False, False])
+        assert not output_stable_forever(sim)
+
+    def test_epidemic_outputs_unstable_until_complete(self):
+        sim = AgentSimulator(MaxPropagationProtocol(), 4, seed=0)
+        sim.load_configuration([1, 0, 0, 0])
+        assert not output_stable_forever(sim)
+        sim.load_configuration([1, 1, 1, 1])
+        assert output_stable_forever(sim)
+
+    def test_pll_stabilized_run_is_exactly_stable(self):
+        """The paper's S_P definition, checked exhaustively on a tiny n."""
+        from repro.core.pll import PLLProtocol
+
+        sim = AgentSimulator(PLLProtocol.for_population(4), 4, seed=1)
+        sim.run_until_stabilized()
+        assert output_stable_forever(sim)

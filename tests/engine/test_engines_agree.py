@@ -1,0 +1,67 @@
+"""Statistical agreement between the agent-based and multiset engines.
+
+Both engines realize the same Markov chain on configurations; their
+stabilization-time distributions must agree.  These tests compare means
+over modest trial counts with generous tolerances — they are regression
+tripwires for sampling bugs (e.g. a biased second draw), not precise
+distributional tests.
+"""
+
+import numpy as np
+
+from repro.core.pll import PLLProtocol
+from repro.engine.multiset import MultisetSimulator
+from repro.engine.simulator import AgentSimulator
+from repro.protocols.angluin import AngluinProtocol
+
+
+def mean_stabilization(engine_cls, protocol_factory, n, trials, seed0):
+    times = []
+    for trial in range(trials):
+        sim = engine_cls(protocol_factory(), n, seed=seed0 + trial)
+        sim.run_until_stabilized()
+        times.append(sim.parallel_time)
+    return float(np.mean(times))
+
+
+class TestEnginesAgree:
+    def test_angluin_means_agree(self):
+        n, trials = 24, 40
+        agent = mean_stabilization(AgentSimulator, AngluinProtocol, n, trials, 0)
+        multiset = mean_stabilization(MultisetSimulator, AngluinProtocol, n, trials, 1000)
+        # Expected time ~ n; allow 35% relative gap at these trial counts.
+        assert abs(agent - multiset) / max(agent, multiset) < 0.35
+
+    def test_pll_means_agree(self):
+        n, trials = 32, 25
+        factory = lambda: PLLProtocol.for_population(32)  # noqa: E731
+        agent = mean_stabilization(AgentSimulator, factory, n, trials, 0)
+        multiset = mean_stabilization(MultisetSimulator, factory, n, trials, 1000)
+        # PLL times are bimodal; compare on a log scale with slack.
+        assert 0.25 < agent / multiset < 4.0
+
+    def test_epidemic_spread_rate_agrees(self):
+        """Half-infection time of the epidemic protocol matches across engines."""
+        from repro.epidemic.epidemic import MaxPropagationProtocol
+
+        n, trials = 64, 30
+
+        def half_time(engine_cls, seed0):
+            times = []
+            for trial in range(trials):
+                sim = engine_cls(MaxPropagationProtocol(), n, seed=seed0 + trial)
+                if isinstance(sim, MultisetSimulator):
+                    sim.load_counts({0: n - 1, 1: 1})
+                else:
+                    sim.load_configuration([1] + [0] * (n - 1))
+                sim.run(
+                    10_000_000,
+                    until=lambda s: s.output_counts.get("1", 0) >= n // 2,
+                    check_every=4,
+                )
+                times.append(sim.parallel_time)
+            return float(np.mean(times))
+
+        agent = half_time(AgentSimulator, 0)
+        multiset = half_time(MultisetSimulator, 500)
+        assert abs(agent - multiset) / max(agent, multiset) < 0.2

@@ -1,0 +1,131 @@
+"""Tests for repro.engine.fenwick."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.fenwick import FenwickTree
+
+
+class TestFenwickBasics:
+    def test_starts_empty(self):
+        tree = FenwickTree(8)
+        assert tree.total == 0
+        assert tree.weights() == [0] * 8
+
+    def test_add_and_get(self):
+        tree = FenwickTree(8)
+        tree.add(3, 5)
+        assert tree.get(3) == 5
+        assert tree.get(2) == 0
+
+    def test_total_tracks_sum(self):
+        tree = FenwickTree(8)
+        tree.add(0, 2)
+        tree.add(7, 3)
+        tree.add(0, -1)
+        assert tree.total == 4
+
+    def test_prefix_sum(self):
+        tree = FenwickTree(8)
+        for i in range(8):
+            tree.add(i, i + 1)
+        assert tree.prefix_sum(0) == 1
+        assert tree.prefix_sum(3) == 1 + 2 + 3 + 4
+        assert tree.prefix_sum(7) == 36
+
+    def test_prefix_sum_past_end_is_total(self):
+        tree = FenwickTree(4)
+        tree.add(2, 9)
+        assert tree.prefix_sum(100) == 9
+
+    def test_negative_index_raises(self):
+        tree = FenwickTree(4)
+        with pytest.raises(IndexError):
+            tree.add(-1, 1)
+
+    def test_grows_automatically(self):
+        tree = FenwickTree(2)
+        tree.add(10, 7)
+        assert tree.get(10) == 7
+        assert tree.total == 7
+
+    def test_growth_preserves_existing_weights(self):
+        tree = FenwickTree(2)
+        tree.add(0, 3)
+        tree.add(1, 4)
+        tree.add(63, 1)
+        assert tree.get(0) == 3
+        assert tree.get(1) == 4
+        assert tree.total == 8
+
+
+class TestFenwickFind:
+    def test_find_single_weight(self):
+        tree = FenwickTree(8)
+        tree.add(5, 10)
+        for cumulative in range(10):
+            assert tree.find(cumulative) == 5
+
+    def test_find_respects_boundaries(self):
+        tree = FenwickTree(8)
+        tree.add(1, 2)
+        tree.add(4, 3)
+        assert tree.find(0) == 1
+        assert tree.find(1) == 1
+        assert tree.find(2) == 4
+        assert tree.find(4) == 4
+
+    def test_find_out_of_range_raises(self):
+        tree = FenwickTree(4)
+        tree.add(0, 2)
+        with pytest.raises(ValueError):
+            tree.find(2)
+        with pytest.raises(ValueError):
+            tree.find(-1)
+
+    def test_sampling_matches_weights(self):
+        """Inverse-CDF sampling hits each index proportionally."""
+        weights = [1, 0, 3, 6]
+        tree = FenwickTree(4)
+        for i, w in enumerate(weights):
+            tree.add(i, w)
+        rng = np.random.default_rng(0)
+        draws = 20000
+        counts = [0] * 4
+        for _ in range(draws):
+            counts[tree.find(int(rng.integers(0, tree.total)))] += 1
+        assert counts[1] == 0
+        for i, w in enumerate(weights):
+            assert abs(counts[i] / draws - w / 10) < 0.02
+
+
+class TestFenwickProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 10)),
+            max_size=60,
+        )
+    )
+    def test_matches_naive_model(self, operations):
+        """A Fenwick tree agrees with a plain list under adds/queries."""
+        tree = FenwickTree(4)
+        model = [0] * 64
+        for index, delta in operations:
+            tree.add(index, delta)
+            model[index] += delta
+        for index in range(41):
+            assert tree.get(index) == model[index]
+            assert tree.prefix_sum(index) == sum(model[: index + 1])
+        assert tree.total == sum(model)
+
+    @given(st.lists(st.integers(1, 9), min_size=1, max_size=20))
+    def test_find_is_inverse_of_prefix_sum(self, weights):
+        tree = FenwickTree(4)
+        for i, w in enumerate(weights):
+            tree.add(i, w)
+        for cumulative in range(tree.total):
+            index = tree.find(cumulative)
+            below = tree.prefix_sum(index - 1) if index else 0
+            assert below <= cumulative < tree.prefix_sum(index)

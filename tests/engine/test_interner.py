@@ -1,0 +1,92 @@
+"""Tests for repro.engine.interner."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.interner import StateInterner
+
+
+class TestInternBasics:
+    def test_first_state_gets_id_zero(self):
+        interner = StateInterner()
+        assert interner.intern("a") == 0
+
+    def test_ids_are_dense_and_sequential(self):
+        interner = StateInterner()
+        assert [interner.intern(s) for s in ("a", "b", "c")] == [0, 1, 2]
+
+    def test_interning_twice_returns_same_id(self):
+        interner = StateInterner()
+        first = interner.intern(("x", 1))
+        second = interner.intern(("x", 1))
+        assert first == second
+
+    def test_state_of_inverts_intern(self):
+        interner = StateInterner()
+        sid = interner.intern(("tuple", 42))
+        assert interner.state_of(sid) == ("tuple", 42)
+
+    def test_len_counts_distinct_states(self):
+        interner = StateInterner()
+        for state in ("a", "b", "a", "c", "b"):
+            interner.intern(state)
+        assert len(interner) == 3
+
+    def test_contains(self):
+        interner = StateInterner()
+        interner.intern("present")
+        assert "present" in interner
+        assert "absent" not in interner
+
+    def test_id_of_returns_none_for_unknown(self):
+        interner = StateInterner()
+        assert interner.id_of("never seen") is None
+
+    def test_id_of_known_state(self):
+        interner = StateInterner()
+        sid = interner.intern("known")
+        assert interner.id_of("known") == sid
+
+    def test_iter_yields_states_in_id_order(self):
+        interner = StateInterner()
+        for state in ("z", "y", "x"):
+            interner.intern(state)
+        assert list(interner) == ["z", "y", "x"]
+
+    def test_states_returns_copy(self):
+        interner = StateInterner()
+        interner.intern("a")
+        snapshot = interner.states()
+        snapshot.append("bogus")
+        assert len(interner) == 1
+
+    def test_map_ids_builds_side_table(self):
+        interner = StateInterner()
+        for value in (10, 20, 30):
+            interner.intern(value)
+        assert interner.map_ids(lambda s: s * 2) == [20, 40, 60]
+
+    def test_distinct_hashables_do_not_collide(self):
+        interner = StateInterner()
+        a = interner.intern((1, 2))
+        b = interner.intern((1, 3))
+        assert a != b
+
+
+class TestInternProperties:
+    @given(st.lists(st.one_of(st.integers(), st.text(), st.tuples(st.integers()))))
+    def test_roundtrip(self, states):
+        interner = StateInterner()
+        ids = [interner.intern(state) for state in states]
+        for state, sid in zip(states, ids):
+            assert interner.state_of(sid) == state
+            assert interner.id_of(state) == interner.intern(state)
+
+    @given(st.lists(st.integers(), min_size=1))
+    def test_id_space_is_dense(self, states):
+        interner = StateInterner()
+        for state in states:
+            interner.intern(state)
+        assert sorted({interner.intern(s) for s in states}) == list(
+            range(len(set(states)))
+        )

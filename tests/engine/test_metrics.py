@@ -1,0 +1,67 @@
+"""Tests for repro.engine.metrics."""
+
+import pytest
+
+from repro.engine.metrics import InteractionCounter, StateChangeCounter, parallel_time
+from repro.engine.scheduler import DeterministicSchedule
+from repro.engine.simulator import AgentSimulator
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestParallelTime:
+    def test_division(self):
+        assert parallel_time(300, 100) == 3.0
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            parallel_time(10, 0)
+
+
+class TestInteractionCounter:
+    def test_counts_both_participants(self):
+        sim = AgentSimulator(
+            AngluinProtocol(),
+            4,
+            scheduler=DeterministicSchedule([(0, 1), (0, 2)]),
+        )
+        counter = InteractionCounter(4)
+        sim.add_hook(counter)
+        sim.run(2)
+        assert counter.counts.tolist() == [2, 1, 1, 0]
+
+    def test_all_touched(self):
+        sim = AgentSimulator(
+            AngluinProtocol(),
+            4,
+            scheduler=DeterministicSchedule([(0, 1), (2, 3)]),
+        )
+        counter = InteractionCounter(4)
+        sim.add_hook(counter)
+        sim.step()
+        assert not counter.all_touched
+        sim.step()
+        assert counter.all_touched
+
+    def test_min_count(self):
+        counter = InteractionCounter(3)
+        sim = AgentSimulator(
+            AngluinProtocol(), 3, scheduler=DeterministicSchedule([(0, 1)])
+        )
+        sim.add_hook(counter)
+        sim.run(1)
+        assert counter.min_count == 0
+
+
+class TestStateChangeCounter:
+    def test_distinguishes_effective_and_null(self):
+        sim = AgentSimulator(
+            AngluinProtocol(),
+            3,
+            scheduler=DeterministicSchedule([(0, 1), (0, 1)]),
+        )
+        counter = StateChangeCounter()
+        sim.add_hook(counter)
+        sim.run(2)  # first demotes agent 1; second is a null L-F meeting
+        assert counter.effective == 1
+        assert counter.null == 1
+        assert counter.total == 2

@@ -1,0 +1,122 @@
+"""Tests for repro.engine.multiset."""
+
+import pytest
+
+from repro.engine.convergence import SilenceDetector
+from repro.engine.multiset import MultisetSimulator
+from repro.epidemic.epidemic import MaxPropagationProtocol
+from repro.errors import ConvergenceError, SimulationError
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestConstruction:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(SimulationError):
+            MultisetSimulator(AngluinProtocol(), 1)
+
+    def test_initial_counts(self):
+        sim = MultisetSimulator(AngluinProtocol(), 10, seed=0)
+        assert sim.state_counts() == {True: 10}
+        assert sim.leader_count == 10
+
+
+class TestStepSemantics:
+    def test_population_size_is_conserved(self):
+        sim = MultisetSimulator(AngluinProtocol(), 9, seed=0)
+        for _ in range(500):
+            sim.step()
+            assert sum(sim.state_id_counts().values()) == 9
+
+    def test_output_counts_match_state_counts(self):
+        sim = MultisetSimulator(AngluinProtocol(), 12, seed=1)
+        sim.run(300)
+        counts = sim.state_counts()
+        assert sim.output_counts["L"] == counts.get(True, 0)
+        assert sim.output_counts["F"] == counts.get(False, 0)
+
+    def test_step_returns_pre_and_post_ids(self):
+        sim = MultisetSimulator(AngluinProtocol(), 4, seed=0)
+        pre0, pre1, post0, post1 = sim.step()
+        # From the all-leader configuration the only transition is L,L->L,F.
+        assert sim.interner.state_of(pre0) is True
+        assert sim.interner.state_of(pre1) is True
+        assert sim.interner.state_of(post0) is True
+        assert sim.interner.state_of(post1) is False
+
+    def test_leader_count_monotone(self):
+        sim = MultisetSimulator(AngluinProtocol(), 20, seed=2)
+        previous = sim.leader_count
+        for _ in range(2000):
+            sim.step()
+            assert sim.leader_count <= previous
+            previous = sim.leader_count
+
+    def test_count_of_unseen_state_is_zero(self):
+        sim = MultisetSimulator(MaxPropagationProtocol(), 5, seed=0)
+        assert sim.count_of(1) == 0
+
+    def test_parallel_time(self):
+        sim = MultisetSimulator(AngluinProtocol(), 10, seed=0)
+        sim.run(25)
+        assert sim.parallel_time == pytest.approx(2.5)
+
+
+class TestStabilization:
+    def test_stabilizes_to_single_leader(self):
+        sim = MultisetSimulator(AngluinProtocol(), 25, seed=0)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_seeded_reproducibility(self):
+        a = MultisetSimulator(AngluinProtocol(), 16, seed=5)
+        b = MultisetSimulator(AngluinProtocol(), 16, seed=5)
+        assert a.run_until_stabilized() == b.run_until_stabilized()
+
+    def test_budget_exhaustion_raises(self):
+        sim = MultisetSimulator(AngluinProtocol(), 64, seed=0)
+        with pytest.raises(ConvergenceError):
+            sim.run_until_stabilized(max_steps=2)
+
+    def test_silence_detector_path(self):
+        sim = MultisetSimulator(AngluinProtocol(), 8, seed=3)
+        sim.run_until_stabilized(SilenceDetector(), check_every=25)
+        assert sim.leader_count == 1
+
+
+class TestLoadCounts:
+    def test_load_counts_replaces_configuration(self):
+        sim = MultisetSimulator(AngluinProtocol(), 6, seed=0)
+        sim.load_counts({True: 2, False: 4})
+        assert sim.leader_count == 2
+        assert sim.state_counts() == {True: 2, False: 4}
+
+    def test_load_counts_must_sum_to_n(self):
+        sim = MultisetSimulator(AngluinProtocol(), 6, seed=0)
+        with pytest.raises(SimulationError):
+            sim.load_counts({True: 1})
+
+    def test_load_counts_rejects_negative(self):
+        sim = MultisetSimulator(AngluinProtocol(), 6, seed=0)
+        with pytest.raises(SimulationError):
+            sim.load_counts({True: 7, False: -1})
+
+    def test_load_counts_drops_zero_entries(self):
+        sim = MultisetSimulator(AngluinProtocol(), 6, seed=0)
+        sim.load_counts({True: 6, False: 0})
+        assert sim.state_id_counts() == {sim.interner.id_of(True): 6}
+
+    def test_run_after_load(self):
+        sim = MultisetSimulator(AngluinProtocol(), 6, seed=0)
+        sim.load_counts({True: 3, False: 3})
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_describe(self):
+        sim = MultisetSimulator(AngluinProtocol(), 6, seed=0)
+        assert "n=6" in sim.describe()
+
+    def test_epidemic_protocol_completes(self):
+        sim = MultisetSimulator(MaxPropagationProtocol(), 30, seed=1)
+        sim.load_counts({0: 29, 1: 1})
+        sim.run(100000, until=lambda s: s.count_of(0) == 0, check_every=10)
+        assert sim.count_of(1) == 30

@@ -1,0 +1,59 @@
+"""Tests for repro.engine.population."""
+
+from repro.engine.population import Configuration
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestConfiguration:
+    def test_uniform_builds_c_init(self):
+        config = Configuration.uniform(True, 5)
+        assert config.n == 5
+        assert all(state is True for state in config.states)
+
+    def test_of_copies_iterable(self):
+        config = Configuration.of(iter([True, False, True]))
+        assert config.states == (True, False, True)
+
+    def test_counts(self):
+        config = Configuration.of([True, False, True])
+        assert config.counts() == {True: 2, False: 1}
+
+    def test_outputs(self):
+        config = Configuration.of([True, False, False])
+        assert config.outputs(AngluinProtocol()) == {"L": 1, "F": 2}
+
+    def test_leaders_indices(self):
+        config = Configuration.of([False, True, False, True])
+        assert config.leaders(AngluinProtocol()) == [1, 3]
+
+    def test_replace_returns_new_configuration(self):
+        config = Configuration.of([True, True])
+        updated = config.replace({0: False})
+        assert updated.states == (False, True)
+        assert config.states == (True, True)
+
+    def test_apply_runs_deterministic_schedule(self):
+        config = Configuration.uniform(True, 3)
+        protocol = AngluinProtocol()
+        # (0,1): 0 stays leader, 1 demoted; (0,2): 2 demoted.
+        final = config.apply(protocol, [(0, 1), (0, 2)])
+        assert final.leaders(protocol) == [0]
+
+    def test_apply_on_empty_schedule_is_identity(self):
+        config = Configuration.uniform(True, 3)
+        assert config.apply(AngluinProtocol(), []).states == config.states
+
+    def test_apply_respects_roles(self):
+        config = Configuration.uniform(True, 2)
+        protocol = AngluinProtocol()
+        # The responder is demoted, so order matters.
+        assert config.apply(protocol, [(1, 0)]).leaders(protocol) == [1]
+
+    def test_frozen(self):
+        config = Configuration.uniform(True, 2)
+        try:
+            config.states = ()  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,66 @@
+"""Tests for repro.engine.protocol."""
+
+import pytest
+
+from repro.engine.protocol import (
+    FOLLOWER,
+    LEADER,
+    LeaderElectionProtocol,
+    check_symmetry,
+)
+from repro.epidemic.epidemic import MaxPropagationProtocol
+from repro.errors import ProtocolError
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestOutputSymbols:
+    def test_symbols_differ(self):
+        assert LEADER != FOLLOWER
+
+    def test_leader_symbol_is_paper_notation(self):
+        assert LEADER == "L"
+        assert FOLLOWER == "F"
+
+
+class TestLeaderElectionProtocol:
+    def test_is_leader_state(self):
+        protocol = AngluinProtocol()
+        assert protocol.is_leader_state(True)
+        assert not protocol.is_leader_state(False)
+
+    def test_monotone_flag_defaults_true(self):
+        assert AngluinProtocol().monotone_leader
+
+    def test_repr_mentions_name(self):
+        assert "angluin2006" in repr(AngluinProtocol())
+
+    def test_state_bound_default_is_none(self):
+        class Minimal(LeaderElectionProtocol):
+            name = "minimal"
+
+            def initial_state(self):
+                return 0
+
+            def transition(self, initiator, responder):
+                return initiator, responder
+
+            def output(self, state):
+                return LEADER
+
+        assert Minimal().state_bound() is None
+        assert not Minimal().is_symmetric()
+
+
+class TestCheckSymmetry:
+    def test_symmetric_protocol_passes(self):
+        check_symmetry(MaxPropagationProtocol(), [0, 1])
+
+    def test_asymmetric_protocol_fails(self):
+        # Angluin's (L, L) -> (L, F) breaks p = q => p' = q'.
+        with pytest.raises(ProtocolError) as excinfo:
+            check_symmetry(AngluinProtocol(), [True])
+        assert "not symmetric" in str(excinfo.value)
+
+    def test_asymmetric_protocol_passes_on_safe_states(self):
+        # Symmetry violation only shows on the leader pair.
+        check_symmetry(AngluinProtocol(), [False])

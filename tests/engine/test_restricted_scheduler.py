@@ -1,0 +1,71 @@
+"""Tests for RestrictedScheduler and mid-run scheduler swaps."""
+
+import pytest
+
+from repro.core.pll import PLLProtocol
+from repro.engine.scheduler import RandomScheduler, RestrictedScheduler
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ScheduleError
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestRestrictedScheduler:
+    def test_pairs_stay_inside_partition(self):
+        scheduler = RestrictedScheduler(10, allowed=[2, 5, 7], seed=0)
+        for u, v in scheduler.pairs(500):
+            assert u in (2, 5, 7)
+            assert v in (2, 5, 7)
+            assert u != v
+
+    def test_all_member_pairs_occur(self):
+        scheduler = RestrictedScheduler(6, allowed=[0, 3, 4], seed=1)
+        seen = set(scheduler.pairs(600))
+        assert len(seen) == 6  # 3 * 2 ordered pairs
+
+    def test_rejects_tiny_partition(self):
+        with pytest.raises(ScheduleError):
+            RestrictedScheduler(10, allowed=[3], seed=0)
+
+    def test_rejects_members_out_of_range(self):
+        with pytest.raises(ScheduleError):
+            RestrictedScheduler(5, allowed=[0, 7], seed=0)
+
+    def test_duplicate_members_deduplicated(self):
+        scheduler = RestrictedScheduler(5, allowed=[1, 1, 2], seed=0)
+        assert set(scheduler.pairs(50)) <= {(1, 2), (2, 1)}
+
+
+class TestSchedulerSwap:
+    def test_partitioned_population_cannot_stabilize(self):
+        """Only the clique interacts: outsiders stay leaders forever."""
+        sim = AgentSimulator(
+            AngluinProtocol(),
+            12,
+            scheduler=RestrictedScheduler(12, allowed=range(4), seed=0),
+        )
+        sim.run(5000)
+        assert sim.leader_count == 9  # 8 isolated leaders + 1 clique winner
+
+    def test_heal_then_stabilize(self):
+        sim = AgentSimulator(
+            AngluinProtocol(),
+            12,
+            scheduler=RestrictedScheduler(12, allowed=range(4), seed=0),
+        )
+        sim.run(2000)
+        sim.set_scheduler(RandomScheduler(12, seed=1))
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_pll_partition_heals_to_unique_leader(self):
+        """The E13 scenario end-to-end at small size."""
+        protocol = PLLProtocol.for_population(16)
+        sim = AgentSimulator(
+            protocol,
+            16,
+            scheduler=RestrictedScheduler(16, allowed=range(4), seed=2),
+        )
+        sim.run(4 * protocol.params.cmax * 4)
+        sim.set_scheduler(RandomScheduler(16, seed=3))
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1

@@ -1,0 +1,110 @@
+"""Tests for repro.engine.scheduler."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.engine.scheduler import DeterministicSchedule, RandomScheduler
+from repro.errors import ScheduleError
+
+
+class TestRandomScheduler:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ScheduleError):
+            RandomScheduler(1)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ScheduleError):
+            RandomScheduler(4, batch_size=0)
+
+    def test_pairs_are_distinct_agents(self):
+        scheduler = RandomScheduler(5, seed=0)
+        for u, v in scheduler.pairs(2000):
+            assert u != v
+
+    def test_pairs_are_in_range(self):
+        scheduler = RandomScheduler(7, seed=1)
+        for u, v in scheduler.pairs(2000):
+            assert 0 <= u < 7
+            assert 0 <= v < 7
+
+    def test_seeded_runs_are_reproducible(self):
+        a = list(RandomScheduler(6, seed=42).pairs(500))
+        b = list(RandomScheduler(6, seed=42).pairs(500))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(RandomScheduler(6, seed=1).pairs(100))
+        b = list(RandomScheduler(6, seed=2).pairs(100))
+        assert a != b
+
+    def test_batches_refill_transparently(self):
+        scheduler = RandomScheduler(4, seed=0, batch_size=8)
+        pairs = list(scheduler.pairs(50))  # crosses several batch boundaries
+        assert len(pairs) == 50
+
+    def test_accepts_external_generator(self):
+        rng = np.random.default_rng(3)
+        scheduler = RandomScheduler(4, seed=rng)
+        assert scheduler.rng is rng
+
+    def test_uniformity_over_ordered_pairs(self):
+        """Chi-square check: all n(n-1) ordered pairs equally likely."""
+        n = 4
+        draws = 60000
+        scheduler = RandomScheduler(n, seed=7)
+        counts = Counter(scheduler.pairs(draws))
+        assert len(counts) == n * (n - 1)
+        expected = draws / (n * (n - 1))
+        chi2 = sum((c - expected) ** 2 / expected for c in counts.values())
+        # 11 degrees of freedom; mean 11, std ~4.7 — 40 is > 6 sigma.
+        assert chi2 < 40
+
+    def test_initiator_role_is_uniform(self):
+        """Each agent is the initiator in ~1/n of steps (coin fairness)."""
+        n = 8
+        draws = 40000
+        scheduler = RandomScheduler(n, seed=11)
+        initiators = Counter(u for u, _ in scheduler.pairs(draws))
+        for agent in range(n):
+            frequency = initiators[agent] / draws
+            assert abs(frequency - 1 / n) < 0.01
+
+
+class TestDeterministicSchedule:
+    def test_replays_in_order(self):
+        schedule = DeterministicSchedule([(0, 1), (2, 3), (1, 0)])
+        assert schedule.next_pair() == (0, 1)
+        assert schedule.next_pair() == (2, 3)
+        assert schedule.next_pair() == (1, 0)
+
+    def test_exhaustion_raises(self):
+        schedule = DeterministicSchedule([(0, 1)])
+        schedule.next_pair()
+        with pytest.raises(ScheduleError):
+            schedule.next_pair()
+
+    def test_reset_rewinds(self):
+        schedule = DeterministicSchedule([(0, 1), (1, 2)])
+        schedule.next_pair()
+        schedule.reset()
+        assert schedule.next_pair() == (0, 1)
+
+    def test_remaining(self):
+        schedule = DeterministicSchedule([(0, 1), (1, 2)])
+        assert schedule.remaining == 2
+        schedule.next_pair()
+        assert schedule.remaining == 1
+
+    def test_validated_rejects_self_pair(self):
+        with pytest.raises(ScheduleError):
+            DeterministicSchedule.validated([(1, 1)], n=4)
+
+    def test_validated_rejects_out_of_range(self):
+        with pytest.raises(ScheduleError):
+            DeterministicSchedule.validated([(0, 4)], n=4)
+
+    def test_validated_accepts_good_schedule(self):
+        schedule = DeterministicSchedule.validated([(0, 1), (3, 2)], n=4)
+        assert len(schedule) == 2

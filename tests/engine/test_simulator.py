@@ -1,0 +1,192 @@
+"""Tests for repro.engine.simulator."""
+
+import pytest
+
+from repro.engine.convergence import MonotoneLeaderStabilization, SilenceDetector
+from repro.engine.scheduler import DeterministicSchedule
+from repro.engine.simulator import AgentSimulator
+from repro.epidemic.epidemic import MaxPropagationProtocol
+from repro.errors import ConvergenceError, SimulationError
+from repro.protocols.angluin import AngluinProtocol
+
+
+def deterministic_sim(pairs, n=4, protocol=None):
+    return AgentSimulator(
+        protocol or AngluinProtocol(),
+        n,
+        scheduler=DeterministicSchedule.validated(pairs, n),
+    )
+
+
+class TestConstruction:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(SimulationError):
+            AgentSimulator(AngluinProtocol(), 1)
+
+    def test_everyone_starts_in_initial_state(self):
+        sim = AgentSimulator(AngluinProtocol(), 5, seed=0)
+        assert sim.configuration() == [True] * 5
+
+    def test_initial_output_counts(self):
+        sim = AgentSimulator(AngluinProtocol(), 5, seed=0)
+        assert sim.output_counts == {"L": 5}
+        assert sim.leader_count == 5
+
+
+class TestStepSemantics:
+    def test_step_applies_ordered_transition(self):
+        sim = deterministic_sim([(2, 3)])
+        sim.step()
+        # Initiator 2 stays leader, responder 3 demoted.
+        assert sim.output_of(2) == "L"
+        assert sim.output_of(3) == "F"
+
+    def test_step_returns_the_pair(self):
+        sim = deterministic_sim([(1, 0)])
+        assert sim.step() == (1, 0)
+
+    def test_steps_counter(self):
+        sim = deterministic_sim([(0, 1), (2, 3)])
+        sim.step()
+        sim.step()
+        assert sim.steps == 2
+
+    def test_parallel_time(self):
+        sim = deterministic_sim([(0, 1), (2, 3)])
+        sim.step()
+        sim.step()
+        assert sim.parallel_time == pytest.approx(0.5)
+
+    def test_output_counts_updated_incrementally(self):
+        sim = deterministic_sim([(0, 1), (0, 2)])
+        sim.step()
+        assert sim.output_counts == {"L": 3, "F": 1}
+        sim.step()
+        assert sim.output_counts == {"L": 2, "F": 2}
+
+    def test_null_transitions_leave_counts_alone(self):
+        sim = deterministic_sim([(0, 1), (0, 1)])
+        sim.step()
+        before = dict(sim.output_counts)
+        sim.step()  # leader-follower: no change in Angluin
+        assert dict(sim.output_counts) == before
+
+
+class TestRun:
+    def test_run_executes_exactly_max_steps(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        executed = sim.run(17)
+        assert executed == 17
+        assert sim.steps == 17
+
+    def test_run_until_predicate_stops_early(self):
+        sim = AgentSimulator(AngluinProtocol(), 8, seed=1)
+        sim.run(100000, until=lambda s: s.leader_count <= 4)
+        assert sim.leader_count == 4
+
+    def test_run_until_checks_before_first_step(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        executed = sim.run(100, until=lambda s: True)
+        assert executed == 0
+
+    def test_run_check_every_skips_polls(self):
+        sim = AgentSimulator(AngluinProtocol(), 8, seed=1)
+        polls = []
+        sim.run(10, until=lambda s: polls.append(s.steps) or False, check_every=5)
+        # One pre-check at step 0, then every 5 steps.
+        assert polls == [0, 5, 10]
+
+
+class TestStabilization:
+    def test_stabilizes_to_single_leader(self):
+        sim = AgentSimulator(AngluinProtocol(), 16, seed=0)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_returns_total_steps(self):
+        sim = AgentSimulator(AngluinProtocol(), 8, seed=0)
+        steps = sim.run_until_stabilized()
+        assert steps == sim.steps
+
+    def test_raises_on_budget_exhaustion(self):
+        sim = AgentSimulator(AngluinProtocol(), 64, seed=0)
+        with pytest.raises(ConvergenceError):
+            sim.run_until_stabilized(max_steps=3)
+
+    def test_already_stable_returns_immediately(self):
+        sim = AgentSimulator(AngluinProtocol(), 8, seed=0)
+        sim.run_until_stabilized()
+        steps = sim.steps
+        assert sim.run_until_stabilized() == steps
+
+    def test_custom_detector_target(self):
+        sim = AgentSimulator(AngluinProtocol(), 16, seed=2)
+        sim.run_until_stabilized(MonotoneLeaderStabilization(target=4))
+        assert sim.leader_count == 4
+
+    def test_silence_detector_path(self):
+        sim = AgentSimulator(AngluinProtocol(), 8, seed=3)
+        sim.run_until_stabilized(SilenceDetector(), check_every=50)
+        assert sim.leader_count == 1
+
+
+class TestHooks:
+    def test_hook_sees_pre_and_post_ids(self):
+        observed = []
+
+        def hook(sim, u, v, pre0, pre1, post0, post1):
+            observed.append((u, v, pre0, pre1, post0, post1))
+
+        sim = deterministic_sim([(0, 1)])
+        sim.add_hook(hook)
+        sim.step()
+        (u, v, pre0, pre1, post0, post1) = observed[0]
+        assert (u, v) == (0, 1)
+        assert sim.interner.state_of(pre0) is True
+        assert sim.interner.state_of(post1) is False
+
+    def test_remove_hook(self):
+        calls = []
+        hook = lambda *args: calls.append(1)  # noqa: E731
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.add_hook(hook)
+        sim.step()
+        sim.remove_hook(hook)
+        sim.step()
+        assert len(calls) == 1
+
+
+class TestConfigurationManagement:
+    def test_load_configuration(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.load_configuration([False, False, True, False])
+        assert sim.leader_count == 1
+        assert sim.output_counts == {"L": 1, "F": 3}
+
+    def test_load_rejects_wrong_length(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        with pytest.raises(SimulationError):
+            sim.load_configuration([True, False])
+
+    def test_state_counts(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.load_configuration([True, False, False, False])
+        assert sim.state_counts() == {True: 1, False: 3}
+
+    def test_agents_with_output(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        sim.load_configuration([False, True, False, True])
+        assert sim.agents_with_output("L") == [1, 3]
+
+    def test_describe_mentions_protocol_and_outputs(self):
+        sim = AgentSimulator(AngluinProtocol(), 4, seed=0)
+        text = sim.describe()
+        assert "angluin2006" in text
+        assert "n=4" in text
+
+    def test_distinct_states_seen(self):
+        sim = AgentSimulator(MaxPropagationProtocol(), 4, seed=0)
+        assert sim.distinct_states_seen() == 1  # only the all-zero state
+        sim.load_configuration([0, 0, 0, 1])
+        sim.run(50)
+        assert sim.distinct_states_seen() == 2

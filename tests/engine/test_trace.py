@@ -1,0 +1,56 @@
+"""Tests for repro.engine.trace."""
+
+from repro.core.pll import PLLProtocol
+from repro.engine.simulator import AgentSimulator
+from repro.engine.trace import ConfigurationSnapshot, TraceRecorder, replay
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestTraceRecorder:
+    def test_records_every_pair(self):
+        sim = AgentSimulator(AngluinProtocol(), 6, seed=0)
+        recorder = TraceRecorder()
+        sim.add_hook(recorder)
+        sim.run(25)
+        assert len(recorder) == 25
+
+    def test_schedule_replays_identically(self):
+        sim = AgentSimulator(AngluinProtocol(), 6, seed=3)
+        recorder = TraceRecorder()
+        sim.add_hook(recorder)
+        sim.run_until_stabilized()
+        replayed = replay(AngluinProtocol(), 6, recorder.pairs)
+        assert replayed.configuration() == sim.configuration()
+
+    def test_replay_of_pll_run_is_bit_exact(self):
+        protocol = PLLProtocol.for_population(8)
+        sim = AgentSimulator(protocol, 8, seed=7)
+        recorder = TraceRecorder()
+        sim.add_hook(recorder)
+        sim.run(5000)
+        replayed = replay(PLLProtocol.for_population(8), 8, recorder.pairs)
+        assert replayed.configuration() == sim.configuration()
+
+    def test_replay_from_custom_initial_configuration(self):
+        initial = [True, False, True, False]
+        replayed = replay(AngluinProtocol(), 4, [(0, 2)], initial=initial)
+        assert replayed.configuration() == [True, False, False, False]
+
+
+class TestConfigurationSnapshot:
+    def test_capture_and_restore(self):
+        sim = AgentSimulator(AngluinProtocol(), 5, seed=0)
+        sim.run(10)
+        snapshot = ConfigurationSnapshot.capture(sim, label="mid-run")
+        sim.run(50)
+        snapshot.restore(sim)
+        assert list(snapshot.states) == sim.configuration()
+
+    def test_snapshot_records_step_count(self):
+        sim = AgentSimulator(AngluinProtocol(), 5, seed=0)
+        sim.run(7)
+        assert ConfigurationSnapshot.capture(sim).steps == 7
+
+    def test_output_counts(self):
+        snapshot = ConfigurationSnapshot(states=(True, False, False))
+        assert snapshot.output_counts(AngluinProtocol()) == {"L": 1, "F": 2}

@@ -1,0 +1,112 @@
+"""Tests for repro.epidemic.bounds."""
+
+import math
+
+import pytest
+
+from repro.epidemic.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    epidemic_steps_for_confidence,
+    lemma2_failure_bound,
+    lemma2_steps,
+)
+from repro.errors import ParameterError
+
+
+class TestChernoff:
+    def test_upper_tail_formula(self):
+        assert chernoff_upper_tail(0.5, 12.0) == pytest.approx(
+            math.exp(-0.25 * 12 / 3)
+        )
+
+    def test_lower_tail_formula(self):
+        assert chernoff_lower_tail(0.5, 12.0) == pytest.approx(
+            math.exp(-0.25 * 12 / 2)
+        )
+
+    def test_upper_tail_delta_domain(self):
+        with pytest.raises(ParameterError):
+            chernoff_upper_tail(1.5, 10)
+        with pytest.raises(ParameterError):
+            chernoff_upper_tail(-0.1, 10)
+
+    def test_lower_tail_delta_domain(self):
+        with pytest.raises(ParameterError):
+            chernoff_lower_tail(0.0, 10)
+        with pytest.raises(ParameterError):
+            chernoff_lower_tail(1.0, 10)
+
+    def test_negative_expectation_rejected(self):
+        with pytest.raises(ParameterError):
+            chernoff_upper_tail(0.5, -1)
+
+    def test_bounds_shrink_with_expectation(self):
+        assert chernoff_upper_tail(0.5, 100) < chernoff_upper_tail(0.5, 10)
+        assert chernoff_lower_tail(0.5, 100) < chernoff_lower_tail(0.5, 10)
+
+    def test_lower_tail_is_tighter_than_upper(self):
+        # exp(-d^2 E / 2) < exp(-d^2 E / 3)
+        assert chernoff_lower_tail(0.3, 50) < chernoff_upper_tail(0.3, 50)
+
+
+class TestLemma2:
+    def test_steps_formula(self):
+        # 2 * ceil(100/25) * 50 = 400
+        assert lemma2_steps(100, 25, 50) == 400
+
+    def test_steps_whole_population(self):
+        assert lemma2_steps(100, 100, 50) == 100
+
+    def test_failure_bound_inverts_steps(self):
+        n, n_prime, t = 64, 16, 128.0
+        steps = lemma2_steps(n, n_prime, t)
+        assert lemma2_failure_bound(n, n_prime, steps) == pytest.approx(
+            min(1.0, n * math.exp(-t / n))
+        )
+
+    def test_failure_bound_caps_at_one(self):
+        assert lemma2_failure_bound(100, 100, 0) == 1.0
+
+    def test_failure_bound_decreases_with_steps(self):
+        values = [lemma2_failure_bound(64, 64, s) for s in (0, 1000, 10000)]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_confidence_steps_achieve_target(self):
+        n, n_prime, p = 128, 32, 0.01
+        steps = epidemic_steps_for_confidence(n, n_prime, p)
+        assert lemma2_failure_bound(n, n_prime, steps) <= p * 1.01
+
+    def test_confidence_probability_domain(self):
+        with pytest.raises(ParameterError):
+            epidemic_steps_for_confidence(10, 5, 0.0)
+        with pytest.raises(ParameterError):
+            epidemic_steps_for_confidence(10, 5, 1.0)
+
+    def test_size_validation(self):
+        with pytest.raises(ParameterError):
+            lemma2_steps(10, 0, 5)
+        with pytest.raises(ParameterError):
+            lemma2_steps(10, 11, 5)
+        with pytest.raises(ParameterError):
+            lemma2_steps(0, 0, 5)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ParameterError):
+            lemma2_steps(10, 5, -1)
+        with pytest.raises(ParameterError):
+            lemma2_failure_bound(10, 5, -1)
+
+    def test_empirical_tail_under_bound(self):
+        """Monte-Carlo sanity: the measured tail never beats Lemma 2."""
+        from repro.epidemic.epidemic import simulate_epidemic
+
+        n, trials = 32, 120
+        completions = [
+            simulate_epidemic(n, seed=seed).completion_step for seed in range(trials)
+        ]
+        for t_over_n in (3.0, 6.0):
+            horizon = lemma2_steps(n, n, t_over_n * n)
+            bound = lemma2_failure_bound(n, n, horizon)
+            frequency = sum(1 for c in completions if c > horizon) / trials
+            assert frequency <= min(1.0, bound) + 0.1

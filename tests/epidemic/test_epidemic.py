@@ -1,0 +1,149 @@
+"""Tests for repro.epidemic.epidemic."""
+
+import pytest
+
+from repro.engine.simulator import AgentSimulator
+from repro.epidemic.epidemic import (
+    EpidemicTracker,
+    MaxPropagationProtocol,
+    epidemic_on_schedule,
+    simulate_epidemic,
+)
+from repro.errors import SimulationError
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestEpidemicOnSchedule:
+    def test_root_is_infected_at_step_zero(self):
+        result = epidemic_on_schedule(3, [], root=0)
+        assert result.infection_steps[0] == 0
+        assert not result.completed  # 2 agents remain uninfected
+
+    def test_single_member_is_immediately_complete(self):
+        result = epidemic_on_schedule(3, [], root=1, subpopulation=[1])
+        assert result.completed
+        assert result.completion_step == 0
+
+    def test_spreads_through_contact(self):
+        # 0 infects 1, then 1 infects 2.
+        result = epidemic_on_schedule(3, [(0, 1), (1, 2)])
+        assert result.completed
+        assert result.infection_steps == (0, 1, 2)
+
+    def test_either_role_spreads(self):
+        # Infected responder also infects the initiator.
+        result = epidemic_on_schedule(2, [(1, 0)])
+        assert result.completed
+
+    def test_non_contact_does_not_spread(self):
+        result = epidemic_on_schedule(4, [(1, 2), (2, 3)])
+        assert result.infection_steps[0] == 0
+        assert result.infection_steps[1] == -1
+
+    def test_subpopulation_members_only(self):
+        # Agent 1 is outside V': it relays nothing and is never infected.
+        result = epidemic_on_schedule(
+            3, [(0, 1), (1, 2)], subpopulation=[0, 2]
+        )
+        assert result.infection_steps[1] == -1
+        assert not result.completed
+
+    def test_outside_agent_interaction_with_infected_counts(self):
+        # (0,1): 1 not in V', no infection recorded; (0,2): 2 infected.
+        result = epidemic_on_schedule(3, [(0, 1), (0, 2)], subpopulation=[0, 2])
+        assert result.completed
+        assert result.completion_step == 2
+
+    def test_infected_count_at(self):
+        result = epidemic_on_schedule(3, [(0, 1), (1, 2)])
+        assert result.infected_count_at(0) == 1
+        assert result.infected_count_at(1) == 2
+        assert result.infected_count_at(2) == 3
+
+    def test_validation_empty_subpopulation(self):
+        with pytest.raises(SimulationError):
+            epidemic_on_schedule(3, [], subpopulation=[])
+
+    def test_validation_root_outside_subpopulation(self):
+        with pytest.raises(SimulationError):
+            epidemic_on_schedule(3, [], root=0, subpopulation=[1, 2])
+
+    def test_validation_member_out_of_range(self):
+        with pytest.raises(SimulationError):
+            epidemic_on_schedule(3, [], subpopulation=[0, 5])
+
+
+class TestSimulateEpidemic:
+    def test_completes_whole_population(self):
+        result = simulate_epidemic(32, seed=0)
+        assert result.completed
+        assert result.infected_count_at(result.completion_step) == 32
+
+    def test_completes_subpopulation(self):
+        result = simulate_epidemic(32, subpopulation=range(8), seed=1)
+        assert result.completed
+        assert sum(1 for s in result.infection_steps if s >= 0) == 8
+
+    def test_seeded_reproducibility(self):
+        a = simulate_epidemic(16, seed=9)
+        b = simulate_epidemic(16, seed=9)
+        assert a.infection_steps == b.infection_steps
+
+    def test_max_steps_budget(self):
+        result = simulate_epidemic(64, seed=0, max_steps=3)
+        assert not result.completed
+
+    def test_infection_steps_monotone_reachability(self):
+        """Every infected agent (except the root) was infected at a step
+        where it interacted with an already-infected agent — implied by
+        construction, spot-checked via the completion count curve."""
+        result = simulate_epidemic(24, seed=4)
+        counts = [result.infected_count_at(s) for s in range(result.completion_step + 1)]
+        assert counts[0] == 1
+        assert counts[-1] == 24
+        assert all(b - a in (0, 1, 2) for a, b in zip(counts, counts[1:]))
+
+
+class TestEpidemicTracker:
+    def test_tracks_live_simulation(self):
+        sim = AgentSimulator(AngluinProtocol(), 16, seed=2)
+        tracker = EpidemicTracker(16, root=0)
+        sim.add_hook(tracker)
+        sim.run(20000, until=lambda s: tracker.complete, check_every=8)
+        assert tracker.complete
+        assert len(tracker.infected) == 16
+
+    def test_subpopulation_tracking(self):
+        sim = AgentSimulator(AngluinProtocol(), 16, seed=2)
+        tracker = EpidemicTracker(16, root=3, subpopulation=range(8))
+        sim.add_hook(tracker)
+        sim.run(20000, until=lambda s: tracker.complete, check_every=8)
+        assert tracker.infected == set(range(8))
+
+
+class TestMaxPropagationProtocol:
+    def test_is_symmetric(self):
+        protocol = MaxPropagationProtocol()
+        assert protocol.is_symmetric()
+        assert protocol.transition(1, 1) == (1, 1)
+        assert protocol.transition(0, 0) == (0, 0)
+
+    def test_propagates_one(self):
+        protocol = MaxPropagationProtocol()
+        assert protocol.transition(1, 0) == (1, 1)
+        assert protocol.transition(0, 1) == (1, 1)
+
+    def test_matches_bare_epidemic_on_same_schedule(self):
+        """The protocol's '1' count equals the epidemic's infected count."""
+        schedule = [(0, 1), (2, 3), (1, 2), (0, 4), (3, 4)]
+        result = epidemic_on_schedule(5, schedule)
+        from repro.engine.population import Configuration
+
+        config = Configuration.of([1, 0, 0, 0, 0]).apply(
+            MaxPropagationProtocol(), schedule
+        )
+        infected_by_protocol = {i for i, s in enumerate(config.states) if s == 1}
+        infected_by_epidemic = {
+            i for i, s in enumerate(result.infection_steps) if s >= 0
+        }
+        assert infected_by_protocol == infected_by_epidemic

@@ -1,0 +1,49 @@
+"""Smoke tests: every registered experiment runs at tiny scale.
+
+These guarantee EXPERIMENTS.md can always be regenerated; the paper-level
+consistency columns are asserted only where tiny trial counts cannot make
+them flaky (structural facts like zero-leader counts).
+"""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+
+TINY = 0.05
+
+
+@pytest.mark.parametrize("experiment_id", sorted(all_experiments()))
+def test_experiment_runs_and_renders(experiment_id):
+    _spec, run = get_experiment(experiment_id)
+    result = run(scale=TINY, seed=1)
+    assert result.rows, f"{experiment_id} produced no rows"
+    text = result.render()
+    assert result.spec.paper_claim in text
+    for header in result.headers:
+        assert header in text
+
+
+def test_lemma7_never_eliminates_all_leaders():
+    _spec, run = get_experiment("E6")
+    result = run(scale=TINY, seed=2, n=32)
+    assert any("zero-leader runs: 0" in note for note in result.notes)
+
+
+def test_lemma12_rows_report_no_zero_leader_runs():
+    _spec, run = get_experiment("E8")
+    result = run(scale=TINY, seed=2)
+    assert all(row["zero-leader runs"] == 0 for row in result.rows)
+
+
+def test_theorem1_reports_ratio_column():
+    _spec, run = get_experiment("E9")
+    result = run(scale=TINY, seed=0)
+    ratios = result.column("trimmed / lg n")
+    assert all(ratio > 0 for ratio in ratios)
+
+
+def test_results_record_scale_and_seed():
+    _spec, run = get_experiment("E3")
+    result = run(scale=TINY, seed=9)
+    assert result.scale == TINY
+    assert result.seed == 9

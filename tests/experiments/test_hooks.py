@@ -1,0 +1,70 @@
+"""Tests for repro.experiments.hooks."""
+
+from repro.core.pll import PLLProtocol
+from repro.engine.simulator import AgentSimulator
+from repro.experiments.hooks import ColorGenerationTracker, EpochEntryTracker
+
+
+class TestColorGenerationTracker:
+    def run_tracked(self, n=16, steps=40000, seed=0):
+        protocol = PLLProtocol.for_population(n)
+        sim = AgentSimulator(protocol, n, seed=seed)
+        tracker = ColorGenerationTracker(n)
+        sim.add_hook(tracker)
+        sim.run(steps)
+        return sim, tracker
+
+    def test_generation_zero_at_start(self):
+        tracker = ColorGenerationTracker(4)
+        assert tracker.first_step[0] == 0
+        assert tracker.all_step[0] == 0
+        assert tracker.max_generation == 0
+
+    def test_generations_advance_during_run(self):
+        _sim, tracker = self.run_tracked()
+        assert tracker.max_generation >= 1
+
+    def test_first_step_precedes_all_step(self):
+        _sim, tracker = self.run_tracked()
+        for generation, first in tracker.first_step.items():
+            if generation in tracker.all_step and generation > 0:
+                assert first <= tracker.all_step[generation]
+
+    def test_generation_matches_color_mod3(self):
+        sim, tracker = self.run_tracked()
+        for agent in range(sim.n):
+            generation = tracker.generation_of(agent)
+            assert sim.state_of(agent).color == generation % 3
+
+    def test_first_steps_are_increasing_in_generation(self):
+        _sim, tracker = self.run_tracked(steps=80000)
+        generations = sorted(tracker.first_step)
+        steps = [tracker.first_step[g] for g in generations]
+        assert steps == sorted(steps)
+
+
+class TestEpochEntryTracker:
+    def test_epoch_one_at_start(self):
+        tracker = EpochEntryTracker()
+        assert tracker.reached(1)
+        assert not tracker.reached(2)
+
+    def test_detects_epoch_progression(self):
+        n = 16
+        protocol = PLLProtocol.for_population(n)
+        sim = AgentSimulator(protocol, n, seed=1)
+        tracker = EpochEntryTracker()
+        sim.add_hook(tracker)
+        sim.run(
+            300 * protocol.params.m * n,
+            until=lambda s: tracker.reached(4),
+            check_every=64,
+        )
+        assert tracker.reached(2)
+        assert tracker.reached(3)
+        assert tracker.reached(4)
+        assert (
+            tracker.first_step[2]
+            < tracker.first_step[3]
+            < tracker.first_step[4]
+        )

@@ -1,0 +1,64 @@
+"""Tests for the E13 robustness experiment internals."""
+
+import numpy as np
+
+from repro.core.invariants import check_state_domains
+from repro.core.pll import PLLProtocol
+from repro.engine.simulator import AgentSimulator
+from repro.experiments.robustness import scrambled_epoch4_configuration
+
+
+class TestScrambledConfigurations:
+    def test_configuration_is_domain_valid(self):
+        protocol = PLLProtocol.for_population(32)
+        rng = np.random.default_rng(0)
+        config = scrambled_epoch4_configuration(
+            32, leaders=8, rng=rng, params=protocol.params
+        )
+        assert len(config) == 32
+        for state in set(config):
+            check_state_domains(state, protocol.params)
+
+    def test_requested_leader_count(self):
+        protocol = PLLProtocol.for_population(16)
+        rng = np.random.default_rng(1)
+        config = scrambled_epoch4_configuration(
+            16, leaders=4, rng=rng, params=protocol.params
+        )
+        assert sum(1 for state in config if state.leader) == 4
+
+    def test_everyone_in_epoch_4(self):
+        protocol = PLLProtocol.for_population(16)
+        rng = np.random.default_rng(2)
+        config = scrambled_epoch4_configuration(
+            16, leaders=2, rng=rng, params=protocol.params
+        )
+        assert all(state.epoch == 4 for state in config)
+
+    def test_stabilizes_from_scrambled_start(self):
+        """Lemma 10's regime: pinned levels, only line 58 can act."""
+        protocol = PLLProtocol.for_population(16)
+        rng = np.random.default_rng(3)
+        sim = AgentSimulator(protocol, 16, seed=4)
+        sim.load_configuration(
+            scrambled_epoch4_configuration(
+                16, leaders=4, rng=rng, params=protocol.params
+            )
+        )
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_leader_count_monotone_from_scrambled_start(self):
+        protocol = PLLProtocol.for_population(12)
+        rng = np.random.default_rng(5)
+        sim = AgentSimulator(protocol, 12, seed=6)
+        sim.load_configuration(
+            scrambled_epoch4_configuration(
+                12, leaders=3, rng=rng, params=protocol.params
+            )
+        )
+        previous = sim.leader_count
+        for _ in range(4000):
+            sim.step()
+            assert 1 <= sim.leader_count <= previous
+            previous = sim.leader_count

@@ -1,0 +1,57 @@
+"""Tests for repro.experiments.runner."""
+
+import pytest
+
+from repro.engine.multiset import MultisetSimulator
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ExperimentError
+from repro.experiments.runner import make_simulator, stabilization_trials
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestMakeSimulator:
+    def test_agent_engine(self):
+        sim = make_simulator(AngluinProtocol(), 8, seed=0, engine="agent")
+        assert isinstance(sim, AgentSimulator)
+
+    def test_multiset_engine(self):
+        sim = make_simulator(AngluinProtocol(), 8, seed=0, engine="multiset")
+        assert isinstance(sim, MultisetSimulator)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ExperimentError):
+            make_simulator(AngluinProtocol(), 8, seed=0, engine="quantum")
+
+
+class TestStabilizationTrials:
+    def test_runs_requested_trials(self):
+        outcomes = stabilization_trials(AngluinProtocol, 8, trials=5, base_seed=3)
+        assert len(outcomes) == 5
+
+    def test_every_trial_stabilizes(self):
+        outcomes = stabilization_trials(AngluinProtocol, 12, trials=4)
+        assert all(outcome.leader_count == 1 for outcome in outcomes)
+
+    def test_seeds_are_derived_sequentially(self):
+        outcomes = stabilization_trials(AngluinProtocol, 8, trials=3, base_seed=7)
+        assert [o.seed for o in outcomes] == [7, 8, 9]
+
+    def test_reproducible_per_seed(self):
+        a = stabilization_trials(AngluinProtocol, 8, trials=2, base_seed=5)
+        b = stabilization_trials(AngluinProtocol, 8, trials=2, base_seed=5)
+        assert [o.steps for o in a] == [o.steps for o in b]
+
+    def test_parallel_time_consistent_with_steps(self):
+        outcomes = stabilization_trials(AngluinProtocol, 10, trials=2)
+        for outcome in outcomes:
+            assert outcome.parallel_time == pytest.approx(outcome.steps / 10)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ExperimentError):
+            stabilization_trials(AngluinProtocol, 8, trials=0)
+
+    def test_multiset_engine_trials(self):
+        outcomes = stabilization_trials(
+            AngluinProtocol, 10, trials=2, engine="multiset"
+        )
+        assert all(outcome.leader_count == 1 for outcome in outcomes)

@@ -1,0 +1,82 @@
+"""Tests for repro.experiments.spec and the registry."""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+from repro.experiments.spec import (
+    ExperimentResult,
+    ExperimentSpec,
+    register,
+    scaled,
+)
+from repro.errors import ExperimentError
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        ids = set(all_experiments())
+        assert ids == {f"E{i}" for i in range(1, 14)}
+
+    def test_lookup_is_case_insensitive(self):
+        spec, run = get_experiment("e9")
+        assert spec.id == "E9"
+        assert callable(run)
+
+    def test_unknown_id_raises_with_known_list(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            get_experiment("E99")
+        assert "E9" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        spec = ExperimentSpec(
+            id="E9", title="dup", paper_artifact="x", paper_claim="y", bench="z"
+        )
+        with pytest.raises(ExperimentError):
+            register(spec)(lambda **kw: None)
+
+    def test_every_spec_names_paper_artifact_and_bench(self):
+        for spec, _run in all_experiments().values():
+            assert spec.paper_artifact
+            assert spec.paper_claim
+            assert spec.bench.startswith("benchmarks/")
+
+
+class TestExperimentResult:
+    def make_result(self):
+        spec = ExperimentSpec(
+            id="EX", title="t", paper_artifact="a", paper_claim="c", bench="b"
+        )
+        return ExperimentResult(
+            spec=spec,
+            headers=["n", "value"],
+            rows=[{"n": 1, "value": 2.0}, {"n": 2, "value": 3.0}],
+            notes=["a note"],
+        )
+
+    def test_render_contains_claim_and_table(self):
+        text = self.make_result().render()
+        assert "paper claim" in text
+        assert "note: a note" in text
+        assert "value" in text
+
+    def test_column_extraction(self):
+        assert self.make_result().column("value") == [2.0, 3.0]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExperimentError):
+            self.make_result().column("bogus")
+
+
+class TestScaled:
+    def test_scales_and_rounds(self):
+        # round() uses banker's rounding: 10 * 0.25 = 2.5 -> 2.
+        assert scaled([10, 100], 0.25) == [2, 25]
+        assert scaled([10, 100], 0.3) == [3, 30]
+
+    def test_respects_minimum(self):
+        assert scaled([10], 0.01) == [1]
+        assert scaled([10], 0.01, minimum=2) == [2]
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ExperimentError):
+            scaled([10], 0)

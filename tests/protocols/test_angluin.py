@@ -1,0 +1,55 @@
+"""Tests for repro.protocols.angluin."""
+
+import pytest
+
+from repro.engine.simulator import AgentSimulator
+from repro.protocols.angluin import AngluinProtocol
+
+
+class TestTransition:
+    def test_two_leaders_responder_concedes(self):
+        assert AngluinProtocol().transition(True, True) == (True, False)
+
+    def test_leader_follower_unchanged(self):
+        protocol = AngluinProtocol()
+        assert protocol.transition(True, False) == (True, False)
+        assert protocol.transition(False, True) == (False, True)
+
+    def test_two_followers_unchanged(self):
+        assert AngluinProtocol().transition(False, False) == (False, False)
+
+    def test_output(self):
+        protocol = AngluinProtocol()
+        assert protocol.output(True) == "L"
+        assert protocol.output(False) == "F"
+
+    def test_state_bound_is_two(self):
+        assert AngluinProtocol().state_bound() == 2
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("n", [2, 5, 30])
+    def test_stabilizes(self, n):
+        sim = AgentSimulator(AngluinProtocol(), n, seed=0)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_linear_time_shape(self):
+        """Mean time grows roughly linearly in n (Table 1 row 1)."""
+        import numpy as np
+
+        means = []
+        for n in (16, 64):
+            times = []
+            for seed in range(12):
+                sim = AgentSimulator(AngluinProtocol(), n, seed=seed)
+                sim.run_until_stabilized()
+                times.append(sim.parallel_time)
+            means.append(float(np.mean(times)))
+        # Quadrupling n should scale time by ~4 (allow 2x..8x).
+        assert 2.0 < means[1] / means[0] < 8.0
+
+    def test_uses_exactly_two_states(self):
+        sim = AgentSimulator(AngluinProtocol(), 16, seed=1)
+        sim.run_until_stabilized()
+        assert sim.distinct_states_seen() == 2

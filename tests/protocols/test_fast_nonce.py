@@ -1,0 +1,108 @@
+"""Tests for repro.protocols.fast_nonce."""
+
+import pytest
+
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ParameterError
+from repro.protocols.fast_nonce import FastNonceProtocol, FastNonceState
+
+
+class TestConstruction:
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ParameterError):
+            FastNonceProtocol(bits=0)
+
+    def test_for_population_sizing(self):
+        assert FastNonceProtocol.for_population(256).bits == 24
+        with pytest.raises(ParameterError):
+            FastNonceProtocol.for_population(1)
+
+    def test_initial_state(self):
+        state = FastNonceProtocol(bits=4).initial_state()
+        assert state == FastNonceState(leader=True, bits_done=0, nonce=0)
+
+
+class TestNonceAssembly:
+    def test_initiator_appends_one(self):
+        protocol = FastNonceProtocol(bits=4)
+        a = FastNonceState(True, 0, 0)
+        b = FastNonceState(True, 0, 0)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.nonce == 1  # initiator bit
+        assert post_b.nonce == 0  # responder bit
+        assert post_a.bits_done == post_b.bits_done == 1
+
+    def test_assembly_stops_at_bits(self):
+        protocol = FastNonceProtocol(bits=2)
+        done = FastNonceState(True, 2, 3)
+        fresh = FastNonceState(True, 0, 0)
+        post_done, post_fresh = protocol.transition(done, fresh)
+        assert post_done.bits_done == 2
+        assert post_fresh.bits_done == 1
+
+    def test_follower_keeps_assembling(self):
+        """Demoted agents still finish their bit counter (relay duty)."""
+        protocol = FastNonceProtocol(bits=4)
+        follower = FastNonceState(False, 1, 0)
+        other = FastNonceState(False, 1, 1)
+        post_follower, _ = protocol.transition(follower, other)
+        assert post_follower.bits_done == 2
+
+
+class TestElimination:
+    def test_smaller_nonce_demoted(self):
+        protocol = FastNonceProtocol(bits=2)
+        low = FastNonceState(True, 2, 1)
+        high = FastNonceState(True, 2, 3)
+        post_low, post_high = protocol.transition(low, high)
+        assert post_low.leader is False
+        assert post_low.nonce == 3
+        assert post_high.leader is True
+
+    def test_equal_nonce_responder_concedes(self):
+        protocol = FastNonceProtocol(bits=2)
+        a = FastNonceState(True, 2, 3)
+        b = FastNonceState(True, 2, 3)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.leader is True
+        assert post_b.leader is False
+
+    def test_unfinished_agents_not_compared(self):
+        protocol = FastNonceProtocol(bits=4)
+        unfinished = FastNonceState(True, 2, 3)
+        finished = FastNonceState(True, 4, 15)
+        post_unfinished, _ = protocol.transition(unfinished, finished)
+        assert post_unfinished.leader is True
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_stabilizes(self, n):
+        protocol = FastNonceProtocol.for_population(n)
+        sim = AgentSimulator(protocol, n, seed=0)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_logarithmic_time_shape(self):
+        """Doubling n adds roughly a constant (Table 1's O(log n) row)."""
+        import numpy as np
+
+        means = []
+        for n in (32, 256):
+            times = []
+            for seed in range(8):
+                sim = AgentSimulator(
+                    FastNonceProtocol.for_population(n), n, seed=seed
+                )
+                sim.run_until_stabilized()
+                times.append(sim.parallel_time)
+            means.append(float(np.mean(times)))
+        assert means[1] / means[0] < 3.0  # far below the 8x of linear growth
+
+    def test_output(self):
+        protocol = FastNonceProtocol(bits=2)
+        assert protocol.output(FastNonceState(True, 0, 0)) == "L"
+        assert protocol.output(FastNonceState(False, 2, 3)) == "F"
+
+    def test_state_bound(self):
+        assert FastNonceProtocol(bits=3).state_bound() == 2 * 4 * 8

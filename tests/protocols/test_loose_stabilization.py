@@ -1,0 +1,109 @@
+"""Tests for the loosely-stabilizing baseline ([Sud+12]-style)."""
+
+import pytest
+
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ParameterError
+from repro.protocols.loose_stabilization import (
+    LooselyStabilizingProtocol,
+    LooseState,
+)
+
+
+def run_to_unique_leader(sim, budget):
+    sim.run(budget, until=lambda s: s.leader_count == 1, check_every=16)
+    return sim.leader_count
+
+
+class TestTransitions:
+    @pytest.fixture
+    def protocol(self):
+        return LooselyStabilizingProtocol(tmax=10)
+
+    def test_rejects_tiny_tmax(self):
+        with pytest.raises(ParameterError):
+            LooselyStabilizingProtocol(tmax=1)
+
+    def test_for_population_sizing(self):
+        assert LooselyStabilizingProtocol.for_population(256).tmax == 128
+        with pytest.raises(ParameterError):
+            LooselyStabilizingProtocol.for_population(1)
+
+    def test_timer_propagates_decayed_maximum(self, protocol):
+        a = LooseState(False, 7)
+        b = LooseState(False, 3)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.timer == post_b.timer == 6
+
+    def test_leader_resets_own_timer(self, protocol):
+        leader = LooseState(True, 2)
+        follower = LooseState(False, 5)
+        post_leader, post_follower = protocol.transition(leader, follower)
+        assert post_leader.timer == 10
+        assert post_leader.is_leader
+        assert post_follower.timer == 4
+
+    def test_two_leaders_responder_concedes(self, protocol):
+        a = LooseState(True, 10)
+        b = LooseState(True, 10)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.is_leader
+        assert not post_b.is_leader
+
+    def test_zero_timer_promotes(self, protocol):
+        a = LooseState(False, 1)
+        b = LooseState(False, 0)
+        post_a, post_b = protocol.transition(a, b)
+        # max(1, 0) - 1 = 0: both conclude the leader is gone.
+        assert post_a.is_leader and post_b.is_leader
+        assert post_a.timer == post_b.timer == 10
+
+    def test_timer_floor_at_zero(self, protocol):
+        a = LooseState(False, 0)
+        b = LooseState(False, 0)
+        post_a, _ = protocol.transition(a, b)
+        assert post_a.timer == 10  # promoted, reset to tmax
+
+    def test_state_bound(self, protocol):
+        assert protocol.state_bound() == 22
+
+
+class TestLooseStabilization:
+    def test_converges_to_unique_leader(self):
+        protocol = LooselyStabilizingProtocol.for_population(32)
+        sim = AgentSimulator(protocol, 32, seed=0)
+        assert run_to_unique_leader(sim, 200_000) == 1
+
+    def test_holds_the_leader_for_a_long_window(self):
+        """No spurious promotion over a long observation window."""
+        protocol = LooselyStabilizingProtocol.for_population(32)
+        sim = AgentSimulator(protocol, 32, seed=1)
+        run_to_unique_leader(sim, 200_000)
+        for _ in range(50):
+            sim.run(32 * 20)  # 20 parallel time per check
+            assert sim.leader_count == 1
+
+    def test_recovers_after_leader_crash(self):
+        """The property PLL cannot have: re-election after leader loss."""
+        protocol = LooselyStabilizingProtocol.for_population(24)
+        sim = AgentSimulator(protocol, 24, seed=2)
+        run_to_unique_leader(sim, 200_000)
+        # Crash: the adversary resets the unique leader to a follower.
+        config = sim.configuration()
+        (leader_index,) = [
+            i for i, state in enumerate(config) if state.is_leader
+        ]
+        config[leader_index] = LooseState(False, config[leader_index].timer)
+        sim.load_configuration(config)
+        assert sim.leader_count == 0
+        assert run_to_unique_leader(sim, 500_000) == 1
+
+    def test_recovers_from_all_leader_chaos(self):
+        """Loose stabilization promises recovery from ANY configuration."""
+        protocol = LooselyStabilizingProtocol.for_population(16)
+        sim = AgentSimulator(protocol, 16, seed=3)
+        sim.load_configuration([LooseState(True, protocol.tmax)] * 16)
+        assert run_to_unique_leader(sim, 500_000) == 1
+
+    def test_not_monotone_flag(self):
+        assert not LooselyStabilizingProtocol(tmax=8).monotone_leader

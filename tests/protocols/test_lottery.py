@@ -1,0 +1,32 @@
+"""Tests for repro.protocols.lottery."""
+
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol
+from repro.engine.simulator import AgentSimulator
+from repro.protocols.lottery import lottery_protocol
+
+
+class TestLotteryProtocol:
+    def test_is_the_no_tournament_variant(self):
+        protocol = lottery_protocol(PLLParameters(m=8))
+        assert isinstance(protocol, PLLProtocol)
+        assert protocol.variant == "no-tournament"
+
+    def test_name(self):
+        assert lottery_protocol(PLLParameters(m=8)).name == "lottery-backup"
+
+    def test_stabilizes(self):
+        protocol = lottery_protocol(PLLParameters.for_population(24))
+        sim = AgentSimulator(protocol, 24, seed=0)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_monotone_leader_count(self):
+        protocol = lottery_protocol(PLLParameters.for_population(16))
+        sim = AgentSimulator(protocol, 16, seed=2)
+        previous = sim.leader_count
+        for _ in range(5000):
+            sim.step()
+            assert sim.leader_count <= previous
+            previous = sim.leader_count
+        assert previous >= 1

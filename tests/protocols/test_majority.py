@@ -1,0 +1,112 @@
+"""Tests for repro.protocols.majority."""
+
+import pytest
+
+from repro.engine.protocol import check_symmetry
+from repro.engine.simulator import AgentSimulator
+from repro.protocols.majority import (
+    ApproximateMajority,
+    BLANK,
+    ExactMajority,
+    OPINION_X,
+    OPINION_Y,
+)
+from repro.protocols.majority import WEAK_X, WEAK_Y
+
+
+def run_majority(protocol, n, x_count, seed, budget=None):
+    sim = AgentSimulator(protocol, n, seed=seed)
+    sim.load_configuration(
+        [OPINION_X] * x_count + [OPINION_Y] * (n - x_count)
+    )
+    outputs = {OPINION_X, OPINION_Y}
+    sim.run(
+        budget or 3000 * n,
+        until=lambda s: len(
+            {symbol for symbol, c in s.output_counts.items() if c > 0}
+        )
+        == 1,
+        check_every=32,
+    )
+    return sim
+
+
+class TestApproximateMajority:
+    def test_annihilation(self):
+        protocol = ApproximateMajority()
+        assert protocol.transition(OPINION_X, OPINION_Y) == (BLANK, BLANK)
+        assert protocol.transition(OPINION_Y, OPINION_X) == (BLANK, BLANK)
+
+    def test_recruitment(self):
+        protocol = ApproximateMajority()
+        assert protocol.transition(OPINION_X, BLANK) == (OPINION_X, OPINION_X)
+        assert protocol.transition(BLANK, OPINION_Y) == (OPINION_Y, OPINION_Y)
+
+    def test_same_opinion_null(self):
+        protocol = ApproximateMajority()
+        assert protocol.transition(OPINION_X, OPINION_X) == (OPINION_X, OPINION_X)
+        assert protocol.transition(BLANK, BLANK) == (BLANK, BLANK)
+
+    def test_is_symmetric(self):
+        check_symmetry(ApproximateMajority(), [OPINION_X, OPINION_Y, BLANK])
+
+    def test_clear_majority_wins(self):
+        sim = run_majority(ApproximateMajority(), 200, x_count=140, seed=0)
+        assert sim.output_counts == {OPINION_X: 200}
+
+    def test_clear_minority_loses(self):
+        sim = run_majority(ApproximateMajority(), 200, x_count=60, seed=1)
+        assert sim.output_counts == {OPINION_Y: 200}
+
+    def test_state_bound(self):
+        assert ApproximateMajority().state_bound() == 3
+
+
+class TestExactMajority:
+    def test_strong_annihilation_to_weak(self):
+        protocol = ExactMajority()
+        assert protocol.transition(OPINION_X, OPINION_Y) == (WEAK_X, WEAK_Y)
+
+    def test_weak_follows_strong(self):
+        protocol = ExactMajority()
+        assert protocol.transition(OPINION_Y, WEAK_X) == (OPINION_Y, WEAK_Y)
+        assert protocol.transition(WEAK_Y, OPINION_X) == (WEAK_X, OPINION_X)
+
+    def test_weak_pair_null(self):
+        protocol = ExactMajority()
+        assert protocol.transition(WEAK_X, WEAK_Y) == (WEAK_X, WEAK_Y)
+
+    def test_outputs_map_weak_to_opinion(self):
+        protocol = ExactMajority()
+        assert protocol.output(WEAK_X) == OPINION_X
+        assert protocol.output(WEAK_Y) == OPINION_Y
+
+    @pytest.mark.parametrize("margin", [1, 3])
+    def test_decides_tiny_margins_correctly(self, margin):
+        """Exactness: even margin 1 is always decided for the majority."""
+        n = 31  # odd population: every split has a strict majority
+        x_count = (n + margin) // 2
+        assert 2 * x_count - n == margin
+        for seed in range(5):
+            sim = run_majority(
+                ExactMajority(), n, x_count=x_count, seed=seed, budget=200_000
+            )
+            assert sim.output_counts == {OPINION_X: n}
+
+    def test_strong_difference_is_invariant(self):
+        """#x - #y among strong opinions never changes."""
+        protocol = ExactMajority()
+        sim = AgentSimulator(protocol, 20, seed=3)
+        sim.load_configuration([OPINION_X] * 12 + [OPINION_Y] * 8)
+
+        def strong_difference(s):
+            counts = s.state_counts()
+            return counts.get(OPINION_X, 0) - counts.get(OPINION_Y, 0)
+
+        initial_difference = strong_difference(sim)
+        for _ in range(2000):
+            sim.step()
+            assert strong_difference(sim) == initial_difference
+
+    def test_state_bound(self):
+        assert ExactMajority().state_bound() == 4

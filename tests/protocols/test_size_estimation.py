@@ -1,0 +1,99 @@
+"""Tests for repro.protocols.size_estimation."""
+
+import math
+
+import pytest
+
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ParameterError
+from repro.protocols.size_estimation import (
+    SizeEstimateState,
+    SizeEstimationProtocol,
+    m_hat_from_level,
+)
+
+
+class TestMHat:
+    def test_formula(self):
+        assert m_hat_from_level(0) == 2
+        assert m_hat_from_level(7) == 16
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            m_hat_from_level(-1)
+
+
+class TestTransitions:
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ParameterError):
+            SizeEstimationProtocol(level_cap=0)
+
+    def test_initial_state(self):
+        state = SizeEstimationProtocol().initial_state()
+        assert state == SizeEstimateState(flipping=True, level=0, seen=0)
+
+    def test_initiator_counts_a_head(self):
+        protocol = SizeEstimationProtocol()
+        a = SizeEstimateState(True, 2, 0)
+        b = SizeEstimateState(False, 0, 0)
+        post_a, _ = protocol.transition(a, b)
+        assert post_a.level == 3
+        assert post_a.flipping
+
+    def test_responder_stops_and_publishes(self):
+        protocol = SizeEstimationProtocol()
+        a = SizeEstimateState(False, 0, 0)
+        b = SizeEstimateState(True, 4, 0)
+        _, post_b = protocol.transition(a, b)
+        assert not post_b.flipping
+        assert post_b.seen == 4
+
+    def test_max_seen_spreads_both_ways(self):
+        protocol = SizeEstimationProtocol()
+        a = SizeEstimateState(False, 3, 3)
+        b = SizeEstimateState(False, 0, 7)
+        post_a, post_b = protocol.transition(a, b)
+        assert post_a.seen == 7
+        assert post_b.seen == 7
+
+    def test_level_caps(self):
+        protocol = SizeEstimationProtocol(level_cap=3)
+        a = SizeEstimateState(True, 3, 0)
+        post_a, _ = protocol.transition(a, SizeEstimateState(False, 0, 0))
+        assert post_a.level == 3
+
+    def test_output_is_seen_maximum(self):
+        protocol = SizeEstimationProtocol()
+        assert protocol.output(SizeEstimateState(False, 2, 9)) == "9"
+
+    def test_state_bound(self):
+        assert SizeEstimationProtocol(level_cap=4).state_bound() == 2 * 5 * 5
+
+
+class TestEstimateQuality:
+    @pytest.mark.parametrize("n", [32, 128, 512])
+    def test_estimate_satisfies_pll_contract(self, n):
+        """m_hat >= lg n (validity) and m_hat = O(log n) (efficiency)."""
+        protocol = SizeEstimationProtocol()
+        valid = 0
+        trials = 10
+        for seed in range(trials):
+            sim = AgentSimulator(protocol, n, seed=seed)
+            sim.run(
+                400 * n,
+                until=lambda s: len(s.output_counts) == 1
+                and all(not state.flipping for state in s.configuration()),
+                check_every=64,
+            )
+            (level_text,) = sim.output_counts
+            m_hat = m_hat_from_level(int(level_text))
+            if m_hat >= math.log2(n):
+                valid += 1
+            assert m_hat <= 10 * math.log2(n) + 4  # Theta(log n) upper side
+        assert valid == trials  # failure probability is exp(-Theta(sqrt n))
+
+    def test_estimate_settles_to_consensus(self):
+        protocol = SizeEstimationProtocol()
+        sim = AgentSimulator(protocol, 64, seed=3)
+        sim.run(40000)
+        assert len(sim.output_counts) == 1

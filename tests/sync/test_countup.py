@@ -1,0 +1,86 @@
+"""Tests for repro.sync.countup."""
+
+import pytest
+
+from repro.engine.population import Configuration
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ParameterError
+from repro.sync.countup import CountUpTimerProtocol, TimerState, advance_color
+
+
+class TestAdvanceColor:
+    def test_cycles_mod_three(self):
+        assert [advance_color(c) for c in (0, 1, 2)] == [1, 2, 0]
+
+
+class TestCountUpTimerProtocol:
+    def test_rejects_bad_cmax(self):
+        with pytest.raises(ParameterError):
+            CountUpTimerProtocol(cmax=0)
+
+    def test_initial_state(self):
+        protocol = CountUpTimerProtocol(cmax=5)
+        assert protocol.initial_state() == TimerState(0, 0, 0)
+
+    def test_counts_advance_each_interaction(self):
+        protocol = CountUpTimerProtocol(cmax=10)
+        a, b = protocol.transition(TimerState(0, 0, 0), TimerState(3, 0, 0))
+        assert (a.count, b.count) == (1, 4)
+
+    def test_rollover_advances_color_and_resets_count(self):
+        protocol = CountUpTimerProtocol(cmax=3)
+        a, _b = protocol.transition(TimerState(2, 0, 0), TimerState(0, 0, 0))
+        assert a == TimerState(count=0, color=1, ticks_seen=1)
+
+    def test_color_epidemic_pulls_laggard_forward(self):
+        protocol = CountUpTimerProtocol(cmax=100)
+        behind = TimerState(count=50, color=0, ticks_seen=0)
+        ahead = TimerState(count=10, color=1, ticks_seen=1)
+        new_behind, new_ahead = protocol.transition(behind, ahead)
+        assert new_behind.color == 1
+        assert new_behind.count == 0  # reset on adoption
+        assert new_behind.ticks_seen == 1
+        assert new_ahead.color == 1
+
+    def test_color_two_apart_does_not_adopt(self):
+        """Colors 0 and 2: 0 is 'ahead' cyclically (2 + 1 = 0 mod 3)."""
+        protocol = CountUpTimerProtocol(cmax=100)
+        zero = TimerState(count=5, color=0, ticks_seen=0)
+        two = TimerState(count=5, color=2, ticks_seen=2)
+        new_zero, new_two = protocol.transition(zero, two)
+        assert new_zero.color == 0  # not pulled backwards
+        assert new_two.color == 0  # pulled forward across the wrap
+
+    def test_equal_states_stay_equal(self):
+        protocol = CountUpTimerProtocol(cmax=7)
+        state = TimerState(count=6, color=2, ticks_seen=4)
+        a, b = protocol.transition(state, state)
+        assert a == b  # both roll over identically
+
+    def test_ticks_cap(self):
+        protocol = CountUpTimerProtocol(cmax=2, max_ticks=3)
+        state = TimerState(count=1, color=0, ticks_seen=3)
+        a, _ = protocol.transition(state, TimerState(0, 0, 0))
+        assert a.ticks_seen == 3
+
+    def test_output_is_color(self):
+        protocol = CountUpTimerProtocol(cmax=5)
+        assert protocol.output(TimerState(3, 2, 7)) == "2"
+
+    def test_population_reaches_color_one_together(self):
+        """All timers show color 1 shortly after the first rollover."""
+        protocol = CountUpTimerProtocol(cmax=20)
+        sim = AgentSimulator(protocol, 16, seed=0)
+        sim.run(
+            200000,
+            until=lambda s: s.output_counts.get("1", 0) == 16,
+            check_every=16,
+        )
+        assert sim.output_counts["1"] == 16
+
+    def test_deterministic_two_agent_cycle(self):
+        protocol = CountUpTimerProtocol(cmax=2)
+        config = Configuration.uniform(protocol.initial_state(), 2)
+        # Each interaction increments both counts; every 2nd flips colors.
+        config = config.apply(protocol, [(0, 1), (0, 1)])
+        assert all(state.color == 1 for state in config.states)

@@ -1,0 +1,113 @@
+"""Tests for repro.sync.phase_clock."""
+
+import pytest
+
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ParameterError
+from repro.sync.phase_clock import ClockState, LeaderDrivenPhaseClock, circular_ahead
+
+
+class TestCircularAhead:
+    def test_adjacent_is_ahead(self):
+        assert circular_ahead(1, 0, ring=8)
+
+    def test_equal_is_not_ahead(self):
+        assert not circular_ahead(3, 3, ring=8)
+
+    def test_wraparound(self):
+        assert circular_ahead(0, 7, ring=8)
+        assert not circular_ahead(7, 0, ring=8)
+
+    def test_antipodal_not_ahead(self):
+        assert not circular_ahead(4, 0, ring=8)
+
+    def test_just_under_half_is_ahead(self):
+        assert circular_ahead(3, 0, ring=8)
+
+
+class TestLeaderDrivenPhaseClock:
+    def test_rejects_small_ring(self):
+        with pytest.raises(ParameterError):
+            LeaderDrivenPhaseClock(ring=2)
+
+    def test_initial_states(self):
+        clock = LeaderDrivenPhaseClock()
+        assert not clock.initial_state().is_leader
+        assert clock.leader_state().is_leader
+
+    def test_leader_ticks_every_interaction(self):
+        clock = LeaderDrivenPhaseClock(ring=8)
+        leader = ClockState(True, 2, 0)
+        follower = ClockState(False, 2, 0)
+        new_leader, new_follower = clock.transition(leader, follower)
+        assert new_leader.hour == 3
+        assert new_follower.hour == 2  # partner saw hour 2, not ahead
+
+    def test_leader_never_adopts(self):
+        clock = LeaderDrivenPhaseClock(ring=8)
+        leader = ClockState(True, 1, 0)
+        ahead_follower = ClockState(False, 3, 0)
+        new_leader, _ = clock.transition(leader, ahead_follower)
+        assert new_leader.hour == 2  # own tick only
+
+    def test_follower_catches_up(self):
+        clock = LeaderDrivenPhaseClock(ring=8)
+        behind = ClockState(False, 1, 0)
+        ahead = ClockState(False, 3, 0)
+        new_behind, new_ahead = clock.transition(behind, ahead)
+        assert new_behind.hour == 3
+        assert new_ahead.hour == 3
+
+    def test_follower_adoption_uses_pre_interaction_hour(self):
+        """Both sides read the partner's *pre* state (no chained updates)."""
+        clock = LeaderDrivenPhaseClock(ring=8)
+        leader = ClockState(True, 4, 0)
+        follower = ClockState(False, 3, 0)
+        new_leader, new_follower = clock.transition(leader, follower)
+        assert new_leader.hour == 5
+        assert new_follower.hour == 4  # adopted 4, not the leader's new 5
+
+    def test_rounds_increment_on_wrap(self):
+        clock = LeaderDrivenPhaseClock(ring=4)
+        leader = ClockState(True, 3, 0)
+        follower = ClockState(False, 3, 0)
+        new_leader, _ = clock.transition(leader, follower)
+        assert new_leader.hour == 0
+        assert new_leader.rounds == 1
+
+    def test_clock_progresses_in_population(self):
+        clock = LeaderDrivenPhaseClock(ring=8)
+        sim = AgentSimulator(clock, 24, seed=0)
+        config = [clock.leader_state()] + [clock.initial_state()] * 23
+        sim.load_configuration(config)
+        sim.run(20000)
+        assert sim.state_of(0).rounds >= 1
+
+    def test_for_population_ring_scales_with_log_n(self):
+        assert LeaderDrivenPhaseClock.for_population(32).ring == 60
+        assert LeaderDrivenPhaseClock.for_population(1024).ring == 120
+
+    def test_for_population_rejects_tiny_n(self):
+        with pytest.raises(ParameterError):
+            LeaderDrivenPhaseClock.for_population(1)
+
+    def test_followers_track_the_leader_on_average(self):
+        """Most followers stay within half a ring of the leader, most of
+        the time (the clock's whp guarantee; lapping is rare but legal)."""
+        clock = LeaderDrivenPhaseClock.for_population(32)
+        sim = AgentSimulator(clock, 32, seed=3)
+        sim.load_configuration(
+            [clock.leader_state()] + [clock.initial_state()] * 31
+        )
+        sim.run(2000)  # warm-up
+        coherent_observations = 0
+        total_observations = 0
+        for _ in range(50):
+            sim.run(200)
+            leader_hour = sim.state_of(0).hour
+            for agent in range(1, 32):
+                behindness = (leader_hour - sim.state_of(agent).hour) % clock.ring
+                total_observations += 1
+                if behindness <= clock.ring // 2:
+                    coherent_observations += 1
+        assert coherent_observations / total_observations > 0.9

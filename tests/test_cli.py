@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import PROTOCOLS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E9"])
+        assert args.experiment == "E9"
+        assert args.scale == 1.0
+        assert args.seed == 0
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.protocol == "pll"
+        assert args.n == 256
+        assert args.engine == "agent"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--protocol", "nope"])
+
+
+class TestCommands:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E9" in out and "Theorem 1" in out
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "E3", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 2 bound" in out
+
+    def test_simulate_stabilizes(self, capsys):
+        assert main(["simulate", "--protocol", "angluin", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "stabilized" in out
+        assert "'L': 1" in out
+
+    def test_simulate_multiset_engine(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "pll", "--n", "32", "--engine", "multiset"]
+        )
+        assert code == 0
+        assert "stabilized" in capsys.readouterr().out
+
+    def test_every_registered_protocol_factory_builds(self):
+        for name, factory in PROTOCOLS.items():
+            protocol = factory(16)
+            assert protocol.initial_state() is not None, name
+
+    def test_run_out_appends_report(self, capsys, tmp_path):
+        out = tmp_path / "report.txt"
+        assert main(["run", "E3", "--scale", "0.02", "--out", str(out)]) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert "Lemma 2" in text
+        # Appending: a second run doubles the content.
+        assert main(["run", "E3", "--scale", "0.02", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert out.read_text().count("[E3]") == 2

@@ -1,0 +1,25 @@
+"""Package-level surface tests."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_quickstart_from_docstring(self):
+        """The README/docstring quickstart must actually work."""
+        protocol = repro.PLLProtocol.for_population(64)
+        sim = repro.AgentSimulator(protocol, n=64, seed=1)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.ParameterError, repro.ReproError)
+        assert issubclass(repro.ConvergenceError, repro.SimulationError)
+        assert issubclass(repro.SimulationError, repro.ReproError)
+        assert issubclass(repro.ParameterError, ValueError)
