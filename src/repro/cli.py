@@ -1,13 +1,18 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     repro list                      # enumerate the experiment registry
-    repro run E9 [--scale 1.0]      # run an experiment, print its table
+    repro run E9 [--scale 1.0] [--jobs 4] [--store x.sqlite]
     repro simulate --protocol pll --n 256 [--seed 0] [--engine agent]
+    repro campaign run|resume|status|report E1 [--jobs 4] [--store ...]
 
 ``repro run all`` executes the full per-lemma/per-table sweep (the data
-behind EXPERIMENTS.md).
+behind EXPERIMENTS.md).  ``repro campaign`` drives the orchestration
+subsystem: trials shard across ``--jobs`` worker processes and every
+outcome persists to the SQLite trial store (default
+``.repro-store.sqlite``), so re-running only executes missing trials and
+``resume`` picks up exactly where an interrupted ``run`` stopped.
 """
 
 from __future__ import annotations
@@ -16,30 +21,51 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.params import PLLParameters
-from repro.core.pll import PLLProtocol
-from repro.core.symmetric import SymmetricPLLProtocol
-from repro.experiments import all_experiments, get_experiment, make_simulator
-from repro.protocols.angluin import AngluinProtocol
-from repro.protocols.fast_nonce import FastNonceProtocol
-from repro.protocols.loose_stabilization import LooselyStabilizingProtocol
-from repro.protocols.lottery import lottery_protocol
+from repro.errors import ReproError
+from repro.experiments import (
+    all_experiments,
+    campaign_for,
+    campaign_ids,
+    make_simulator,
+    run_experiment,
+)
+from repro.orchestration import (
+    DEFAULT_STORE_PATH,
+    CampaignRunner,
+    TrialStore,
+    build_protocol,
+    protocol_names,
+)
+from repro.orchestration.spec import ENGINES, TrialOutcome
 
 __all__ = ["main", "build_parser"]
 
-#: Protocol factories for `repro simulate`.
+#: Protocol factories for `repro simulate`, derived from the registry.
 PROTOCOLS = {
-    "pll": lambda n: PLLProtocol.for_population(n),
-    "pll-symmetric": SymmetricPLLProtocol.for_population,
-    "pll-no-tournament": lambda n: PLLProtocol.for_population(
-        n, variant="no-tournament"
-    ),
-    "pll-backup-only": lambda n: PLLProtocol.for_population(n, variant="backup-only"),
-    "lottery": lambda n: lottery_protocol(PLLParameters.for_population(n)),
-    "angluin": lambda n: AngluinProtocol(),
-    "fast-nonce": FastNonceProtocol.for_population,
-    "loose": LooselyStabilizingProtocol.for_population,
+    name: (lambda n, _name=name: build_protocol(_name, n))
+    for name in protocol_names()
 }
+
+
+def _add_store_flags(parser: argparse.ArgumentParser, default: str | None) -> None:
+    parser.add_argument(
+        "--store",
+        default=default,
+        help=(
+            "SQLite trial store path"
+            + (
+                f" (default {DEFAULT_STORE_PATH})"
+                if default
+                else " (default: no store, trials are not cached)"
+            )
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for trial execution (default 1: in-process)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also append the rendered report(s) to this file",
     )
+    run_parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="override the engine for declarative trial batches",
+    )
+    run_parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="override the per-point trial count for declarative batches",
+    )
+    _add_store_flags(run_parser, default=None)
 
     sim_parser = subparsers.add_parser(
         "simulate", help="run one protocol to stabilization"
@@ -78,8 +117,39 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--n", type=int, default=256, help="population size")
     sim_parser.add_argument("--seed", type=int, default=0)
     sim_parser.add_argument(
-        "--engine", choices=("agent", "multiset"), default="agent"
+        "--engine", choices=ENGINES, default="agent"
     )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="orchestrate an experiment's trial grid against the trial store",
+    )
+    actions = campaign_parser.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("run", "execute every trial missing from the store"),
+        ("resume", "alias of run: continue an interrupted campaign"),
+        ("status", "show cache coverage without executing anything"),
+        ("report", "aggregate stored outcomes without executing anything"),
+    ):
+        action_parser = actions.add_parser(action, help=help_text)
+        action_parser.add_argument(
+            "experiment",
+            help=f"experiment id with a campaign ({', '.join(campaign_ids())})",
+        )
+        action_parser.add_argument(
+            "--scale",
+            type=float,
+            default=1.0,
+            help="trial-count scale factor (default 1.0)",
+        )
+        action_parser.add_argument("--seed", type=int, default=0, help="base seed")
+        action_parser.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default="agent",
+            help="engine the campaign's trials run on (default agent)",
+        )
+        _add_store_flags(action_parser, default=DEFAULT_STORE_PATH)
     return parser
 
 
@@ -89,22 +159,32 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(
-    experiment: str, scale: float, seed: int, out: str | None = None
-) -> int:
-    if experiment.lower() == "all":
+def _command_run(args: argparse.Namespace) -> int:
+    if args.experiment.lower() == "all":
         ids = list(all_experiments())
     else:
-        ids = [experiment]
-    for experiment_id in ids:
-        _spec, run = get_experiment(experiment_id)
-        result = run(scale=scale, seed=seed)
-        report = result.render()
-        print(report)
-        print()
-        if out is not None:
-            with open(out, "a", encoding="utf-8") as sink:
-                sink.write(report + "\n\n")
+        ids = [args.experiment]
+    store = TrialStore(args.store) if args.store else None
+    try:
+        for experiment_id in ids:
+            result = run_experiment(
+                experiment_id,
+                scale=args.scale,
+                seed=args.seed,
+                jobs=args.jobs,
+                store=store,
+                engine=args.engine,
+                trials=args.trials,
+            )
+            report = result.render()
+            print(report)
+            print()
+            if args.out is not None:
+                with open(args.out, "a", encoding="utf-8") as sink:
+                    sink.write(report + "\n\n")
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -121,14 +201,69 @@ def _command_simulate(protocol_name: str, n: int, seed: int, engine: str) -> int
     return 0
 
 
+def _progress_printer(stride: int):
+    """Progress callback printing every ``stride`` completed trials."""
+
+    def progress(done: int, total: int, outcome: TrialOutcome | None) -> None:
+        if outcome is None:
+            print(f"  {done}/{total} trials already cached")
+        elif done % stride == 0 or done == total:
+            print(f"  {done}/{total} trials done")
+
+    return progress
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    campaign = campaign_for(
+        args.experiment, scale=args.scale, seed=args.seed, engine=args.engine
+    )
+    if args.action in ("status", "report"):
+        # Read-only: inspecting a campaign must not create a store file.
+        with TrialStore(args.store, readonly=True) as store:
+            runner = CampaignRunner(store)
+            if args.action == "status":
+                print(runner.status(campaign).render())
+            else:
+                print(runner.report(campaign).render())
+        return 0
+    with TrialStore(args.store) as store:
+        stride = max(1, len(campaign) // 10)
+        runner = CampaignRunner(
+            store, jobs=args.jobs, progress=_progress_printer(stride)
+        )
+        print(
+            f"campaign {campaign.name}: {len(campaign)} trials, "
+            f"jobs={args.jobs}, store={args.store}"
+        )
+        try:
+            result = runner.run(campaign)
+        except KeyboardInterrupt:
+            status = runner.status(campaign)
+            print()
+            print(status.render())
+            print("interrupted; `repro campaign resume` will pick up here")
+            return 130
+        print()
+        print(result.render())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "run":
-        return _command_run(args.experiment, args.scale, args.seed, args.out)
-    if args.command == "simulate":
-        return _command_simulate(args.protocol, args.n, args.seed, args.engine)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "simulate":
+            return _command_simulate(
+                args.protocol, args.n, args.seed, args.engine
+            )
+        if args.command == "campaign":
+            return _command_campaign(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -3,6 +3,34 @@
 Importing this package registers every experiment; enumerate them with
 :func:`~repro.experiments.spec.all_experiments` or run one from the CLI
 (``repro run E9``).
+
+Experiments and campaigns
+-------------------------
+
+Experiments whose measurements are plain stabilization trials double as
+*campaigns* (see :mod:`repro.experiments.campaigns`): the experiment id
+maps to a :class:`~repro.orchestration.spec.CampaignSpec` naming every
+``(protocol, params, n, seed, engine)`` trial in its grid.
+
+===========  ==========================================================
+experiment    campaign contents
+===========  ==========================================================
+``E1``        Table 1 comparison — every protocol row x n in {32..256}
+              x 16 seeds
+``E9``        Theorem 1 scaling — PLL x n in {64..2048} x 48 seeds
+``E12``       module ablations — PLL variants x n in {64, 256} x 8
+              seeds (the m-slack and engine-throughput sections are
+              bespoke and stay outside the campaign)
+===========  ==========================================================
+
+Completed trials land in a SQLite *trial store* keyed by each spec's
+content hash — by default ``.repro-store.sqlite`` in the working
+directory, or wherever ``--store`` points.  Because ``repro run`` (with
+``--store``) and ``repro campaign run`` build identical specs for
+identical grids, they share cache rows: re-running a finished campaign
+executes nothing, and an interrupted one resumes where it stopped
+(``repro campaign resume``).  The per-lemma experiments (hook-driven
+measurements with bespoke predicates) run in-process only.
 """
 
 from repro.experiments import (  # noqa: F401  (import-for-registration)
@@ -20,6 +48,7 @@ from repro.experiments import (  # noqa: F401  (import-for-registration)
     table2_lower_bounds,
     theorem1_scaling,
 )
+from repro.experiments.campaigns import campaign_for, campaign_ids
 from repro.experiments.runner import (
     TrialOutcome,
     make_simulator,
@@ -31,6 +60,7 @@ from repro.experiments.spec import (
     all_experiments,
     get_experiment,
     register,
+    run_experiment,
 )
 
 __all__ = [
@@ -38,8 +68,11 @@ __all__ = [
     "ExperimentSpec",
     "TrialOutcome",
     "all_experiments",
+    "campaign_for",
+    "campaign_ids",
     "get_experiment",
     "make_simulator",
     "register",
+    "run_experiment",
     "stabilization_trials",
 ]

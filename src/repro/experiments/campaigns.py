@@ -1,0 +1,101 @@
+"""Campaign builders: experiment ids mapped to declarative trial grids.
+
+``repro campaign run E9`` needs the *work list* behind an experiment
+without the aggregation code around it.  The builders here construct a
+:class:`~repro.orchestration.spec.CampaignSpec` from the same grid
+constants the experiment modules use, so both entry points produce
+identical :class:`TrialSpec` content hashes and therefore share trial
+store rows: trials simulated by ``repro run E1 --store x`` are cache hits
+for ``repro campaign run E1 --store x`` and vice versa.
+
+Only experiments whose measurements are plain stabilization trials have
+campaigns (E1, E9, and E12's module-ablation section); the per-lemma
+experiments instrument runs with hooks and bespoke predicates, which the
+trial store does not model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import ablations, table1_comparison, theorem1_scaling
+from repro.experiments.spec import scaled
+from repro.orchestration.spec import CampaignSpec, TrialSpec, trial_specs
+
+__all__ = ["campaign_for", "campaign_ids"]
+
+
+def _theorem1_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:
+    """E9 — PLL over a doubling grid of n (Theorem 1 scaling)."""
+    ns, trials = theorem1_scaling.grid(scale)
+    return CampaignSpec.from_grid(
+        "E9", "pll", ns, trials, base_seed=seed, engine=engine
+    )
+
+
+def _table1_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:
+    """E1 — every Table 1 protocol row over the comparison grid."""
+    trials = scaled([table1_comparison.TRIALS], scale)[0]
+    specs: list[TrialSpec] = []
+    for _label, protocol_name, *_rest in table1_comparison.ROWS:
+        for n in table1_comparison.NS:
+            specs.extend(
+                trial_specs(
+                    protocol_name,
+                    n,
+                    trials,
+                    base_seed=seed,
+                    engine=engine,
+                )
+            )
+    return CampaignSpec(name="E1", trials=tuple(specs))
+
+
+def _ablations_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:
+    """E12 (module section) — PLL variants at two population sizes."""
+    trials = scaled([ablations.MODULE_TRIALS], scale)[0]
+    specs: list[TrialSpec] = []
+    for n in ablations.MODULE_NS:
+        for variant in ablations.MODULE_VARIANTS:
+            specs.extend(
+                trial_specs(
+                    "pll",
+                    n,
+                    trials,
+                    base_seed=seed,
+                    engine=engine,
+                    params={"variant": variant},
+                )
+            )
+    return CampaignSpec(name="E12", trials=tuple(specs))
+
+
+_BUILDERS: dict[str, Callable[[float, int, str], CampaignSpec]] = {
+    "E1": _table1_campaign,
+    "E9": _theorem1_campaign,
+    "E12": _ablations_campaign,
+}
+
+
+def campaign_ids() -> list[str]:
+    """Experiment ids that have campaign builders."""
+    return sorted(_BUILDERS)
+
+
+def campaign_for(
+    experiment_id: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    engine: str = "agent",
+) -> CampaignSpec:
+    """The campaign behind an experiment id (case-insensitive)."""
+    key = experiment_id.upper()
+    try:
+        builder = _BUILDERS[key]
+    except KeyError:
+        known = ", ".join(campaign_ids())
+        raise ExperimentError(
+            f"no campaign for experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return builder(scale, seed, engine)

@@ -2,30 +2,28 @@
 
 Every trial gets its own derived seed (``base_seed + trial``), so any
 single data point in EXPERIMENTS.md can be reproduced in isolation.
+
+Trials route through :mod:`repro.orchestration`: when the protocol is
+named declaratively (a registry name string, optionally with ``params``),
+the batch becomes content-hashed :class:`TrialSpec`\\ s that the active
+:class:`~repro.orchestration.context.ExecutionContext` may parallelize
+across cores (``--jobs``) and cache in a persistent store (``--store``).
+The default context runs serially in-process — byte-identical to the
+historical loop — and passing a plain protocol factory callable always
+takes that serial path (callables neither hash nor pickle).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
-from repro.engine.multiset import MultisetSimulator
 from repro.engine.protocol import Protocol
-from repro.engine.simulator import AgentSimulator
 from repro.errors import ExperimentError
+from repro.orchestration.context import current_context
+from repro.orchestration.pool import build_simulator, measure_trial, run_specs
+from repro.orchestration.spec import TrialOutcome, trial_specs
 
 __all__ = ["TrialOutcome", "stabilization_trials", "make_simulator"]
-
-
-@dataclass(frozen=True)
-class TrialOutcome:
-    """One stabilization measurement."""
-
-    seed: int
-    steps: int
-    parallel_time: float
-    leader_count: int
-    distinct_states: int
 
 
 def make_simulator(
@@ -35,43 +33,60 @@ def make_simulator(
     engine: str = "agent",
 ):
     """Build the requested engine (``"agent"`` or ``"multiset"``)."""
-    if engine == "agent":
-        return AgentSimulator(protocol, n, seed=seed)
-    if engine == "multiset":
-        return MultisetSimulator(protocol, n, seed=seed)
-    raise ExperimentError(f"unknown engine {engine!r}; use 'agent' or 'multiset'")
+    return build_simulator(protocol, n, seed=seed, engine=engine)
 
 
 def stabilization_trials(
-    protocol_factory: Callable[[], Protocol],
+    protocol: Callable[[], Protocol] | str,
     n: int,
     trials: int,
     base_seed: int = 0,
     engine: str = "agent",
     max_steps: int | None = None,
+    params: Mapping[str, object] | None = None,
 ) -> list[TrialOutcome]:
     """Measure stabilization over ``trials`` independent runs.
 
-    A fresh protocol instance per trial keeps per-instance caches (none
-    today, but custom protocols may memoize) from leaking across trials.
+    ``protocol`` is either a registry name (``"pll"``, ``"angluin"``, ...;
+    see :mod:`repro.orchestration.registry`) with optional ``params``, or
+    a zero-argument factory callable.  Named protocols honor the active
+    execution context (worker pool, trial store, ``--engine``/``--trials``
+    overrides); factory callables always run serially in-process.
     """
     if trials < 1:
         raise ExperimentError(f"trials must be positive, got {trials}")
-    outcomes = []
-    for trial in range(trials):
-        seed = base_seed + trial
-        sim = make_simulator(protocol_factory(), n, seed=seed, engine=engine)
-        steps = sim.run_until_stabilized(max_steps=max_steps)
-        outcomes.append(
-            TrialOutcome(
-                seed=seed,
-                steps=steps,
-                parallel_time=sim.parallel_time,
-                leader_count=sim.leader_count,
-                distinct_states=sim.distinct_states_seen(),
-            )
+    if isinstance(protocol, str):
+        context = current_context()
+        if context.engine is not None:
+            engine = context.engine
+        if context.trials is not None:
+            trials = context.trials
+        specs = trial_specs(
+            protocol,
+            n,
+            trials,
+            base_seed=base_seed,
+            engine=engine,
+            params=params,
+            max_steps=max_steps,
         )
-    return outcomes
+        return run_specs(
+            specs,
+            jobs=context.jobs,
+            store=context.store,
+            progress=context.progress,
+        ).outcomes
+    if params is not None:
+        raise ExperimentError(
+            "params only apply to registry-named protocols; bind them into "
+            "the factory instead"
+        )
+    return [
+        measure_trial(
+            protocol(), n, base_seed + trial, engine=engine, max_steps=max_steps
+        )
+        for trial in range(trials)
+    ]
 
 
 def parallel_times(outcomes: Sequence[TrialOutcome]) -> list[float]:

@@ -14,6 +14,9 @@ from typing import Callable, Mapping, Sequence
 
 from repro.analysis.tables import Table
 from repro.errors import ExperimentError
+from repro.orchestration.context import execution_context
+from repro.orchestration.pool import ProgressCallback
+from repro.orchestration.store import TrialStore
 
 __all__ = [
     "ExperimentSpec",
@@ -21,6 +24,7 @@ __all__ = [
     "register",
     "get_experiment",
     "all_experiments",
+    "run_experiment",
 ]
 
 
@@ -103,6 +107,32 @@ def get_experiment(
 def all_experiments() -> Mapping[str, tuple[ExperimentSpec, Callable[..., ExperimentResult]]]:
     """All registered experiments, keyed by id."""
     return dict(sorted(_REGISTRY.items()))
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    jobs: int = 1,
+    store: TrialStore | None = None,
+    engine: str | None = None,
+    trials: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> ExperimentResult:
+    """Run a registered experiment under an orchestration context.
+
+    ``jobs``, ``store``, and the ``engine``/``trials`` overrides reach the
+    experiment's declarative :func:`~repro.experiments.runner
+    .stabilization_trials` batches through the ambient
+    :class:`~repro.orchestration.context.ExecutionContext` — experiment
+    ``run()`` signatures stay ``(scale, seed)``.  The defaults reproduce a
+    plain ``run(scale=..., seed=...)`` call exactly.
+    """
+    _spec, run = get_experiment(experiment_id)
+    with execution_context(
+        jobs=jobs, store=store, engine=engine, trials=trials, progress=progress
+    ):
+        return run(scale=scale, seed=seed)
 
 
 def scaled(values: Sequence[int], scale: float, minimum: int = 1) -> list[int]:

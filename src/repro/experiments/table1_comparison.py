@@ -14,14 +14,8 @@ from __future__ import annotations
 
 from repro.analysis.scaling import fit_scaling
 from repro.analysis.stats import summarize
-from repro.core.params import PLLParameters
-from repro.core.pll import PLLProtocol
-from repro.core.symmetric import SymmetricPLLProtocol
 from repro.experiments.runner import stabilization_trials
 from repro.experiments.spec import ExperimentResult, ExperimentSpec, register, scaled
-from repro.protocols.angluin import AngluinProtocol
-from repro.protocols.fast_nonce import FastNonceProtocol
-from repro.protocols.lottery import lottery_protocol
 
 SPEC = ExperimentSpec(
     id="E1",
@@ -35,50 +29,56 @@ SPEC = ExperimentSpec(
     bench="benchmarks/bench_table1.py",
 )
 
-#: (row label, factory(n) -> protocol, paper states, paper time, fit models)
+#: (row label, registry protocol name, paper states, paper time, fit models)
+#: — shared with the E1 campaign builder so `repro run E1` and `repro
+#: campaign run E1` address the same trial-store rows.
 ROWS = (
     (
         "angluin2006 [Ang+06]",
-        lambda n: AngluinProtocol(),
+        "angluin",
         "O(1)",
         "O(n)",
         ("log", "linear"),
     ),
     (
         "lottery-backup [Ali+17]-style",
-        lambda n: lottery_protocol(PLLParameters.for_population(n)),
+        "lottery",
         "O(log n)",
         "O(log^2 n)",
         ("log", "log^2", "linear"),
     ),
     (
         "fast-nonce [MST18]-style",
-        FastNonceProtocol.for_population,
+        "fast-nonce",
         "O(poly n)",
         "O(log n)",
         ("log", "linear"),
     ),
     (
         "PLL (this work)",
-        PLLProtocol.for_population,
+        "pll",
         "O(log n)",
         "O(log n)",
         ("log", "linear"),
     ),
     (
         "PLL symmetric (Sec. 4)",
-        SymmetricPLLProtocol.for_population,
+        "pll-symmetric",
         "O(log n)",
         "O(log n)",
         ("log", "linear"),
     ),
 )
 
+#: Population grid, shared with the campaign builder.
+NS = [32, 64, 128, 256]
+TRIALS = 16
+
 
 @register(SPEC)
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    ns = [32, 64, 128, 256]
-    trials = scaled([16], scale)[0]
+    ns = NS
+    trials = scaled([TRIALS], scale)[0]
     headers = [
         "protocol",
         "paper states",
@@ -88,18 +88,14 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         "best fit",
     ]
     rows = []
-    notes = [
-        "times are mean parallel stabilization times over "
-        f"{trials} trials; 'best fit' is the least-NRMSE model among the "
-        "row's candidates",
-    ]
-    for label, factory, paper_states, paper_time, models in ROWS:
+    for label, protocol_name, paper_states, paper_time, models in ROWS:
         means = []
         states_at_max = 0
         for n in ns:
             outcomes = stabilization_trials(
-                lambda n=n: factory(n), n, trials, base_seed=seed
+                protocol_name, n, trials, base_seed=seed
             )
+            trials = len(outcomes)  # reflect any --trials override in notes
             means.append(summarize([o.parallel_time for o in outcomes]).mean)
             states_at_max = max(o.distinct_states for o in outcomes)
         fit = fit_scaling(ns, means, models=models)
@@ -113,6 +109,11 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         for n, mean in zip(ns, means):
             row[f"time n={n}"] = mean
         rows.append(row)
+    notes = [
+        "times are mean parallel stabilization times over "
+        f"{trials} trials; 'best fit' is the least-NRMSE model among the "
+        "row's candidates",
+    ]
     return ExperimentResult(
         spec=SPEC, headers=headers, rows=rows, notes=notes, scale=scale, seed=seed
     )

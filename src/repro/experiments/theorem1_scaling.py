@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.analysis.scaling import fit_scaling
 from repro.analysis.stats import summarize
-from repro.core.pll import PLLProtocol
 from repro.experiments.runner import stabilization_trials
 from repro.experiments.spec import ExperimentResult, ExperimentSpec, register, scaled
 
@@ -35,6 +34,20 @@ SPEC = ExperimentSpec(
     paper_claim="expected stabilization time is O(log n) parallel time",
     bench="benchmarks/bench_theorem1.py",
 )
+
+#: The measurement grid, shared with the E9 campaign builder
+#: (:func:`repro.experiments.campaigns.campaign_for`) so `repro run E9`
+#: and `repro campaign run E9` address the same store rows.
+NS = [64, 128, 256, 512, 1024, 2048]
+TRIALS = 48
+
+
+def grid(scale: float) -> tuple[list[int], int]:
+    """The ``(ns, trials)`` grid at a given scale factor."""
+    ns = NS
+    if scale < 0.5:
+        ns = ns[: max(3, int(len(ns) * scale * 2))]
+    return ns, scaled([TRIALS], scale)[0]
 
 
 def trimmed_mean(values: list[float], fraction: float = 0.1) -> float:
@@ -51,10 +64,7 @@ def run(
     seed: int = 0,
     engine: str = "agent",
 ) -> ExperimentResult:
-    ns = [64, 128, 256, 512, 1024, 2048]
-    if scale < 0.5:
-        ns = ns[: max(3, int(len(ns) * scale * 2))]
-    trials = scaled([48], scale)[0]
+    ns, trials = grid(scale)
     headers = [
         "n",
         "trials",
@@ -68,7 +78,7 @@ def run(
     trimmed = []
     for n in ns:
         outcomes = stabilization_trials(
-            lambda n=n: PLLProtocol.for_population(n),
+            "pll",
             n,
             trials,
             base_seed=seed,
@@ -82,7 +92,7 @@ def run(
         rows.append(
             {
                 "n": n,
-                "trials": trials,
+                "trials": len(outcomes),
                 "mean time (parallel)": summary.mean,
                 "ci95 half-width": (summary.ci95_high - summary.ci95_low) / 2,
                 "median": summary.median,

@@ -1,0 +1,73 @@
+"""Parallel campaign orchestration with a persistent, resumable trial store.
+
+The subsystem splits trial farming into four layers:
+
+* :mod:`~repro.orchestration.spec` — declarative, content-hashed
+  :class:`TrialSpec`/:class:`CampaignSpec` descriptions of work;
+* :mod:`~repro.orchestration.store` — a SQLite :class:`TrialStore` caching
+  every completed outcome by spec hash (resume-after-crash for free);
+* :mod:`~repro.orchestration.pool` — serial fast path plus a
+  ``multiprocessing`` worker farm sharding missing trials across cores;
+* :mod:`~repro.orchestration.runner` — :class:`CampaignRunner` diffing
+  campaigns against the store and aggregating outcomes into the
+  ``analysis`` statistics.
+
+:mod:`~repro.orchestration.context` threads CLI-level settings
+(``--jobs``, ``--store``, ``--engine``, ``--trials``) to the experiment
+layer without touching experiment signatures, and
+:mod:`~repro.orchestration.registry` names protocols so specs stay
+picklable and hashable.
+"""
+
+from repro.orchestration.context import (
+    ExecutionContext,
+    current_context,
+    execution_context,
+)
+from repro.orchestration.pool import (
+    RunReport,
+    build_simulator,
+    execute_trial,
+    run_specs,
+)
+from repro.orchestration.registry import (
+    build_protocol,
+    protocol_names,
+    register_protocol,
+)
+from repro.orchestration.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignStatus,
+)
+from repro.orchestration.spec import (
+    ENGINES,
+    CampaignSpec,
+    TrialOutcome,
+    TrialSpec,
+    trial_specs,
+)
+from repro.orchestration.store import DEFAULT_STORE_PATH, TrialStore
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStatus",
+    "DEFAULT_STORE_PATH",
+    "ENGINES",
+    "ExecutionContext",
+    "RunReport",
+    "TrialOutcome",
+    "TrialSpec",
+    "TrialStore",
+    "build_protocol",
+    "build_simulator",
+    "current_context",
+    "execute_trial",
+    "execution_context",
+    "protocol_names",
+    "register_protocol",
+    "run_specs",
+    "trial_specs",
+]

@@ -1,0 +1,79 @@
+"""Ambient execution settings threaded to every declarative trial batch.
+
+Experiment ``run()`` functions keep their historical ``(scale, seed, ...)``
+signatures; parallelism, caching, and CLI-level overrides travel out of
+band through a :class:`ExecutionContext` instead.  ``repro run E9 --jobs 4
+--store x.sqlite --engine multiset --trials 8`` installs a context, and
+every :func:`~repro.experiments.runner.stabilization_trials` call the
+experiment makes picks it up — no signature churn across a dozen
+experiment modules.
+
+The default context (``jobs=1``, no store, no overrides) reproduces the
+historical serial behavior exactly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ExperimentError
+from repro.orchestration.pool import ProgressCallback
+from repro.orchestration.store import TrialStore
+
+__all__ = ["ExecutionContext", "current_context", "execution_context"]
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """How declarative trial batches should execute right now.
+
+    ``engine`` and ``trials``, when set, override the values the
+    experiment code passes — the CLI's ``--engine``/``--trials`` flags.
+    """
+
+    jobs: int = 1
+    store: TrialStore | None = None
+    engine: str | None = None
+    trials: int | None = None
+    progress: ProgressCallback | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ExperimentError(f"jobs must be positive, got {self.jobs}")
+        if self.trials is not None and self.trials < 1:
+            raise ExperimentError(
+                f"trials must be positive, got {self.trials}"
+            )
+
+
+_DEFAULT = ExecutionContext()
+_current: ContextVar[ExecutionContext] = ContextVar(
+    "repro_execution_context", default=_DEFAULT
+)
+
+
+def current_context() -> ExecutionContext:
+    """The active context (the serial default unless one is installed)."""
+    return _current.get()
+
+
+@contextmanager
+def execution_context(
+    jobs: int = 1,
+    store: TrialStore | None = None,
+    engine: str | None = None,
+    trials: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> Iterator[ExecutionContext]:
+    """Install an :class:`ExecutionContext` for the enclosed block."""
+    context = ExecutionContext(
+        jobs=jobs, store=store, engine=engine, trials=trials, progress=progress
+    )
+    token = _current.set(context)
+    try:
+        yield context
+    finally:
+        _current.reset(token)

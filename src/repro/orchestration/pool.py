@@ -1,0 +1,220 @@
+"""Trial execution: serial fast path and a multiprocessing worker farm.
+
+:func:`run_specs` is the one entry point.  It consults the optional
+:class:`~repro.orchestration.store.TrialStore` first, executes only the
+missing trials — serially for ``jobs=1`` (bit-identical to the historical
+in-process loop, so determinism guarantees are untouched) or across a
+``multiprocessing`` pool for ``jobs>1`` — and persists every fresh outcome
+as it arrives, so an interrupt (Ctrl-C, crash, OOM-kill) loses at most the
+in-flight trials and a re-run resumes where it stopped.
+
+Each trial re-derives everything from its :class:`TrialSpec` inside the
+worker (protocol instance, engine, RNG from the spec's own seed), so
+results are independent of worker count and scheduling order: ``jobs=4``
+produces byte-identical per-seed outcomes to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.engine.multiset import MultisetSimulator
+from repro.engine.protocol import Protocol
+from repro.engine.simulator import AgentSimulator
+from repro.errors import ConvergenceError, ExperimentError
+from repro.orchestration.spec import ENGINES, TrialOutcome, TrialSpec
+from repro.orchestration.store import TrialStore
+
+__all__ = [
+    "RunReport",
+    "build_simulator",
+    "execute_trial",
+    "measure_trial",
+    "run_specs",
+]
+
+#: Progress callback: ``progress(done, total, outcome)`` after every trial
+#: (cached trials are reported up front as a single batch with outcome
+#: ``None``).
+ProgressCallback = Callable[[int, int, TrialOutcome | None], None]
+
+_ENGINE_FACTORIES: dict[str, Callable[..., AgentSimulator | MultisetSimulator]] = {
+    "agent": AgentSimulator,
+    "multiset": MultisetSimulator,
+}
+if set(_ENGINE_FACTORIES) != set(ENGINES):  # pragma: no cover
+    raise AssertionError("engine factories out of sync with spec.ENGINES")
+
+
+def build_simulator(
+    protocol: Protocol,
+    n: int,
+    seed: int,
+    engine: str = "agent",
+) -> AgentSimulator | MultisetSimulator:
+    """Build the requested engine (one of :data:`~repro.orchestration.spec.ENGINES`)."""
+    try:
+        factory = _ENGINE_FACTORIES[engine]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown engine {engine!r}; use one of: {', '.join(ENGINES)}"
+        ) from None
+    return factory(protocol, n, seed=seed)
+
+
+def measure_trial(
+    protocol: Protocol,
+    n: int,
+    seed: int,
+    engine: str = "agent",
+    max_steps: int | None = None,
+    label: str = "",
+) -> TrialOutcome:
+    """Run one already-built protocol to stabilization.
+
+    The single implementation of per-trial measurement semantics, shared
+    by the declarative :func:`execute_trial` and the factory-callable
+    path of :func:`repro.experiments.runner.stabilization_trials`.  A
+    budget overrun surfaces as :class:`ConvergenceError` naming the
+    offending seed (plus ``label`` for context), so one divergent trial
+    never aborts a sweep opaquely.
+    """
+    sim = build_simulator(protocol, n, seed=seed, engine=engine)
+    try:
+        steps = sim.run_until_stabilized(max_steps=max_steps)
+    except ConvergenceError as exc:
+        context = f"{label}, " if label else ""
+        raise ConvergenceError(
+            f"trial with seed {seed} did not stabilize "
+            f"({context}n={n}, engine {engine!r}): {exc}",
+            steps=exc.steps,
+        ) from exc
+    return TrialOutcome(
+        seed=seed,
+        steps=steps,
+        parallel_time=sim.parallel_time,
+        leader_count=sim.leader_count,
+        distinct_states=sim.distinct_states_seen(),
+    )
+
+
+def execute_trial(spec: TrialSpec) -> TrialOutcome:
+    """Run one declaratively specified trial to stabilization.
+
+    A fresh protocol instance per trial keeps per-instance caches (none
+    today, but custom protocols may memoize) from leaking across trials.
+    """
+    return measure_trial(
+        spec.build_protocol(),
+        spec.n,
+        spec.seed,
+        engine=spec.engine,
+        max_steps=spec.max_steps,
+        label=f"protocol {spec.protocol!r}",
+    )
+
+
+def _execute_indexed(task: tuple[int, TrialSpec]) -> tuple[int, TrialOutcome]:
+    index, spec = task
+    return index, execute_trial(spec)
+
+
+def _worker_init() -> None:
+    # Ctrl-C is the parent's to handle (terminate + resumable store);
+    # letting it also hit the workers just spews one KeyboardInterrupt
+    # traceback per process over the graceful shutdown message.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcomes in spec order, plus how much work the cache saved."""
+
+    outcomes: list[TrialOutcome]
+    executed: int
+    cached: int
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached
+
+
+def _chunk_size(pending: int, jobs: int, persisting: bool) -> int:
+    """Bounded task chunking: amortize IPC without starving stragglers.
+
+    ``imap_unordered`` only hands back a chunk's results once the whole
+    chunk finishes, so when outcomes are being persisted each trial is its
+    own chunk — an interrupt then loses at most the truly in-flight
+    trials, never completed-but-undelivered ones.  Without a store there
+    is nothing to lose, and chunking just amortizes IPC.
+    """
+    if persisting:
+        return 1
+    return max(1, min(16, pending // (jobs * 4) or 1))
+
+
+def run_specs(
+    specs: Sequence[TrialSpec],
+    jobs: int = 1,
+    store: TrialStore | None = None,
+    progress: ProgressCallback | None = None,
+) -> RunReport:
+    """Execute ``specs``, reusing ``store`` hits; return outcomes in order.
+
+    ``jobs=1`` runs in-process.  ``jobs>1`` shards the *missing* trials
+    over a worker pool; fresh outcomes are persisted to ``store`` as they
+    complete, so a ``KeyboardInterrupt`` (re-raised after the pool is torn
+    down) leaves a resumable store behind.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be positive, got {jobs}")
+    cached = store.get_many(specs) if store is not None else {}
+    results: dict[int, TrialOutcome] = {}
+    pending: list[tuple[int, TrialSpec]] = []
+    for index, spec in enumerate(specs):
+        hit = cached.get(spec.content_hash())
+        if hit is None:
+            pending.append((index, spec))
+        else:
+            results[index] = hit
+    total = len(specs)
+    done = len(results)
+    if progress is not None and done:
+        progress(done, total, None)
+
+    def record(index: int, outcome: TrialOutcome) -> None:
+        nonlocal done
+        results[index] = outcome
+        if store is not None:
+            store.put(specs[index], outcome)
+        done += 1
+        if progress is not None:
+            progress(done, total, outcome)
+
+    if jobs == 1 or len(pending) <= 1:
+        for index, spec in pending:
+            record(index, execute_trial(spec))
+    else:
+        processes = min(jobs, len(pending))
+        chunksize = _chunk_size(len(pending), processes, store is not None)
+        pool = multiprocessing.Pool(processes=processes, initializer=_worker_init)
+        try:
+            for index, outcome in pool.imap_unordered(
+                _execute_indexed, pending, chunksize=chunksize
+            ):
+                record(index, outcome)
+            pool.close()
+        except BaseException:
+            # Covers worker failures (e.g. ConvergenceError) and Ctrl-C in
+            # the parent alike: stop the workers, keep what's persisted.
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+    outcomes = [results[index] for index in range(total)]
+    return RunReport(
+        outcomes=outcomes, executed=len(pending), cached=total - len(pending)
+    )

@@ -1,0 +1,153 @@
+"""Named, picklable protocol builders for declarative trial specs.
+
+The orchestration layer identifies protocols by *name + parameter mapping*
+rather than by factory callables: names serialize into content hashes and
+cross process boundaries (``multiprocessing`` workers rebuild the protocol
+from the name), where lambdas cannot.  The registry is the single source
+of truth for those names — the CLI's ``repro simulate --protocol`` choices
+are derived from it.
+
+Builders receive ``(n, **params)`` so one name can cover a parameter
+family (e.g. ``pll`` with ``variant="no-tournament"``); common variants
+are also registered under their own alias for CLI convenience.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Mapping
+
+from repro.core.params import PLLParameters
+from repro.core.pll import PLLProtocol
+from repro.core.symmetric import SymmetricPLLProtocol
+from repro.engine.protocol import Protocol
+from repro.errors import ExperimentError
+from repro.protocols.angluin import AngluinProtocol
+from repro.protocols.fast_nonce import FastNonceProtocol
+from repro.protocols.loose_stabilization import LooselyStabilizingProtocol
+from repro.protocols.lottery import lottery_protocol
+
+__all__ = [
+    "ProtocolBuilder",
+    "register_protocol",
+    "build_protocol",
+    "canonical_params",
+    "protocol_names",
+]
+
+#: Builder signature: ``builder(n, **params) -> Protocol``.
+ProtocolBuilder = Callable[..., Protocol]
+
+_BUILDERS: dict[str, ProtocolBuilder] = {}
+
+
+def register_protocol(name: str) -> Callable[[ProtocolBuilder], ProtocolBuilder]:
+    """Decorator registering a protocol builder under ``name``."""
+
+    def decorator(builder: ProtocolBuilder) -> ProtocolBuilder:
+        if name in _BUILDERS:
+            raise ExperimentError(f"duplicate protocol name {name!r}")
+        _BUILDERS[name] = builder
+        return builder
+
+    return decorator
+
+
+def _builder(name: str) -> ProtocolBuilder:
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise ExperimentError(
+            f"unknown protocol {name!r}; known: {known}"
+        ) from None
+
+
+def canonical_params(
+    name: str, params: Mapping[str, object] | None
+) -> dict[str, object]:
+    """Validate ``params`` against the builder and drop default values.
+
+    Semantically identical trials must hash identically, so
+    ``("pll", {"variant": "full"})`` and ``("pll", {})`` — which build
+    the same protocol — canonicalize to the same (empty) mapping.
+    Unknown keys are rejected here, at spec-creation time, rather than
+    surfacing as a :class:`TypeError` inside a worker process.
+    """
+    signature = inspect.signature(_builder(name))
+    by_name = dict(list(signature.parameters.items())[1:])  # skip ``n``
+    canonical: dict[str, object] = {}
+    for key, value in (params or {}).items():
+        parameter = by_name.get(key)
+        if parameter is None:
+            known = ", ".join(sorted(by_name)) or "none"
+            raise ExperimentError(
+                f"protocol {name!r} has no parameter {key!r}; known: {known}"
+            )
+        if (
+            parameter.default is not inspect.Parameter.empty
+            and value == parameter.default
+        ):
+            continue
+        canonical[key] = value
+    return canonical
+
+
+def build_protocol(
+    name: str, n: int, params: Mapping[str, object] | None = None
+) -> Protocol:
+    """Instantiate the named protocol for population size ``n``."""
+    builder = _builder(name)
+    try:
+        return builder(n, **dict(params or {}))
+    except TypeError as exc:
+        raise ExperimentError(
+            f"protocol {name!r} rejected params {dict(params or {})!r}: {exc}"
+        ) from exc
+
+
+def protocol_names() -> list[str]:
+    """All registered protocol names, sorted."""
+    return sorted(_BUILDERS)
+
+
+@register_protocol("pll")
+def _pll(n: int, variant: str = "full") -> Protocol:
+    return PLLProtocol.for_population(n, variant=variant)
+
+
+@register_protocol("pll-symmetric")
+def _pll_symmetric(n: int) -> Protocol:
+    return SymmetricPLLProtocol.for_population(n)
+
+
+@register_protocol("pll-no-tournament")
+def _pll_no_tournament(n: int) -> Protocol:
+    return PLLProtocol.for_population(n, variant="no-tournament")
+
+
+@register_protocol("pll-backup-only")
+def _pll_backup_only(n: int) -> Protocol:
+    return PLLProtocol.for_population(n, variant="backup-only")
+
+
+@register_protocol("lottery")
+def _lottery(n: int, slack: float = 1.0) -> Protocol:
+    return lottery_protocol(PLLParameters.for_population(n, slack=slack))
+
+
+@register_protocol("angluin")
+def _angluin(n: int) -> Protocol:
+    return AngluinProtocol()
+
+
+@register_protocol("fast-nonce")
+def _fast_nonce(n: int) -> Protocol:
+    return FastNonceProtocol.for_population(n)
+
+
+@register_protocol("loose")
+def _loose(n: int, holding_factor: int = 16) -> Protocol:
+    return LooselyStabilizingProtocol.for_population(
+        n, holding_factor=holding_factor
+    )

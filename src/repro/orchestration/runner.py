@@ -1,0 +1,197 @@
+"""Campaign execution: run/resume/status/report over a trial store.
+
+The :class:`CampaignRunner` ties the layers together: it diffs a
+:class:`~repro.orchestration.spec.CampaignSpec` against the persistent
+:class:`~repro.orchestration.store.TrialStore`, farms the missing trials
+out through :func:`~repro.orchestration.pool.run_specs`, and aggregates
+the full outcome set into the same summary statistics the ``analysis``
+package computes for experiment tables (mean with CI, median, extremes).
+
+``resume`` is not a separate mechanism — running the same campaign against
+the same store simply finds fewer missing trials.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import Table
+from repro.orchestration.pool import ProgressCallback, run_specs
+from repro.orchestration.spec import CampaignSpec, TrialOutcome
+from repro.orchestration.store import TrialStore
+
+__all__ = ["CampaignRunner", "CampaignStatus", "CampaignResult"]
+
+_AGGREGATE_HEADERS = [
+    "protocol",
+    "params",
+    "n",
+    "trials",
+    "mean time (parallel)",
+    "ci95 half-width",
+    "median",
+    "min",
+    "max",
+    "mean steps",
+    "max distinct states",
+]
+
+
+def _params_label(params: tuple[tuple[str, object], ...]) -> str:
+    return (
+        ", ".join(f"{key}={value}" for key, value in params) if params else "-"
+    )
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """How much of a campaign the store already holds."""
+
+    campaign: str
+    total: int
+    cached: int
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.cached
+
+    @property
+    def complete(self) -> bool:
+        return self.cached == self.total
+
+    def render(self) -> str:
+        percent = 100.0 * self.cached / self.total
+        return (
+            f"campaign {self.campaign}: {self.cached}/{self.total} trials "
+            f"cached ({percent:.1f}%), {self.pending} pending"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregated outcomes of one campaign run (or report)."""
+
+    campaign: CampaignSpec
+    outcomes: list[TrialOutcome]
+    executed: int
+    cached: int
+    elapsed: float
+
+    @property
+    def throughput(self) -> float:
+        """Freshly executed trials per second (0 for pure cache hits)."""
+        return self.executed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def aggregate(self) -> Table:
+        """Per ``(protocol, params, n)`` summary of the outcome columns."""
+        table = Table(_AGGREGATE_HEADERS)
+        outcome_of = {
+            spec.content_hash(): outcome
+            for spec, outcome in zip(self.campaign.trials, self.outcomes)
+            if outcome is not None
+        }
+        for (protocol, params, n), specs in self.campaign.groups():
+            group = [
+                outcome_of[spec.content_hash()]
+                for spec in specs
+                if spec.content_hash() in outcome_of
+            ]
+            if not group:
+                continue
+            times = summarize([outcome.parallel_time for outcome in group])
+            steps = summarize([float(outcome.steps) for outcome in group])
+            table.add_record(
+                {
+                    "protocol": protocol,
+                    "params": _params_label(params),
+                    "n": n,
+                    "trials": len(group),
+                    "mean time (parallel)": times.mean,
+                    "ci95 half-width": (times.ci95_high - times.ci95_low) / 2,
+                    "median": times.median,
+                    "min": times.minimum,
+                    "max": times.maximum,
+                    "mean steps": steps.mean,
+                    "max distinct states": max(
+                        outcome.distinct_states for outcome in group
+                    ),
+                }
+            )
+        return table
+
+    def render(self) -> str:
+        """Full plain-text report: provenance line plus aggregate table."""
+        known = sum(outcome is not None for outcome in self.outcomes)
+        lines = [
+            f"campaign {self.campaign.name}: {known}/{len(self.campaign)} "
+            f"trials ({self.cached} cached, {self.executed} executed in "
+            f"{self.elapsed:.2f}s"
+            + (f", {self.throughput:.1f} trials/s" if self.executed else "")
+            + ")",
+            "",
+            self.aggregate().render(),
+        ]
+        if known < len(self.campaign):
+            lines += [
+                "",
+                f"note: {len(self.campaign) - known} trials not yet in the "
+                "store; run `repro campaign run` to fill them in",
+            ]
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Execute campaigns against one store with a fixed worker budget."""
+
+    def __init__(
+        self,
+        store: TrialStore,
+        jobs: int = 1,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        self.store = store
+        self.jobs = jobs
+        self.progress = progress
+
+    def run(self, campaign: CampaignSpec) -> CampaignResult:
+        """Execute every trial not already cached; aggregate all of them."""
+        started = time.perf_counter()
+        report = run_specs(
+            campaign.trials,
+            jobs=self.jobs,
+            store=self.store,
+            progress=self.progress,
+        )
+        return CampaignResult(
+            campaign=campaign,
+            outcomes=report.outcomes,
+            executed=report.executed,
+            cached=report.cached,
+            elapsed=time.perf_counter() - started,
+        )
+
+    def status(self, campaign: CampaignSpec) -> CampaignStatus:
+        """Cache coverage without executing anything."""
+        cached = self.store.get_many(campaign.trials)
+        return CampaignStatus(
+            campaign=campaign.name,
+            total=len(campaign),
+            cached=len(cached),
+        )
+
+    def report(self, campaign: CampaignSpec) -> CampaignResult:
+        """Aggregate whatever the store holds, executing nothing."""
+        started = time.perf_counter()
+        cached = self.store.get_many(campaign.trials)
+        outcomes = [
+            cached.get(spec.content_hash()) for spec in campaign.trials
+        ]
+        return CampaignResult(
+            campaign=campaign,
+            outcomes=outcomes,
+            executed=0,
+            cached=len(cached),
+            elapsed=time.perf_counter() - started,
+        )

@@ -1,0 +1,262 @@
+"""Declarative trial and campaign specifications.
+
+A :class:`TrialSpec` names *one* stabilization measurement — protocol (by
+registry name plus parameter mapping), population size, engine, seed, step
+budget, and detector — without holding any live objects.  That makes it
+
+* **hashable**: :meth:`TrialSpec.content_hash` is a stable SHA-256 over
+  the canonical JSON form, used as the primary key of the persistent
+  :class:`~repro.orchestration.store.TrialStore`;
+* **portable**: specs pickle cheaply into ``multiprocessing`` workers and
+  serialize losslessly into SQLite for resume-after-crash.
+
+A :class:`CampaignSpec` is an ordered batch of trial specs (typically a
+grid of ``n`` times a trial count), the unit the
+:class:`~repro.orchestration.runner.CampaignRunner` executes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.engine.protocol import Protocol
+from repro.errors import ExperimentError
+from repro.orchestration.registry import build_protocol, canonical_params
+
+__all__ = [
+    "ENGINES",
+    "TrialOutcome",
+    "TrialSpec",
+    "CampaignSpec",
+    "trial_specs",
+]
+
+#: Bump when the execution semantics behind a hash change incompatibly
+#: (e.g. a different default detector), so stale store rows never alias
+#: fresh ones.
+SPEC_VERSION = 1
+
+#: The only stabilization detector the orchestration layer runs today.
+#: Kept in the hash so future detector options invalidate cleanly.
+MONOTONE_LEADER = "monotone-leader"
+
+#: The simulation engines a spec may name; the single source of truth for
+#: engine-name validation, the pool's dispatch table, and CLI choices.
+ENGINES = ("agent", "multiset")
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One stabilization measurement."""
+
+    seed: int
+    steps: int
+    parallel_time: float
+    leader_count: int
+    distinct_states: int
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Everything needed to (re)run one trial, and nothing else.
+
+    ``params`` is stored as a sorted tuple of ``(key, value)`` pairs with
+    builder-default values dropped, so semantically equal mappings
+    compare and hash identically regardless of insertion order or
+    explicit defaults (``("pll", {"variant": "full"})`` is ``("pll",
+    {})``).  Build instances through :meth:`create`, which normalizes
+    and validates.
+    """
+
+    protocol: str
+    n: int
+    seed: int
+    engine: str = "agent"
+    params: tuple[tuple[str, object], ...] = ()
+    max_steps: int | None = None
+    detector: str = MONOTONE_LEADER
+
+    @classmethod
+    def create(
+        cls,
+        protocol: str,
+        n: int,
+        seed: int,
+        engine: str = "agent",
+        params: Mapping[str, object] | None = None,
+        max_steps: int | None = None,
+        detector: str = MONOTONE_LEADER,
+    ) -> "TrialSpec":
+        if n < 2:
+            raise ExperimentError(f"population needs at least 2 agents, got n={n}")
+        if engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {engine!r}; use 'agent' or 'multiset'"
+            )
+        if detector != MONOTONE_LEADER:
+            raise ExperimentError(
+                f"unknown detector {detector!r}; only {MONOTONE_LEADER!r} "
+                "is supported"
+            )
+        if max_steps is not None and max_steps < 1:
+            raise ExperimentError(f"max_steps must be positive, got {max_steps}")
+        normalized = tuple(sorted(canonical_params(protocol, params).items()))
+        try:
+            json.dumps(dict(normalized))
+        except TypeError as exc:
+            raise ExperimentError(
+                f"trial params must be JSON-serializable: {exc}"
+            ) from exc
+        return cls(
+            protocol=protocol,
+            n=n,
+            seed=seed,
+            engine=engine,
+            params=normalized,
+            max_steps=max_steps,
+            detector=detector,
+        )
+
+    def params_dict(self) -> dict[str, object]:
+        return dict(self.params)
+
+    def canonical(self) -> dict[str, object]:
+        """The hashed identity of this trial, as a JSON-ready mapping."""
+        return {
+            "version": SPEC_VERSION,
+            "protocol": self.protocol,
+            "params": [list(pair) for pair in self.params],
+            "n": self.n,
+            "seed": self.seed,
+            "engine": self.engine,
+            "max_steps": self.max_steps,
+            "detector": self.detector,
+        }
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 hex digest of the canonical form."""
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def build_protocol(self) -> Protocol:
+        """Instantiate the protocol this spec names."""
+        return build_protocol(self.protocol, self.n, self.params_dict())
+
+    def to_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TrialSpec":
+        data = json.loads(payload)
+        return cls.create(
+            protocol=data["protocol"],
+            n=data["n"],
+            seed=data["seed"],
+            engine=data["engine"],
+            params={key: value for key, value in data["params"]},
+            max_steps=data["max_steps"],
+            detector=data["detector"],
+        )
+
+
+def trial_specs(
+    protocol: str,
+    n: int,
+    trials: int,
+    base_seed: int = 0,
+    engine: str = "agent",
+    params: Mapping[str, object] | None = None,
+    max_steps: int | None = None,
+) -> list[TrialSpec]:
+    """Specs for ``trials`` independent runs with sequentially derived seeds.
+
+    Seed derivation (``base_seed + trial``) matches the historical
+    :func:`repro.experiments.runner.stabilization_trials` convention, so
+    any single data point in EXPERIMENTS.md stays reproducible in
+    isolation — and so campaign-store rows are shared between ``repro
+    run`` and ``repro campaign run`` for identical grids.
+    """
+    if trials < 1:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    return [
+        TrialSpec.create(
+            protocol=protocol,
+            n=n,
+            seed=base_seed + trial,
+            engine=engine,
+            params=params,
+            max_steps=max_steps,
+        )
+        for trial in range(trials)
+    ]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """An ordered batch of trials executed and aggregated together."""
+
+    name: str
+    trials: tuple[TrialSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("a campaign needs a non-empty name")
+        if not self.trials:
+            raise ExperimentError(f"campaign {self.name!r} has no trials")
+        hashes = {spec.content_hash() for spec in self.trials}
+        if len(hashes) != len(self.trials):
+            raise ExperimentError(
+                f"campaign {self.name!r} contains duplicate trial specs"
+            )
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def content_hash(self) -> str:
+        """Order-insensitive digest over the member trial hashes."""
+        digest = hashlib.sha256()
+        for trial_hash in sorted(spec.content_hash() for spec in self.trials):
+            digest.update(trial_hash.encode("ascii"))
+        return digest.hexdigest()
+
+    def groups(self) -> list[tuple[tuple[str, tuple, int], list[TrialSpec]]]:
+        """Trials grouped by ``(protocol, params, n)`` in first-seen order."""
+        grouped: dict[tuple[str, tuple, int], list[TrialSpec]] = {}
+        for spec in self.trials:
+            grouped.setdefault((spec.protocol, spec.params, spec.n), []).append(
+                spec
+            )
+        return list(grouped.items())
+
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        protocol: str,
+        ns: Sequence[int] | Iterable[int],
+        trials: int,
+        base_seed: int = 0,
+        engine: str = "agent",
+        params: Mapping[str, object] | None = None,
+        max_steps: int | None = None,
+    ) -> "CampaignSpec":
+        """A ``len(ns) x trials`` grid over one protocol."""
+        specs: list[TrialSpec] = []
+        for n in ns:
+            specs.extend(
+                trial_specs(
+                    protocol,
+                    n,
+                    trials,
+                    base_seed=base_seed,
+                    engine=engine,
+                    params=params,
+                    max_steps=max_steps,
+                )
+            )
+        return cls(name=name, trials=tuple(specs))

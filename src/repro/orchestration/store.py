@@ -1,0 +1,193 @@
+"""Persistent SQLite-backed cache of trial outcomes.
+
+Every completed :class:`~repro.orchestration.spec.TrialOutcome` is stored
+keyed by its spec's content hash.  Re-running a campaign therefore only
+executes the trials missing from the store — which is also exactly what a
+crash/Ctrl-C leaves behind, so resumption needs no extra bookkeeping:
+``repro campaign resume`` is ``run`` against the same store.
+
+Only the orchestrating (parent) process writes; ``multiprocessing``
+workers return outcomes over IPC.  The stdlib :mod:`sqlite3` module is the
+only dependency, and writes are committed per batch so a kill mid-campaign
+loses at most the in-flight trial.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ExperimentError
+from repro.orchestration.spec import TrialOutcome, TrialSpec
+
+__all__ = ["TrialStore", "DEFAULT_STORE_PATH"]
+
+#: Where campaign outcomes land unless ``--store`` says otherwise.
+DEFAULT_STORE_PATH = ".repro-store.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    spec_hash       TEXT PRIMARY KEY,
+    protocol        TEXT NOT NULL,
+    n               INTEGER NOT NULL,
+    seed            INTEGER NOT NULL,
+    engine          TEXT NOT NULL,
+    spec_json       TEXT NOT NULL,
+    steps           INTEGER NOT NULL,
+    parallel_time   REAL NOT NULL,
+    leader_count    INTEGER NOT NULL,
+    distinct_states INTEGER NOT NULL,
+    created_at      TEXT NOT NULL DEFAULT (datetime('now'))
+);
+CREATE INDEX IF NOT EXISTS idx_trials_protocol_n ON trials (protocol, n);
+"""
+
+
+class TrialStore:
+    """Content-addressed trial cache over one SQLite file.
+
+    ``path=":memory:"`` gives an ephemeral store (useful in tests and for
+    callers that want pooling without persistence).  ``readonly=True``
+    opens an existing store without creating or modifying anything —
+    the mode for ``repro campaign status|report``, which must not leave
+    an empty database behind (or silently mask a mistyped ``--store``
+    path as an empty cache).
+    """
+
+    def __init__(
+        self, path: str | Path = DEFAULT_STORE_PATH, readonly: bool = False
+    ) -> None:
+        self.path = str(path)
+        self.readonly = readonly
+        try:
+            if readonly:
+                self._connection = sqlite3.connect(
+                    f"file:{self.path}?mode=ro", uri=True
+                )
+                has_table = self._connection.execute(
+                    "SELECT 1 FROM sqlite_master WHERE name = 'trials'"
+                ).fetchone()
+                if has_table is None:
+                    raise ExperimentError(
+                        f"{self.path!r} is not a trial store"
+                    )
+            else:
+                self._connection = sqlite3.connect(self.path)
+                self._connection.executescript(_SCHEMA)
+                self._connection.commit()
+        except sqlite3.Error as exc:
+            hint = (
+                " (has the campaign been run yet?)" if readonly else ""
+            )
+            raise ExperimentError(
+                f"cannot open trial store {self.path!r}: {exc}{hint}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "TrialStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute(
+            "SELECT COUNT(*) FROM trials"
+        ).fetchone()
+        return int(count)
+
+    def __contains__(self, spec: TrialSpec) -> bool:
+        return self.get(spec) is not None
+
+    def get(self, spec: TrialSpec) -> TrialOutcome | None:
+        """The cached outcome for ``spec``, or ``None``."""
+        row = self._connection.execute(
+            "SELECT seed, steps, parallel_time, leader_count, distinct_states"
+            " FROM trials WHERE spec_hash = ?",
+            (spec.content_hash(),),
+        ).fetchone()
+        return None if row is None else _outcome_from_row(row)
+
+    def get_many(
+        self, specs: Sequence[TrialSpec]
+    ) -> dict[str, TrialOutcome]:
+        """Cached outcomes for ``specs``, keyed by spec content hash."""
+        results: dict[str, TrialOutcome] = {}
+        hashes = [spec.content_hash() for spec in specs]
+        # SQLite caps the number of bound parameters; chunk the IN list.
+        for start in range(0, len(hashes), 500):
+            chunk = hashes[start : start + 500]
+            placeholders = ",".join("?" * len(chunk))
+            rows = self._connection.execute(
+                "SELECT spec_hash, seed, steps, parallel_time, leader_count,"
+                " distinct_states FROM trials"
+                f" WHERE spec_hash IN ({placeholders})",
+                chunk,
+            ).fetchall()
+            for spec_hash, *rest in rows:
+                results[spec_hash] = _outcome_from_row(rest)
+        return results
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def put(self, spec: TrialSpec, outcome: TrialOutcome) -> None:
+        """Persist one outcome (idempotent: same hash overwrites)."""
+        self.put_many([(spec, outcome)])
+
+    def put_many(
+        self, items: Iterable[tuple[TrialSpec, TrialOutcome]]
+    ) -> None:
+        """Persist a batch of outcomes in one transaction."""
+        rows = []
+        for spec, outcome in items:
+            if outcome.seed != spec.seed:
+                raise ExperimentError(
+                    f"outcome seed {outcome.seed} does not match spec seed "
+                    f"{spec.seed} (protocol {spec.protocol!r}, n={spec.n})"
+                )
+            rows.append(
+                (
+                    spec.content_hash(),
+                    spec.protocol,
+                    spec.n,
+                    spec.seed,
+                    spec.engine,
+                    spec.to_json(),
+                    outcome.steps,
+                    outcome.parallel_time,
+                    outcome.leader_count,
+                    outcome.distinct_states,
+                )
+            )
+        with self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO trials"
+                " (spec_hash, protocol, n, seed, engine, spec_json, steps,"
+                "  parallel_time, leader_count, distinct_states)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+
+
+def _outcome_from_row(row: Sequence[object]) -> TrialOutcome:
+    seed, steps, parallel_time, leader_count, distinct_states = row
+    return TrialOutcome(
+        seed=int(seed),
+        steps=int(steps),
+        parallel_time=float(parallel_time),
+        leader_count=int(leader_count),
+        distinct_states=int(distinct_states),
+    )

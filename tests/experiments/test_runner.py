@@ -4,8 +4,10 @@ import pytest
 
 from repro.engine.multiset import MultisetSimulator
 from repro.engine.simulator import AgentSimulator
-from repro.errors import ExperimentError
+from repro.errors import ConvergenceError, ExperimentError
 from repro.experiments.runner import make_simulator, stabilization_trials
+from repro.orchestration.context import execution_context
+from repro.orchestration.store import TrialStore
 from repro.protocols.angluin import AngluinProtocol
 
 
@@ -55,3 +57,59 @@ class TestStabilizationTrials:
             AngluinProtocol, 10, trials=2, engine="multiset"
         )
         assert all(outcome.leader_count == 1 for outcome in outcomes)
+
+    def test_convergence_error_names_the_seed(self):
+        with pytest.raises(ConvergenceError, match="seed 4"):
+            stabilization_trials(
+                AngluinProtocol, 16, trials=1, base_seed=4, max_steps=5
+            )
+
+
+class TestDeclarativeTrials:
+    def test_named_protocol_matches_factory(self):
+        by_name = stabilization_trials("angluin", 8, trials=3, base_seed=5)
+        by_factory = stabilization_trials(
+            AngluinProtocol, 8, trials=3, base_seed=5
+        )
+        assert by_name == by_factory
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExperimentError):
+            stabilization_trials("quantum", 8, trials=1)
+
+    def test_params_require_a_named_protocol(self):
+        with pytest.raises(ExperimentError):
+            stabilization_trials(
+                AngluinProtocol, 8, trials=1, params={"variant": "full"}
+            )
+
+    def test_context_overrides_trial_count(self):
+        with execution_context(trials=2):
+            outcomes = stabilization_trials("angluin", 8, trials=5)
+        assert len(outcomes) == 2
+
+    def test_context_overrides_engine(self):
+        plain = stabilization_trials("angluin", 8, trials=1)
+        with execution_context(engine="multiset"):
+            overridden = stabilization_trials(
+                "angluin", 8, trials=1, engine="agent"
+            )
+        forced = stabilization_trials("angluin", 8, trials=1, engine="multiset")
+        assert overridden == forced
+        assert overridden != plain
+
+    def test_factory_path_ignores_context_overrides(self):
+        # Documented contract: only registry-named protocols honor the
+        # execution context; factory callables keep their explicit args.
+        plain = stabilization_trials(AngluinProtocol, 8, trials=3)
+        with execution_context(trials=1, engine="multiset"):
+            under_context = stabilization_trials(AngluinProtocol, 8, trials=3)
+        assert under_context == plain
+
+    def test_context_store_caches_between_calls(self):
+        with TrialStore(":memory:") as store:
+            with execution_context(store=store):
+                first = stabilization_trials("angluin", 8, trials=3)
+                assert len(store) == 3
+                second = stabilization_trials("angluin", 8, trials=3)
+        assert first == second

@@ -1,0 +1,70 @@
+"""Tests for repro.experiments.campaigns (experiment id -> campaign)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import campaign_for, campaign_ids, run_experiment
+from repro.orchestration.runner import CampaignRunner
+from repro.orchestration.store import TrialStore
+
+
+class TestCampaignFor:
+    def test_known_ids(self):
+        assert campaign_ids() == ["E1", "E12", "E9"]
+
+    def test_unknown_id_lists_known(self):
+        with pytest.raises(ExperimentError, match="E9"):
+            campaign_for("E99")
+
+    def test_lookup_is_case_insensitive(self):
+        assert campaign_for("e9", scale=0.02).name == "E9"
+
+    def test_e1_covers_every_table_row(self):
+        campaign = campaign_for("E1", scale=0.02)
+        protocols = {spec.protocol for spec in campaign.trials}
+        assert protocols == {
+            "angluin", "lottery", "fast-nonce", "pll", "pll-symmetric"
+        }
+        # 5 protocols x 4 population sizes x 1 trial at this scale.
+        assert len(campaign) == 20
+
+    def test_e9_grid_matches_experiment_scale_rules(self):
+        campaign = campaign_for("E9", scale=0.02)
+        assert {spec.n for spec in campaign.trials} == {64, 128, 256}
+        assert all(spec.protocol == "pll" for spec in campaign.trials)
+
+    def test_e12_names_the_variants(self):
+        campaign = campaign_for("E12", scale=0.125)
+        # "full" is the builder default, so it normalizes to empty params.
+        variants = {
+            dict(spec.params).get("variant", "full")
+            for spec in campaign.trials
+        }
+        assert variants == {"full", "no-tournament", "backup-only"}
+
+    def test_engine_and_seed_thread_through(self):
+        campaign = campaign_for("E9", scale=0.02, seed=11, engine="multiset")
+        assert all(spec.engine == "multiset" for spec in campaign.trials)
+        assert min(spec.seed for spec in campaign.trials) == 11
+
+
+class TestExperimentCampaignSharing:
+    def test_default_variant_rows_shared_across_campaigns(self):
+        # E9 stores plain "pll" trials; E12's variant=full trials build
+        # the identical protocol, so params normalization must make them
+        # cache hits (n=64 and n=256 overlap at these scales, seed 0).
+        with TrialStore(":memory:") as store:
+            runner = CampaignRunner(store)
+            runner.run(campaign_for("E9", scale=0.125))
+            status = runner.status(campaign_for("E12", scale=0.125))
+        assert status.cached == 2
+
+    def test_repro_run_fills_the_campaign_store(self):
+        # `repro run E12 --store x` and `repro campaign run E12 --store x`
+        # must address the same rows: running the experiment through an
+        # orchestration context leaves the campaign fully cached.
+        with TrialStore(":memory:") as store:
+            run_experiment("E12", scale=0.125, store=store)
+            campaign = campaign_for("E12", scale=0.125)
+            status = CampaignRunner(store).status(campaign)
+        assert status.complete

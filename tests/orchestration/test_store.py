@@ -1,0 +1,93 @@
+"""Tests for repro.orchestration.store (SQLite trial cache)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.orchestration.spec import TrialOutcome, TrialSpec, trial_specs
+from repro.orchestration.store import TrialStore
+
+
+def outcome_for(spec: TrialSpec, steps: int = 100) -> TrialOutcome:
+    return TrialOutcome(
+        seed=spec.seed,
+        steps=steps,
+        parallel_time=steps / spec.n,
+        leader_count=1,
+        distinct_states=4,
+    )
+
+
+class TestTrialStore:
+    def test_roundtrip(self):
+        spec = TrialSpec.create("angluin", 8, 3)
+        with TrialStore(":memory:") as store:
+            assert store.get(spec) is None
+            assert spec not in store
+            store.put(spec, outcome_for(spec))
+            assert store.get(spec) == outcome_for(spec)
+            assert spec in store
+            assert len(store) == 1
+
+    def test_put_is_idempotent_by_hash(self):
+        spec = TrialSpec.create("angluin", 8, 3)
+        with TrialStore(":memory:") as store:
+            store.put(spec, outcome_for(spec, steps=100))
+            store.put(spec, outcome_for(spec, steps=100))
+            assert len(store) == 1
+
+    def test_get_many_returns_only_hits(self):
+        specs = trial_specs("angluin", 8, trials=4)
+        with TrialStore(":memory:") as store:
+            store.put_many((spec, outcome_for(spec)) for spec in specs[:2])
+            hits = store.get_many(specs)
+            assert set(hits) == {spec.content_hash() for spec in specs[:2]}
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "trials.sqlite"
+        spec = TrialSpec.create("pll", 64, 0, params={"variant": "full"})
+        with TrialStore(path) as store:
+            store.put(spec, outcome_for(spec))
+        with TrialStore(path) as store:
+            assert store.get(spec) == outcome_for(spec)
+
+    def test_distinct_specs_do_not_alias(self):
+        a = TrialSpec.create("angluin", 8, 0)
+        b = TrialSpec.create("angluin", 8, 1)
+        with TrialStore(":memory:") as store:
+            store.put(a, outcome_for(a))
+            assert store.get(b) is None
+
+    def test_rejects_seed_mismatch(self):
+        a = TrialSpec.create("angluin", 8, 0)
+        b = TrialSpec.create("angluin", 8, 1)
+        with TrialStore(":memory:") as store:
+            with pytest.raises(ExperimentError):
+                store.put(a, outcome_for(b))
+
+    def test_readonly_reads_existing_store(self, tmp_path):
+        path = tmp_path / "trials.sqlite"
+        spec = TrialSpec.create("angluin", 8, 0)
+        with TrialStore(path) as store:
+            store.put(spec, outcome_for(spec))
+        with TrialStore(path, readonly=True) as store:
+            assert store.get(spec) == outcome_for(spec)
+
+    def test_readonly_missing_store_raises_without_creating(self, tmp_path):
+        path = tmp_path / "missing.sqlite"
+        with pytest.raises(ExperimentError, match="campaign been run"):
+            TrialStore(path, readonly=True)
+        assert not path.exists()
+
+    def test_readonly_rejects_non_store_file(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "other.sqlite"
+        sqlite3.connect(path).close()  # valid sqlite file, wrong schema
+        with pytest.raises(ExperimentError, match="not a trial store"):
+            TrialStore(path, readonly=True)
+
+    def test_get_many_chunks_large_batches(self):
+        specs = trial_specs("angluin", 8, trials=600)
+        with TrialStore(":memory:") as store:
+            store.put_many((spec, outcome_for(spec)) for spec in specs)
+            assert len(store.get_many(specs)) == 600

@@ -30,6 +30,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--protocol", "nope"])
 
+    def test_run_orchestration_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E9", "--jobs", "4", "--trials", "8",
+             "--engine", "multiset", "--store", "x.sqlite"]
+        )
+        assert args.jobs == 4
+        assert args.trials == 8
+        assert args.engine == "multiset"
+        assert args.store == "x.sqlite"
+
+    def test_run_defaults_to_no_store_serial(self):
+        args = build_parser().parse_args(["run", "E9"])
+        assert args.store is None
+        assert args.jobs == 1
+        assert args.engine is None and args.trials is None
+
+    def test_campaign_parser_defaults(self):
+        args = build_parser().parse_args(["campaign", "run", "E1"])
+        assert args.action == "run"
+        assert args.experiment == "E1"
+        assert args.store == ".repro-store.sqlite"
+        assert args.jobs == 1
+
+    def test_campaign_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
 
 class TestCommands:
     def test_list_prints_registry(self, capsys):
@@ -59,6 +86,49 @@ class TestCommands:
         for name, factory in PROTOCOLS.items():
             protocol = factory(16)
             assert protocol.initial_state() is not None, name
+
+    def test_campaign_run_then_resume_hits_cache(self, capsys, tmp_path):
+        store = str(tmp_path / "trials.sqlite")
+        argv = ["campaign", "run", "E12", "--scale", "0.125", "--store", store]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "6 executed" in first
+        # Same campaign again: everything is a cache hit.
+        assert main(["campaign", "resume", "E12", "--scale", "0.125",
+                     "--store", store]) == 0
+        second = capsys.readouterr().out
+        assert "6 cached, 0 executed" in second
+
+    def test_campaign_status_and_report(self, capsys, tmp_path):
+        import os
+
+        store = str(tmp_path / "trials.sqlite")
+        # Read-only actions on a missing store fail cleanly and leave
+        # no file behind (a created-empty store would mask path typos).
+        assert main(["campaign", "status", "E12", "--scale", "0.125",
+                     "--store", store]) == 2
+        assert "cannot open trial store" in capsys.readouterr().err
+        assert not os.path.exists(store)
+        assert main(["campaign", "run", "E12", "--scale", "0.125",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "E12", "--scale", "0.125",
+                     "--store", store]) == 0
+        assert "6/6" in capsys.readouterr().out
+        assert main(["campaign", "report", "E12", "--scale", "0.125",
+                     "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "backup-only" in out
+
+    def test_run_with_store_then_campaign_status_complete(
+        self, capsys, tmp_path
+    ):
+        store = str(tmp_path / "trials.sqlite")
+        assert main(["run", "E12", "--scale", "0.125", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "E12", "--scale", "0.125",
+                     "--store", store]) == 0
+        assert "6/6" in capsys.readouterr().out
 
     def test_run_out_appends_report(self, capsys, tmp_path):
         out = tmp_path / "report.txt"
