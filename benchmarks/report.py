@@ -1,0 +1,215 @@
+"""Machine-readable engine benchmark harness.
+
+Measures raw interaction throughput (steps/sec) and transition-cache
+effectiveness for every engine over a grid of protocols and population
+sizes, and writes the result as ``BENCH_engine.json`` at the repository
+root — the durable, diffable record of the performance trajectory (CI
+uploads it as a workflow artifact on every run; see
+``.github/workflows/ci.yml``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/report.py                 # full grid
+    PYTHONPATH=src python benchmarks/report.py --quick         # CI scale
+    PYTHONPATH=src python benchmarks/report.py --check         # + enforce
+    PYTHONPATH=src python benchmarks/report.py --out other.json
+
+``--check`` turns the report into a regression gate: it fails (exit 1)
+unless the batch engine beats the multiset engine on the PLL throughput
+check at the largest measured ``n`` by at least ``--min-ratio`` (default
+1.0; the full-scale grid is expected to clear 5.0 at ``n = 10^6``).
+
+The pytest-benchmark targets in ``bench_engine.py``/``bench_batch.py``
+measure the same hot loops interactively; this module is the scriptable,
+JSON-emitting entry point for CI and trend tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_engine.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.orchestration.pool import build_simulator  # noqa: E402
+from repro.orchestration.registry import build_protocol  # noqa: E402
+from repro.orchestration.spec import ENGINES  # noqa: E402
+
+#: (protocol registry name, population sizes) measured per engine.
+FULL_GRID = (
+    ("pll", (1024, 65536, 1_000_000)),
+    ("angluin", (1024, 65536)),
+)
+QUICK_GRID = (
+    ("pll", (1024, 16384)),
+    ("angluin", (1024,)),
+)
+FULL_STEPS = 100_000
+QUICK_STEPS = 20_000
+
+#: The headline comparison: the protocol every engine is graded on.
+CHECK_PROTOCOL = "pll"
+
+
+def measure_engine(
+    engine: str, protocol_name: str, n: int, steps: int, seed: int = 0
+) -> dict:
+    """Time ``steps`` interactions of one engine on one workload."""
+    protocol = build_protocol(protocol_name, n)
+    sim = build_simulator(protocol, n, seed=seed, engine=engine)
+    start = time.perf_counter()
+    executed = sim.run(steps)
+    elapsed = time.perf_counter() - start
+    if executed != steps:
+        raise RuntimeError(
+            f"{engine} executed {executed} of {steps} steps on "
+            f"{protocol_name} n={n}"
+        )
+    stats = sim.cache.stats
+    return {
+        "engine": engine,
+        "protocol": protocol_name,
+        "n": n,
+        "steps": steps,
+        "seconds": elapsed,
+        "steps_per_sec": steps / elapsed,
+        "distinct_states": sim.distinct_states_seen(),
+        "cache": {
+            "entries": len(sim.cache),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "bypasses": stats.bypasses,
+            "hit_rate": stats.hit_rate,
+        },
+    }
+
+
+def generate_report(quick: bool = False, seed: int = 0) -> dict:
+    """Run the full engine x protocol x n grid; return the report dict."""
+    grid = QUICK_GRID if quick else FULL_GRID
+    steps = QUICK_STEPS if quick else FULL_STEPS
+    results = []
+    for protocol_name, ns in grid:
+        for n in ns:
+            for engine in ENGINES:
+                print(
+                    f"  measuring {engine:9s} {protocol_name:9s} n={n} ...",
+                    flush=True,
+                )
+                results.append(
+                    measure_engine(engine, protocol_name, n, steps, seed=seed)
+                )
+    return {
+        "schema": "repro-bench-engine/1",
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "quick": quick,
+        "steps_per_cell": steps,
+        "seed": seed,
+        "results": results,
+        "summary": summarize(results),
+    }
+
+
+def summarize(results: list[dict]) -> dict:
+    """Cross-engine ratios per (protocol, n), keyed for easy diffing."""
+    by_cell: dict[tuple[str, int], dict[str, float]] = {}
+    for row in results:
+        cell = by_cell.setdefault((row["protocol"], row["n"]), {})
+        cell[row["engine"]] = row["steps_per_sec"]
+    summary = {}
+    for (protocol_name, n), cell in sorted(by_cell.items()):
+        entry = dict(cell)
+        if "batch" in cell and "multiset" in cell:
+            entry["batch_vs_multiset"] = cell["batch"] / cell["multiset"]
+        if "batch" in cell and "agent" in cell:
+            entry["batch_vs_agent"] = cell["batch"] / cell["agent"]
+        summary[f"{protocol_name}/n={n}"] = entry
+    return summary
+
+
+def check_batch_speedup(report: dict, min_ratio: float) -> str | None:
+    """Error message when batch misses ``min_ratio`` x multiset, else None.
+
+    Graded on :data:`CHECK_PROTOCOL` at the largest measured ``n`` —
+    the regime the batch engine exists for.
+    """
+    cells = [
+        (row["n"], row)
+        for row in report["results"]
+        if row["protocol"] == CHECK_PROTOCOL
+    ]
+    if not cells:
+        return f"no {CHECK_PROTOCOL!r} rows to check"
+    largest = max(n for n, _ in cells)
+    ratio = report["summary"][f"{CHECK_PROTOCOL}/n={largest}"].get(
+        "batch_vs_multiset"
+    )
+    if ratio is None:
+        return "summary lacks a batch_vs_multiset ratio"
+    if ratio < min_ratio:
+        return (
+            f"batch engine is {ratio:.2f}x multiset on {CHECK_PROTOCOL} at "
+            f"n={largest}; required >= {min_ratio:.2f}x"
+        )
+    print(
+        f"check ok: batch is {ratio:.2f}x multiset on {CHECK_PROTOCOL} "
+        f"at n={largest} (required >= {min_ratio:.2f}x)"
+    )
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced grid for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless batch >= --min-ratio x multiset on PLL",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=1.0,
+        help="speedup the --check gate requires (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    report = generate_report(quick=args.quick, seed=args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for key, entry in report["summary"].items():
+        ratio = entry.get("batch_vs_multiset")
+        suffix = f"  (batch/multiset {ratio:.2f}x)" if ratio else ""
+        rates = ", ".join(
+            f"{engine} {entry[engine]:,.0f}/s"
+            for engine in ("agent", "multiset", "batch")
+            if engine in entry
+        )
+        print(f"  {key:18s} {rates}{suffix}")
+    if args.check:
+        error = check_batch_speedup(report, args.min_ratio)
+        if error is not None:
+            print(f"check FAILED: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@ __all__ = [
     "SampleSummary",
     "summarize",
     "bootstrap_ci",
+    "ks_critical_value",
+    "ks_statistic",
     "tail_frequency",
     "count_distribution",
 ]
@@ -86,6 +88,39 @@ def bootstrap_ci(
         float(np.quantile(estimates, alpha)),
         float(np.quantile(estimates, 1 - alpha)),
     )
+
+
+def ks_statistic(first: Sequence[float], second: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (sup distance of ECDFs).
+
+    Numpy-only, matching this module's no-scipy policy.  Used by the
+    engine-agreement tests: the three simulation engines realize the same
+    Markov chain, so their stabilization-time samples must look drawn
+    from one distribution.
+    """
+    if len(first) == 0 or len(second) == 0:
+        raise ParameterError("KS statistic needs two non-empty samples")
+    xs = np.sort(np.asarray(first, dtype=float))
+    ys = np.sort(np.asarray(second, dtype=float))
+    grid = np.concatenate([xs, ys])
+    cdf_x = np.searchsorted(xs, grid, side="right") / len(xs)
+    cdf_y = np.searchsorted(ys, grid, side="right") / len(ys)
+    return float(np.abs(cdf_x - cdf_y).max())
+
+
+def ks_critical_value(m: int, n: int, alpha: float = 0.001) -> float:
+    """Asymptotic two-sample KS rejection threshold at level ``alpha``.
+
+    ``D > c(alpha) * sqrt((m + n) / (m * n))`` rejects equality, with
+    ``c(alpha) = sqrt(-ln(alpha / 2) / 2)`` (e.g. ``c ≈ 1.95`` at
+    ``alpha = 0.001``).  The agreement tests run at a strict ``alpha`` so
+    fixed-seed samples sit comfortably inside the acceptance region.
+    """
+    if m < 1 or n < 1:
+        raise ParameterError("KS critical value needs positive sample sizes")
+    if not 0 < alpha < 1:
+        raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+    return math.sqrt(-math.log(alpha / 2) / 2) * math.sqrt((m + n) / (m * n))
 
 
 def tail_frequency(samples: Sequence[float], threshold: float) -> float:

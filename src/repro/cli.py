@@ -36,7 +36,10 @@ from repro.orchestration import (
     build_protocol,
     protocol_names,
 )
-from repro.orchestration.spec import ENGINES, TrialOutcome
+from repro.orchestration.spec import AUTO_ENGINE, ENGINES, TrialOutcome
+
+#: CLI engine choices: the concrete engines plus per-``n`` resolution.
+ENGINE_CHOICES = (*ENGINES, AUTO_ENGINE)
 
 __all__ = ["main", "build_parser"]
 
@@ -96,9 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--engine",
-        choices=ENGINES,
+        choices=ENGINE_CHOICES,
         default=None,
-        help="override the engine for declarative trial batches",
+        help=(
+            "override the engine for declarative trial batches "
+            "('auto' picks per population size)"
+        ),
     )
     run_parser.add_argument(
         "--trials",
@@ -117,7 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--n", type=int, default=256, help="population size")
     sim_parser.add_argument("--seed", type=int, default=0)
     sim_parser.add_argument(
-        "--engine", choices=ENGINES, default="agent"
+        "--engine", choices=ENGINE_CHOICES, default="agent"
     )
 
     campaign_parser = subparsers.add_parser(
@@ -145,9 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
         action_parser.add_argument("--seed", type=int, default=0, help="base seed")
         action_parser.add_argument(
             "--engine",
-            choices=ENGINES,
-            default="agent",
-            help="engine the campaign's trials run on (default agent)",
+            choices=ENGINE_CHOICES,
+            default=AUTO_ENGINE,
+            help=(
+                "engine the campaign's trials run on (default auto: "
+                "batch at large n, agent below)"
+            ),
         )
         _add_store_flags(action_parser, default=DEFAULT_STORE_PATH)
     return parser

@@ -1,13 +1,20 @@
 """Population-protocol simulation substrate.
 
-Two engines share one contract (protocols, interning, caching, detectors):
+Three engines share one contract (protocols, interning, caching,
+detectors):
 
 * :class:`~repro.engine.simulator.AgentSimulator` — per-agent identity;
   supports hooks, traces, epidemics, failure injection.
 * :class:`~repro.engine.multiset.MultisetSimulator` — count-based with
   Fenwick-tree sampling; per-step cost independent of ``n``.
+* :class:`~repro.engine.batch.BatchSimulator` — count-based, advancing
+  ``Theta(sqrt(n))`` interactions per vectorized NumPy block; the engine
+  for production-scale ``n``.
+
+DESIGN.md has the selection guide.
 """
 
+from repro.engine.batch import BatchSimulator, BatchStats
 from repro.engine.cache import CacheStats, TransitionCache
 from repro.engine.convergence import (
     MonotoneLeaderStabilization,
@@ -39,6 +46,8 @@ from repro.engine.trace import ConfigurationSnapshot, TraceRecorder, replay
 
 __all__ = [
     "AgentSimulator",
+    "BatchSimulator",
+    "BatchStats",
     "CacheStats",
     "Configuration",
     "ConfigurationSnapshot",

@@ -87,9 +87,16 @@ def campaign_for(
     experiment_id: str,
     scale: float = 1.0,
     seed: int = 0,
-    engine: str = "agent",
+    engine: str = "auto",
 ) -> CampaignSpec:
-    """The campaign behind an experiment id (case-insensitive)."""
+    """The campaign behind an experiment id (case-insensitive).
+
+    ``engine="auto"`` (the default) resolves per population size inside
+    :func:`~repro.orchestration.spec.trial_specs`: large-``n`` grid
+    points run on the batch engine, the rest keep the historical agent
+    engine.  Today's grids sit below the crossover, so default hashes —
+    and therefore existing trial-store rows — are unchanged.
+    """
     key = experiment_id.upper()
     try:
         builder = _BUILDERS[key]

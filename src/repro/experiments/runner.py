@@ -21,7 +21,12 @@ from repro.engine.protocol import Protocol
 from repro.errors import ExperimentError
 from repro.orchestration.context import current_context
 from repro.orchestration.pool import build_simulator, measure_trial, run_specs
-from repro.orchestration.spec import TrialOutcome, trial_specs
+from repro.orchestration.spec import (
+    AUTO_ENGINE,
+    TrialOutcome,
+    default_engine,
+    trial_specs,
+)
 
 __all__ = ["TrialOutcome", "stabilization_trials", "make_simulator"]
 
@@ -32,7 +37,8 @@ def make_simulator(
     seed: int,
     engine: str = "agent",
 ):
-    """Build the requested engine (``"agent"`` or ``"multiset"``)."""
+    """Build the requested engine (``"agent"``, ``"multiset"``, ``"batch"``,
+    or ``"auto"`` to pick by population size)."""
     return build_simulator(protocol, n, seed=seed, engine=engine)
 
 
@@ -41,7 +47,7 @@ def stabilization_trials(
     n: int,
     trials: int,
     base_seed: int = 0,
-    engine: str = "agent",
+    engine: str = AUTO_ENGINE,
     max_steps: int | None = None,
     params: Mapping[str, object] | None = None,
 ) -> list[TrialOutcome]:
@@ -52,6 +58,11 @@ def stabilization_trials(
     a zero-argument factory callable.  Named protocols honor the active
     execution context (worker pool, trial store, ``--engine``/``--trials``
     overrides); factory callables always run serially in-process.
+
+    The default engine is ``"auto"``: per data point, large-``n`` sweeps
+    route through the batch engine and small ones keep the historical
+    agent engine (:func:`~repro.orchestration.spec.default_engine`), so
+    Theorem 1 / Table 1 style campaigns scale without flag-twiddling.
     """
     if trials < 1:
         raise ExperimentError(f"trials must be positive, got {trials}")
@@ -81,6 +92,8 @@ def stabilization_trials(
             "params only apply to registry-named protocols; bind them into "
             "the factory instead"
         )
+    if engine == AUTO_ENGINE:
+        engine = default_engine(n)
     return [
         measure_trial(
             protocol(), n, base_seed + trial, engine=engine, max_steps=max_steps

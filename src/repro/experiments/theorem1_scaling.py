@@ -62,7 +62,7 @@ def trimmed_mean(values: list[float], fraction: float = 0.1) -> float:
 def run(
     scale: float = 1.0,
     seed: int = 0,
-    engine: str = "agent",
+    engine: str = "auto",
 ) -> ExperimentResult:
     ns, trials = grid(scale)
     headers = [

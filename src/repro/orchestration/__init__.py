@@ -41,15 +41,20 @@ from repro.orchestration.runner import (
     CampaignStatus,
 )
 from repro.orchestration.spec import (
+    AUTO_ENGINE,
+    BATCH_ENGINE_MIN_N,
     ENGINES,
     CampaignSpec,
     TrialOutcome,
     TrialSpec,
+    default_engine,
     trial_specs,
 )
 from repro.orchestration.store import DEFAULT_STORE_PATH, TrialStore
 
 __all__ = [
+    "AUTO_ENGINE",
+    "BATCH_ENGINE_MIN_N",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
@@ -64,6 +69,7 @@ __all__ = [
     "build_protocol",
     "build_simulator",
     "current_context",
+    "default_engine",
     "execute_trial",
     "execution_context",
     "protocol_names",

@@ -21,11 +21,18 @@ import signal
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.engine.batch import BatchSimulator
 from repro.engine.multiset import MultisetSimulator
 from repro.engine.protocol import Protocol
 from repro.engine.simulator import AgentSimulator
 from repro.errors import ConvergenceError, ExperimentError
-from repro.orchestration.spec import ENGINES, TrialOutcome, TrialSpec
+from repro.orchestration.spec import (
+    AUTO_ENGINE,
+    ENGINES,
+    TrialOutcome,
+    TrialSpec,
+    default_engine,
+)
 from repro.orchestration.store import TrialStore
 
 __all__ = [
@@ -41,9 +48,12 @@ __all__ = [
 #: ``None``).
 ProgressCallback = Callable[[int, int, TrialOutcome | None], None]
 
-_ENGINE_FACTORIES: dict[str, Callable[..., AgentSimulator | MultisetSimulator]] = {
+Simulator = AgentSimulator | MultisetSimulator | BatchSimulator
+
+_ENGINE_FACTORIES: dict[str, Callable[..., Simulator]] = {
     "agent": AgentSimulator,
     "multiset": MultisetSimulator,
+    "batch": BatchSimulator,
 }
 if set(_ENGINE_FACTORIES) != set(ENGINES):  # pragma: no cover
     raise AssertionError("engine factories out of sync with spec.ENGINES")
@@ -54,8 +64,14 @@ def build_simulator(
     n: int,
     seed: int,
     engine: str = "agent",
-) -> AgentSimulator | MultisetSimulator:
-    """Build the requested engine (one of :data:`~repro.orchestration.spec.ENGINES`)."""
+) -> Simulator:
+    """Build the requested engine (one of :data:`~repro.orchestration.spec.ENGINES`).
+
+    ``engine="auto"`` picks per population size via
+    :func:`~repro.orchestration.spec.default_engine`.
+    """
+    if engine == AUTO_ENGINE:
+        engine = default_engine(n)
     try:
         factory = _ENGINE_FACTORIES[engine]
     except KeyError:

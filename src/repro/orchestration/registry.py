@@ -26,6 +26,9 @@ from repro.protocols.angluin import AngluinProtocol
 from repro.protocols.fast_nonce import FastNonceProtocol
 from repro.protocols.loose_stabilization import LooselyStabilizingProtocol
 from repro.protocols.lottery import lottery_protocol
+from repro.protocols.majority import ApproximateMajority, ExactMajority
+from repro.protocols.size_estimation import SizeEstimationProtocol
+from repro.sync.countup import CountUpTimerProtocol
 
 __all__ = [
     "ProtocolBuilder",
@@ -151,3 +154,30 @@ def _loose(n: int, holding_factor: int = 16) -> Protocol:
     return LooselyStabilizingProtocol.for_population(
         n, holding_factor=holding_factor
     )
+
+
+@register_protocol("countup-timer")
+def _countup_timer(n: int, cmax: int | None = None) -> Protocol:
+    """Isolated Algorithm 2 count-up timers (the Lemma 5/6 primitive).
+
+    ``cmax`` defaults to the PLL parameterization for ``n`` — the value
+    the lemma experiments sweep — but stays overridable for ablations.
+    """
+    if cmax is None:
+        cmax = PLLParameters.for_population(n).cmax
+    return CountUpTimerProtocol(cmax=cmax)
+
+
+@register_protocol("approximate-majority")
+def _approximate_majority(n: int) -> Protocol:
+    return ApproximateMajority()
+
+
+@register_protocol("exact-majority")
+def _exact_majority(n: int) -> Protocol:
+    return ExactMajority()
+
+
+@register_protocol("size-estimation")
+def _size_estimation(n: int, level_cap: int = 64) -> Protocol:
+    return SizeEstimationProtocol(level_cap=level_cap)

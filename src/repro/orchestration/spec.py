@@ -27,10 +27,13 @@ from repro.errors import ExperimentError
 from repro.orchestration.registry import build_protocol, canonical_params
 
 __all__ = [
+    "AUTO_ENGINE",
+    "BATCH_ENGINE_MIN_N",
     "ENGINES",
     "TrialOutcome",
     "TrialSpec",
     "CampaignSpec",
+    "default_engine",
     "trial_specs",
 ]
 
@@ -45,7 +48,28 @@ MONOTONE_LEADER = "monotone-leader"
 
 #: The simulation engines a spec may name; the single source of truth for
 #: engine-name validation, the pool's dispatch table, and CLI choices.
-ENGINES = ("agent", "multiset")
+ENGINES = ("agent", "multiset", "batch")
+
+#: Pseudo-engine accepted by grid builders and the CLI: resolves per
+#: population size via :func:`default_engine` before specs are created,
+#: so content hashes always name a concrete engine.
+AUTO_ENGINE = "auto"
+
+#: Population size at which ``auto`` switches to the batch engine — the
+#: measured crossover where vectorized Theta(sqrt(n))-interaction blocks
+#: overtake the per-interaction engines on PLL throughput (at n = 2^16
+#: the batch engine already clears both; at 2^14 the agent engine still
+#: wins — see ``benchmarks/report.py`` / BENCH_engine.json).
+BATCH_ENGINE_MIN_N = 1 << 16
+
+
+def default_engine(n: int) -> str:
+    """Concrete engine the ``auto`` pseudo-engine resolves to at size ``n``.
+
+    Large-``n`` Theorem 1 / Table 1 sweeps route through the batch engine;
+    below the crossover the agent engine's historical default stands.
+    """
+    return "batch" if n >= BATCH_ENGINE_MIN_N else "agent"
 
 
 @dataclass(frozen=True)
@@ -94,7 +118,7 @@ class TrialSpec:
             raise ExperimentError(f"population needs at least 2 agents, got n={n}")
         if engine not in ENGINES:
             raise ExperimentError(
-                f"unknown engine {engine!r}; use 'agent' or 'multiset'"
+                f"unknown engine {engine!r}; use one of: {', '.join(ENGINES)}"
             )
         if detector != MONOTONE_LEADER:
             raise ExperimentError(
@@ -180,9 +204,15 @@ def trial_specs(
     any single data point in EXPERIMENTS.md stays reproducible in
     isolation — and so campaign-store rows are shared between ``repro
     run`` and ``repro campaign run`` for identical grids.
+
+    ``engine="auto"`` resolves here, per ``n``, via
+    :func:`default_engine`, so specs (and therefore content hashes)
+    always name a concrete engine.
     """
     if trials < 1:
         raise ExperimentError(f"trials must be positive, got {trials}")
+    if engine == AUTO_ENGINE:
+        engine = default_engine(n)
     return [
         TrialSpec.create(
             protocol=protocol,

@@ -1,0 +1,206 @@
+"""Tests for repro.engine.batch (sampling helpers and BatchSimulator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pll import PLLProtocol
+from repro.engine.batch import BatchSimulator
+from repro.engine.batch.sampling import (
+    draw_interaction_pairs,
+    first_collision,
+    sample_block_states,
+)
+from repro.engine.convergence import SilenceDetector
+from repro.epidemic.epidemic import MaxPropagationProtocol
+from repro.errors import ConvergenceError, SimulationError
+from repro.protocols.angluin import AngluinProtocol
+from repro.protocols.majority import ApproximateMajority
+
+
+class TestSampling:
+    def test_pairs_are_distinct_and_in_range(self):
+        rng = np.random.default_rng(0)
+        initiators, responders = draw_interaction_pairs(rng, 10, 5000)
+        assert initiators.min() >= 0 and initiators.max() < 10
+        assert responders.min() >= 0 and responders.max() < 10
+        assert not (initiators == responders).any()
+
+    def test_responder_covers_all_other_agents(self):
+        """The shift trick must reach indices both below and above."""
+        rng = np.random.default_rng(1)
+        initiators, responders = draw_interaction_pairs(rng, 3, 3000)
+        for agent in range(3):
+            others = set(responders[initiators == agent].tolist())
+            assert others == {0, 1, 2} - {agent}
+
+    def test_first_collision_none(self):
+        initiators = np.array([0, 2, 4])
+        responders = np.array([1, 3, 5])
+        assert first_collision(initiators, responders) == (3, -1)
+
+    def test_first_collision_on_initiator(self):
+        # picks: 0 1 | 1 3  -> flat index 2 repeats agent 1
+        initiators = np.array([0, 1])
+        responders = np.array([1, 3])
+        assert first_collision(initiators, responders) == (1, 2)
+
+    def test_first_collision_on_responder(self):
+        # picks: 0 1 | 2 0  -> flat index 3 repeats agent 0
+        initiators = np.array([0, 2])
+        responders = np.array([1, 0])
+        assert first_collision(initiators, responders) == (1, 3)
+
+    def test_first_collision_reports_earliest(self):
+        # two collisions; the one at flat index 2 (agent 1) wins
+        initiators = np.array([0, 1, 0])
+        responders = np.array([1, 2, 3])
+        assert first_collision(initiators, responders) == (1, 2)
+
+    def test_block_states_match_requested_slots_and_counts(self):
+        rng = np.random.default_rng(2)
+        counts = np.array([5, 0, 3, 2], dtype=np.int64)
+        states = sample_block_states(rng, counts, 6)
+        assert states.shape == (6,)
+        drawn = np.bincount(states, minlength=4)
+        assert (drawn <= counts).all()
+        assert drawn.sum() == 6
+
+    def test_block_states_exhaustive_draw_is_the_population(self):
+        rng = np.random.default_rng(3)
+        counts = np.array([4, 6], dtype=np.int64)
+        states = sample_block_states(rng, counts, 10)
+        assert np.bincount(states, minlength=2).tolist() == [4, 6]
+
+
+class TestBatchSimulatorBasics:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(SimulationError):
+            BatchSimulator(AngluinProtocol(), 1)
+
+    def test_initial_configuration(self):
+        sim = BatchSimulator(AngluinProtocol(), 16, seed=0)
+        assert sim.steps == 0
+        assert sim.leader_count == 16  # Angluin starts everyone as leader
+        assert sim.count_of(True) == 16
+        assert sim.count_of("never-seen") == 0
+
+    def test_run_executes_exactly_max_steps(self):
+        sim = BatchSimulator(AngluinProtocol(), 64, seed=1)
+        assert sim.run(777) == 777
+        assert sim.steps == 777
+
+    def test_population_is_conserved(self):
+        sim = BatchSimulator(PLLProtocol.for_population(128), 128, seed=2)
+        sim.run(5000)
+        assert sum(sim.state_counts().values()) == 128
+        assert sum(sim.output_counts.values()) == 128
+        assert all(count > 0 for count in sim.state_id_counts().values())
+
+    def test_same_seed_same_trajectory(self):
+        def outcome(seed):
+            sim = BatchSimulator(PLLProtocol.for_population(64), 64, seed=seed)
+            steps = sim.run_until_stabilized()
+            return steps, dict(sim.output_counts)
+
+        assert outcome(7) == outcome(7)
+
+    def test_n2_population_runs(self):
+        sim = BatchSimulator(AngluinProtocol(), 2, seed=0)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_describe_mentions_protocol_and_n(self):
+        sim = BatchSimulator(AngluinProtocol(), 8, seed=0)
+        text = sim.describe()
+        assert "n=8" in text and sim.protocol.name in text
+
+
+class TestBatchLoadCounts:
+    def test_load_counts_replaces_configuration(self):
+        sim = BatchSimulator(MaxPropagationProtocol(), 32, seed=0)
+        sim.load_counts({0: 31, 1: 1})
+        assert sim.count_of(1) == 1
+        assert sim.output_counts["1"] == 1
+
+    def test_load_counts_validates_total(self):
+        sim = BatchSimulator(MaxPropagationProtocol(), 32, seed=0)
+        with pytest.raises(SimulationError):
+            sim.load_counts({0: 3})
+
+    def test_load_counts_rejects_negative(self):
+        sim = BatchSimulator(MaxPropagationProtocol(), 32, seed=0)
+        with pytest.raises(SimulationError):
+            sim.load_counts({0: 33, 1: -1})
+
+
+class TestBatchStabilization:
+    def test_angluin_stabilizes_to_one_leader(self):
+        for seed in range(4):
+            sim = BatchSimulator(AngluinProtocol(), 48, seed=seed)
+            steps = sim.run_until_stabilized()
+            assert sim.leader_count == 1
+            assert steps == sim.steps > 0
+
+    def test_pll_stabilizes_to_one_leader(self):
+        sim = BatchSimulator(PLLProtocol.for_population(128), 128, seed=0)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_stabilized_before_start_returns_current_steps(self):
+        sim = BatchSimulator(AngluinProtocol(), 24, seed=0)
+        first = sim.run_until_stabilized()
+        assert sim.run_until_stabilized() == first  # already stable: no-op
+
+    def test_budget_overrun_raises_convergence_error(self):
+        sim = BatchSimulator(AngluinProtocol(), 64, seed=0)
+        with pytest.raises(ConvergenceError):
+            sim.run_until_stabilized(max_steps=5)
+        assert sim.steps == 5  # budget respected exactly
+
+    def test_until_predicate_stops_run(self):
+        sim = BatchSimulator(AngluinProtocol(), 64, seed=3)
+        executed = sim.run(
+            10_000_000, until=lambda s: s.leader_count <= 32
+        )
+        assert sim.leader_count <= 32
+        assert executed < 10_000_000
+
+    def test_silence_detector_on_epidemic(self):
+        """Full infection is silent; the generic detector path finds it."""
+        sim = BatchSimulator(MaxPropagationProtocol(), 64, seed=1)
+        sim.load_counts({0: 63, 1: 1})
+        sim.run_until_stabilized(detector=SilenceDetector())
+        assert sim.count_of(1) == 64
+
+
+class TestBatchNullFastPath:
+    def test_consensus_tail_is_skipped_geometrically(self):
+        sim = BatchSimulator(ApproximateMajority(), 500, seed=3)
+        sim.load_counts({"x": 350, "y": 150})
+        assert sim.run(2_000_000) == 2_000_000
+        assert sim.output_counts.get("x", 0) == 500  # consensus reached
+        # The overwhelming majority of post-consensus steps must come from
+        # the geometric skip, not from sampled blocks.
+        assert sim.stats.null_skipped_steps > 1_500_000
+
+    def test_skip_respects_step_budget_exactly(self):
+        sim = BatchSimulator(ApproximateMajority(), 100, seed=0)
+        sim.load_counts({"x": 100})  # silent from the start
+        sim.run(12345)  # warms up, then skips the silent remainder
+        assert sim.steps == 12345
+
+    def test_counts_untouched_by_silent_skip(self):
+        sim = BatchSimulator(ApproximateMajority(), 100, seed=0)
+        sim.load_counts({"x": 60, "b": 40})
+        sim.run(3_000_000)
+        assert sum(sim.output_counts.values()) == 100
+        assert sim.output_counts.get("x", 0) == 100
+
+
+class TestBatchStats:
+    def test_stats_account_for_every_step(self):
+        sim = BatchSimulator(PLLProtocol.for_population(256), 256, seed=5)
+        sim.run(20000)
+        assert sim.stats.total_steps == sim.steps == 20000
+        assert sim.stats.blocks > 0
+        assert sim.stats.mean_block > 1

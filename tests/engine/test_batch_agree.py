@@ -1,0 +1,106 @@
+"""Statistical agreement of the batch engine with the other two.
+
+All three engines realize the same Markov chain on configurations, so
+their stabilization-time distributions must be indistinguishable.  The
+batch engine's block sampling (hypergeometric state assignment, birthday
+collision correction, geometric null skipping) is where a subtle bias
+would hide, so unlike the mean-comparison tripwires in
+``test_engines_agree`` these tests compare whole *distributions* with a
+two-sample Kolmogorov–Smirnov test at fixed seeds per trial.
+
+The KS level is strict (alpha = 0.001) and the seeds are fixed, so the
+tests are deterministic: they fail only if a code change actually shifts
+a distribution, not by draw-to-draw luck.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import ks_critical_value, ks_statistic
+from repro.core.pll import PLLProtocol
+from repro.engine import AgentSimulator, BatchSimulator, MultisetSimulator
+from repro.protocols.angluin import AngluinProtocol
+
+
+def stabilization_times(engine_cls, protocol_factory, n, trials, seed0):
+    times = []
+    for trial in range(trials):
+        sim = engine_cls(protocol_factory(), n, seed=seed0 + trial)
+        sim.run_until_stabilized()
+        times.append(sim.parallel_time)
+    return np.asarray(times)
+
+
+def assert_same_distribution(first, second, label):
+    statistic = ks_statistic(first, second)
+    threshold = ks_critical_value(len(first), len(second), alpha=0.001)
+    assert statistic < threshold, (
+        f"{label}: KS statistic {statistic:.3f} exceeds {threshold:.3f} "
+        f"(medians {np.median(first):.2f} vs {np.median(second):.2f})"
+    )
+
+
+class TestBatchAgreesOnAngluin:
+    N = 24
+    TRIALS = 48
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return {
+            "agent": stabilization_times(
+                AgentSimulator, AngluinProtocol, self.N, self.TRIALS, 0
+            ),
+            "multiset": stabilization_times(
+                MultisetSimulator, AngluinProtocol, self.N, self.TRIALS, 1000
+            ),
+            "batch": stabilization_times(
+                BatchSimulator, AngluinProtocol, self.N, self.TRIALS, 2000
+            ),
+        }
+
+    def test_batch_vs_multiset(self, samples):
+        assert_same_distribution(
+            samples["batch"], samples["multiset"], "angluin batch/multiset"
+        )
+
+    def test_batch_vs_agent(self, samples):
+        assert_same_distribution(
+            samples["batch"], samples["agent"], "angluin batch/agent"
+        )
+
+
+class TestBatchAgreesOnPLL:
+    N = 32
+    TRIALS = 40
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        factory = lambda: PLLProtocol.for_population(self.N)  # noqa: E731
+        return {
+            "agent": stabilization_times(
+                AgentSimulator, factory, self.N, self.TRIALS, 0
+            ),
+            "multiset": stabilization_times(
+                MultisetSimulator, factory, self.N, self.TRIALS, 1000
+            ),
+            "batch": stabilization_times(
+                BatchSimulator, factory, self.N, self.TRIALS, 2000
+            ),
+        }
+
+    def test_batch_vs_multiset(self, samples):
+        assert_same_distribution(
+            samples["batch"], samples["multiset"], "pll batch/multiset"
+        )
+
+    def test_batch_vs_agent(self, samples):
+        assert_same_distribution(
+            samples["batch"], samples["agent"], "pll batch/agent"
+        )
+
+    def test_every_trial_elects_one_leader(self, samples):
+        # The KS comparison is meaningless if any engine "stabilized"
+        # into a different predicate; spot-check the batch engine.
+        sim = BatchSimulator(PLLProtocol.for_population(self.N), self.N, seed=2000)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1

@@ -1,5 +1,7 @@
 """Tests for repro.engine.cache."""
 
+import pytest
+
 from repro.engine.cache import TransitionCache
 from repro.engine.interner import StateInterner
 from repro.epidemic.epidemic import MaxPropagationProtocol
@@ -88,3 +90,43 @@ class TestCacheStatistics:
         for _ in range(5):
             cache.apply(leader, follower)
         assert cache.stats.lookups == 5
+
+
+class TestCacheTinyBound:
+    """Behavior at a tiny ``cache_entries`` bound (the eviction policy is
+    insert-until-full, then compute-without-storing)."""
+
+    def test_zero_capacity_never_stores(self):
+        cache, leader, follower = make_cache(max_entries=0)
+        for _ in range(3):
+            assert cache.apply(leader, leader) == (leader, follower)
+        assert len(cache) == 0
+        assert cache.stats.bypasses == 3
+        assert cache.stats.hits == cache.stats.misses == 0
+
+    def test_stored_pairs_keep_hitting_after_the_bound(self):
+        cache, leader, follower = make_cache(max_entries=1)
+        cache.apply(leader, leader)  # occupies the single slot
+        cache.apply(follower, leader)  # bypassed
+        assert cache.apply(leader, leader) == (leader, follower)
+        assert cache.stats.hits == 1
+
+    def test_bypassed_pair_is_recomputed_every_time(self):
+        cache, leader, follower = make_cache(max_entries=1)
+        cache.apply(leader, leader)
+        for _ in range(4):
+            cache.apply(follower, leader)
+        assert cache.stats.bypasses == 4
+        assert len(cache) == 1
+
+    def test_full_cache_hit_rate_unaffected_by_bypasses(self):
+        cache, leader, follower = make_cache(max_entries=1)
+        cache.apply(leader, leader)  # miss, stored
+        cache.apply(leader, leader)  # hit
+        cache.apply(follower, leader)  # bypass
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_max_entries_property_reflects_bound(self):
+        cache, _, _ = make_cache(max_entries=7)
+        assert cache.max_entries == 7

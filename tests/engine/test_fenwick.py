@@ -101,6 +101,70 @@ class TestFenwickFind:
             assert abs(counts[i] / draws - w / 10) < 0.02
 
 
+class TestFenwickEdgeCases:
+    def test_find_on_empty_tree_raises(self):
+        tree = FenwickTree(8)
+        with pytest.raises(ValueError):
+            tree.find(0)
+
+    def test_find_after_draining_to_zero_raises(self):
+        tree = FenwickTree(4)
+        tree.add(2, 5)
+        tree.add(2, -5)
+        assert tree.total == 0
+        with pytest.raises(ValueError):
+            tree.find(0)
+
+    def test_zero_delta_is_a_no_op(self):
+        tree = FenwickTree(4)
+        tree.add(1, 3)
+        tree.add(1, 0)
+        tree.add(3, 0)
+        assert tree.total == 3
+        assert tree.weights() == [0, 3, 0, 0]
+
+    def test_zero_delta_past_capacity_still_grows(self):
+        tree = FenwickTree(2)
+        tree.add(9, 0)
+        assert len(tree) >= 10
+        assert tree.total == 0
+
+    def test_negative_delta_decrements_weight(self):
+        tree = FenwickTree(4)
+        tree.add(0, 5)
+        tree.add(0, -3)
+        assert tree.get(0) == 2
+        assert tree.total == 2
+        assert tree.find(1) == 0
+
+    def test_negative_delta_shifts_sampling_mass(self):
+        tree = FenwickTree(4)
+        tree.add(0, 2)
+        tree.add(2, 1)
+        tree.add(0, -2)  # all mass now at index 2
+        assert tree.find(0) == 2
+
+    def test_growth_past_initial_capacity_keeps_find_consistent(self):
+        tree = FenwickTree(2)
+        tree.add(0, 1)
+        tree.add(1, 1)
+        tree.add(40, 3)  # multiple doublings: 2 -> 64
+        assert len(tree) == 64
+        assert tree.find(0) == 0
+        assert tree.find(1) == 1
+        for cumulative in (2, 3, 4):
+            assert tree.find(cumulative) == 40
+        assert tree.prefix_sum(63) == tree.total == 5
+
+    def test_growth_with_unit_initial_size(self):
+        tree = FenwickTree(1)
+        tree.add(0, 2)
+        tree.add(5, 7)
+        assert tree.get(0) == 2
+        assert tree.get(5) == 7
+        assert tree.total == 9
+
+
 class TestFenwickProperties:
     @given(
         st.lists(

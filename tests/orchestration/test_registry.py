@@ -1,0 +1,115 @@
+"""Tests for repro.orchestration.registry — every builder, round-tripped.
+
+Campaigns identify protocols by registry name, so every registered
+builder must (a) build a live protocol and (b) survive the spec
+normalization pipeline: ``TrialSpec.create`` canonicalizes its params,
+the JSON form round-trips losslessly, and the content hash is stable.
+A builder that breaks any of these would fail inside a worker process
+at campaign time; these tests fail it at review time instead.
+"""
+
+import pytest
+
+from repro.engine.protocol import Protocol
+from repro.errors import ExperimentError
+from repro.orchestration.registry import (
+    build_protocol,
+    canonical_params,
+    protocol_names,
+    register_protocol,
+)
+from repro.orchestration.spec import TrialSpec
+
+
+class TestEveryRegisteredBuilder:
+    N = 16
+
+    def test_registry_is_nonempty_and_sorted(self):
+        names = protocol_names()
+        assert names == sorted(names)
+        assert "pll" in names and "angluin" in names
+
+    def test_new_sweep_protocols_are_registered(self):
+        names = protocol_names()
+        for name in (
+            "approximate-majority",
+            "exact-majority",
+            "size-estimation",
+            "countup-timer",
+        ):
+            assert name in names
+
+    @pytest.mark.parametrize("name", protocol_names())
+    def test_builder_builds_a_protocol(self, name):
+        protocol = build_protocol(name, self.N)
+        assert isinstance(protocol, Protocol)
+        assert protocol.initial_state() is not None
+
+    @pytest.mark.parametrize("name", protocol_names())
+    def test_default_params_canonicalize_to_empty(self, name):
+        assert canonical_params(name, {}) == {}
+        assert canonical_params(name, None) == {}
+
+    @pytest.mark.parametrize("name", protocol_names())
+    def test_spec_round_trips_through_normalization(self, name):
+        spec = TrialSpec.create(name, self.N, seed=3, engine="multiset")
+        restored = TrialSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.content_hash() == spec.content_hash()
+
+    @pytest.mark.parametrize("name", protocol_names())
+    def test_transition_is_applicable(self, name):
+        """The initial pair must transition without blowing up."""
+        protocol = build_protocol(name, self.N)
+        state = protocol.initial_state()
+        post0, post1 = protocol.transition(state, state)
+        assert protocol.output(post0) is not None
+        assert protocol.output(post1) is not None
+
+
+class TestParameterCanonicalization:
+    def test_explicit_default_is_dropped(self):
+        assert canonical_params("size-estimation", {"level_cap": 64}) == {}
+        assert canonical_params("countup-timer", {"cmax": None}) == {}
+
+    def test_non_default_is_kept(self):
+        assert canonical_params("size-estimation", {"level_cap": 8}) == {
+            "level_cap": 8
+        }
+        assert canonical_params("countup-timer", {"cmax": 82}) == {"cmax": 82}
+
+    def test_specs_with_equal_semantics_hash_identically(self):
+        explicit = TrialSpec.create(
+            "size-estimation", 32, seed=0, params={"level_cap": 64}
+        )
+        implicit = TrialSpec.create("size-estimation", 32, seed=0)
+        assert explicit.content_hash() == implicit.content_hash()
+
+    def test_unknown_param_rejected_at_spec_time(self):
+        with pytest.raises(ExperimentError):
+            canonical_params("countup-timer", {"nope": 1})
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_protocol("no-such-protocol", 16)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError):
+            register_protocol("pll")(lambda n: None)
+
+
+class TestBuilderSemantics:
+    def test_countup_timer_defaults_to_pll_cmax(self):
+        from repro.core.params import PLLParameters
+
+        protocol = build_protocol("countup-timer", 64)
+        assert protocol.cmax == PLLParameters.for_population(64).cmax
+
+    def test_countup_timer_override(self):
+        protocol = build_protocol("countup-timer", 64, {"cmax": 7})
+        assert protocol.cmax == 7
+
+    def test_majority_builders_build_distinct_protocols(self):
+        approx = build_protocol("approximate-majority", 16)
+        exact = build_protocol("exact-majority", 16)
+        assert approx.name != exact.name

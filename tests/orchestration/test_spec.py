@@ -4,7 +4,15 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.orchestration.registry import register_protocol
-from repro.orchestration.spec import CampaignSpec, TrialSpec, trial_specs
+from repro.orchestration.spec import (
+    AUTO_ENGINE,
+    BATCH_ENGINE_MIN_N,
+    ENGINES,
+    CampaignSpec,
+    TrialSpec,
+    default_engine,
+    trial_specs,
+)
 from repro.protocols.angluin import AngluinProtocol
 
 
@@ -112,6 +120,46 @@ class TestTrialSpecs:
     def test_rejects_zero_trials(self):
         with pytest.raises(ExperimentError):
             trial_specs("angluin", 8, trials=0)
+
+    def test_batch_engine_is_a_first_class_spec_engine(self):
+        assert "batch" in ENGINES
+        batch = spec(engine="batch")
+        assert batch.engine == "batch"
+        assert batch.content_hash() != spec().content_hash()
+
+
+class TestAutoEngine:
+    def test_default_engine_crossover(self):
+        assert default_engine(BATCH_ENGINE_MIN_N - 1) == "agent"
+        assert default_engine(BATCH_ENGINE_MIN_N) == "batch"
+
+    def test_auto_resolves_per_population_size(self):
+        small = trial_specs("angluin", 64, trials=1, engine=AUTO_ENGINE)
+        large = trial_specs(
+            "angluin", BATCH_ENGINE_MIN_N, trials=1, engine=AUTO_ENGINE
+        )
+        assert [s.engine for s in small] == ["agent"]
+        assert [s.engine for s in large] == ["batch"]
+
+    def test_auto_hashes_match_the_resolved_engine(self):
+        # 'auto' is sugar, not identity: specs resolved from it must share
+        # store rows with explicitly named engines.
+        auto = trial_specs("angluin", 64, trials=1, engine=AUTO_ENGINE)[0]
+        explicit = trial_specs("angluin", 64, trials=1, engine="agent")[0]
+        assert auto.content_hash() == explicit.content_hash()
+
+    def test_auto_is_not_a_valid_spec_engine(self):
+        # Content hashes must always name a concrete engine.
+        with pytest.raises(ExperimentError):
+            spec(engine=AUTO_ENGINE)
+
+    def test_from_grid_resolves_auto_per_n(self):
+        campaign = CampaignSpec.from_grid(
+            "c", "angluin", [64, BATCH_ENGINE_MIN_N], trials=1,
+            engine=AUTO_ENGINE,
+        )
+        engines = {s.n: s.engine for s in campaign.trials}
+        assert engines == {64: "agent", BATCH_ENGINE_MIN_N: "batch"}
 
 
 class TestCampaignSpec:

@@ -1,0 +1,106 @@
+"""Smoke tests for the machine-readable benchmark harness.
+
+``benchmarks/report.py`` is the scriptable producer of
+``BENCH_engine.json`` (CI runs it with ``--quick --check``); these tests
+exercise its measurement, summary, and gate logic at toy scale so a
+harness regression fails in the tier-1 suite rather than only in the CI
+benchmark job.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "report.py"
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    spec = importlib.util.spec_from_file_location("bench_report", REPORT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def tiny_results(report):
+    return [
+        report.measure_engine(engine, "angluin", 64, 2000)
+        for engine in ("agent", "multiset", "batch")
+    ]
+
+
+class TestMeasurement:
+    def test_measure_engine_reports_throughput_and_cache(self, report):
+        row = report.measure_engine("batch", "angluin", 64, 2000)
+        assert row["engine"] == "batch"
+        assert row["steps"] == 2000
+        assert row["steps_per_sec"] > 0
+        assert 0.0 <= row["cache"]["hit_rate"] <= 1.0
+        assert row["cache"]["hits"] + row["cache"]["misses"] >= 0
+
+    def test_summary_contains_cross_engine_ratios(self, report):
+        summary = report.summarize(tiny_results(report))
+        entry = summary["angluin/n=64"]
+        assert set(entry) >= {
+            "agent",
+            "multiset",
+            "batch",
+            "batch_vs_multiset",
+            "batch_vs_agent",
+        }
+        assert entry["batch_vs_multiset"] == pytest.approx(
+            entry["batch"] / entry["multiset"]
+        )
+
+
+class TestCheckGate:
+    def fake_report(self, batch_rate, multiset_rate, n=64):
+        results = [
+            {"engine": "batch", "protocol": "pll", "n": n,
+             "steps_per_sec": batch_rate},
+            {"engine": "multiset", "protocol": "pll", "n": n,
+             "steps_per_sec": multiset_rate},
+        ]
+        return {"results": results, "summary": {
+            f"pll/n={n}": {"batch_vs_multiset": batch_rate / multiset_rate}
+        }}
+
+    def test_passes_when_batch_is_faster(self, report):
+        assert report.check_batch_speedup(
+            self.fake_report(200.0, 100.0), min_ratio=1.0
+        ) is None
+
+    def test_fails_when_batch_is_slower(self, report):
+        error = report.check_batch_speedup(
+            self.fake_report(90.0, 100.0), min_ratio=1.0
+        )
+        assert error is not None and "0.90x" in error
+
+    def test_grades_the_largest_n(self, report):
+        doctored = self.fake_report(200.0, 100.0, n=64)
+        doctored["results"] += self.fake_report(50.0, 100.0, n=1024)["results"]
+        doctored["summary"]["pll/n=1024"] = {"batch_vs_multiset": 0.5}
+        assert report.check_batch_speedup(doctored, 1.0) is not None
+
+
+class TestEndToEnd:
+    def test_main_writes_json_artifact(self, report, tmp_path, monkeypatch):
+        # Shrink the quick grid so the smoke test stays in tier-1 budget.
+        monkeypatch.setattr(
+            report, "QUICK_GRID", (("angluin", (64,)),)
+        )
+        monkeypatch.setattr(report, "QUICK_STEPS", 2000)
+        out = tmp_path / "BENCH_engine.json"
+        # No --check here: the toy angluin/n=64 cell is below the batch
+        # engine's regime; the gate logic is covered by TestCheckGate.
+        assert report.main(["--quick", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-bench-engine/1"
+        assert payload["quick"] is True
+        assert len(payload["results"]) == 3  # three engines, one cell
+        engines = {row["engine"] for row in payload["results"]}
+        assert engines == {"agent", "multiset", "batch"}
