@@ -1,0 +1,86 @@
+"""Ensemble-engine micro-benchmarks: across-trial lane throughput.
+
+Companions to ``bench_batch.py``: where the batch engine vectorizes
+*within* one trial, :class:`repro.engine.ensemble.EnsembleSimulator`
+vectorizes *across* trials — the regime campaigns actually spend their
+time in (many trials at small-to-mid ``n``, below the batch crossover).
+The machine-readable trials-per-second comparison against the
+multiprocessing pool lives in ``report.py`` / ``BENCH_engine.json``
+(schema v2, ``trials`` section); these targets isolate the engine-level
+pieces.
+"""
+
+from repro.core.pll import PLLProtocol
+from repro.engine.ensemble import EnsembleSimulator, SlotLane
+from repro.engine.multiset import MultisetSimulator
+from repro.protocols.angluin import AngluinProtocol
+
+N = 1024
+LANES = 32
+
+
+def test_ensemble_pll_cell_to_stabilization(benchmark):
+    """A whole multi-trial PLL cell, every lane to its exact step."""
+
+    def run():
+        sim = EnsembleSimulator(
+            PLLProtocol.for_population(N), N, list(range(LANES))
+        )
+        return sum(o.steps for o in sim.run_until_stabilized())
+
+    assert benchmark(run) > 0
+
+
+def test_ensemble_lockstep_sweeps(benchmark):
+    """Pure vectorized path: no detachment, fixed step budget per lane."""
+
+    def run():
+        sim = EnsembleSimulator(
+            PLLProtocol.for_population(N), N, list(range(LANES)),
+            detach_lanes=0,
+        )
+        sim.run(2000)
+        return sim.sweeps
+
+    assert benchmark(run) > 0
+
+
+def test_ensemble_null_lookahead_on_angluin(benchmark):
+    """~94% of Angluin interactions are null: lookahead must amortize
+    them, committing many interactions per sweep."""
+
+    def run():
+        sim = EnsembleSimulator(
+            AngluinProtocol(), N, list(range(LANES)), detach_lanes=0
+        )
+        sim.run(20_000)
+        return sim.sweeps
+
+    sweeps = benchmark(run)
+    # 20k interactions per lane in far fewer sweeps: the adaptive window
+    # is doing its job (a collapse to ~20k sweeps is a regression even
+    # if wall-clock drifts with hardware).
+    assert sweeps < 10_000
+
+
+def test_slot_lane_straggler_throughput(benchmark):
+    """The scalar continuation stragglers detach into: the sorted-slot
+    loop must comfortably beat the Fenwick multiset loop it replays."""
+
+    def run():
+        lane = SlotLane(PLLProtocol.for_population(N), N, seed=0)
+        lane.run(20_000, stop_at_target=False)
+        return lane.steps
+
+    assert benchmark(run) == 20_000
+
+
+def test_multiset_reference_for_slot_lane(benchmark):
+    """Same workload on MultisetSimulator, for the comparison row."""
+
+    def run():
+        sim = MultisetSimulator(PLLProtocol.for_population(N), N, seed=0)
+        sim.run(20_000)
+        return sim.steps
+
+    assert benchmark(run) == 20_000

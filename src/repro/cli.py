@@ -36,10 +36,16 @@ from repro.orchestration import (
     build_protocol,
     protocol_names,
 )
-from repro.orchestration.spec import AUTO_ENGINE, ENGINES, TrialOutcome
+from repro.orchestration.spec import (
+    AUTO_ENGINE,
+    ENGINES,
+    ENSEMBLE_ENGINE,
+    TrialOutcome,
+)
 
-#: CLI engine choices: the concrete engines plus per-``n`` resolution.
-ENGINE_CHOICES = (*ENGINES, AUTO_ENGINE)
+#: CLI engine choices: the concrete engines, the across-trial ensemble
+#: strategy, and per-``(n, trials)`` resolution.
+ENGINE_CHOICES = (*ENGINES, ENSEMBLE_ENGINE, AUTO_ENGINE)
 
 __all__ = ["main", "build_parser"]
 
@@ -102,8 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINE_CHOICES,
         default=None,
         help=(
-            "override the engine for declarative trial batches "
-            "('auto' picks per population size)"
+            "override the engine for declarative trial batches ('ensemble' "
+            "packs same-cell trials into vectorized lanes; 'auto' picks "
+            "per population size)"
         ),
     )
     run_parser.add_argument(
@@ -154,8 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
             choices=ENGINE_CHOICES,
             default=AUTO_ENGINE,
             help=(
-                "engine the campaign's trials run on (default auto: "
-                "batch at large n, agent below)"
+                "engine the campaign's trials run on (default auto: batch "
+                "at large n, ensemble-dispatched multiset below the "
+                "crossover)"
             ),
         )
         _add_store_flags(action_parser, default=DEFAULT_STORE_PATH)

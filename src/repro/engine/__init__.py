@@ -10,12 +10,22 @@ detectors):
 * :class:`~repro.engine.batch.BatchSimulator` — count-based, advancing
   ``Theta(sqrt(n))`` interactions per vectorized NumPy block; the engine
   for production-scale ``n``.
+* :class:`~repro.engine.ensemble.EnsembleSimulator` — across-trial
+  vectorization: M independent same-protocol trials advance in lockstep
+  NumPy sweeps, each lane bit-identical to a solo multiset run; the
+  engine for multi-trial campaign cells.
 
 DESIGN.md has the selection guide.
 """
 
 from repro.engine.batch import BatchSimulator, BatchStats
 from repro.engine.cache import CacheStats, TransitionCache
+from repro.engine.ensemble import (
+    EnsembleLaneSimulator,
+    EnsembleSimulator,
+    LaneOutcome,
+    SlotLane,
+)
 from repro.engine.convergence import (
     MonotoneLeaderStabilization,
     SilenceDetector,
@@ -52,13 +62,17 @@ __all__ = [
     "Configuration",
     "ConfigurationSnapshot",
     "DeterministicSchedule",
+    "EnsembleLaneSimulator",
+    "EnsembleSimulator",
     "FenwickTree",
     "FOLLOWER",
     "InteractionCounter",
+    "LaneOutcome",
     "LEADER",
     "LeaderElectionProtocol",
     "MonotoneLeaderStabilization",
     "MultisetSimulator",
+    "SlotLane",
     "PairScheduler",
     "Protocol",
     "RandomScheduler",

@@ -238,22 +238,13 @@ class BatchSimulator:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Post-state ids for a slot-aligned block of ordered pre pairs.
 
-        One :class:`TransitionCache` lookup per distinct ordered pair in
-        the block; the results scatter back to slots through the inverse
-        index of ``np.unique``.
+        Delegates to :meth:`TransitionCache.apply_block`: one gather from
+        the dense pair table while the state space is small, one lookup
+        per distinct ordered pair beyond it.
         """
-        stride = len(self.interner)
-        keys = pre0 * stride + pre1
-        unique_keys, inverse = np.unique(keys, return_inverse=True)
-        out0 = np.empty(unique_keys.shape[0], dtype=np.int64)
-        out1 = np.empty(unique_keys.shape[0], dtype=np.int64)
-        apply = self.cache.apply
-        for index, key in enumerate(unique_keys.tolist()):
-            post0, post1 = apply(key // stride, key % stride)
-            out0[index] = post0
-            out1[index] = post1
+        out0, out1 = self.cache.apply_block(pre0, pre1)
         self._ensure_tables()
-        return out0[inverse], out1[inverse]
+        return out0, out1
 
     def _commit(
         self,

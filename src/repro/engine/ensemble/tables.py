@@ -1,0 +1,127 @@
+"""Pair-indexed transition side tables shared by every ensemble lane.
+
+The ensemble's hot loop resolves whole arrays of ordered (initiator,
+responder) state pairs at once.  :class:`PairTables` memoizes, per ordered
+pair of *global* (shared-interner) state ids:
+
+* ``pair`` — the post pair packed as ``post0 * cap + post1`` (so one
+  gather answers both posts, and ``pair[key] == key`` iff the interaction
+  is null);
+* ``dmark`` — the leader-output count delta the interaction causes
+  (``output in {L}`` marks of the posts minus those of the pres), which
+  turns per-lane leader tracking into a single gather.
+
+Tables are flat ``cap * cap`` arrays with ``cap`` a power of two grown on
+demand; ``-1`` in ``pair`` marks an unfilled slot.  Filling goes through
+the shared :class:`~repro.engine.cache.TransitionCache`, so the dict (and
+its dense fast path) stays the single source of transition truth.
+
+State spaces beyond :data:`MAX_PAIR_STATES` would make the quadratic
+tables unreasonable; :meth:`PairTables.ensure` then raises
+:class:`PairTableOverflow` and the ensemble falls back to its scalar
+per-lane path, which memoizes pairs in plain dicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.cache import TransitionCache
+from repro.engine.interner import StateInterner
+from repro.engine.protocol import LEADER, Protocol
+
+__all__ = ["MAX_PAIR_STATES", "PairTableOverflow", "PairTables"]
+
+#: Hard bound on the interned state count the quadratic pair tables will
+#: cover (2048**2 x 12 bytes = 48 MiB); protocols that outgrow it drop to
+#: the ensemble's dict-memoized scalar lanes.
+MAX_PAIR_STATES = 2048
+
+
+class PairTableOverflow(Exception):
+    """The interned state space outgrew :data:`MAX_PAIR_STATES`."""
+
+
+class PairTables:
+    """Growable pair-indexed memo of posts and leader deltas."""
+
+    __slots__ = ("_protocol", "_interner", "_cache", "cap", "pair", "dmark", "marks")
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        interner: StateInterner,
+        cache: TransitionCache,
+    ) -> None:
+        self._protocol = protocol
+        self._interner = interner
+        self._cache = cache
+        self.cap = 16
+        self.pair = np.full(self.cap * self.cap, -1, dtype=np.int64)
+        self.dmark = np.zeros(self.cap * self.cap, dtype=np.int64)
+        self.marks = np.zeros(self.cap, dtype=np.int64)
+        self._sync()
+
+    def _sync(self) -> None:
+        """Grow caps and leader marks to cover every interned state."""
+        known = len(self._interner)
+        if known > MAX_PAIR_STATES:
+            raise PairTableOverflow(
+                f"{known} interned states exceed the {MAX_PAIR_STATES}-state "
+                "pair-table bound"
+            )
+        cap = self.cap
+        if known > cap:
+            while cap < known:
+                cap *= 2
+            old = self.cap
+            pair = np.full(cap * cap, -1, dtype=np.int64)
+            dmark = np.zeros(cap * cap, dtype=np.int64)
+            old_pair = self.pair.reshape(old, old)
+            old_dmark = self.dmark.reshape(old, old)
+            filled = old_pair >= 0
+            # Re-pack stored posts under the new stride.
+            repacked = (old_pair // old) * cap + old_pair % old
+            pair.reshape(cap, cap)[:old, :old] = np.where(
+                filled, repacked, -1
+            )
+            dmark.reshape(cap, cap)[:old, :old] = old_dmark
+            self.pair, self.dmark, self.cap = pair, dmark, cap
+            marks = np.zeros(cap, dtype=np.int64)
+            marks[: self.marks.shape[0]] = self.marks
+            self.marks = marks
+        marks = self.marks
+        output = self._protocol.output
+        state_of = self._interner.state_of
+        for sid in range(known):
+            marks[sid] = 1 if output(state_of(sid)) == LEADER else 0
+
+    def ensure(self, keys: np.ndarray) -> bool:
+        """Fill every key's slot; ``False`` when growth invalidated keys.
+
+        ``keys`` are ``g0 * cap + g1`` under the *current* ``cap``.  When
+        filling a pair interns new states past the cap, the tables grow,
+        every outstanding key (and translation built on the old cap) is
+        stale, and the caller must recompute and call again.
+        """
+        missing = keys[self.pair.take(keys) < 0]
+        if missing.size == 0:
+            return True
+        cap = self.cap
+        apply = self._cache.apply
+        known = len(self._interner)
+        for key in np.unique(missing).tolist():
+            g0, g1 = key // cap, key % cap
+            q0, q1 = apply(g0, g1)
+            if len(self._interner) != known:
+                # New post states: refresh marks (and possibly caps).
+                self._sync()
+                known = len(self._interner)
+                if self.cap != cap:
+                    return False
+            marks = self.marks
+            self.pair[key] = q0 * cap + q1
+            self.dmark[key] = (
+                marks[q0] + marks[q1] - marks[g0] - marks[g1]
+            )
+        return True

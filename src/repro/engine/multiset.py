@@ -34,7 +34,15 @@ from repro.engine.interner import StateInterner
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
 
-__all__ = ["MultisetSimulator"]
+__all__ = ["DRAW_BATCH_SIZE", "MultisetSimulator"]
+
+#: Scheduler draws consumed from the generator per refill: first a block
+#: of initiator tickets in ``[0, n)``, then responder tickets in
+#: ``[0, n-1)``.  The ensemble engine replays exactly this consumption
+#: pattern per lane, which is what makes its lanes bit-identical to solo
+#: :class:`MultisetSimulator` runs — change it only in lockstep with
+#: :mod:`repro.engine.ensemble`.
+DRAW_BATCH_SIZE = 16384
 
 
 class MultisetSimulator:
@@ -46,7 +54,7 @@ class MultisetSimulator:
         n: int,
         seed: int | None = None,
         cache_entries: int = 1 << 20,
-        batch_size: int = 16384,
+        batch_size: int = DRAW_BATCH_SIZE,
     ) -> None:
         if n < 2:
             raise SimulationError(f"population needs at least 2 agents, got n={n}")

@@ -60,9 +60,13 @@ def stabilization_trials(
     overrides); factory callables always run serially in-process.
 
     The default engine is ``"auto"``: per data point, large-``n`` sweeps
-    route through the batch engine and small ones keep the historical
-    agent engine (:func:`~repro.orchestration.spec.default_engine`), so
-    Theorem 1 / Table 1 style campaigns scale without flag-twiddling.
+    route through the batch engine and everything below the crossover
+    resolves to the multiset chain
+    (:func:`~repro.orchestration.spec.default_engine` — deliberately a
+    function of ``n`` alone, so hashes never depend on campaign depth).
+    Multi-trial named cells then pack into across-trial ensemble lanes
+    inside the pool; factory callables cannot be packed (they run one
+    simulator at a time) and execute their multiset trials solo.
     """
     if trials < 1:
         raise ExperimentError(f"trials must be positive, got {trials}")

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.engine.batch import BatchSimulator
+from repro.engine.ensemble import EnsembleLaneSimulator, EnsembleSimulator
+from repro.engine.ensemble.simulator import DEFAULT_DETACH_LANES
 from repro.engine.multiset import MultisetSimulator
 from repro.engine.protocol import Protocol
 from repro.engine.simulator import AgentSimulator
@@ -29,6 +31,8 @@ from repro.errors import ConvergenceError, ExperimentError
 from repro.orchestration.spec import (
     AUTO_ENGINE,
     ENGINES,
+    ENSEMBLE_ENGINE,
+    ENSEMBLE_MIN_TRIALS,
     TrialOutcome,
     TrialSpec,
     default_engine,
@@ -36,6 +40,7 @@ from repro.orchestration.spec import (
 from repro.orchestration.store import TrialStore
 
 __all__ = [
+    "ENSEMBLE_MAX_LANES",
     "RunReport",
     "build_simulator",
     "execute_trial",
@@ -43,12 +48,19 @@ __all__ = [
     "run_specs",
 ]
 
+#: Largest lane count packed into one :class:`EnsembleSimulator`; bigger
+#: cells run as consecutive full-width ensembles (bounds the draw-buffer
+#: working set to ~64 MiB at the default batch size).
+ENSEMBLE_MAX_LANES = 256
+
 #: Progress callback: ``progress(done, total, outcome)`` after every trial
 #: (cached trials are reported up front as a single batch with outcome
 #: ``None``).
 ProgressCallback = Callable[[int, int, TrialOutcome | None], None]
 
-Simulator = AgentSimulator | MultisetSimulator | BatchSimulator
+Simulator = (
+    AgentSimulator | MultisetSimulator | BatchSimulator | EnsembleLaneSimulator
+)
 
 _ENGINE_FACTORIES: dict[str, Callable[..., Simulator]] = {
     "agent": AgentSimulator,
@@ -68,15 +80,21 @@ def build_simulator(
     """Build the requested engine (one of :data:`~repro.orchestration.spec.ENGINES`).
 
     ``engine="auto"`` picks per population size via
-    :func:`~repro.orchestration.spec.default_engine`.
+    :func:`~repro.orchestration.spec.default_engine`;
+    ``engine="ensemble"`` builds a single-lane facade over the ensemble
+    engine's exact scalar lane (multi-lane packing lives in
+    :func:`run_specs`, which needs whole spec batches to vectorize over).
     """
     if engine == AUTO_ENGINE:
         engine = default_engine(n)
+    if engine == ENSEMBLE_ENGINE:
+        return EnsembleLaneSimulator(protocol, n, seed=seed)
     try:
         factory = _ENGINE_FACTORIES[engine]
     except KeyError:
         raise ExperimentError(
-            f"unknown engine {engine!r}; use one of: {', '.join(ENGINES)}"
+            f"unknown engine {engine!r}; use one of: "
+            f"{', '.join(ENGINES)}, {ENSEMBLE_ENGINE}, {AUTO_ENGINE}"
         ) from None
     return factory(protocol, n, seed=seed)
 
@@ -133,9 +151,32 @@ def execute_trial(spec: TrialSpec) -> TrialOutcome:
     )
 
 
-def _execute_indexed(task: tuple[int, TrialSpec]) -> tuple[int, TrialOutcome]:
-    index, spec = task
-    return index, execute_trial(spec)
+def _execute_task(task):
+    """Worker entry point: one solo trial or one ensemble lane chunk.
+
+    ``("trial", index, spec)`` runs one spec solo; ``("ensemble",
+    chunk)`` advances a same-cell chunk through ensemble lanes inside
+    the worker.  Returns ``(outcomes, failure)``: index-tagged outcomes
+    for every lane/trial that finished, plus a ``(message, steps)``
+    marker when a lane in the chunk overran its budget.  The marker —
+    rather than a raised exception — is what lets the parent record the
+    chunk's completed lanes into the store *before* re-raising, so a
+    divergent seed costs a resumed campaign only itself and the
+    genuinely in-flight work.
+    """
+    if task[0] == "trial":
+        _kind, index, spec = task
+        return [(index, execute_trial(spec))], None
+    _kind, chunk = task
+    results: list[tuple[int, TrialOutcome]] = []
+    failure: tuple[str, int | None] | None = None
+    try:
+        _run_ensemble_chunk(
+            chunk, lambda index, outcome: results.append((index, outcome))
+        )
+    except ConvergenceError as exc:
+        failure = (str(exc), exc.steps)
+    return results, failure
 
 
 def _worker_init() -> None:
@@ -172,11 +213,98 @@ def _chunk_size(pending: int, jobs: int, persisting: bool) -> int:
     return max(1, min(16, pending // (jobs * 4) or 1))
 
 
+def _ensemble_groups(
+    pending: Sequence[tuple[int, TrialSpec]], min_lanes: int
+) -> list[list[tuple[int, TrialSpec]]]:
+    """Pending multiset trials grouped into packable same-cell batches.
+
+    A group shares everything but the seed — one protocol instance, one
+    population size, one budget — which is exactly what
+    :class:`EnsembleSimulator` lanes require.  Groups below ``min_lanes``
+    stay with the solo path (vector overhead would not amortize).
+    """
+    grouped: dict[tuple, list[tuple[int, TrialSpec]]] = {}
+    for index, spec in pending:
+        if spec.engine != "multiset":
+            continue
+        key = (spec.protocol, spec.params, spec.n, spec.max_steps, spec.detector)
+        grouped.setdefault(key, []).append((index, spec))
+    return [group for group in grouped.values() if len(group) >= min_lanes]
+
+
+#: Preferred minimum lanes per worker-dispatched chunk: twice the
+#: engine's default detach floor, so a shard still has a meaningful
+#: vectorized phase instead of detaching straight to scalar lanes.
+ENSEMBLE_CHUNK_FLOOR = 2 * DEFAULT_DETACH_LANES
+
+
+def _ensemble_chunks(
+    group: list[tuple[int, TrialSpec]], jobs: int, min_lanes: int
+) -> list[list[tuple[int, TrialSpec]]]:
+    """Split one cell's group into per-task lane chunks.
+
+    With ``jobs`` workers a deep cell must not serialize onto one of
+    them — but sharding too finely defeats the packing: a chunk below
+    the engine's detach floor would run every lane scalar.  So the
+    group splits into at most ``jobs`` chunks of at least
+    :data:`ENSEMBLE_CHUNK_FLOOR` lanes (whole group when smaller),
+    capped at :data:`ENSEMBLE_MAX_LANES` (draw-buffer memory).
+    Chunking never affects results: lanes are packing-independent.
+    """
+    floor = max(min_lanes, ENSEMBLE_CHUNK_FLOOR)
+    chunk_count = max(1, min(max(jobs, 1), len(group) // floor))
+    per_chunk = min(-(-len(group) // chunk_count), ENSEMBLE_MAX_LANES)
+    return [
+        group[start : start + per_chunk]
+        for start in range(0, len(group), per_chunk)
+    ]
+
+
+def _lane_outcome_to_trial(lane_outcome, n: int) -> TrialOutcome:
+    return TrialOutcome(
+        seed=lane_outcome.seed,
+        steps=lane_outcome.steps,
+        parallel_time=lane_outcome.steps / n,
+        leader_count=lane_outcome.leader_count,
+        distinct_states=lane_outcome.distinct_states,
+    )
+
+
+def _run_ensemble_chunk(
+    chunk: list[tuple[int, TrialSpec]],
+    record: Callable[[int, TrialOutcome], None],
+) -> None:
+    """Execute one same-cell chunk through ensemble lanes.
+
+    Outcomes stream into ``record`` as lanes retire, so the store stays
+    resumable even if a later lane's ConvergenceError aborts the run.
+    Results are byte-identical to executing each spec solo (the lanes are
+    the same chain), independent of packing and chunking.
+    """
+    sample = chunk[0][1]
+    n = sample.n
+    index_of_lane = [index for index, _spec in chunk]
+    simulator = EnsembleSimulator(
+        sample.build_protocol(), n, [spec.seed for _index, spec in chunk]
+    )
+
+    def lane_done(lane_outcome) -> None:
+        record(
+            index_of_lane[lane_outcome.index],
+            _lane_outcome_to_trial(lane_outcome, n),
+        )
+
+    simulator.run_until_stabilized(
+        max_steps=sample.max_steps, on_lane_done=lane_done
+    )
+
+
 def run_specs(
     specs: Sequence[TrialSpec],
     jobs: int = 1,
     store: TrialStore | None = None,
     progress: ProgressCallback | None = None,
+    ensemble_lanes: int | None = ENSEMBLE_MIN_TRIALS,
 ) -> RunReport:
     """Execute ``specs``, reusing ``store`` hits; return outcomes in order.
 
@@ -184,6 +312,20 @@ def run_specs(
     over a worker pool; fresh outcomes are persisted to ``store`` as they
     complete, so a ``KeyboardInterrupt`` (re-raised after the pool is torn
     down) leaves a resumable store behind.
+
+    Missing *multiset* trials that share a cell (protocol, params, n,
+    budget) are packed ``ensemble_lanes``-or-more at a time into
+    :class:`~repro.engine.ensemble.EnsembleSimulator` lanes — an
+    optimization that is invisible in results (lanes are bit-identical
+    to solo multiset runs; rows land in the same store slots) but
+    reaches an order of magnitude in throughput on multi-trial campaign
+    cells.  With ``jobs=1`` the lanes run in-process and persist one by
+    one as they retire; with ``jobs>1`` each cell shards into ~``jobs``
+    lane chunks that run as pool tasks alongside the unpackable
+    remainder, persisting per completed chunk.  Pass
+    ``ensemble_lanes=0``/``None`` to force every trial down the solo
+    path (benchmarks do, to measure the pool baseline the ensemble is
+    compared against).
     """
     if jobs < 1:
         raise ExperimentError(f"jobs must be positive, got {jobs}")
@@ -210,18 +352,45 @@ def run_specs(
         if progress is not None:
             progress(done, total, outcome)
 
+    missing = len(pending)
+    groups = (
+        _ensemble_groups(pending, ensemble_lanes) if ensemble_lanes else []
+    )
+    packed = {index for group in groups for index, _spec in group}
+    solo_pending = [
+        (index, spec) for index, spec in pending if index not in packed
+    ]
+
     if jobs == 1 or len(pending) <= 1:
-        for index, spec in pending:
+        # In-process: ensemble lanes stream straight into ``record`` as
+        # they retire — the finest persistence granularity available.
+        for group in groups:
+            for chunk in _ensemble_chunks(group, 1, ensemble_lanes or 1):
+                _run_ensemble_chunk(chunk, record)
+        for index, spec in solo_pending:
             record(index, execute_trial(spec))
     else:
-        processes = min(jobs, len(pending))
-        chunksize = _chunk_size(len(pending), processes, store is not None)
+        # Worker pool: ensemble chunks are pool tasks like any solo
+        # trial, so deep cells shard across workers and packed work
+        # overlaps the unpackable remainder.
+        tasks: list = [
+            ("ensemble", chunk)
+            for group in groups
+            for chunk in _ensemble_chunks(group, jobs, ensemble_lanes or 1)
+        ]
+        tasks += [("trial", index, spec) for index, spec in solo_pending]
+        processes = min(jobs, len(tasks))
+        chunksize = _chunk_size(len(tasks), processes, store is not None)
         pool = multiprocessing.Pool(processes=processes, initializer=_worker_init)
         try:
-            for index, outcome in pool.imap_unordered(
-                _execute_indexed, pending, chunksize=chunksize
+            for task_results, failure in pool.imap_unordered(
+                _execute_task, tasks, chunksize=chunksize
             ):
-                record(index, outcome)
+                for index, outcome in task_results:
+                    record(index, outcome)
+                if failure is not None:
+                    message, failed_steps = failure
+                    raise ConvergenceError(message, steps=failed_steps)
             pool.close()
         except BaseException:
             # Covers worker failures (e.g. ConvergenceError) and Ctrl-C in
@@ -232,5 +401,5 @@ def run_specs(
             pool.join()
     outcomes = [results[index] for index in range(total)]
     return RunReport(
-        outcomes=outcomes, executed=len(pending), cached=total - len(pending)
+        outcomes=outcomes, executed=missing, cached=total - missing
     )

@@ -24,12 +24,15 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.engine.protocol import Protocol
 from repro.errors import ExperimentError
+from repro.orchestration.crossover import batch_crossover
 from repro.orchestration.registry import build_protocol, canonical_params
 
 __all__ = [
     "AUTO_ENGINE",
     "BATCH_ENGINE_MIN_N",
     "ENGINES",
+    "ENSEMBLE_ENGINE",
+    "ENSEMBLE_MIN_TRIALS",
     "TrialOutcome",
     "TrialSpec",
     "CampaignSpec",
@@ -51,25 +54,51 @@ MONOTONE_LEADER = "monotone-leader"
 ENGINES = ("agent", "multiset", "batch")
 
 #: Pseudo-engine accepted by grid builders and the CLI: resolves per
-#: population size via :func:`default_engine` before specs are created,
-#: so content hashes always name a concrete engine.
+#: (population size, trial count) via :func:`default_engine` before specs
+#: are created, so content hashes always name a concrete engine.
 AUTO_ENGINE = "auto"
 
-#: Population size at which ``auto`` switches to the batch engine — the
-#: measured crossover where vectorized Theta(sqrt(n))-interaction blocks
-#: overtake the per-interaction engines on PLL throughput (at n = 2^16
-#: the batch engine already clears both; at 2^14 the agent engine still
-#: wins — see ``benchmarks/report.py`` / BENCH_engine.json).
-BATCH_ENGINE_MIN_N = 1 << 16
+#: User-facing engine name for across-trial vectorized execution.  It is
+#: an *execution strategy*, not a spec identity: lanes of the ensemble
+#: engine are bit-identical to solo multiset runs, so specs resolve to
+#: ``engine="multiset"`` (sharing store rows with solo multiset trials in
+#: both directions) and the pool packs same-cell specs into
+#: :class:`~repro.engine.ensemble.EnsembleSimulator` lanes at run time.
+ENSEMBLE_ENGINE = "ensemble"
+
+#: Smallest pending same-cell trial group the pool packs into ensemble
+#: lanes (below it, per-sweep vector overhead would not amortize and the
+#: solo path runs instead).
+ENSEMBLE_MIN_TRIALS = 4
+
+#: Population size at which ``auto`` switches to the batch engine.
+#: Derived from the committed BENCH_engine.json (the smallest measured
+#: PLL ``n`` from which batch stays the fastest engine — see
+#: :mod:`repro.orchestration.crossover`); the PR 2 hard-coded constant
+#: survives only as that module's fallback for benchless checkouts.
+BATCH_ENGINE_MIN_N = batch_crossover()
 
 
 def default_engine(n: int) -> str:
     """Concrete engine the ``auto`` pseudo-engine resolves to at size ``n``.
 
-    Large-``n`` Theorem 1 / Table 1 sweeps route through the batch engine;
-    below the crossover the agent engine's historical default stands.
+    Large-``n`` Theorem 1 / Table 1 sweeps route through the batch
+    engine.  Below the crossover, ``auto`` names the multiset chain:
+    multi-trial cells then pack into across-trial ensemble lanes at
+    execution time (:func:`repro.orchestration.pool.run_specs`), which is
+    where campaign throughput comes from, while stragglers and
+    single-trial points run the solo multiset engine.
+
+    The resolution deliberately depends on ``n`` alone — never on the
+    trial count — so a given ``(protocol, params, n, seed)`` data point
+    hashes identically regardless of which campaign (or how big a
+    campaign) requested it, keeping store rows shared across entry
+    points.  It compares against :data:`BATCH_ENGINE_MIN_N` (the
+    import-time derivation) rather than re-deriving per call, so the
+    exported constant and the resolution can never disagree within a
+    process.
     """
-    return "batch" if n >= BATCH_ENGINE_MIN_N else "agent"
+    return "batch" if n >= BATCH_ENGINE_MIN_N else "multiset"
 
 
 @dataclass(frozen=True)
@@ -207,12 +236,17 @@ def trial_specs(
 
     ``engine="auto"`` resolves here, per ``n``, via
     :func:`default_engine`, so specs (and therefore content hashes)
-    always name a concrete engine.
+    always name a concrete engine.  ``engine="ensemble"`` resolves to
+    ``"multiset"`` — ensemble lanes are bit-identical to solo multiset
+    runs, so the hash (and store row) is the multiset trial's; the pool
+    supplies the across-trial vectorization at execution time.
     """
     if trials < 1:
         raise ExperimentError(f"trials must be positive, got {trials}")
     if engine == AUTO_ENGINE:
         engine = default_engine(n)
+    elif engine == ENSEMBLE_ENGINE:
+        engine = "multiset"
     return [
         TrialSpec.create(
             protocol=protocol,

@@ -1,8 +1,9 @@
 """Tests for repro.engine.cache."""
 
+import numpy as np
 import pytest
 
-from repro.engine.cache import TransitionCache
+from repro.engine.cache import DENSE_STATE_BOUND, TransitionCache
 from repro.engine.interner import StateInterner
 from repro.epidemic.epidemic import MaxPropagationProtocol
 from repro.protocols.angluin import AngluinProtocol
@@ -130,3 +131,90 @@ class TestCacheTinyBound:
     def test_max_entries_property_reflects_bound(self):
         cache, _, _ = make_cache(max_entries=7)
         assert cache.max_entries == 7
+
+
+class TestDenseFastPath:
+    """The (S, S) pair-indexed mirror for small interned state spaces."""
+
+    def test_second_lookup_is_a_dense_hit(self):
+        cache, leader, follower = make_cache()
+        cache.apply(leader, leader)  # miss, stored in dict + dense
+        assert cache.apply(leader, leader) == (leader, follower)
+        assert cache.stats.dense_hits == 1
+        assert cache.stats.hits == 1  # dense hits are hits
+
+    def test_dense_disabled_beyond_the_state_bound(self):
+        protocol = MaxPropagationProtocol()
+        interner = StateInterner()
+        cache = TransitionCache(protocol, interner)
+        for value in range(DENSE_STATE_BOUND + 8):
+            interner.intern(value)
+        assert cache.dense_enabled  # not yet consulted past the bound
+        zero, one = 0, 1
+        cache.apply(zero, one)  # miss: _store_dense sees the wide space
+        assert not cache.dense_enabled
+        # Correctness is unaffected: the dict keeps answering.
+        assert cache.apply(zero, one) == (one, one)
+        assert cache.stats.hits >= 1
+        assert cache.stats.dense_hits == 0
+
+    def test_apply_block_matches_scalar_apply(self):
+        protocol = MaxPropagationProtocol()
+        interner = StateInterner()
+        cache = TransitionCache(protocol, interner)
+        for value in range(6):
+            interner.intern(value)
+        rng = np.random.default_rng(0)
+        pre0 = rng.integers(0, 6, size=64)
+        pre1 = rng.integers(0, 6, size=64)
+        out0, out1 = cache.apply_block(pre0, pre1)
+        reference = TransitionCache(protocol, interner)
+        for i in range(64):
+            want = reference.apply(int(pre0[i]), int(pre1[i]))
+            assert (int(out0[i]), int(out1[i])) == want
+
+    def test_apply_block_handles_empty_input(self):
+        cache, _leader, _follower = make_cache()
+        out0, out1 = cache.apply_block(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert out0.shape == (0,) and out1.shape == (0,)
+
+    def test_apply_block_works_past_the_dense_bound(self):
+        protocol = MaxPropagationProtocol()
+        interner = StateInterner()
+        cache = TransitionCache(protocol, interner)
+        wide = DENSE_STATE_BOUND + 16
+        for value in range(wide):
+            interner.intern(value)
+        pre0 = np.arange(wide - 8, wide, dtype=np.int64)
+        pre1 = np.arange(wide - 8, wide, dtype=np.int64)[::-1].copy()
+        out0, out1 = cache.apply_block(pre0, pre1)
+        for i in range(8):
+            want0, want1 = protocol.transition(
+                interner.state_of(int(pre0[i])),
+                interner.state_of(int(pre1[i])),
+            )
+            assert interner.state_of(int(out0[i])) == want0
+            assert interner.state_of(int(out1[i])) == want1
+
+    def test_dense_respects_the_entry_bound(self):
+        # A bypassed pair (dict full) must not sneak into the dense mirror
+        # either — the eviction discipline stays observable.
+        cache, leader, follower = make_cache(max_entries=1)
+        cache.apply(leader, leader)  # stored
+        cache.apply(follower, leader)  # bypassed
+        cache.apply(follower, leader)  # must be recomputed, not dense-hit
+        assert cache.stats.bypasses == 2
+        assert cache.stats.dense_hits == 0
+
+    def test_apply_block_counts_each_distinct_pair_once(self):
+        # A block containing an unstorable pair (dict full) must not
+        # double-compute or double-count it: one bypass per block.
+        cache, leader, follower = make_cache(max_entries=1)
+        cache.apply(leader, leader)  # occupies the single dict slot
+        pre0 = np.array([leader, follower], dtype=np.int64)
+        pre1 = np.array([leader, leader], dtype=np.int64)
+        before = cache.stats.bypasses
+        cache.apply_block(pre0, pre1)
+        assert cache.stats.bypasses == before + 1

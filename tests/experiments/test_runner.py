@@ -89,14 +89,17 @@ class TestDeclarativeTrials:
         assert len(outcomes) == 2
 
     def test_context_overrides_engine(self):
-        plain = stabilization_trials("angluin", 8, trials=1)
+        # The context's engine must replace the caller's explicit choice:
+        # overriding agent -> multiset yields the multiset trajectory, not
+        # the agent one (their chains differ per seed).
+        agent = stabilization_trials("angluin", 8, trials=1, engine="agent")
         with execution_context(engine="multiset"):
             overridden = stabilization_trials(
                 "angluin", 8, trials=1, engine="agent"
             )
         forced = stabilization_trials("angluin", 8, trials=1, engine="multiset")
         assert overridden == forced
-        assert overridden != plain
+        assert overridden != agent
 
     def test_factory_path_ignores_context_overrides(self):
         # Documented contract: only registry-named protocols honor the

@@ -1,0 +1,99 @@
+"""Tests for repro.orchestration.crossover (bench-derived thresholds)."""
+
+import json
+
+from repro.orchestration import crossover
+from repro.orchestration.crossover import (
+    DEFAULT_BATCH_CROSSOVER,
+    batch_crossover,
+    crossover_from_report,
+)
+
+
+def rows(*cells):
+    """results rows from (n, {engine: rate}) cells."""
+    return [
+        {"engine": engine, "protocol": "pll", "n": n, "steps_per_sec": rate}
+        for n, rates in cells
+        for engine, rate in rates.items()
+    ]
+
+
+class TestCrossoverFromReport:
+    def test_smallest_n_where_batch_stays_fastest(self):
+        report = {
+            "results": rows(
+                (1024, {"agent": 500.0, "multiset": 200.0, "batch": 100.0}),
+                (65536, {"agent": 500.0, "multiset": 200.0, "batch": 800.0}),
+                (1_000_000, {"agent": 400.0, "multiset": 200.0, "batch": 1600.0}),
+            )
+        }
+        assert crossover_from_report(report) == 65536
+
+    def test_batch_win_must_hold_at_every_larger_n(self):
+        # A win at mid n that collapses at large n does not move the
+        # threshold down: auto must not route big sweeps to a loser.
+        report = {
+            "results": rows(
+                (1024, {"agent": 100.0, "batch": 150.0}),
+                (65536, {"agent": 500.0, "batch": 300.0}),
+                (1_000_000, {"agent": 400.0, "batch": 1600.0}),
+            )
+        }
+        assert crossover_from_report(report) == 1_000_000
+
+    def test_quick_reports_never_move_the_threshold(self):
+        # `report.py --quick` legitimately overwrites the repo-root
+        # record (CI smoke); a reduced, noisy grid must not silently
+        # re-resolve auto and orphan trial-store rows.
+        report = {
+            "quick": True,
+            "results": rows(
+                (16384, {"agent": 100.0, "batch": 800.0}),
+            ),
+        }
+        assert crossover_from_report(report) is None
+
+    def test_none_when_batch_never_wins(self):
+        report = {
+            "results": rows((1024, {"agent": 500.0, "batch": 100.0}))
+        }
+        assert crossover_from_report(report) is None
+
+    def test_none_for_empty_or_alien_reports(self):
+        assert crossover_from_report({}) is None
+        assert crossover_from_report({"results": [{"protocol": "angluin"}]}) is None
+
+    def test_ignores_malformed_rows(self):
+        report = {
+            "results": rows((65536, {"agent": 100.0, "batch": 800.0}))
+            + [{"engine": "batch", "protocol": "pll", "n": "not-a-number"}]
+        }
+        assert crossover_from_report(report) == 65536
+
+
+class TestBatchCrossover:
+    def test_committed_bench_derivation_matches_the_documented_value(self):
+        # The repository's own BENCH_engine.json is the source of truth;
+        # the PR 2 constant (2^16) must match what it derives to, or the
+        # DESIGN.md documentation is stale.
+        assert batch_crossover() == 1 << 16
+
+    def test_env_override_and_fallback(self, tmp_path, monkeypatch):
+        report = {
+            "results": rows(
+                (512, {"agent": 1.0, "batch": 2.0}),
+            )
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        monkeypatch.setenv(crossover.BENCH_REPORT_ENV, str(path))
+        crossover._crossover_for_path.cache_clear()
+        try:
+            assert batch_crossover() == 512
+            monkeypatch.setenv(
+                crossover.BENCH_REPORT_ENV, str(tmp_path / "missing.json")
+            )
+            assert batch_crossover() == DEFAULT_BATCH_CROSSOVER
+        finally:
+            crossover._crossover_for_path.cache_clear()

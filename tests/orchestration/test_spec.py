@@ -130,7 +130,7 @@ class TestTrialSpecs:
 
 class TestAutoEngine:
     def test_default_engine_crossover(self):
-        assert default_engine(BATCH_ENGINE_MIN_N - 1) == "agent"
+        assert default_engine(BATCH_ENGINE_MIN_N - 1) == "multiset"
         assert default_engine(BATCH_ENGINE_MIN_N) == "batch"
 
     def test_auto_resolves_per_population_size(self):
@@ -138,15 +138,23 @@ class TestAutoEngine:
         large = trial_specs(
             "angluin", BATCH_ENGINE_MIN_N, trials=1, engine=AUTO_ENGINE
         )
-        assert [s.engine for s in small] == ["agent"]
+        assert [s.engine for s in small] == ["multiset"]
         assert [s.engine for s in large] == ["batch"]
 
     def test_auto_hashes_match_the_resolved_engine(self):
         # 'auto' is sugar, not identity: specs resolved from it must share
         # store rows with explicitly named engines.
         auto = trial_specs("angluin", 64, trials=1, engine=AUTO_ENGINE)[0]
-        explicit = trial_specs("angluin", 64, trials=1, engine="agent")[0]
+        explicit = trial_specs("angluin", 64, trials=1, engine="multiset")[0]
         assert auto.content_hash() == explicit.content_hash()
+
+    def test_auto_never_depends_on_the_trial_count(self):
+        # Cross-campaign row sharing: the same (protocol, n, seed) data
+        # point must hash identically whether it came from a 2-trial or a
+        # 200-trial campaign.
+        shallow = trial_specs("angluin", 64, trials=2, engine=AUTO_ENGINE)
+        deep = trial_specs("angluin", 64, trials=200, engine=AUTO_ENGINE)
+        assert shallow[0].content_hash() == deep[0].content_hash()
 
     def test_auto_is_not_a_valid_spec_engine(self):
         # Content hashes must always name a concrete engine.
@@ -159,7 +167,20 @@ class TestAutoEngine:
             engine=AUTO_ENGINE,
         )
         engines = {s.n: s.engine for s in campaign.trials}
-        assert engines == {64: "agent", BATCH_ENGINE_MIN_N: "batch"}
+        assert engines == {64: "multiset", BATCH_ENGINE_MIN_N: "batch"}
+
+    def test_ensemble_resolves_to_multiset_specs(self):
+        # 'ensemble' is an execution strategy: lanes are bit-identical to
+        # solo multiset runs, so specs (and store rows) are multiset's.
+        packed = trial_specs("angluin", 64, trials=2, engine="ensemble")
+        solo = trial_specs("angluin", 64, trials=2, engine="multiset")
+        assert [s.content_hash() for s in packed] == [
+            s.content_hash() for s in solo
+        ]
+
+    def test_ensemble_is_not_a_valid_spec_engine(self):
+        with pytest.raises(ExperimentError):
+            spec(engine="ensemble")
 
 
 class TestCampaignSpec:

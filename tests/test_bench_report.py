@@ -87,8 +87,69 @@ class TestCheckGate:
         assert report.check_batch_speedup(doctored, 1.0) is not None
 
 
+class TestTrialsSection:
+    def tiny_cell(self, report):
+        return report.measure_trials_cell(
+            protocol_name="angluin", n=32, trials=6, jobs=1
+        )
+
+    def test_measures_every_execution_strategy(self, report):
+        section = self.tiny_cell(report)
+        modes = {(row["mode"], row["engine"]) for row in section["results"]}
+        assert modes == {
+            ("pool", "multiset"),
+            ("pool", "agent"),
+            ("ensemble", "multiset"),
+        }
+        assert all(row["trials_per_sec"] > 0 for row in section["results"])
+        assert section["cell"] == {"protocol": "angluin", "n": 32, "trials": 6}
+
+    def test_ensemble_and_pool_simulate_the_same_chain(self, report):
+        # The gate is an execution-strategy comparison, so both rows must
+        # have executed identical per-seed trials: same total steps.
+        section = self.tiny_cell(report)
+        steps = {
+            (row["mode"], row["engine"]): row["total_steps"]
+            for row in section["results"]
+        }
+        assert steps[("ensemble", "multiset")] == steps[("pool", "multiset")]
+
+    def test_ratio_matches_the_rows(self, report):
+        section = self.tiny_cell(report)
+        rates = {
+            (row["mode"], row["engine"]): row["trials_per_sec"]
+            for row in section["results"]
+        }
+        assert section["ensemble_vs_pool"] == pytest.approx(
+            rates[("ensemble", "multiset")] / rates[("pool", "multiset")]
+        )
+
+
+class TestTrialsCheckGate:
+    def test_passes_when_ensemble_is_faster(self, report):
+        fake = {"trials": {"cell": {}, "ensemble_vs_pool": 6.0}}
+        assert report.check_ensemble_speedup(fake, min_ratio=5.0) is None
+
+    def test_fails_when_ensemble_is_slower(self, report):
+        fake = {
+            "trials": {
+                "cell": {"protocol": "pll", "n": 4096, "trials": 64},
+                "ensemble_vs_pool": 0.8,
+            }
+        }
+        error = report.check_ensemble_speedup(fake, min_ratio=1.0)
+        assert error is not None and "0.80x" in error
+
+    def test_tolerates_v1_reports_without_the_section(self, report):
+        # Old consumers (and old artifacts) have no trials section; the
+        # gate reports that as its own failure instead of crashing.
+        v1 = {"schema": "repro-bench-engine/1", "results": []}
+        error = report.check_ensemble_speedup(v1, min_ratio=1.0)
+        assert error is not None and "no trials section" in error
+
+
 class TestEndToEnd:
-    def test_main_writes_json_artifact(self, report, tmp_path, monkeypatch):
+    def test_main_writes_v1_json_without_trials(self, report, tmp_path, monkeypatch):
         # Shrink the quick grid so the smoke test stays in tier-1 budget.
         monkeypatch.setattr(
             report, "QUICK_GRID", (("angluin", (64,)),)
@@ -97,10 +158,28 @@ class TestEndToEnd:
         out = tmp_path / "BENCH_engine.json"
         # No --check here: the toy angluin/n=64 cell is below the batch
         # engine's regime; the gate logic is covered by TestCheckGate.
-        assert report.main(["--quick", "--out", str(out)]) == 0
+        assert report.main(["--quick", "--no-trials", "--out", str(out)]) == 0
         payload = json.loads(out.read_text())
         assert payload["schema"] == "repro-bench-engine/1"
         assert payload["quick"] is True
+        assert "trials" not in payload
         assert len(payload["results"]) == 3  # three engines, one cell
         engines = {row["engine"] for row in payload["results"]}
         assert engines == {"agent", "multiset", "batch"}
+
+    def test_main_writes_v2_json_with_trials(self, report, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            report, "QUICK_GRID", (("angluin", (64,)),)
+        )
+        monkeypatch.setattr(report, "QUICK_STEPS", 2000)
+        monkeypatch.setattr(report, "TRIALS_PROTOCOL", "angluin")
+        monkeypatch.setattr(report, "TRIALS_N", 32)
+        monkeypatch.setattr(report, "TRIALS_COUNT", 6)
+        monkeypatch.setattr(report, "TRIALS_POOL_JOBS", 1)
+        out = tmp_path / "BENCH_engine.json"
+        assert report.main(["--quick", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-bench-engine/2"
+        # v1 fields are untouched: old consumers parse v2 unchanged.
+        assert {"results", "summary", "steps_per_cell"} <= set(payload)
+        assert payload["trials"]["ensemble_vs_pool"] > 0
