@@ -1,425 +1,19 @@
-"""Machine-readable engine benchmark harness.
+"""Path-invocable shim for the engine benchmark harness.
 
-Measures raw interaction throughput (steps/sec) and transition-cache
-effectiveness for every engine over a grid of protocols and population
-sizes — plus campaign-level **trials-per-second** for the across-trial
-ensemble engine against the multiprocessing-pool baseline — and writes
-the result as ``BENCH_engine.json`` at the repository root: the durable,
-diffable record of the performance trajectory (CI uploads it as a
-workflow artifact on every run; see ``.github/workflows/ci.yml``).
-
-Usage::
-
-    PYTHONPATH=src python benchmarks/report.py                 # full grid
-    PYTHONPATH=src python benchmarks/report.py --quick         # CI scale
-    PYTHONPATH=src python benchmarks/report.py --check         # + enforce
-    PYTHONPATH=src python benchmarks/report.py --no-trials     # old grid only
-    PYTHONPATH=src python benchmarks/report.py --out other.json
-
-Schema: ``repro-bench-engine/2`` when the ``trials`` section is present
-(the default), ``repro-bench-engine/1`` with ``--no-trials`` — v1
-consumers keep working either way because every v1 field is unchanged.
-
-Gates: ``--check`` fails (exit 1) unless the batch engine beats the
-multiset engine on the PLL throughput check at the largest measured
-``n`` by at least ``--min-ratio``.  ``--check-trials`` fails unless the
-ensemble engine's trials/sec on the 64-trial PLL cell at n=4096 reaches
-``--min-trials-ratio`` times the pool baseline running the *same specs*
-solo (same multiset chain, identical per-seed outcomes — a pure
-execution-strategy comparison).
-
-The pytest-benchmark targets in ``bench_engine.py``/``bench_batch.py``/
-``bench_ensemble.py`` measure the same hot loops interactively; this
-module is the scriptable, JSON-emitting entry point for CI and trend
-tracking.
+The implementation lives in :mod:`repro.bench.report` so the harness
+runs as ``repro bench`` without path-invoking this script; this shim
+keeps ``python benchmarks/report.py`` working for existing workflows
+(CI, local muscle memory).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
 import sys
-import time
-from datetime import datetime, timezone
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_engine.json"
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-sys.path.insert(0, str(REPO_ROOT / "src"))
-
-from repro.orchestration.pool import build_simulator, run_specs  # noqa: E402
-from repro.orchestration.registry import build_protocol  # noqa: E402
-from repro.orchestration.spec import ENGINES, trial_specs  # noqa: E402
-
-#: (protocol registry name, population sizes) measured per engine.
-FULL_GRID = (
-    ("pll", (1024, 65536, 1_000_000)),
-    ("angluin", (1024, 65536)),
-)
-QUICK_GRID = (
-    ("pll", (1024, 16384)),
-    ("angluin", (1024,)),
-)
-FULL_STEPS = 100_000
-QUICK_STEPS = 20_000
-
-#: The headline comparison: the protocol every engine is graded on.
-CHECK_PROTOCOL = "pll"
-
-#: The campaign-shaped cell the trials-per-second section measures: deep
-#: enough in trials to exercise lane packing, small-to-mid in ``n`` —
-#: exactly the regime campaigns spend most of their trials in (and where
-#: BENCH_engine.json shows the within-trial batch engine losing to the
-#: per-interaction engines).
-TRIALS_PROTOCOL = "pll"
-TRIALS_N = 4096
-TRIALS_COUNT = 64
-#: Worker processes for the pool baseline: a realistic `--jobs` choice
-#: (capped at 4 so a 128-core machine doesn't skew the record), floored
-#: at 2 so the baseline actually exercises the multiprocessing pool it
-#: is named for rather than the serial fast path.
-TRIALS_POOL_JOBS = max(2, min(4, os.cpu_count() or 1))
-
-
-def measure_trials_cell(
-    protocol_name: str | None = None,
-    n: int | None = None,
-    trials: int | None = None,
-    seed: int = 0,
-    jobs: int | None = None,
-    include_agent: bool = True,
-) -> dict:
-    """Trials-per-second for one campaign cell, per execution strategy.
-
-    Up to three rows: the multiprocessing pool running the cell's
-    multiset specs solo (the baseline the ensemble is graded against —
-    same Markov chain, byte-identical per-seed outcomes), the pool
-    running the historical agent engine (context only: a different
-    chain, so a looser comparison — skipped in quick/CI runs where it
-    just burns minutes), and the ensemble engine packing the multiset
-    specs into vectorized lanes.  The cell itself is never reduced in
-    quick mode: the CI gate is defined on the 64-trial PLL cell at
-    n=4096.
-    """
-    # Late-bound defaults so tests (and callers) can retarget the module
-    # constants without re-plumbing every call site.
-    if protocol_name is None:
-        protocol_name = TRIALS_PROTOCOL
-    if n is None:
-        n = TRIALS_N
-    if trials is None:
-        trials = TRIALS_COUNT
-    if jobs is None:
-        jobs = TRIALS_POOL_JOBS
-    rows = []
-
-    def measure(mode: str, engine: str, run) -> dict:
-        start = time.perf_counter()
-        outcomes = run()
-        elapsed = time.perf_counter() - start
-        row = {
-            "mode": mode,
-            "engine": engine,
-            "protocol": protocol_name,
-            "n": n,
-            "trials": trials,
-            "jobs": jobs if mode == "pool" else 1,
-            "seconds": elapsed,
-            "trials_per_sec": trials / elapsed,
-            "total_steps": sum(outcome.steps for outcome in outcomes),
-        }
-        rows.append(row)
-        return row
-
-    multiset_specs = trial_specs(
-        protocol_name, n, trials, base_seed=seed, engine="multiset"
-    )
-    agent_specs = trial_specs(
-        protocol_name, n, trials, base_seed=seed, engine="agent"
-    )
-    print(
-        f"  measuring pool      {protocol_name} n={n} x{trials} trials "
-        f"(multiset, jobs={jobs}) ...",
-        flush=True,
-    )
-    measure(
-        "pool",
-        "multiset",
-        lambda: run_specs(multiset_specs, jobs=jobs, ensemble_lanes=0).outcomes,
-    )
-    if include_agent:
-        print(
-            f"  measuring pool      {protocol_name} n={n} x{trials} trials "
-            f"(agent, jobs={jobs}) ...",
-            flush=True,
-        )
-        measure(
-            "pool",
-            "agent",
-            lambda: run_specs(
-                agent_specs, jobs=jobs, ensemble_lanes=0
-            ).outcomes,
-        )
-    print(
-        f"  measuring ensemble  {protocol_name} n={n} x{trials} trials ...",
-        flush=True,
-    )
-    ensemble_row = measure(
-        "ensemble",
-        "multiset",
-        lambda: run_specs(multiset_specs, jobs=1, ensemble_lanes=2).outcomes,
-    )
-    baseline = next(
-        row for row in rows if row["mode"] == "pool" and row["engine"] == "multiset"
-    )
-    return {
-        "cell": {"protocol": protocol_name, "n": n, "trials": trials},
-        "results": rows,
-        "ensemble_vs_pool": ensemble_row["trials_per_sec"]
-        / baseline["trials_per_sec"],
-    }
-
-
-def measure_engine(
-    engine: str, protocol_name: str, n: int, steps: int, seed: int = 0
-) -> dict:
-    """Time ``steps`` interactions of one engine on one workload."""
-    protocol = build_protocol(protocol_name, n)
-    sim = build_simulator(protocol, n, seed=seed, engine=engine)
-    start = time.perf_counter()
-    executed = sim.run(steps)
-    elapsed = time.perf_counter() - start
-    if executed != steps:
-        raise RuntimeError(
-            f"{engine} executed {executed} of {steps} steps on "
-            f"{protocol_name} n={n}"
-        )
-    stats = sim.cache.stats
-    return {
-        "engine": engine,
-        "protocol": protocol_name,
-        "n": n,
-        "steps": steps,
-        "seconds": elapsed,
-        "steps_per_sec": steps / elapsed,
-        "distinct_states": sim.distinct_states_seen(),
-        "cache": {
-            "entries": len(sim.cache),
-            "hits": stats.hits,
-            "misses": stats.misses,
-            "bypasses": stats.bypasses,
-            "hit_rate": stats.hit_rate,
-        },
-    }
-
-
-def generate_report(
-    quick: bool = False, seed: int = 0, trials_section: bool = True
-) -> dict:
-    """Run the full engine x protocol x n grid; return the report dict.
-
-    ``trials_section`` adds the campaign-level trials-per-second cell and
-    bumps the schema to v2; without it the report is byte-compatible with
-    the PR 2 v1 layout.
-    """
-    grid = QUICK_GRID if quick else FULL_GRID
-    steps = QUICK_STEPS if quick else FULL_STEPS
-    results = []
-    for protocol_name, ns in grid:
-        for n in ns:
-            for engine in ENGINES:
-                print(
-                    f"  measuring {engine:9s} {protocol_name:9s} n={n} ...",
-                    flush=True,
-                )
-                results.append(
-                    measure_engine(engine, protocol_name, n, steps, seed=seed)
-                )
-    report = {
-        "schema": (
-            "repro-bench-engine/2" if trials_section else "repro-bench-engine/1"
-        ),
-        "generated_at": datetime.now(timezone.utc).isoformat(),
-        "quick": quick,
-        "steps_per_cell": steps,
-        "seed": seed,
-        "results": results,
-        "summary": summarize(results),
-    }
-    if trials_section:
-        report["trials"] = measure_trials_cell(
-            seed=seed, include_agent=not quick
-        )
-    return report
-
-
-def summarize(results: list[dict]) -> dict:
-    """Cross-engine ratios per (protocol, n), keyed for easy diffing."""
-    by_cell: dict[tuple[str, int], dict[str, float]] = {}
-    for row in results:
-        cell = by_cell.setdefault((row["protocol"], row["n"]), {})
-        cell[row["engine"]] = row["steps_per_sec"]
-    summary = {}
-    for (protocol_name, n), cell in sorted(by_cell.items()):
-        entry = dict(cell)
-        if "batch" in cell and "multiset" in cell:
-            entry["batch_vs_multiset"] = cell["batch"] / cell["multiset"]
-        if "batch" in cell and "agent" in cell:
-            entry["batch_vs_agent"] = cell["batch"] / cell["agent"]
-        summary[f"{protocol_name}/n={n}"] = entry
-    return summary
-
-
-def check_batch_speedup(report: dict, min_ratio: float) -> str | None:
-    """Error message when batch misses ``min_ratio`` x multiset, else None.
-
-    Graded on :data:`CHECK_PROTOCOL` at the largest measured ``n`` —
-    the regime the batch engine exists for.
-    """
-    cells = [
-        (row["n"], row)
-        for row in report["results"]
-        if row["protocol"] == CHECK_PROTOCOL
-    ]
-    if not cells:
-        return f"no {CHECK_PROTOCOL!r} rows to check"
-    largest = max(n for n, _ in cells)
-    ratio = report["summary"][f"{CHECK_PROTOCOL}/n={largest}"].get(
-        "batch_vs_multiset"
-    )
-    if ratio is None:
-        return "summary lacks a batch_vs_multiset ratio"
-    if ratio < min_ratio:
-        return (
-            f"batch engine is {ratio:.2f}x multiset on {CHECK_PROTOCOL} at "
-            f"n={largest}; required >= {min_ratio:.2f}x"
-        )
-    print(
-        f"check ok: batch is {ratio:.2f}x multiset on {CHECK_PROTOCOL} "
-        f"at n={largest} (required >= {min_ratio:.2f}x)"
-    )
-    return None
-
-
-def check_ensemble_speedup(report: dict, min_ratio: float) -> str | None:
-    """Error message when ensemble misses ``min_ratio`` x the pool, else None.
-
-    Tolerant of v1 reports: a missing ``trials`` section is itself the
-    error (the gate cannot pass on a report that never measured it).
-    """
-    trials = report.get("trials")
-    if not trials:
-        return "report has no trials section to check"
-    ratio = trials.get("ensemble_vs_pool")
-    if ratio is None:
-        return "trials section lacks an ensemble_vs_pool ratio"
-    cell = trials.get("cell", {})
-    label = (
-        f"{cell.get('protocol', '?')} n={cell.get('n', '?')} "
-        f"x{cell.get('trials', '?')} trials"
-    )
-    if ratio < min_ratio:
-        return (
-            f"ensemble is {ratio:.2f}x the pool baseline on {label}; "
-            f"required >= {min_ratio:.2f}x"
-        )
-    print(
-        f"check ok: ensemble is {ratio:.2f}x the pool baseline on {label} "
-        f"(required >= {min_ratio:.2f}x)"
-    )
-    return None
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=DEFAULT_OUT,
-        help=f"output JSON path (default {DEFAULT_OUT})",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="reduced grid for CI smoke runs",
-    )
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="fail unless batch >= --min-ratio x multiset on PLL",
-    )
-    parser.add_argument(
-        "--min-ratio",
-        type=float,
-        default=1.0,
-        help="speedup the --check gate requires (default 1.0)",
-    )
-    parser.add_argument(
-        "--no-trials",
-        action="store_true",
-        help="skip the trials-per-second section (emits the v1 schema)",
-    )
-    parser.add_argument(
-        "--check-trials",
-        action="store_true",
-        help=(
-            "fail unless ensemble trials/sec >= --min-trials-ratio x the "
-            "multiprocessing-pool baseline on the campaign cell"
-        ),
-    )
-    parser.add_argument(
-        "--min-trials-ratio",
-        type=float,
-        default=1.0,
-        help="speedup the --check-trials gate requires (default 1.0)",
-    )
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-    if args.check_trials and args.no_trials:
-        parser.error("--check-trials requires the trials section")
-    report = generate_report(
-        quick=args.quick, seed=args.seed, trials_section=not args.no_trials
-    )
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.out}")
-    for key, entry in report["summary"].items():
-        ratio = entry.get("batch_vs_multiset")
-        suffix = f"  (batch/multiset {ratio:.2f}x)" if ratio else ""
-        rates = ", ".join(
-            f"{engine} {entry[engine]:,.0f}/s"
-            for engine in ("agent", "multiset", "batch")
-            if engine in entry
-        )
-        print(f"  {key:18s} {rates}{suffix}")
-    trials = report.get("trials")
-    if trials:
-        cell = trials["cell"]
-        print(
-            f"  trials cell {cell['protocol']}/n={cell['n']} "
-            f"x{cell['trials']}:"
-        )
-        for row in trials["results"]:
-            print(
-                f"    {row['mode']:9s} ({row['engine']:9s} jobs={row['jobs']}) "
-                f"{row['trials_per_sec']:8.2f} trials/s  "
-                f"({row['seconds']:.1f}s)"
-            )
-        print(f"    ensemble/pool {trials['ensemble_vs_pool']:.2f}x")
-    failures = []
-    if args.check:
-        error = check_batch_speedup(report, args.min_ratio)
-        if error is not None:
-            failures.append(error)
-    if args.check_trials:
-        error = check_ensemble_speedup(report, args.min_trials_ratio)
-        if error is not None:
-            failures.append(error)
-    for error in failures:
-        print(f"check FAILED: {error}", file=sys.stderr)
-    return 1 if failures else 0
-
+from repro.bench.report import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

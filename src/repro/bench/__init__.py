@@ -1,0 +1,9 @@
+"""Benchmark harnesses importable as part of the package.
+
+:mod:`repro.bench.report` is the machine-readable engine benchmark
+(the producer of ``BENCH_engine.json``); ``repro bench`` runs it from
+the CLI, and ``benchmarks/report.py`` remains as a thin path-invocable
+shim for existing workflows.
+"""
+
+__all__ = ["report"]

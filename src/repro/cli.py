@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     repro list                      # enumerate the experiment registry
     repro run E9 [--scale 1.0] [--jobs 4] [--store x.sqlite]
     repro simulate --protocol pll --n 256 [--seed 0] [--engine agent]
     repro campaign run|resume|status|report E1 [--jobs 4] [--store ...]
+    repro bench [--quick] [--check ...]   # BENCH_engine.json harness
 
 ``repro run all`` executes the full per-lemma/per-table sweep (the data
 behind EXPERIMENTS.md).  ``repro campaign`` drives the orchestration
@@ -13,6 +14,9 @@ subsystem: trials shard across ``--jobs`` worker processes and every
 outcome persists to the SQLite trial store (default
 ``.repro-store.sqlite``), so re-running only executes missing trials and
 ``resume`` picks up exactly where an interrupted ``run`` stopped.
+``repro bench`` runs the machine-readable engine benchmark
+(:mod:`repro.bench.report`) — the same harness CI's bench-smoke job
+drives — without path-invoking ``benchmarks/report.py``.
 """
 
 from __future__ import annotations
@@ -167,6 +171,17 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         _add_store_flags(action_parser, default=DEFAULT_STORE_PATH)
+
+    # Registered so `repro --help` lists it; actual dispatch happens in
+    # main() before parse_args (the harness owns its own flags, which
+    # argparse's REMAINDER cannot forward when they lead).
+    subparsers.add_parser(
+        "bench",
+        help=(
+            "run the engine benchmark harness (writes BENCH_engine.json; "
+            "flags are the harness's own, e.g. --quick --check-kernel)"
+        ),
+    )
     return parser
 
 
@@ -265,8 +280,24 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(bench_args: list[str]) -> int:
+    # Imported lazily: the harness pulls in the benchmark machinery,
+    # which the other subcommands never need.
+    from repro.bench.report import main as bench_main
+
+    forwarded = list(bench_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return bench_main(forwarded)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["bench"]:
+        # Routed before argparse: the harness owns its own flags, and
+        # argparse's REMAINDER refuses leading options ("--quick").
+        return _command_bench(arguments[1:])
+    args = build_parser().parse_args(arguments)
     try:
         if args.command == "list":
             return _command_list()

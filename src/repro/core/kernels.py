@@ -1,0 +1,638 @@
+"""Compiled field kernels for PLL and its symmetric variant.
+
+This module lowers Algorithm 1 (and the Section 4 symmetric variant) to
+the struct-of-arrays form consumed by :mod:`repro.engine.kernel`: every
+Table 3 variable becomes one packed integer field, and the transition is
+re-expressed as masked NumPy array ops over those field columns — one
+vectorized call resolves whole arrays of (initiator, responder) pairs
+with no Python ``delta`` in the loop.
+
+The lowering mirrors the imperative modules (:mod:`repro.core.pll`,
+:mod:`repro.core.symmetric`, :mod:`repro.core.countup_module`,
+:mod:`repro.core.quick_elimination`, :mod:`repro.core.tournament`,
+:mod:`repro.core.backup`) statement by statement.  Where the Python code
+updates the two agents sequentially inside one interaction, the masks
+here evaluate against a pre-update snapshot; each such spot is exact for
+the same mutual-exclusivity reason the scalar code already documents
+(e.g. color adoption cannot fire both ways — ``2 != 0 (mod 3)`` — and
+one-way epidemics compare with strict ``<``, so at most one side ever
+updates).  Exact agreement with the Python ``transition`` over both
+exhaustive small-domain pairs and randomized wide-domain samples is
+pinned by ``tests/engine/test_kernel.py``.
+
+Field packing (shared by both variants):
+
+========  =======================  =========================
+field     domain                   packed encoding
+========  =======================  =========================
+leader    bool                     0 / 1
+status    X, Y, A, B               0 / 1 / 2 / 3
+epoch     1..4                     value - 1
+color     0..2                     identity
+count     None or 0..cmax-1        0 = None, else value + 1
+level_q   None or 0..lmax          0 = None, else value + 1
+done      None / False / True      0 / 1 / 2
+rand      None or 0..2^Phi - 1     0 = None, else value + 1
+index     None or 0..Phi           0 = None, else value + 1
+level_b   None or 0..lmax          0 = None, else value + 1
+coin      None, J, K, F0, F1       0 / 1 / 2 / 3 / 4
+duel      None / 0 / 1             0 / 1 / 2
+========  =======================  =========================
+
+Inside the deltas the fields travel in *semantic* form (``None`` is -1,
+``done``/``duel`` are -1/0/1, ``epoch`` is 1..4); :func:`_unpack` /
+:func:`_pack` convert at the boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coins.symmetric_coin import COIN_STATUSES
+from repro.core.params import PLLParameters
+from repro.core.state import (
+    EPOCH_MAX,
+    STATUS_CANDIDATE,
+    STATUS_INITIAL,
+    STATUS_INITIAL_ALT,
+    STATUS_TIMER,
+    PLLState,
+)
+from repro.engine.kernel.spec import Field, FieldColumns, KernelSpec
+
+__all__ = ["pll_kernel_spec", "symmetric_pll_kernel_spec"]
+
+#: Packed status codes (shared with the samplers and tests).
+SX, SY, SA, SB = 0, 1, 2, 3
+_STATUS_NAMES = (
+    STATUS_INITIAL,
+    STATUS_INITIAL_ALT,
+    STATUS_CANDIDATE,
+    STATUS_TIMER,
+)
+_STATUS_CODES = {name: code for code, name in enumerate(_STATUS_NAMES)}
+
+#: Packed coin codes: 0 = None, then J, K, F0 (head), F1 (tail).
+_COIN_NAMES = (None, *COIN_STATUSES)
+_COIN_CODES = {name: code for code, name in enumerate(_COIN_NAMES)}
+_CN_J, _CN_K, _CN_HEAD, _CN_TAIL = 1, 2, 3, 4
+
+#: Follower/follower coin pairing (symmetric_coin.pair_coins) as two
+#: 5 x 5 lookup tables over packed coin codes; identity off the rules.
+_COIN_PAIR0 = np.arange(5, dtype=np.int64).repeat(5).reshape(5, 5).copy()
+_COIN_PAIR1 = np.tile(np.arange(5, dtype=np.int64), (5, 1)).copy()
+_COIN_PAIR0[_CN_J, _CN_J] = _CN_K
+_COIN_PAIR1[_CN_J, _CN_J] = _CN_K
+_COIN_PAIR0[_CN_K, _CN_K] = _CN_J
+_COIN_PAIR1[_CN_K, _CN_K] = _CN_J
+_COIN_PAIR0[_CN_J, _CN_K] = _CN_HEAD
+_COIN_PAIR1[_CN_J, _CN_K] = _CN_TAIL
+_COIN_PAIR0[_CN_K, _CN_J] = _CN_TAIL
+_COIN_PAIR1[_CN_K, _CN_J] = _CN_HEAD
+
+
+def _fields(params: PLLParameters) -> tuple[Field, ...]:
+    return (
+        Field("leader", 2),
+        Field("status", 4),
+        Field("epoch", EPOCH_MAX),
+        Field("color", 3),
+        Field("count", params.cmax + 1),
+        Field("level_q", params.lmax + 2),
+        Field("done", 3),
+        Field("rand", params.rand_space + 1),
+        Field("index", params.phi + 2),
+        Field("level_b", params.lmax + 2),
+        Field("coin", 5),
+        Field("duel", 3),
+    )
+
+
+def _to_fields(state: PLLState) -> tuple[int, ...]:
+    return (
+        1 if state.leader else 0,
+        _STATUS_CODES[state.status],
+        state.epoch - 1,
+        state.color,
+        0 if state.count is None else state.count + 1,
+        0 if state.level_q is None else state.level_q + 1,
+        0 if state.done is None else (2 if state.done else 1),
+        0 if state.rand is None else state.rand + 1,
+        0 if state.index is None else state.index + 1,
+        0 if state.level_b is None else state.level_b + 1,
+        _COIN_CODES[state.coin],
+        0 if state.duel is None else state.duel + 1,
+    )
+
+
+def _from_fields(values) -> PLLState:
+    (leader, status, epoch, color, count, level_q, done, rand, index,
+     level_b, coin, duel) = values
+    return PLLState(
+        leader=bool(leader),
+        status=_STATUS_NAMES[status],
+        epoch=int(epoch) + 1,
+        color=int(color),
+        count=None if count == 0 else int(count) - 1,
+        level_q=None if level_q == 0 else int(level_q) - 1,
+        done=None if done == 0 else done == 2,
+        rand=None if rand == 0 else int(rand) - 1,
+        index=None if index == 0 else int(index) - 1,
+        level_b=None if level_b == 0 else int(level_b) - 1,
+        coin=_COIN_NAMES[coin],
+        duel=None if duel == 0 else int(duel) - 1,
+    )
+
+
+def _unpack(cols: FieldColumns) -> dict[str, np.ndarray]:
+    """Packed columns -> semantic columns (None = -1, epoch = 1..4)."""
+    return {
+        "L": cols["leader"],
+        "S": cols["status"],
+        "E": cols["epoch"] + 1,
+        "C": cols["color"],
+        "cnt": cols["count"] - 1,
+        "lq": cols["level_q"] - 1,
+        "dn": cols["done"] - 1,
+        "rd": cols["rand"] - 1,
+        "ix": cols["index"] - 1,
+        "lb": cols["level_b"] - 1,
+        "cn": cols["coin"],
+        "du": cols["duel"] - 1,
+    }
+
+
+def _pack(side: dict[str, np.ndarray]) -> FieldColumns:
+    return {
+        "leader": side["L"],
+        "status": side["S"],
+        "epoch": side["E"] - 1,
+        "color": side["C"],
+        "count": side["cnt"] + 1,
+        "level_q": side["lq"] + 1,
+        "done": side["dn"] + 1,
+        "rand": side["rd"] + 1,
+        "index": side["ix"] + 1,
+        "level_b": side["lb"] + 1,
+        "coin": side["cn"],
+        "duel": side["du"] + 1,
+    }
+
+
+def _put(side: dict[str, np.ndarray], mask: np.ndarray, **updates) -> None:
+    """Masked assignment of scalars/arrays into semantic columns."""
+    for key, value in updates.items():
+        side[key] = np.where(mask, value, side[key])
+
+
+def _count_up(
+    A: dict, B: dict, tick0: np.ndarray, tick1: np.ndarray, cmax: int
+) -> None:
+    """Algorithm 2 over columns (see countup_module for the scalar form)."""
+    for side, tick in ((A, tick0), (B, tick1)):
+        in_b = side["S"] == SB
+        bumped = (side["cnt"] + 1) % cmax
+        roll = in_b & (bumped == 0)
+        side["cnt"] = np.where(in_b, bumped, side["cnt"])
+        side["C"] = np.where(roll, (side["C"] + 1) % 3, side["C"])
+        tick |= roll
+    # One-way color epidemic.  Both directions are evaluated against the
+    # post-rollover snapshot: they cannot both hold (2 != 0 mod 3), and
+    # after an adoption the scalar loop's second check is vacuous, so
+    # the snapshot evaluation is exact.
+    color0, color1 = A["C"], B["C"]
+    adopt0 = color1 == (color0 + 1) % 3
+    adopt1 = color0 == (color1 + 1) % 3
+    A["C"] = np.where(adopt0, color1, color0)
+    B["C"] = np.where(adopt1, color0, color1)
+    tick0 |= adopt0
+    tick1 |= adopt1
+    A["cnt"] = np.where(adopt0 & (A["S"] == SB), 0, A["cnt"])
+    B["cnt"] = np.where(adopt1 & (B["S"] == SB), 0, B["cnt"])
+
+
+def _advance_epochs(
+    A: dict,
+    B: dict,
+    tick0: np.ndarray,
+    tick1: np.ndarray,
+    entry0: np.ndarray,
+    entry1: np.ndarray,
+    symmetric: bool,
+) -> np.ndarray:
+    """Lines 9-15: tick-driven advance, sharing, group initialization."""
+    A["E"] = np.where(tick0, np.minimum(A["E"] + 1, EPOCH_MAX), A["E"])
+    B["E"] = np.where(tick1, np.minimum(B["E"] + 1, EPOCH_MAX), B["E"])
+    shared = np.maximum(A["E"], B["E"])
+    for side, entry in ((A, entry0), (B, entry1)):
+        side["E"] = shared
+        enter = (shared > entry) & (side["S"] == SA)
+        _put(side, enter, lq=-1, dn=-1, rd=-1, ix=-1, lb=-1)
+        if symmetric:
+            _put(side, enter, du=-1)
+            first = enter & (shared == 1)
+            side["lq"] = np.where(first, 0, side["lq"])
+            side["dn"] = np.where(
+                first, np.where(side["L"] == 1, 0, 1), side["dn"]
+            )
+        grouped = enter & ((shared == 2) | (shared == 3))
+        _put(side, grouped, rd=0, ix=0)
+        last = enter & (shared == EPOCH_MAX)
+        side["lb"] = np.where(last, 0, side["lb"])
+        if symmetric:
+            side["du"] = np.where(last & (side["L"] == 1), 0, side["du"])
+    return shared
+
+
+def _backup_epidemic(A: dict, B: dict, ep4: np.ndarray, demote) -> None:
+    """Lines 54-57 (max-levelB epidemic) shared by both variants."""
+    epidemic = ep4 & (A["S"] == SA) & (B["S"] == SA)
+    level0, level1 = A["lb"], B["lb"]
+    lower0 = epidemic & (level0 < level1)
+    lower1 = epidemic & (level1 < level0)
+    A["lb"] = np.where(lower0, level1, level0)
+    B["lb"] = np.where(lower1, level0, level1)
+    demote(A, lower0)
+    demote(B, lower1)
+
+
+def pll_kernel_spec(params: PLLParameters, variant: str = "full") -> KernelSpec:
+    """Compiled lowering of Algorithm 1 (asymmetric PLL, all variants)."""
+    cmax, lmax, phi = params.cmax, params.lmax, params.phi
+    do_quick = variant != "backup-only"
+    do_tournament = variant == "full"
+
+    def delta(a: FieldColumns, b: FieldColumns):
+        A, B = _unpack(a), _unpack(b)
+        tick0 = np.zeros(A["L"].shape, dtype=bool)
+        tick1 = np.zeros(B["L"].shape, dtype=bool)
+        entry0, entry1 = A["E"].copy(), B["E"].copy()
+
+        # -- lines 1-6: status assignment -------------------------------
+        status0, status1 = A["S"].copy(), B["S"].copy()
+        both_initial = (status0 == SX) & (status1 == SX)
+        _put(A, both_initial, S=SA, lq=0, dn=0, L=1)
+        _put(B, both_initial, S=SB, cnt=0, L=0)
+        late0 = ~both_initial & (status0 == SX) & (status1 != SX)
+        _put(A, late0, S=SA, lq=0, dn=1, L=0)
+        late1 = ~both_initial & (status1 == SX) & (status0 != SX)
+        _put(B, late1, S=SA, lq=0, dn=1, L=0)
+
+        # -- lines 7-15: CountUp, epochs, group initialization ----------
+        _count_up(A, B, tick0, tick1, cmax)
+        shared = _advance_epochs(
+            A, B, tick0, tick1, entry0, entry1, symmetric=False
+        )
+        ep1 = shared == 1
+        ep23 = (shared == 2) | (shared == 3)
+        ep4 = shared == EPOCH_MAX
+
+        # -- lines 16-22: module dispatch -------------------------------
+        if do_quick:
+            # QuickElimination flips (lines 35-38): the two guards are
+            # mutually exclusive (a leader is never facing a leader in
+            # either), so snapshot evaluation is exact.
+            flip0 = ep1 & (A["L"] == 1) & (B["L"] == 0) & (A["dn"] == 0)
+            A["lq"] = np.where(
+                flip0, np.minimum(A["lq"] + 1, lmax), A["lq"]
+            )
+            flip1 = ep1 & (B["L"] == 1) & (A["L"] == 0) & (B["dn"] == 0)
+            B["dn"] = np.where(flip1, 1, B["dn"])
+            # Max-levelQ epidemic (lines 39-42), post-flip values.
+            epidemic = (
+                ep1
+                & (A["S"] == SA)
+                & (B["S"] == SA)
+                & (A["dn"] == 1)
+                & (B["dn"] == 1)
+            )
+            level0, level1 = A["lq"], B["lq"]
+            lower0 = epidemic & (level0 < level1)
+            lower1 = epidemic & (level1 < level0)
+            _put(A, lower0, L=0, lq=level1)
+            _put(B, lower1, L=0, lq=level0)
+        if do_tournament:
+            # Nonce assembly (lines 43-46 + D3): the appended bit is the
+            # agent's role, indices advance for every V_A party.
+            bits0 = ep23 & (A["S"] == SA) & (B["L"] == 0) & (A["ix"] < phi)
+            A["rd"] = np.where(bits0 & (A["L"] == 1), 2 * A["rd"], A["rd"])
+            A["ix"] = np.where(
+                bits0, np.minimum(A["ix"] + 1, phi), A["ix"]
+            )
+            bits1 = ep23 & (B["S"] == SA) & (A["L"] == 0) & (B["ix"] < phi)
+            B["rd"] = np.where(
+                bits1 & (B["L"] == 1), 2 * B["rd"] + 1, B["rd"]
+            )
+            B["ix"] = np.where(
+                bits1, np.minimum(B["ix"] + 1, phi), B["ix"]
+            )
+            # Max-nonce epidemic (lines 47-50), post-assembly values.
+            epidemic = (
+                ep23
+                & (A["S"] == SA)
+                & (B["S"] == SA)
+                & (A["ix"] == phi)
+                & (B["ix"] == phi)
+            )
+            nonce0, nonce1 = A["rd"], B["rd"]
+            lower0 = epidemic & (nonce0 < nonce1)
+            lower1 = epidemic & (nonce1 < nonce0)
+            _put(A, lower0, L=0, rd=nonce1)
+            _put(B, lower1, L=0, rd=nonce0)
+        # BackUp (lines 51-58) runs in every variant.
+        bump = ep4 & tick0 & (A["L"] == 1) & (B["L"] == 0)
+        A["lb"] = np.where(bump, np.minimum(A["lb"] + 1, lmax), A["lb"])
+
+        def demote(side, mask):
+            side["L"] = np.where(mask, 0, side["L"])
+
+        _backup_epidemic(A, B, ep4, demote)
+        # Line 58: two surviving leaders, the responder concedes.
+        final = ep4 & (A["L"] == 1) & (B["L"] == 1)
+        B["L"] = np.where(final, 0, B["L"])
+        return _pack(A), _pack(B)
+
+    return KernelSpec(
+        fields=_fields(params),
+        to_fields=_to_fields,
+        from_fields=_from_fields,
+        delta=delta,
+        features={
+            "leader": lambda cols: cols["leader"],
+            "epoch": lambda cols: cols["epoch"] + 1,
+            "role": lambda cols: cols["status"],
+        },
+        sample_states=lambda rng, count: _sample_states(
+            params, rng, count, symmetric=False
+        ),
+        cache_key=("pll", params.m, variant),
+    )
+
+
+def symmetric_pll_kernel_spec(params: PLLParameters) -> KernelSpec:
+    """Compiled lowering of the Section 4 symmetric variant."""
+    cmax, lmax, phi = params.cmax, params.lmax, params.phi
+
+    def demote(side, mask):
+        """_demote over columns: only live leaders change anything."""
+        live = mask & (side["L"] == 1)
+        _put(side, live, L=0, cn=_CN_J, du=-1)
+
+    def delta(a: FieldColumns, b: FieldColumns):
+        A, B = _unpack(a), _unpack(b)
+        tick0 = np.zeros(A["L"].shape, dtype=bool)
+        tick1 = np.zeros(B["L"].shape, dtype=bool)
+        entry0, entry1 = A["E"].copy(), B["E"].copy()
+
+        # -- role-free status assignment --------------------------------
+        status0, status1 = A["S"].copy(), B["S"].copy()
+        unassigned0 = (status0 == SX) | (status0 == SY)
+        unassigned1 = (status1 == SX) | (status1 == SY)
+        both_x = (status0 == SX) & (status1 == SX)
+        both_y = (status0 == SY) & (status1 == SY)
+        A["S"] = np.where(both_x, SY, np.where(both_y, SX, A["S"]))
+        B["S"] = np.where(both_x, SY, np.where(both_y, SX, B["S"]))
+        mixed_xy = (status0 == SX) & (status1 == SY)
+        mixed_yx = (status0 == SY) & (status1 == SX)
+        # The X party becomes the candidate (group init forced via
+        # entry = 0), the Y party the timer (demoted, coin born J).
+        _put(A, mixed_xy, S=SA)
+        _put(B, mixed_xy, S=SB, cnt=0)
+        demote(B, mixed_xy)
+        _put(B, mixed_yx, S=SA)
+        _put(A, mixed_yx, S=SB, cnt=0)
+        demote(A, mixed_yx)
+        join0 = unassigned0 & ~unassigned1
+        _put(A, join0, S=SA)
+        demote(A, join0)
+        join1 = unassigned1 & ~unassigned0
+        _put(B, join1, S=SA)
+        demote(B, join1)
+        entry0 = np.where(mixed_xy | join0, 0, entry0)
+        entry1 = np.where(mixed_yx | join1, 0, entry1)
+
+        # -- CountUp, epochs (epoch-1 entry included) -------------------
+        _count_up(A, B, tick0, tick1, cmax)
+        shared = _advance_epochs(
+            A, B, tick0, tick1, entry0, entry1, symmetric=True
+        )
+        ep1 = shared == 1
+        ep23 = (shared == 2) | (shared == 3)
+        ep4 = shared == EPOCH_MAX
+
+        # -- follower coins ---------------------------------------------
+        churn = (
+            (A["L"] == 0)
+            & (B["L"] == 0)
+            & (A["cn"] > 0)
+            & (B["cn"] > 0)
+        )
+        coin0, coin1 = A["cn"], B["cn"]
+        pair_slot = coin0 * 5 + coin1
+        A["cn"] = np.where(churn, _COIN_PAIR0.ravel().take(pair_slot), coin0)
+        B["cn"] = np.where(churn, _COIN_PAIR1.ravel().take(pair_slot), coin1)
+
+        # -- QuickElimination (coin reads replace role bits) ------------
+        for me, other in ((A, B), (B, A)):
+            playing = (
+                ep1
+                & (me["L"] == 1)
+                & (me["S"] == SA)
+                & (other["L"] == 0)
+                & (me["dn"] == 0)
+            )
+            me["lq"] = np.where(
+                playing & (other["cn"] == _CN_HEAD),
+                np.minimum(me["lq"] + 1, lmax),
+                me["lq"],
+            )
+            me["dn"] = np.where(
+                playing & (other["cn"] == _CN_TAIL), 1, me["dn"]
+            )
+        epidemic = (
+            ep1
+            & (A["S"] == SA)
+            & (B["S"] == SA)
+            & (A["dn"] == 1)
+            & (B["dn"] == 1)
+        )
+        level0, level1 = A["lq"], B["lq"]
+        lower0 = epidemic & (level0 < level1)
+        lower1 = epidemic & (level1 < level0)
+        A["lq"] = np.where(lower0, level1, level0)
+        B["lq"] = np.where(lower1, level0, level1)
+        demote(A, lower0)
+        demote(B, lower1)
+
+        # -- Tournament (both V_A parties may assemble at once) ---------
+        for me, other in ((A, B), (B, A)):
+            assembling = (
+                ep23
+                & (me["S"] == SA)
+                & (other["L"] == 0)
+                & (me["ix"] < phi)
+                & (other["cn"] >= _CN_HEAD)
+            )
+            flip = (other["cn"] == _CN_HEAD).astype(np.int64)
+            me["rd"] = np.where(
+                assembling & (me["L"] == 1), 2 * me["rd"] + flip, me["rd"]
+            )
+            me["ix"] = np.where(
+                assembling, np.minimum(me["ix"] + 1, phi), me["ix"]
+            )
+        epidemic = (
+            ep23
+            & (A["S"] == SA)
+            & (B["S"] == SA)
+            & (A["ix"] == phi)
+            & (B["ix"] == phi)
+        )
+        nonce0, nonce1 = A["rd"], B["rd"]
+        lower0 = epidemic & (nonce0 < nonce1)
+        lower1 = epidemic & (nonce1 < nonce0)
+        A["rd"] = np.where(lower0, nonce1, nonce0)
+        B["rd"] = np.where(lower1, nonce0, nonce1)
+        demote(A, lower0)
+        demote(B, lower1)
+
+        # -- BackUp (duel bits stand in for line 58, D7) ----------------
+        for me, other, tick in ((A, B, tick0), (B, A, tick1)):
+            reads = (
+                ep4
+                & (me["L"] == 1)
+                & (me["S"] == SA)
+                & (other["L"] == 0)
+                & (other["cn"] >= _CN_HEAD)
+            )
+            flip = (other["cn"] == _CN_HEAD).astype(np.int64)
+            me["du"] = np.where(reads, flip, me["du"])
+            me["lb"] = np.where(
+                reads & tick & (other["cn"] == _CN_HEAD),
+                np.minimum(me["lb"] + 1, lmax),
+                me["lb"],
+            )
+        _backup_epidemic(A, B, ep4, demote)
+        duel0 = A["du"]  # snapshot: demoting A clears its duel bit
+        dueling = (
+            ep4
+            & (A["L"] == 1)
+            & (B["L"] == 1)
+            & (A["S"] == SA)
+            & (B["S"] == SA)
+            & (duel0 != B["du"])
+        )
+        demote(A, dueling & (duel0 == 0))
+        demote(B, dueling & (duel0 != 0))
+        return _pack(A), _pack(B)
+
+    return KernelSpec(
+        fields=_fields(params),
+        to_fields=_to_fields,
+        from_fields=_from_fields,
+        delta=delta,
+        features={
+            "leader": lambda cols: cols["leader"],
+            "epoch": lambda cols: cols["epoch"] + 1,
+            "role": lambda cols: cols["status"],
+        },
+        sample_states=lambda rng, count: _sample_states(
+            params, rng, count, symmetric=True
+        ),
+        cache_key=("pll-symmetric", params.m),
+    )
+
+
+def _sample_states(
+    params: PLLParameters,
+    rng: np.random.Generator,
+    count: int,
+    symmetric: bool,
+) -> list[PLLState]:
+    """Well-formed states across every Table 3 group.
+
+    Sampled states satisfy the stored-state invariants the Python
+    transition is total on: group-consistent optional fields, capped
+    levels, ``rand`` holding at most ``index`` assembled bits, symmetric
+    followers carrying coins and epoch-4 symmetric leaders a duel bit.
+    """
+    lmax, cmax, phi = params.lmax, params.cmax, params.phi
+    states: list[PLLState] = []
+    groups = ("initial", "timer", "v1", "v23", "v4")
+    for _ in range(count):
+        group = groups[int(rng.integers(0, len(groups)))]
+        epoch = int(rng.integers(1, EPOCH_MAX + 1))
+        color = int(rng.integers(0, 3))
+        if group == "initial":
+            status = (
+                STATUS_INITIAL_ALT
+                if symmetric and rng.integers(0, 2)
+                else STATUS_INITIAL
+            )
+            states.append(
+                PLLState(
+                    leader=True,
+                    status=status,
+                    # Asymmetric X agents convert on their first
+                    # interaction, so their stored epoch is always 1;
+                    # symmetric X/Y agents churn (and advance epochs)
+                    # while waiting — conversion then forces group init
+                    # via the zeroed entry surrogate.
+                    epoch=epoch if symmetric else 1,
+                    color=color,
+                )
+            )
+            continue
+        if group == "timer":
+            coin = (
+                COIN_STATUSES[int(rng.integers(0, 4))] if symmetric else None
+            )
+            states.append(
+                PLLState(
+                    leader=False,
+                    status=STATUS_TIMER,
+                    epoch=epoch,
+                    color=color,
+                    count=int(rng.integers(0, cmax)),
+                    coin=coin,
+                )
+            )
+            continue
+        leader = bool(rng.integers(0, 2))
+        coin = (
+            None
+            if leader or not symmetric
+            else COIN_STATUSES[int(rng.integers(0, 4))]
+        )
+        common = dict(
+            leader=leader, status=STATUS_CANDIDATE, color=color, coin=coin
+        )
+        if group == "v1":
+            states.append(
+                PLLState(
+                    epoch=1,
+                    level_q=int(rng.integers(0, lmax + 1)),
+                    done=bool(rng.integers(0, 2)),
+                    **common,
+                )
+            )
+        elif group == "v23":
+            index = int(rng.integers(0, phi + 1))
+            states.append(
+                PLLState(
+                    epoch=int(rng.integers(2, 4)),
+                    rand=int(rng.integers(0, 1 << index)),
+                    index=index,
+                    **common,
+                )
+            )
+        else:
+            duel = int(rng.integers(0, 2)) if symmetric and leader else None
+            states.append(
+                PLLState(
+                    epoch=EPOCH_MAX,
+                    level_b=int(rng.integers(0, lmax + 1)),
+                    duel=duel,
+                    **common,
+                )
+            )
+    return states

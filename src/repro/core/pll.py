@@ -74,6 +74,16 @@ class PLLProtocol(LeaderElectionProtocol):
     def state_bound(self) -> int:
         return self.params.state_bound()
 
+    def compile_kernel(self):
+        """Struct-of-arrays lowering of Algorithm 1 (all variants).
+
+        See :mod:`repro.core.kernels`; the engines use it to resolve
+        transitions without calling :meth:`transition` on the hot path.
+        """
+        from repro.core.kernels import pll_kernel_spec
+
+        return pll_kernel_spec(self.params, self.variant)
+
     def transition(
         self, initiator: PLLState, responder: PLLState
     ) -> tuple[PLLState, PLLState]:

@@ -102,6 +102,17 @@ class SymmetricPLLProtocol(LeaderElectionProtocol):
         # leaders carry a duel bit.  Still O(m) overall.
         return self.params.state_bound() * 8
 
+    def compile_kernel(self):
+        """Struct-of-arrays lowering of the symmetric variant.
+
+        See :mod:`repro.core.kernels`; the coin construct and the D7
+        duel bits are part of the compiled field kernel, so symmetric
+        campaigns get the same no-Python-``delta`` hot path as PLL.
+        """
+        from repro.core.kernels import symmetric_pll_kernel_spec
+
+        return symmetric_pll_kernel_spec(self.params)
+
     def transition(
         self, initiator: PLLState, responder: PLLState
     ) -> tuple[PLLState, PLLState]:

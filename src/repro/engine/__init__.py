@@ -1,6 +1,6 @@
 """Population-protocol simulation substrate.
 
-Three engines share one contract (protocols, interning, caching,
+Four engines share one contract (protocols, interning, caching,
 detectors):
 
 * :class:`~repro.engine.simulator.AgentSimulator` — per-agent identity;
@@ -15,11 +15,28 @@ detectors):
   NumPy sweeps, each lane bit-identical to a solo multiset run; the
   engine for multi-trial campaign cells.
 
-DESIGN.md has the selection guide.
+Transitions resolve through a per-protocol backend picked by
+:func:`repro.engine.kernel.make_transition_cache`: protocols that opt in
+via ``compile_kernel()`` run on compiled packed-state kernels
+(:mod:`repro.engine.kernel` — no Python ``delta`` on the hot path, and
+``engine="multiset"`` trials upgrade to the kernel-backed sorted-slot
+:class:`~repro.engine.kernel.multiset.KernelMultisetSimulator`); all
+others keep the classic interner + memoized-cache path.  The choice is
+trajectory-invisible.  DESIGN.md has the selection guide.
 """
 
 from repro.engine.batch import BatchSimulator, BatchStats
 from repro.engine.cache import CacheStats, TransitionCache
+from repro.engine.kernel import (
+    CompiledKernel,
+    Field,
+    KernelSpec,
+    KernelTransitionCache,
+    compiled_kernel_for,
+    kernels_enabled,
+    make_transition_cache,
+)
+from repro.engine.kernel.multiset import KernelMultisetSimulator
 from repro.engine.ensemble import (
     EnsembleLaneSimulator,
     EnsembleSimulator,
@@ -59,14 +76,19 @@ __all__ = [
     "BatchSimulator",
     "BatchStats",
     "CacheStats",
+    "CompiledKernel",
     "Configuration",
     "ConfigurationSnapshot",
     "DeterministicSchedule",
     "EnsembleLaneSimulator",
     "EnsembleSimulator",
     "FenwickTree",
+    "Field",
     "FOLLOWER",
     "InteractionCounter",
+    "KernelMultisetSimulator",
+    "KernelSpec",
+    "KernelTransitionCache",
     "LaneOutcome",
     "LEADER",
     "LeaderElectionProtocol",
@@ -85,6 +107,9 @@ __all__ = [
     "TraceRecorder",
     "TransitionCache",
     "check_symmetry",
+    "compiled_kernel_for",
+    "kernels_enabled",
+    "make_transition_cache",
     "output_stable_forever",
     "parallel_time",
     "replay",

@@ -57,12 +57,12 @@ from repro.engine.batch.sampling import (
     first_collision,
     sample_block_states,
 )
-from repro.engine.cache import TransitionCache
 from repro.engine.convergence import (
     MonotoneLeaderStabilization,
     StabilizationDetector,
 )
 from repro.engine.interner import StateInterner
+from repro.engine.kernel import make_transition_cache
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
 
@@ -107,13 +107,16 @@ class BatchSimulator:
         cache_entries: int = 1 << 20,
         block_pairs: int | None = None,
         null_scan_limit: int = 64,
+        use_kernel: bool | None = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"population needs at least 2 agents, got n={n}")
         self.protocol = protocol
         self.n = n
         self.interner = StateInterner()
-        self.cache = TransitionCache(protocol, self.interner, cache_entries)
+        self.cache = make_transition_cache(
+            protocol, self.interner, cache_entries, use_kernel=use_kernel
+        )
         self.steps = 0
         self.stats = BatchStats()
         self._rng = np.random.default_rng(seed)
@@ -131,8 +134,7 @@ class BatchSimulator:
         initial_id = self.interner.intern(protocol.initial_state())
         self._ensure_tables()
         self._counts[initial_id] = n
-        self.output_counts: Counter[str] = Counter()
-        self.output_counts[self._output_of_id[initial_id]] = n
+        self._lead = int(self._leader_mark[initial_id]) * n
 
     # ------------------------------------------------------------------
     # configuration access (same surface as MultisetSimulator)
@@ -141,7 +143,22 @@ class BatchSimulator:
     @property
     def leader_count(self) -> int:
         """Number of agents currently outputting ``L``."""
-        return self.output_counts.get(LEADER, 0)
+        return self._lead
+
+    @property
+    def output_counts(self) -> Counter[str]:
+        """Output tally, derived on demand from the count vector.
+
+        Kept as a property (rather than a Counter maintained per block)
+        so commits stay fully vectorized; the leader count — the one
+        output engines poll every block — is tracked incrementally in
+        ``leader_count`` instead.
+        """
+        tally: Counter[str] = Counter()
+        table = self._output_of_id
+        for sid in np.nonzero(self._counts)[0].tolist():
+            tally[table[sid]] += int(self._counts[sid])
+        return tally
 
     @property
     def parallel_time(self) -> float:
@@ -185,9 +202,8 @@ class BatchSimulator:
             sid = self.interner.intern(state)
             self._ensure_tables()
             self._counts[sid] += count
-        self.output_counts = Counter()
-        for sid in np.nonzero(self._counts)[0].tolist():
-            self.output_counts[self._output_of_id[sid]] += int(self._counts[sid])
+        size = self._counts.shape[0]
+        self._lead = int((self._counts * self._leader_mark[:size]).sum())
         self._null_mode = False
 
     def distinct_states_seen(self) -> int:
@@ -253,7 +269,7 @@ class BatchSimulator:
         post0: np.ndarray,
         post1: np.ndarray,
     ) -> None:
-        """Bulk-update counts and output tallies for applied interactions."""
+        """Bulk-update counts and the leader tally for applied interactions."""
         size = self._counts.shape[0]
         removed = np.bincount(pre0, minlength=size)
         removed += np.bincount(pre1, minlength=size)
@@ -264,15 +280,7 @@ class BatchSimulator:
         if not changed.size:
             return
         self._counts[changed] += net[changed]
-        output_counts = self.output_counts
-        table = self._output_of_id
-        for sid in changed.tolist():
-            symbol = table[sid]
-            value = output_counts.get(symbol, 0) + int(net[sid])
-            if value:
-                output_counts[symbol] = value
-            else:
-                del output_counts[symbol]  # keep the tally zero-free
+        self._lead += int((net[changed] * self._leader_mark[changed]).sum())
 
     def _draw_one(self, pool: np.ndarray) -> int:
         """One state id drawn with probability proportional to ``pool``."""
@@ -386,11 +394,17 @@ class BatchSimulator:
         self.stats.collision_steps += 1
         if (post_initiator, post_responder) == (pre_initiator, pre_responder):
             return 0
-        self._commit(
-            np.array([pre_initiator]),
-            np.array([pre_responder]),
-            np.array([post_initiator]),
-            np.array([post_responder]),
+        counts = self._counts
+        counts[pre_initiator] -= 1
+        counts[pre_responder] -= 1
+        counts[post_initiator] += 1
+        counts[post_responder] += 1
+        marks = self._leader_mark
+        self._lead += int(
+            marks[post_initiator]
+            + marks[post_responder]
+            - marks[pre_initiator]
+            - marks[pre_responder]
         )
         return 1
 
@@ -417,31 +431,33 @@ class BatchSimulator:
         """
         known = len(self.interner)
         counts = self._counts[:known]
-        present = np.nonzero(counts)[0].tolist()
-        if len(present) > self._null_scan_limit:
+        present = np.nonzero(counts)[0]
+        if present.shape[0] > self._null_scan_limit:
             return None
-        apply = self.cache.apply
-        active_pairs: list[tuple[int, int]] = []
-        weights: list[int] = []
-        for first in present:
-            count_first = int(counts[first])
-            for second in present:
-                if first == second:
-                    if count_first < 2:
-                        continue
-                    weight = count_first * (count_first - 1)
-                else:
-                    weight = count_first * int(counts[second])
-                if apply(first, second) != (first, second):
-                    active_pairs.append((first, second))
-                    weights.append(weight)
+        # The whole present x present scan goes through the cache's
+        # block interface in one shot — a single gather on the kernel
+        # path (or the dense mirror), instead of one Python lookup per
+        # ordered pair.  Pair order matches the historical nested loop
+        # (row-major over ascending present ids), so the weighted ticket
+        # below lands on the same pair.
+        pairs0 = np.repeat(present, present.shape[0])
+        pairs1 = np.tile(present, present.shape[0])
+        eligible = (pairs0 != pairs1) | (counts[pairs0] >= 2)
+        pairs0, pairs1 = pairs0[eligible], pairs1[eligible]
+        post0s, post1s = self.cache.apply_block(pairs0, pairs1)
         self._ensure_tables()
-        if not active_pairs:
+        active = (post0s != pairs0) | (post1s != pairs1)
+        if not active.any():
             # Silent configuration: every remaining interaction is a no-op.
             self.steps += budget
             self.stats.null_skipped_steps += budget
             return budget, False
-        active_weight = sum(weights)
+        active0 = pairs0[active]
+        active1 = pairs1[active]
+        weights = counts[active0] * counts[active1]
+        same = active0 == active1
+        weights[same] = counts[active0[same]] * (counts[active0[same]] - 1)
+        active_weight = int(weights.sum())
         probability = active_weight / (self.n * (self.n - 1))
         if probability > self._NULL_EXIT:
             return None
@@ -450,13 +466,13 @@ class BatchSimulator:
             self.steps += budget
             self.stats.null_skipped_steps += budget
             return budget, False
-        cumulative = np.cumsum(np.asarray(weights, dtype=np.int64))
+        cumulative = np.cumsum(weights)
         ticket = int(self._rng.integers(0, active_weight))
-        pre0, pre1 = active_pairs[
-            int(np.searchsorted(cumulative, ticket, side="right"))
-        ]
-        post0, post1 = apply(pre0, pre1)
-        self._ensure_tables()
+        chosen = int(np.searchsorted(cumulative, ticket, side="right"))
+        pre0 = int(active0[chosen])
+        pre1 = int(active1[chosen])
+        post0 = int(post0s[active][chosen])
+        post1 = int(post1s[active][chosen])
         self.steps += skip
         self.stats.null_skipped_steps += skip - 1
         self.stats.null_events += 1

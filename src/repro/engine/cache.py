@@ -13,7 +13,8 @@ Two lookup structures back the memo:
 * a dict keyed by the ordered id pair — always present, unbounded state
   space, the ``max_entries`` insertion bound applies here;
 * a **dense fast path**: while the interned state space stays small
-  (``<= DENSE_STATE_BOUND`` states), stored pairs are mirrored into a
+  (``<= DENSE_STATE_BOUND`` states by default; configurable per cache
+  or via ``REPRO_DENSE_STATE_BOUND``), stored pairs are mirrored into a
   ``(S, S)`` pair-indexed NumPy table.  Scalar lookups then skip dict
   hashing, and :meth:`TransitionCache.apply_block` resolves whole arrays
   of pre-state pairs with one gather — the form the vectorized engines
@@ -34,6 +35,7 @@ BENCH_engine.json shifted accordingly at the same code generation.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,13 +43,36 @@ import numpy as np
 from repro.engine.interner import StateInterner
 from repro.engine.protocol import Protocol
 
-__all__ = ["CacheStats", "DENSE_STATE_BOUND", "TransitionCache"]
+__all__ = [
+    "CacheStats",
+    "DENSE_STATE_BOUND",
+    "DENSE_STATE_BOUND_ENV",
+    "TransitionCache",
+]
 
-#: Largest interned state space for which the dense ``(S, S)`` mirror is
-#: maintained; beyond it lookups use only the dict.  256 states cover all
-#: of the paper's protocols at tier-1 scale while capping the mirror at
-#: 256 x 256 x 2 int32 cells = 512 KiB.
-DENSE_STATE_BOUND = 256
+#: Default bound on the interned state space for which the dense
+#: ``(S, S)`` mirror is maintained; beyond it lookups use only the dict.
+#: 512 states cover all of the paper's protocols at tier-1 scale —
+#: including PLL at ``n = 1024``, whose ``41 m`` count-up timers reach
+#: ~275 states and used to silently drop the mirror at the old bound of
+#: 256 — while capping the mirror at 512 x 512 x 2 int32 cells = 2 MiB.
+#: Override per cache via the ``dense_bound`` constructor argument or
+#: process-wide via :data:`DENSE_STATE_BOUND_ENV`.
+DENSE_STATE_BOUND = 512
+
+#: Environment override for the default dense-mirror bound (an integer;
+#: 0 disables the mirror entirely).
+DENSE_STATE_BOUND_ENV = "REPRO_DENSE_STATE_BOUND"
+
+
+def _default_dense_bound() -> int:
+    raw = os.environ.get(DENSE_STATE_BOUND_ENV)
+    if raw is None:
+        return DENSE_STATE_BOUND
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DENSE_STATE_BOUND
 
 
 @dataclass
@@ -83,6 +108,7 @@ class TransitionCache:
         "_max_entries",
         "_dense",
         "_dense_cap",
+        "_dense_bound",
         "stats",
     )
 
@@ -91,6 +117,7 @@ class TransitionCache:
         protocol: Protocol,
         interner: StateInterner,
         max_entries: int = 1 << 20,
+        dense_bound: int | None = None,
     ) -> None:
         self._protocol = protocol
         self._interner = interner
@@ -98,11 +125,19 @@ class TransitionCache:
         self._max_entries = max_entries
         # Dense mirror: _dense[0] holds post-initiator ids, _dense[1]
         # post-responder ids, both flat (cap * cap) with -1 = not stored.
-        # None once the interner outgrows DENSE_STATE_BOUND.
+        # None once the interner outgrows the dense bound (ctor arg,
+        # REPRO_DENSE_STATE_BOUND, or the module default, in that order).
+        self._dense_bound = (
+            _default_dense_bound() if dense_bound is None else dense_bound
+        )
         self._dense_cap = 16
         self._dense: tuple[np.ndarray, np.ndarray] | None = (
-            np.full(self._dense_cap * self._dense_cap, -1, dtype=np.int32),
-            np.full(self._dense_cap * self._dense_cap, -1, dtype=np.int32),
+            (
+                np.full(self._dense_cap * self._dense_cap, -1, dtype=np.int32),
+                np.full(self._dense_cap * self._dense_cap, -1, dtype=np.int32),
+            )
+            if self._dense_bound > 0
+            else None
         )
         self.stats = CacheStats()
 
@@ -122,7 +157,7 @@ class TransitionCache:
         """Grow (or drop) the dense mirror to cover ``needed`` state ids."""
         if self._dense is None:
             return
-        if needed > DENSE_STATE_BOUND:
+        if needed > self._dense_bound:
             self._dense = None
             return
         cap = self._dense_cap

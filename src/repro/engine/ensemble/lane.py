@@ -66,8 +66,10 @@ class SlotLane:
         self.seed = seed
         self.target = target
         if cache is None:
+            from repro.engine.kernel import make_transition_cache
+
             interner = StateInterner()
-            cache = TransitionCache(protocol, interner)
+            cache = make_transition_cache(protocol, interner)
         self.cache = cache
         self._interner = cache._interner  # shared global id space
         initial_global = self._interner.intern(protocol.initial_state())

@@ -47,10 +47,10 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.engine.cache import TransitionCache
 from repro.engine.ensemble.lane import SlotLane
 from repro.engine.ensemble.tables import PairTables, PairTableOverflow
 from repro.engine.interner import StateInterner
+from repro.engine.kernel import make_transition_cache
 from repro.engine.multiset import DRAW_BATCH_SIZE
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
@@ -114,7 +114,9 @@ class EnsembleSimulator:
         self.seeds = list(seeds)
         self.target = target
         self.interner = StateInterner()
-        self.cache = TransitionCache(protocol, self.interner, cache_entries)
+        self.cache = make_transition_cache(
+            protocol, self.interner, cache_entries
+        )
         self._tables = PairTables(protocol, self.interner, self.cache)
         self._detach_lanes = detach_lanes
         self._detach_work = detach_work
@@ -612,9 +614,12 @@ class EnsembleLaneSimulator:
         n: int,
         seed: int | None = None,
         cache_entries: int = 1 << 20,
+        use_kernel: bool | None = None,
     ) -> None:
         interner = StateInterner()
-        cache = TransitionCache(protocol, interner, cache_entries)
+        cache = make_transition_cache(
+            protocol, interner, cache_entries, use_kernel=use_kernel
+        )
         self.protocol = protocol
         self.n = n
         self.interner = interner

@@ -103,25 +103,32 @@ class PairTables:
         filling a pair interns new states past the cap, the tables grow,
         every outstanding key (and translation built on the old cap) is
         stale, and the caller must recompute and call again.
+
+        Missing keys resolve through the cache's *block* interface in
+        one call — a single vectorized kernel application for compiled
+        protocols, one memoized lookup per distinct pair otherwise —
+        instead of a scalar ``apply`` per pair.
         """
         missing = keys[self.pair.take(keys) < 0]
         if missing.size == 0:
             return True
         cap = self.cap
-        apply = self._cache.apply
         known = len(self._interner)
-        for key in np.unique(missing).tolist():
-            g0, g1 = key // cap, key % cap
-            q0, q1 = apply(g0, g1)
-            if len(self._interner) != known:
-                # New post states: refresh marks (and possibly caps).
-                self._sync()
-                known = len(self._interner)
-                if self.cap != cap:
-                    return False
-            marks = self.marks
-            self.pair[key] = q0 * cap + q1
-            self.dmark[key] = (
-                marks[q0] + marks[q1] - marks[g0] - marks[g1]
-            )
+        unique = np.unique(missing)
+        g0 = unique // cap
+        g1 = unique % cap
+        q0, q1 = self._cache.apply_block(g0, g1)
+        if len(self._interner) != known:
+            # New post states: refresh marks (and possibly caps).  A cap
+            # change strands every outstanding key, so nothing is filled
+            # — the pairs stay memoized in the cache and refill cheaply
+            # on the caller's retry.
+            self._sync()
+            if self.cap != cap:
+                return False
+        marks = self.marks
+        self.pair[unique] = q0 * cap + q1
+        self.dmark[unique] = (
+            marks[q0] + marks[q1] - marks[g0] - marks[g1]
+        )
         return True

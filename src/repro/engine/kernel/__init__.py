@@ -1,0 +1,132 @@
+"""Compiled protocol kernels: packed states, vectorized transitions.
+
+This package takes the Python ``delta`` call off every engine hot path
+for protocols that opt in via ``Protocol.compile_kernel()``:
+
+* :mod:`~repro.engine.kernel.spec` — the declarative contract (fields,
+  struct-of-arrays ``delta``, output-feature extractors);
+* :mod:`~repro.engine.kernel.compiled` — :class:`CompiledKernel`, the
+  packed-code codecs and the vectorized transition (full pair table for
+  compact protocols, field kernel for wide ones);
+* :mod:`~repro.engine.kernel.cache` — :class:`KernelTransitionCache`,
+  the :class:`~repro.engine.cache.TransitionCache` drop-in every engine
+  consumes;
+* :mod:`~repro.engine.kernel.multiset` — the kernel-backed scalar
+  engine for ``engine="multiset"`` trials (sorted-slot configuration,
+  bit-identical trajectories).
+
+Selection is automatic and *trajectory-invisible*: engines resolve
+transitions through :func:`make_transition_cache`, which returns the
+kernel cache when the protocol compiles one and the plain memoized
+cache otherwise.  Trial spec hashes never mention the kernel, so stored
+campaigns resume unchanged.  Set ``REPRO_KERNEL=0`` to force the
+interner+cache path everywhere (benchmarks do, to measure the baseline
+the kernel is gated against).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.cache import TransitionCache
+from repro.engine.interner import StateInterner
+from repro.engine.kernel.cache import KERNEL_PAIR_BOUND, KernelTransitionCache
+from repro.engine.kernel.compiled import TABLE_BOUND, CompiledKernel
+from repro.engine.kernel.spec import Field, FieldColumns, KernelSpec
+from repro.engine.protocol import Protocol
+
+__all__ = [
+    "Field",
+    "FieldColumns",
+    "KernelSpec",
+    "CompiledKernel",
+    "KernelTransitionCache",
+    "KERNEL_PAIR_BOUND",
+    "KERNEL_ENV",
+    "TABLE_BOUND",
+    "compiled_kernel_for",
+    "kernels_enabled",
+    "make_transition_cache",
+]
+
+#: Environment kill switch: set to ``0``/``off``/``false`` to disable
+#: kernel selection process-wide (the cached-delta baseline path).
+KERNEL_ENV = "REPRO_KERNEL"
+
+_ATTR = "_compiled_kernel_cache"
+
+#: Process-wide registry of shared compiled kernels, keyed by
+#: (protocol class, spec.cache_key).  Sharing carries the memoized
+#: transition tables across protocol instances — campaigns build a
+#: fresh protocol per trial, and without this every trial would re-pay
+#: the warm-up fills.  Bounded defensively; past the bound kernels
+#: compile per instance (still correct, just unshared).
+_SHARED_KERNELS: dict[tuple, "CompiledKernel"] = {}
+_SHARED_KERNELS_BOUND = 64
+
+
+def kernels_enabled() -> bool:
+    """Whether kernel selection is on (the default)."""
+    return os.environ.get(KERNEL_ENV, "1").lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def compiled_kernel_for(protocol: Protocol) -> CompiledKernel | None:
+    """The protocol's compiled kernel, or ``None`` if it does not opt in.
+
+    Compilation runs once per protocol instance (cached on the
+    instance); campaigns that build a fresh protocol per trial pay only
+    the cheap spec construction again.
+    """
+    cached = getattr(protocol, _ATTR, False)
+    if cached is not False:
+        return cached
+    spec = protocol.compile_kernel()
+    if spec is None:
+        kernel = None
+    elif spec.cache_key is not None:
+        registry_key = (type(protocol).__qualname__, spec.cache_key)
+        kernel = _SHARED_KERNELS.get(registry_key)
+        if kernel is None:
+            kernel = CompiledKernel(protocol, spec)
+            if len(_SHARED_KERNELS) < _SHARED_KERNELS_BOUND:
+                _SHARED_KERNELS[registry_key] = kernel
+    else:
+        kernel = CompiledKernel(protocol, spec)
+    try:
+        setattr(protocol, _ATTR, kernel)
+    except AttributeError:  # pragma: no cover - slotted custom protocols
+        pass
+    return kernel
+
+
+def make_transition_cache(
+    protocol: Protocol,
+    interner: StateInterner,
+    max_entries: int = 1 << 20,
+    use_kernel: bool | None = None,
+) -> TransitionCache | KernelTransitionCache:
+    """Build the transition backend every engine resolves ids through.
+
+    ``use_kernel=None`` (the default) selects automatically: the kernel
+    cache when the protocol compiles one and :func:`kernels_enabled`,
+    else the classic memoized :class:`TransitionCache`.  ``True`` forces
+    the kernel (raising for protocols without one), ``False`` forces the
+    baseline — the explicit knobs benchmarks and equivalence tests use.
+    """
+    if use_kernel is None:
+        use_kernel = kernels_enabled() and compiled_kernel_for(protocol) is not None
+    if not use_kernel:
+        return TransitionCache(protocol, interner, max_entries)
+    kernel = compiled_kernel_for(protocol)
+    if kernel is None:
+        raise ValueError(
+            f"protocol {protocol.name!r} does not compile a kernel"
+        )
+    return KernelTransitionCache(
+        protocol, interner, max_entries, kernel=kernel
+    )

@@ -1,0 +1,111 @@
+"""Declarative protocol-compilation specs (struct-of-arrays lowering).
+
+A :class:`KernelSpec` is a protocol's description of its own state as a
+tuple of small integer *fields* plus a vectorized transition function
+over NumPy columns of those fields.  It is the opt-in contract behind
+the compiled transition kernels: a protocol that implements
+``compile_kernel()`` (see :class:`repro.engine.protocol.Protocol`) hands
+the engines
+
+* a **packed integer encoding** — every state becomes one int64 code,
+  fields stride-packed in declaration order, so whole configurations
+  live in flat arrays instead of interned Python objects;
+* a **field-wise delta** — the transition function expressed as array
+  ops over decoded field columns (one NumPy array per field per agent,
+  the struct-of-arrays form), so thousands of transitions resolve in
+  one call with no Python ``delta`` in the loop;
+* **output-feature extractors** — named vectorized maps from field
+  columns to small ints (``is_leader``, phase, role ...), which the
+  runtime precomputes into code-indexed tables.
+
+The spec is purely declarative; :mod:`repro.engine.kernel.compiled`
+turns it into the executable :class:`CompiledKernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.protocol import State
+from repro.errors import ProtocolError
+
+__all__ = ["Field", "FieldColumns", "KernelSpec"]
+
+#: The struct-of-arrays form one agent side travels in: one int64 NumPy
+#: array per declared field, keyed by field name.  Deltas receive fresh
+#: column dicts and may mutate them freely (and must return them).
+FieldColumns = dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One packed state variable: ``size`` distinct values in ``[0, size)``.
+
+    Optional protocol variables reserve one of the ``size`` values as the
+    "undefined" sentinel; the convention (usually ``0`` = undefined, real
+    values shifted by one) is the spec author's and lives entirely inside
+    ``to_fields``/``from_fields``/``delta``.
+    """
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ProtocolError(
+                f"kernel field {self.name!r} needs a positive size, "
+                f"got {self.size}"
+            )
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Everything needed to compile one protocol to a packed kernel.
+
+    ``delta(a, b)`` receives the decoded field columns of the initiator
+    (``a``) and responder (``b``) sides — equal-length arrays, one slot
+    per transition to resolve — and returns the post columns in the same
+    order.  It must be a pure vectorization of the protocol's
+    ``transition``: exact agreement is pinned by the tier-1 property
+    tests, not assumed.
+
+    ``features`` maps feature names (``"leader"``, ``"epoch"``, ...) to
+    vectorized extractors over field columns; the runtime materializes
+    them as code-indexed tables so engines never call Python ``output``
+    per interaction.
+
+    ``sample_states`` (optional) yields well-formed states for the
+    agreement tests: states satisfying the protocol's own group
+    invariants (e.g. PLL's Table 3 field/group consistency), on which
+    the Python transition is total.  Random trajectories are the
+    fallback when it is ``None``.
+
+    ``cache_key`` (optional) is a hashable identity of the *compiled
+    artifact*: two protocol instances whose specs carry equal keys must
+    lower to the same fields and the same delta (same name, same
+    parameters).  When set, :func:`repro.engine.kernel.compiled_kernel_for`
+    shares one :class:`CompiledKernel` — including its memoized
+    transition tables — across instances, so a campaign's fresh
+    protocol-per-trial discipline stops re-resolving the same pairs
+    every trial.  ``None`` keeps compilation per-instance.
+    """
+
+    fields: tuple[Field, ...]
+    to_fields: Callable[[State], Sequence[int]]
+    from_fields: Callable[[Sequence[int]], State]
+    delta: Callable[[FieldColumns, FieldColumns], tuple[FieldColumns, FieldColumns]]
+    features: Mapping[str, Callable[[FieldColumns], np.ndarray]] = field(
+        default_factory=dict
+    )
+    sample_states: Callable[[np.random.Generator, int], list[State]] | None = None
+    cache_key: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ProtocolError("a kernel spec needs at least one field")
+        names = [spec_field.name for spec_field in self.fields]
+        if len(set(names)) != len(names):
+            raise ProtocolError(f"duplicate kernel field names in {names}")

@@ -24,13 +24,13 @@ from typing import Callable
 
 import numpy as np
 
-from repro.engine.cache import TransitionCache
 from repro.engine.convergence import (
     MonotoneLeaderStabilization,
     StabilizationDetector,
 )
 from repro.engine.fenwick import FenwickTree
 from repro.engine.interner import StateInterner
+from repro.engine.kernel import make_transition_cache
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
 
@@ -55,13 +55,16 @@ class MultisetSimulator:
         seed: int | None = None,
         cache_entries: int = 1 << 20,
         batch_size: int = DRAW_BATCH_SIZE,
+        use_kernel: bool | None = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"population needs at least 2 agents, got n={n}")
         self.protocol = protocol
         self.n = n
         self.interner = StateInterner()
-        self.cache = TransitionCache(protocol, self.interner, cache_entries)
+        self.cache = make_transition_cache(
+            protocol, self.interner, cache_entries, use_kernel=use_kernel
+        )
         self.steps = 0
         self._rng = np.random.default_rng(seed)
         self._batch_size = batch_size

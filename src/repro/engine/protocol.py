@@ -85,6 +85,26 @@ class Protocol(ABC):
         """
         return False
 
+    def compile_kernel(self):
+        """Opt in to the compiled transition kernels, or ``None``.
+
+        Protocols that can express their state as a tuple of small
+        integer fields and their transition as vectorized NumPy ops over
+        those fields return a :class:`repro.engine.kernel.KernelSpec`
+        here; the engines then resolve transitions through packed-code
+        kernels instead of memoized Python ``transition`` calls (see
+        :mod:`repro.engine.kernel`).  The default — ``None`` — keeps the
+        classic interner+cache path, so opting in is purely a
+        performance decision: kernels must agree with ``transition``
+        exactly (pinned by tier-1 property tests) and never change
+        trajectories or trial hashes.
+
+        Returns
+        -------
+        KernelSpec | None
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
 

@@ -17,12 +17,12 @@ from __future__ import annotations
 from collections import Counter
 from typing import Callable, Iterable, Sequence
 
-from repro.engine.cache import TransitionCache
 from repro.engine.convergence import (
     MonotoneLeaderStabilization,
     StabilizationDetector,
 )
 from repro.engine.interner import StateInterner
+from repro.engine.kernel import make_transition_cache
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.engine.scheduler import PairScheduler, RandomScheduler
 from repro.errors import ConvergenceError, SimulationError
@@ -52,6 +52,11 @@ class AgentSimulator:
         :class:`~repro.engine.scheduler.RandomScheduler`.
     cache_entries:
         Bound on the transition memo table.
+    use_kernel:
+        ``None`` (default) resolves transitions through the compiled
+        kernel when the protocol ships one (see
+        :mod:`repro.engine.kernel`); ``True``/``False`` force one path.
+        Trajectories are identical either way.
     """
 
     def __init__(
@@ -61,13 +66,16 @@ class AgentSimulator:
         seed: int | None = None,
         scheduler: PairScheduler | None = None,
         cache_entries: int = 1 << 20,
+        use_kernel: bool | None = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"population needs at least 2 agents, got n={n}")
         self.protocol = protocol
         self.n = n
         self.interner = StateInterner()
-        self.cache = TransitionCache(protocol, self.interner, cache_entries)
+        self.cache = make_transition_cache(
+            protocol, self.interner, cache_entries, use_kernel=use_kernel
+        )
         self.scheduler: PairScheduler = (
             scheduler if scheduler is not None else RandomScheduler(n, seed)
         )

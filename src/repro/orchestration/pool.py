@@ -24,6 +24,8 @@ from typing import Callable, Sequence
 from repro.engine.batch import BatchSimulator
 from repro.engine.ensemble import EnsembleLaneSimulator, EnsembleSimulator
 from repro.engine.ensemble.simulator import DEFAULT_DETACH_LANES
+from repro.engine.kernel import compiled_kernel_for, kernels_enabled
+from repro.engine.kernel.multiset import KernelMultisetSimulator
 from repro.engine.multiset import MultisetSimulator
 from repro.engine.protocol import Protocol
 from repro.engine.simulator import AgentSimulator
@@ -59,7 +61,11 @@ ENSEMBLE_MAX_LANES = 256
 ProgressCallback = Callable[[int, int, TrialOutcome | None], None]
 
 Simulator = (
-    AgentSimulator | MultisetSimulator | BatchSimulator | EnsembleLaneSimulator
+    AgentSimulator
+    | MultisetSimulator
+    | KernelMultisetSimulator
+    | BatchSimulator
+    | EnsembleLaneSimulator
 )
 
 _ENGINE_FACTORIES: dict[str, Callable[..., Simulator]] = {
@@ -76,6 +82,7 @@ def build_simulator(
     n: int,
     seed: int,
     engine: str = "agent",
+    use_kernel: bool | None = None,
 ) -> Simulator:
     """Build the requested engine (one of :data:`~repro.orchestration.spec.ENGINES`).
 
@@ -84,11 +91,27 @@ def build_simulator(
     ``engine="ensemble"`` builds a single-lane facade over the ensemble
     engine's exact scalar lane (multi-lane packing lives in
     :func:`run_specs`, which needs whole spec batches to vectorize over).
+
+    ``use_kernel`` selects the transition-resolution path (see
+    :mod:`repro.engine.kernel`): ``None`` auto-selects the compiled
+    kernel for protocols that ship one — which for ``"multiset"`` also
+    swaps in the kernel-backed sorted-slot engine, the same chain with
+    byte-identical trajectories — while ``True``/``False`` force one
+    path (benchmarks and equivalence tests).  The choice never touches
+    spec identity: trial hashes name the engine, not the path.
     """
     if engine == AUTO_ENGINE:
         engine = default_engine(n)
     if engine == ENSEMBLE_ENGINE:
-        return EnsembleLaneSimulator(protocol, n, seed=seed)
+        return EnsembleLaneSimulator(protocol, n, seed=seed, use_kernel=use_kernel)
+    if engine == "multiset":
+        kernelize = use_kernel
+        if kernelize is None:
+            kernelize = (
+                kernels_enabled() and compiled_kernel_for(protocol) is not None
+            )
+        if kernelize:
+            return KernelMultisetSimulator(protocol, n, seed=seed)
     try:
         factory = _ENGINE_FACTORIES[engine]
     except KeyError:
@@ -96,7 +119,7 @@ def build_simulator(
             f"unknown engine {engine!r}; use one of: "
             f"{', '.join(ENGINES)}, {ENSEMBLE_ENGINE}, {AUTO_ENGINE}"
         ) from None
-    return factory(protocol, n, seed=seed)
+    return factory(protocol, n, seed=seed, use_kernel=use_kernel)
 
 
 def measure_trial(

@@ -12,6 +12,8 @@ rule as BackUp's line 58.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.engine.protocol import FOLLOWER, LEADER, LeaderElectionProtocol
 
 __all__ = ["AngluinProtocol"]
@@ -36,3 +38,21 @@ class AngluinProtocol(LeaderElectionProtocol):
 
     def state_bound(self) -> int:
         return 2
+
+    def compile_kernel(self):
+        """One leader bit; two states lower to a full pair table."""
+        from repro.engine.kernel.spec import Field, KernelSpec
+
+        def delta(a, b):
+            both = (a["leader"] == 1) & (b["leader"] == 1)
+            b["leader"] = np.where(both, 0, b["leader"])
+            return a, b
+
+        return KernelSpec(
+            fields=(Field("leader", 2),),
+            to_fields=lambda state: (1 if state else 0,),
+            from_fields=lambda values: bool(values[0]),
+            delta=delta,
+            features={"leader": lambda cols: cols["leader"]},
+            cache_key=("angluin",),
+        )

@@ -22,6 +22,8 @@ opinion they currently lean towards).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.engine.protocol import Protocol
 
 __all__ = ["ApproximateMajority", "ExactMajority", "OPINION_X", "OPINION_Y", "BLANK"]
@@ -61,6 +63,35 @@ class ApproximateMajority(Protocol):
     def is_symmetric(self) -> bool:
         return True  # equal states never match an asymmetric rule
 
+    def compile_kernel(self):
+        """Opinion field ``b/x/y -> 0/1/2``; lowers to a pair table."""
+        from repro.engine.kernel.spec import Field, KernelSpec
+
+        order = (BLANK, OPINION_X, OPINION_Y)
+        codes = {symbol: code for code, symbol in enumerate(order)}
+
+        def delta(a, b):
+            mine, theirs = a["opinion"], b["opinion"]
+            conflict = (mine + theirs == 3) & (mine != theirs) & (mine > 0)
+            recruit0 = (mine == 0) & (theirs > 0)
+            recruit1 = (theirs == 0) & (mine > 0)
+            a["opinion"] = np.where(
+                conflict, 0, np.where(recruit0, theirs, mine)
+            )
+            b["opinion"] = np.where(
+                conflict, 0, np.where(recruit1, mine, theirs)
+            )
+            return a, b
+
+        return KernelSpec(
+            fields=(Field("opinion", 3),),
+            to_fields=lambda state: (codes[state],),
+            from_fields=lambda values: order[values[0]],
+            delta=delta,
+            features={"opinion": lambda cols: cols["opinion"]},
+            cache_key=("approximate-majority",),
+        )
+
 
 class ExactMajority(Protocol):
     """Four-state exact majority: always decides the true majority.
@@ -96,3 +127,33 @@ class ExactMajority(Protocol):
 
     def state_bound(self) -> int:
         return 4
+
+    def compile_kernel(self):
+        """Strong/weak opinions ``x/y/wx/wy -> 0..3``; pair-table mode."""
+        from repro.engine.kernel.spec import Field, KernelSpec
+
+        order = (OPINION_X, OPINION_Y, WEAK_X, WEAK_Y)
+        codes = {symbol: code for code, symbol in enumerate(order)}
+
+        def delta(a, b):
+            mine, theirs = a["opinion"], b["opinion"]
+            strong0, strong1 = mine < 2, theirs < 2
+            conflict = strong0 & strong1 & (mine != theirs)
+            follow1 = strong0 & ~strong1
+            follow0 = strong1 & ~strong0
+            a["opinion"] = np.where(
+                conflict, 2, np.where(follow0, theirs + 2, mine)
+            )
+            b["opinion"] = np.where(
+                conflict, 3, np.where(follow1, mine + 2, theirs)
+            )
+            return a, b
+
+        return KernelSpec(
+            fields=(Field("opinion", 4),),
+            to_fields=lambda state: (codes[state],),
+            from_fields=lambda values: order[values[0]],
+            delta=delta,
+            features={"lean": lambda cols: cols["opinion"] % 2},
+            cache_key=("exact-majority",),
+        )

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+import numpy as np
+
 from repro.engine.protocol import Protocol
 from repro.errors import ParameterError
 
@@ -98,6 +100,50 @@ class SizeEstimationProtocol(Protocol):
 
     def state_bound(self) -> int:
         return 2 * (self.level_cap + 1) * (self.level_cap + 1)
+
+    def compile_kernel(self):
+        """(flipping, level, seen) as three fields; field-kernel mode."""
+        from repro.engine.kernel.spec import Field, KernelSpec
+
+        cap = self.level_cap
+
+        def delta(a, b):
+            # Initiator role = head: still-flipping initiators level up.
+            racing = a["flipping"] == 1
+            a["level"] = np.where(
+                racing, np.minimum(a["level"] + 1, cap), a["level"]
+            )
+            # Responder role = tail: still-flipping responders stop.
+            stopping = b["flipping"] == 1
+            b["seen"] = np.where(
+                stopping, np.maximum(b["seen"], b["level"]), b["seen"]
+            )
+            b["flipping"] = np.where(stopping, 0, b["flipping"])
+            best = np.maximum(a["seen"], b["seen"])
+            a["seen"] = best
+            b["seen"] = best.copy()
+            return a, b
+
+        return KernelSpec(
+            fields=(
+                Field("flipping", 2),
+                Field("level", cap + 1),
+                Field("seen", cap + 1),
+            ),
+            to_fields=lambda state: (
+                1 if state.flipping else 0,
+                state.level,
+                state.seen,
+            ),
+            from_fields=lambda values: SizeEstimateState(
+                flipping=bool(values[0]),
+                level=int(values[1]),
+                seen=int(values[2]),
+            ),
+            delta=delta,
+            features={"seen": lambda cols: cols["seen"]},
+            cache_key=("size-estimation", cap),
+        )
 
     def estimate(self, state: SizeEstimateState) -> int:
         """The ``m_hat`` this agent would hand to ``PLLParameters``."""

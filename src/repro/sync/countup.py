@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+import numpy as np
+
 from repro.engine.protocol import Protocol
 from repro.errors import ParameterError
 
@@ -86,3 +88,68 @@ class CountUpTimerProtocol(Protocol):
 
     def state_bound(self) -> int:
         return self.cmax * 3 * (self.max_ticks + 1)
+
+    def compile_kernel(self):
+        """(count, color, ticks_seen) as stride-packed fields.
+
+        ``count`` cycles through ``cmax`` values — the exact shape the
+        field kernel exists for (a pair table over ``cmax * 3``-state
+        products would be cold almost everywhere).
+        """
+        from repro.engine.kernel.spec import Field, KernelSpec
+
+        cmax, max_ticks = self.cmax, self.max_ticks
+
+        def delta(a, b):
+            for side in (a, b):
+                bumped = (side["count"] + 1) % cmax
+                roll = bumped == 0
+                side["count"] = bumped
+                side["color"] = np.where(
+                    roll, (side["color"] + 1) % 3, side["color"]
+                )
+                side["ticks"] = np.where(
+                    roll,
+                    np.minimum(side["ticks"] + 1, max_ticks),
+                    side["ticks"],
+                )
+            # One-way epidemic of the newer color: both directions are
+            # checked against the post-rollover snapshot, which is exact
+            # because they cannot both hold (2 != 0 mod 3) and adoption
+            # equalizes the colors (see countup_module for the scalar
+            # form of the same argument).
+            color0, color1 = a["color"], b["color"]
+            adopt0 = color1 == (color0 + 1) % 3
+            adopt1 = color0 == (color1 + 1) % 3
+            a["color"] = np.where(adopt0, color1, color0)
+            b["color"] = np.where(adopt1, color0, color1)
+            a["count"] = np.where(adopt0, 0, a["count"])
+            b["count"] = np.where(adopt1, 0, b["count"])
+            a["ticks"] = np.where(
+                adopt0, np.minimum(a["ticks"] + 1, max_ticks), a["ticks"]
+            )
+            b["ticks"] = np.where(
+                adopt1, np.minimum(b["ticks"] + 1, max_ticks), b["ticks"]
+            )
+            return a, b
+
+        return KernelSpec(
+            fields=(
+                Field("count", cmax),
+                Field("color", 3),
+                Field("ticks", max_ticks + 1),
+            ),
+            to_fields=lambda state: (
+                state.count,
+                state.color,
+                state.ticks_seen,
+            ),
+            from_fields=lambda values: TimerState(
+                count=int(values[0]),
+                color=int(values[1]),
+                ticks_seen=int(values[2]),
+            ),
+            delta=delta,
+            features={"color": lambda cols: cols["color"]},
+            cache_key=("countup-timer", cmax, max_ticks),
+        )

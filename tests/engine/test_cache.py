@@ -218,3 +218,42 @@ class TestDenseFastPath:
         before = cache.stats.bypasses
         cache.apply_block(pre0, pre1)
         assert cache.stats.bypasses == before + 1
+
+
+class TestConfigurableDenseBound:
+    """The dense-mirror bound is a knob (ISSUE 4): ctor arg, env, default."""
+
+    def test_default_bound_covers_pll_at_n_1024(self):
+        # The raise to 512 exists for exactly this regime: PLL reaches
+        # ~275 states at n=1024 and used to drop the mirror at 256.
+        assert DENSE_STATE_BOUND == 512
+
+    def test_ctor_bound_overrides_the_default(self):
+        protocol = MaxPropagationProtocol()
+        interner = StateInterner()
+        cache = TransitionCache(protocol, interner, dense_bound=4)
+        for value in range(6):
+            interner.intern(value)
+        cache.apply(0, 1)
+        assert not cache.dense_enabled
+        assert cache.apply(0, 1) == (1, 1)  # dict path still answers
+
+    def test_zero_bound_disables_the_mirror_outright(self):
+        protocol = MaxPropagationProtocol()
+        cache = TransitionCache(protocol, StateInterner(), dense_bound=0)
+        assert not cache.dense_enabled
+
+    def test_env_override_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE_STATE_BOUND", "4")
+        protocol = MaxPropagationProtocol()
+        interner = StateInterner()
+        cache = TransitionCache(protocol, interner)
+        for value in range(6):
+            interner.intern(value)
+        cache.apply(0, 1)
+        assert not cache.dense_enabled
+
+    def test_garbage_env_falls_back_to_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE_STATE_BOUND", "not-a-number")
+        cache = TransitionCache(MaxPropagationProtocol(), StateInterner())
+        assert cache.dense_enabled

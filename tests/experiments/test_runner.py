@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.engine.kernel.multiset import KernelMultisetSimulator
 from repro.engine.multiset import MultisetSimulator
 from repro.engine.simulator import AgentSimulator
 from repro.errors import ConvergenceError, ExperimentError
@@ -17,6 +18,13 @@ class TestMakeSimulator:
         assert isinstance(sim, AgentSimulator)
 
     def test_multiset_engine(self):
+        # Angluin compiles a kernel, so the multiset engine resolves to
+        # the kernel-backed sorted-slot implementation of the same chain.
+        sim = make_simulator(AngluinProtocol(), 8, seed=0, engine="multiset")
+        assert isinstance(sim, KernelMultisetSimulator)
+
+    def test_multiset_engine_without_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "0")
         sim = make_simulator(AngluinProtocol(), 8, seed=0, engine="multiset")
         assert isinstance(sim, MultisetSimulator)
 

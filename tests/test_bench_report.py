@@ -1,49 +1,49 @@
 """Smoke tests for the machine-readable benchmark harness.
 
-``benchmarks/report.py`` is the scriptable producer of
-``BENCH_engine.json`` (CI runs it with ``--quick --check``); these tests
-exercise its measurement, summary, and gate logic at toy scale so a
-harness regression fails in the tier-1 suite rather than only in the CI
-benchmark job.
+:mod:`repro.bench.report` is the scriptable producer of
+``BENCH_engine.json`` (CI runs it as ``repro bench --quick --check
+--check-trials --check-kernel``); these tests exercise its measurement,
+summary, and gate logic at toy scale so a harness regression fails in
+the tier-1 suite rather than only in the CI benchmark job.
 """
 
-import importlib.util
 import json
-from pathlib import Path
 
 import pytest
 
-REPORT_PATH = (
-    Path(__file__).resolve().parent.parent / "benchmarks" / "report.py"
-)
+import repro.bench.report as report
 
 
-@pytest.fixture(scope="module")
-def report():
-    spec = importlib.util.spec_from_file_location("bench_report", REPORT_PATH)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
-
-
-def tiny_results(report):
-    return [
-        report.measure_engine(engine, "angluin", 64, 2000)
-        for engine in ("agent", "multiset", "batch")
-    ]
+def tiny_results():
+    rows = []
+    for engine in ("agent", "multiset", "batch"):
+        for use_kernel in (False, True):
+            rows.append(
+                report.measure_engine(
+                    engine, "angluin", 64, 2000, use_kernel=use_kernel
+                )
+            )
+    return rows
 
 
 class TestMeasurement:
-    def test_measure_engine_reports_throughput_and_cache(self, report):
+    def test_measure_engine_reports_throughput_and_cache(self):
         row = report.measure_engine("batch", "angluin", 64, 2000)
         assert row["engine"] == "batch"
         assert row["steps"] == 2000
+        assert row["transitions"] == "kernel"  # angluin compiles one
         assert row["steps_per_sec"] > 0
         assert 0.0 <= row["cache"]["hit_rate"] <= 1.0
         assert row["cache"]["hits"] + row["cache"]["misses"] >= 0
 
-    def test_summary_contains_cross_engine_ratios(self, report):
-        summary = report.summarize(tiny_results(report))
+    def test_measure_engine_can_force_the_cached_path(self):
+        row = report.measure_engine(
+            "multiset", "angluin", 64, 2000, use_kernel=False
+        )
+        assert row["transitions"] == "cached"
+
+    def test_summary_contains_cross_engine_ratios(self):
+        summary = report.summarize(tiny_results())
         entry = summary["angluin/n=64"]
         assert set(entry) >= {
             "agent",
@@ -51,10 +51,22 @@ class TestMeasurement:
             "batch",
             "batch_vs_multiset",
             "batch_vs_agent",
+            "kernel_vs_cached",
         }
         assert entry["batch_vs_multiset"] == pytest.approx(
             entry["batch"] / entry["multiset"]
         )
+        assert set(entry["kernel_vs_cached"]) == {"agent", "multiset", "batch"}
+
+    def test_summary_engine_rates_are_the_kernel_rows(self):
+        rows = tiny_results()
+        summary = report.summarize(rows)
+        kernel_rate = next(
+            row["steps_per_sec"]
+            for row in rows
+            if row["engine"] == "multiset" and row["transitions"] == "kernel"
+        )
+        assert summary["angluin/n=64"]["multiset"] == kernel_rate
 
 
 class TestCheckGate:
@@ -69,18 +81,18 @@ class TestCheckGate:
             f"pll/n={n}": {"batch_vs_multiset": batch_rate / multiset_rate}
         }}
 
-    def test_passes_when_batch_is_faster(self, report):
+    def test_passes_when_batch_is_faster(self):
         assert report.check_batch_speedup(
             self.fake_report(200.0, 100.0), min_ratio=1.0
         ) is None
 
-    def test_fails_when_batch_is_slower(self, report):
+    def test_fails_when_batch_is_slower(self):
         error = report.check_batch_speedup(
             self.fake_report(90.0, 100.0), min_ratio=1.0
         )
         assert error is not None and "0.90x" in error
 
-    def test_grades_the_largest_n(self, report):
+    def test_grades_the_largest_n(self):
         doctored = self.fake_report(200.0, 100.0, n=64)
         doctored["results"] += self.fake_report(50.0, 100.0, n=1024)["results"]
         doctored["summary"]["pll/n=1024"] = {"batch_vs_multiset": 0.5}
@@ -88,15 +100,16 @@ class TestCheckGate:
 
 
 class TestTrialsSection:
-    def tiny_cell(self, report):
+    def tiny_cell(self):
         return report.measure_trials_cell(
             protocol_name="angluin", n=32, trials=6, jobs=1
         )
 
-    def test_measures_every_execution_strategy(self, report):
-        section = self.tiny_cell(report)
+    def test_measures_every_execution_strategy(self):
+        section = self.tiny_cell()
         modes = {(row["mode"], row["engine"]) for row in section["results"]}
         assert modes == {
+            ("serial", "multiset"),
             ("pool", "multiset"),
             ("pool", "agent"),
             ("ensemble", "multiset"),
@@ -104,18 +117,23 @@ class TestTrialsSection:
         assert all(row["trials_per_sec"] > 0 for row in section["results"])
         assert section["cell"] == {"protocol": "angluin", "n": 32, "trials": 6}
 
-    def test_ensemble_and_pool_simulate_the_same_chain(self, report):
-        # The gate is an execution-strategy comparison, so both rows must
-        # have executed identical per-seed trials: same total steps.
-        section = self.tiny_cell(report)
+    def test_strategies_simulate_the_same_chain(self):
+        # The gate is an execution-strategy comparison, so the graded
+        # rows must have executed identical per-seed trials: same total
+        # steps for the serial, pool, and ensemble multiset rows.
+        section = self.tiny_cell()
         steps = {
             (row["mode"], row["engine"]): row["total_steps"]
             for row in section["results"]
         }
-        assert steps[("ensemble", "multiset")] == steps[("pool", "multiset")]
+        assert (
+            steps[("ensemble", "multiset")]
+            == steps[("pool", "multiset")]
+            == steps[("serial", "multiset")]
+        )
 
-    def test_ratio_matches_the_rows(self, report):
-        section = self.tiny_cell(report)
+    def test_ratios_match_the_rows(self):
+        section = self.tiny_cell()
         rates = {
             (row["mode"], row["engine"]): row["trials_per_sec"]
             for row in section["results"]
@@ -123,24 +141,31 @@ class TestTrialsSection:
         assert section["ensemble_vs_pool"] == pytest.approx(
             rates[("ensemble", "multiset")] / rates[("pool", "multiset")]
         )
+        assert section["ensemble_vs_serial"] == pytest.approx(
+            rates[("ensemble", "multiset")] / rates[("serial", "multiset")]
+        )
 
 
 class TestTrialsCheckGate:
-    def test_passes_when_ensemble_is_faster(self, report):
-        fake = {"trials": {"cell": {}, "ensemble_vs_pool": 6.0}}
+    def test_passes_when_ensemble_is_faster(self):
+        fake = {"trials": {"cell": {}, "ensemble_vs_serial": 6.0}}
         assert report.check_ensemble_speedup(fake, min_ratio=5.0) is None
 
-    def test_fails_when_ensemble_is_slower(self, report):
+    def test_fails_when_ensemble_is_slower(self):
         fake = {
             "trials": {
                 "cell": {"protocol": "pll", "n": 4096, "trials": 64},
-                "ensemble_vs_pool": 0.8,
+                "ensemble_vs_serial": 0.8,
             }
         }
         error = report.check_ensemble_speedup(fake, min_ratio=1.0)
         assert error is not None and "0.80x" in error
 
-    def test_tolerates_v1_reports_without_the_section(self, report):
+    def test_falls_back_to_the_v2_pool_ratio(self):
+        v2 = {"trials": {"cell": {}, "ensemble_vs_pool": 3.0}}
+        assert report.check_ensemble_speedup(v2, min_ratio=2.0) is None
+
+    def test_tolerates_v1_reports_without_the_section(self):
         # Old consumers (and old artifacts) have no trials section; the
         # gate reports that as its own failure instead of crashing.
         v1 = {"schema": "repro-bench-engine/1", "results": []}
@@ -148,38 +173,110 @@ class TestTrialsCheckGate:
         assert error is not None and "no trials section" in error
 
 
-class TestEndToEnd:
-    def test_main_writes_v1_json_without_trials(self, report, tmp_path, monkeypatch):
-        # Shrink the quick grid so the smoke test stays in tier-1 budget.
-        monkeypatch.setattr(
-            report, "QUICK_GRID", (("angluin", (64,)),)
+class TestKernelSection:
+    def tiny_cell(self):
+        return report.measure_kernel_cell(
+            protocol_name="angluin", n=64, trials=4
         )
+
+    def test_measures_both_modes_for_both_engines(self):
+        section = self.tiny_cell()
+        modes = {(row["engine"], row["mode"]) for row in section["results"]}
+        assert modes == {
+            ("multiset", "cold-pairs"),
+            ("multiset", "trials"),
+            ("batch", "cold-pairs"),
+            ("batch", "trials"),
+        }
+        for row in section["results"]:
+            assert row["kernel_vs_cached"] == pytest.approx(
+                row["cached_seconds"] / row["kernel_seconds"]
+            )
+
+    def test_gate_passes_on_fast_kernels(self):
+        fake = {
+            "kernel": {
+                "cell": {"protocol": "pll", "n": 1024},
+                "results": [
+                    {"engine": "multiset", "mode": "cold-pairs",
+                     "kernel_vs_cached": 3.0},
+                    {"engine": "batch", "mode": "cold-pairs",
+                     "kernel_vs_cached": 2.5},
+                ],
+            }
+        }
+        assert report.check_kernel_speedup(fake, min_ratio=2.0) is None
+
+    def test_gate_fails_on_a_slow_engine(self):
+        fake = {
+            "kernel": {
+                "cell": {},
+                "results": [
+                    {"engine": "multiset", "mode": "cold-pairs",
+                     "kernel_vs_cached": 3.0},
+                    {"engine": "batch", "mode": "cold-pairs",
+                     "kernel_vs_cached": 0.7},
+                ],
+            }
+        }
+        error = report.check_kernel_speedup(fake, min_ratio=1.0)
+        assert error is not None and "batch" in error
+
+    def test_tolerates_v2_reports_without_the_section(self):
+        v2 = {"schema": "repro-bench-engine/2", "results": []}
+        error = report.check_kernel_speedup(v2, min_ratio=1.0)
+        assert error is not None and "no kernel section" in error
+
+
+class TestEndToEnd:
+    def test_main_writes_v1_json_without_optional_sections(
+        self, tmp_path, monkeypatch
+    ):
+        # Shrink the quick grid so the smoke test stays in tier-1 budget.
+        monkeypatch.setattr(report, "QUICK_GRID", (("angluin", (64,)),))
         monkeypatch.setattr(report, "QUICK_STEPS", 2000)
         out = tmp_path / "BENCH_engine.json"
         # No --check here: the toy angluin/n=64 cell is below the batch
         # engine's regime; the gate logic is covered by TestCheckGate.
-        assert report.main(["--quick", "--no-trials", "--out", str(out)]) == 0
+        assert (
+            report.main(
+                ["--quick", "--no-trials", "--no-kernel", "--out", str(out)]
+            )
+            == 0
+        )
         payload = json.loads(out.read_text())
         assert payload["schema"] == "repro-bench-engine/1"
         assert payload["quick"] is True
         assert "trials" not in payload
+        assert "kernel" not in payload
         assert len(payload["results"]) == 3  # three engines, one cell
         engines = {row["engine"] for row in payload["results"]}
         assert engines == {"agent", "multiset", "batch"}
 
-    def test_main_writes_v2_json_with_trials(self, report, tmp_path, monkeypatch):
-        monkeypatch.setattr(
-            report, "QUICK_GRID", (("angluin", (64,)),)
-        )
+    def test_main_writes_v3_json_with_all_sections(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(report, "QUICK_GRID", (("angluin", (64,)),))
         monkeypatch.setattr(report, "QUICK_STEPS", 2000)
         monkeypatch.setattr(report, "TRIALS_PROTOCOL", "angluin")
         monkeypatch.setattr(report, "TRIALS_N", 32)
         monkeypatch.setattr(report, "TRIALS_COUNT", 6)
         monkeypatch.setattr(report, "TRIALS_POOL_JOBS", 1)
+        monkeypatch.setattr(report, "KERNEL_PROTOCOL", "angluin")
+        monkeypatch.setattr(report, "KERNEL_N", 32)
+        monkeypatch.setattr(report, "KERNEL_TRIALS", 4)
         out = tmp_path / "BENCH_engine.json"
         assert report.main(["--quick", "--out", str(out)]) == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-bench-engine/2"
-        # v1 fields are untouched: old consumers parse v2 unchanged.
-        assert {"results", "summary", "steps_per_cell"} <= set(payload)
-        assert payload["trials"]["ensemble_vs_pool"] > 0
+        assert payload["schema"] == "repro-bench-engine/3"
+        # v1/v2 fields are untouched: old consumers parse v3 unchanged.
+        assert {"results", "summary", "steps_per_cell", "trials"} <= set(
+            payload
+        )
+        assert payload["trials"]["ensemble_vs_serial"] > 0
+        # Kernel-compiled cells carry both transition paths.
+        paths = {
+            (row["engine"], row["transitions"])
+            for row in payload["results"]
+        }
+        assert ("multiset", "kernel") in paths
+        assert ("multiset", "cached") in paths
+        assert payload["kernel"]["results"]
