@@ -1,17 +1,28 @@
-"""Path-invocable shim for the engine benchmark harness.
+"""Deprecated path-invocable shim for the engine benchmark harness.
 
-The implementation lives in :mod:`repro.bench.report` so the harness
-runs as ``repro bench`` without path-invoking this script; this shim
-keeps ``python benchmarks/report.py`` working for existing workflows
-(CI, local muscle memory).
+The implementation lives in :mod:`repro.bench.report` and runs as
+``repro bench`` (``PYTHONPATH=src python -m repro.cli bench``); this
+shim keeps ``python benchmarks/report.py`` working for existing
+workflows but warns so they migrate.
 """
 
 from __future__ import annotations
 
 import sys
+import warnings
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+# stacklevel=1: at module top level a higher stacklevel attributes the
+# warning to the interpreter bootstrap, where the default
+# `default::DeprecationWarning:__main__` filter never shows it.
+warnings.warn(
+    "benchmarks/report.py is deprecated; run the harness as "
+    "`repro bench` (PYTHONPATH=src python -m repro.cli bench)",
+    DeprecationWarning,
+    stacklevel=1,
+)
 
 from repro.bench.report import main  # noqa: E402
 

@@ -18,23 +18,26 @@ Usage::
     repro bench --no-trials --no-kernel  # v1 grid only
     repro bench --out other.json
 
-Schema: ``repro-bench-engine/3`` when the ``kernel`` section is present
+Schema: ``repro-bench-engine/4`` when the ``kernel`` section is present
 (the default), ``/2`` with ``--no-kernel``, ``/1`` with ``--no-trials
 --no-kernel`` — every consumer of a lower version keeps working because
-lower-version fields are unchanged; v3 additionally tags ``results``
-rows with ``transitions: kernel|cached`` (two rows per engine and cell
-for kernel-compiled protocols; v2 consumers that key rows by engine see
-the kernel row last, which is the default execution path).
+lower-version fields are unchanged.  v3 added per-path ``transitions:
+kernel|cached`` row tags; v4 adds the count-level ``superbatch`` engine
+rows, the large-``n`` PLL cells (10^7 and 10^8; the agent engine sits
+those out, see :data:`AGENT_MAX_N`), and ``superbatch_vs_batch``
+summary ratios.  Consumers that key rows by engine name are unaffected:
+new engines are new keys.
 
 Gates: ``--check`` fails (exit 1) unless the batch engine beats the
 multiset engine on the PLL throughput check at the largest measured
-``n`` by at least ``--min-ratio``.  ``--check-trials`` compares the
-ensemble engine's trials/sec against the pool baseline on the 64-trial
-PLL cell at n=4096.  ``--check-kernel`` fails unless, on the PLL
-``n = 1024`` cell, the kernel-backed transition path resolves each
-engine's recorded request stream at least ``--min-kernel-ratio`` times
-as fast as the cached-delta path, for both the multiset and batch
-engines.
+``n`` by at least ``--min-ratio``.  ``--check-superbatch`` compares the
+superbatch engine against batch on the largest PLL cell carrying both.
+``--check-trials`` compares the ensemble engine's trials/sec against
+the pool baseline on the 64-trial PLL cell at n=4096.
+``--check-kernel`` fails unless, on the PLL ``n = 1024`` cell, the
+kernel-backed transition path resolves each engine's recorded request
+stream at least ``--min-kernel-ratio`` times as fast as the
+cached-delta path, for both the multiset and batch engines.
 """
 
 from __future__ import annotations
@@ -61,9 +64,12 @@ from repro.orchestration.spec import ENGINES, trial_specs
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_engine.json"
 
-#: (protocol registry name, population sizes) measured per engine.
+#: (protocol registry name, population sizes) measured per engine.  The
+#: large-``n`` PLL cells (10^7, 10^8) are where the count-level
+#: super-batch engine earns its keep; see :data:`AGENT_MAX_N` for which
+#: engines run there.
 FULL_GRID = (
-    ("pll", (1024, 65536, 1_000_000)),
+    ("pll", (1024, 65536, 1_000_000, 10_000_000, 100_000_000)),
     ("angluin", (1024, 65536)),
 )
 QUICK_GRID = (
@@ -75,6 +81,13 @@ QUICK_GRID = (
 )
 FULL_STEPS = 100_000
 QUICK_STEPS = 20_000
+
+#: Largest population the agent engine is measured at: its per-agent
+#: state arrays make setup alone scale with ``n``, which at 10^7+ only
+#: burns grid minutes documenting a regime ``auto`` never assigns it.
+#: The count-vector engines (multiset, batch, superbatch) have
+#: ``n``-independent setup and run the full grid.
+AGENT_MAX_N = 2_000_000
 
 #: The headline comparison: the protocol every engine is graded on.
 CHECK_PROTOCOL = "pll"
@@ -458,6 +471,8 @@ def generate_report(
         )
         for n in ns:
             for engine in ENGINES:
+                if engine == "agent" and n > AGENT_MAX_N:
+                    continue
                 modes: tuple[bool | None, ...] = (None,)
                 if kernel_section and kernelized:
                     modes = (False, True)
@@ -483,7 +498,7 @@ def generate_report(
                         )
                     )
     if kernel_section:
-        schema = "repro-bench-engine/3"
+        schema = "repro-bench-engine/4"
     elif trials_section:
         schema = "repro-bench-engine/2"
     else:
@@ -547,6 +562,8 @@ def summarize(results: list[dict]) -> dict:
             entry["batch_vs_multiset"] = cell["batch"] / cell["multiset"]
         if "batch" in cell and "agent" in cell:
             entry["batch_vs_agent"] = cell["batch"] / cell["agent"]
+        if "superbatch" in cell and "batch" in cell:
+            entry["superbatch_vs_batch"] = cell["superbatch"] / cell["batch"]
         ratios = {
             engine: modes["kernel"] / modes["cached"]
             for engine, modes in paths.get((protocol_name, n), {}).items()
@@ -584,6 +601,37 @@ def check_batch_speedup(report: dict, min_ratio: float) -> str | None:
         )
     print(
         f"check ok: batch is {ratio:.2f}x multiset on {CHECK_PROTOCOL} "
+        f"at n={largest} (required >= {min_ratio:.2f}x)"
+    )
+    return None
+
+
+def check_superbatch_speedup(report: dict, min_ratio: float) -> str | None:
+    """Error message when superbatch misses ``min_ratio`` x batch, else None.
+
+    Graded on :data:`CHECK_PROTOCOL` at the largest measured ``n`` where
+    both engines have rows — the regime the count-level engine exists
+    for (the largest quick-mode PLL cell in CI, the 10^8 cell on the
+    full grid).  Tolerant of pre-v4 reports: a missing ratio is itself
+    the error.
+    """
+    cells = []
+    for key, entry in report.get("summary", {}).items():
+        if not key.startswith(f"{CHECK_PROTOCOL}/n="):
+            continue
+        ratio = entry.get("superbatch_vs_batch")
+        if ratio is not None:
+            cells.append((int(key.split("n=")[1]), float(ratio)))
+    if not cells:
+        return "summary lacks a superbatch_vs_batch ratio to check"
+    largest, ratio = max(cells)
+    if ratio < min_ratio:
+        return (
+            f"superbatch engine is {ratio:.2f}x batch on {CHECK_PROTOCOL} "
+            f"at n={largest}; required >= {min_ratio:.2f}x"
+        )
+    print(
+        f"check ok: superbatch is {ratio:.2f}x batch on {CHECK_PROTOCOL} "
         f"at n={largest} (required >= {min_ratio:.2f}x)"
     )
     return None
@@ -691,6 +739,20 @@ def main(argv: list[str] | None = None) -> int:
         help="speedup the --check gate requires (default 1.0)",
     )
     parser.add_argument(
+        "--check-superbatch",
+        action="store_true",
+        help=(
+            "fail unless superbatch >= --min-superbatch-ratio x batch on "
+            "the largest measured PLL cell"
+        ),
+    )
+    parser.add_argument(
+        "--min-superbatch-ratio",
+        type=float,
+        default=1.0,
+        help="speedup the --check-superbatch gate requires (default 1.0)",
+    )
+    parser.add_argument(
         "--no-trials",
         action="store_true",
         help="skip the trials-per-second section",
@@ -745,9 +807,12 @@ def main(argv: list[str] | None = None) -> int:
     for key, entry in report["summary"].items():
         ratio = entry.get("batch_vs_multiset")
         suffix = f"  (batch/multiset {ratio:.2f}x)" if ratio else ""
+        super_ratio = entry.get("superbatch_vs_batch")
+        if super_ratio:
+            suffix += f"  (superbatch/batch {super_ratio:.2f}x)"
         rates = ", ".join(
             f"{engine} {entry[engine]:,.0f}/s"
-            for engine in ("agent", "multiset", "batch")
+            for engine in ("agent", "multiset", "batch", "superbatch")
             if engine in entry
         )
         print(f"  {key:18s} {rates}{suffix}")
@@ -786,6 +851,10 @@ def main(argv: list[str] | None = None) -> int:
     failures = []
     if args.check:
         error = check_batch_speedup(report, args.min_ratio)
+        if error is not None:
+            failures.append(error)
+    if args.check_superbatch:
+        error = check_superbatch_speedup(report, args.min_superbatch_ratio)
         if error is not None:
             failures.append(error)
     if args.check_trials:

@@ -165,9 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
             choices=ENGINE_CHOICES,
             default=AUTO_ENGINE,
             help=(
-                "engine the campaign's trials run on (default auto: batch "
-                "at large n, ensemble-dispatched multiset below the "
-                "crossover)"
+                "engine the campaign's trials run on (default auto: "
+                "count-level superbatch at production n, batch in the "
+                "mid regime, ensemble-dispatched multiset below the "
+                "batch crossover)"
             ),
         )
         _add_store_flags(action_parser, default=DEFAULT_STORE_PATH)

@@ -1,6 +1,6 @@
 """Population-protocol simulation substrate.
 
-Four engines share one contract (protocols, interning, caching,
+Five engines share one contract (protocols, interning, caching,
 detectors):
 
 * :class:`~repro.engine.simulator.AgentSimulator` — per-agent identity;
@@ -8,8 +8,14 @@ detectors):
 * :class:`~repro.engine.multiset.MultisetSimulator` — count-based with
   Fenwick-tree sampling; per-step cost independent of ``n``.
 * :class:`~repro.engine.batch.BatchSimulator` — count-based, advancing
-  ``Theta(sqrt(n))`` interactions per vectorized NumPy block; the engine
-  for production-scale ``n``.
+  ``Theta(sqrt(n))`` interactions per vectorized NumPy block of
+  materialized scheduler picks.
+* :class:`~repro.engine.superbatch.SuperBatchSimulator` — count-level
+  super-batching: the same blocks sampled without any per-agent arrays
+  (exact birthday run lengths, hypergeometric pair multisets, colliding
+  agents replayed on counts), so per-block cost scales with the number
+  of distinct states rather than ``sqrt(n)``; the engine for
+  ``n >= 10^7`` sweeps.
 * :class:`~repro.engine.ensemble.EnsembleSimulator` — across-trial
   vectorization: M independent same-protocol trials advance in lockstep
   NumPy sweeps, each lane bit-identical to a solo multiset run; the
@@ -26,6 +32,7 @@ trajectory-invisible.  DESIGN.md has the selection guide.
 """
 
 from repro.engine.batch import BatchSimulator, BatchStats
+from repro.engine.superbatch import SuperBatchSimulator, SuperBatchStats
 from repro.engine.cache import CacheStats, TransitionCache
 from repro.engine.kernel import (
     CompiledKernel,
@@ -75,6 +82,8 @@ __all__ = [
     "AgentSimulator",
     "BatchSimulator",
     "BatchStats",
+    "SuperBatchSimulator",
+    "SuperBatchStats",
     "CacheStats",
     "CompiledKernel",
     "Configuration",

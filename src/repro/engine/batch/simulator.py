@@ -386,6 +386,16 @@ class BatchSimulator:
                 pool[pre_initiator] -= 1
             if pre_responder is None:
                 pre_responder = self._draw_one(pool)
+        return self._apply_single(pre_initiator, pre_responder)
+
+    def _apply_single(self, pre_initiator: int, pre_responder: int) -> int:
+        """Resolve and commit one individually executed interaction.
+
+        The shared tail of both block engines' collision steps: one
+        cache lookup, step/collision accounting, and the count +
+        leader-tally update.  Returns 1 when a state changed, 0 for a
+        no-op.
+        """
         post_initiator, post_responder = self.cache.apply(
             pre_initiator, pre_responder
         )

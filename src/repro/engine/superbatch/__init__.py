@@ -1,0 +1,13 @@
+"""Count-level super-batch engine: past the sqrt(n) birthday barrier.
+
+See :mod:`repro.engine.superbatch.simulator` for the engine and
+:mod:`repro.engine.superbatch.sampling` for the count-level scheduler
+samplers; DESIGN.md Section 6 carries the faithfulness argument.
+"""
+
+from repro.engine.superbatch.simulator import (
+    SuperBatchSimulator,
+    SuperBatchStats,
+)
+
+__all__ = ["SuperBatchSimulator", "SuperBatchStats"]

@@ -27,11 +27,25 @@ __all__ = ["campaign_for", "campaign_ids"]
 
 
 def _theorem1_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:
-    """E9 — PLL over a doubling grid of n (Theorem 1 scaling)."""
+    """E9 — PLL over a doubling grid of n (Theorem 1 scaling).
+
+    From ``scale >= LARGE_N_SCALE`` the campaign carries the large-``n``
+    extension cells too (same specs as ``repro run E9`` at that scale,
+    so the store rows stay shared).
+    """
     ns, trials = theorem1_scaling.grid(scale)
-    return CampaignSpec.from_grid(
-        "E9", "pll", ns, trials, base_seed=seed, engine=engine
+    specs = list(
+        CampaignSpec.from_grid(
+            "E9", "pll", ns, trials, base_seed=seed, engine=engine
+        ).trials
     )
+    for n, cell_trials in theorem1_scaling.large_cells(scale):
+        specs.extend(
+            trial_specs(
+                "pll", n, cell_trials, base_seed=seed, engine=engine
+            )
+        )
+    return CampaignSpec(name="E9", trials=tuple(specs))
 
 
 def _table1_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:

@@ -38,7 +38,7 @@ def make_simulator(
     engine: str = "agent",
 ):
     """Build the requested engine (``"agent"``, ``"multiset"``, ``"batch"``,
-    or ``"auto"`` to pick by population size)."""
+    ``"superbatch"``, or ``"auto"`` to pick by population size)."""
     return build_simulator(protocol, n, seed=seed, engine=engine)
 
 
@@ -59,9 +59,10 @@ def stabilization_trials(
     execution context (worker pool, trial store, ``--engine``/``--trials``
     overrides); factory callables always run serially in-process.
 
-    The default engine is ``"auto"``: per data point, large-``n`` sweeps
-    route through the batch engine and everything below the crossover
-    resolves to the multiset chain
+    The default engine is ``"auto"``: per data point, production-scale
+    sweeps route through the count-level super-batch engine, mid-size
+    sweeps through the batch engine, and everything below the batch
+    crossover resolves to the multiset chain
     (:func:`~repro.orchestration.spec.default_engine` — deliberately a
     function of ``n`` alone, so hashes never depend on campaign depth).
     Multi-trial named cells then pack into across-trial ensemble lanes

@@ -44,6 +44,7 @@ from repro.orchestration.spec import (
     AUTO_ENGINE,
     BATCH_ENGINE_MIN_N,
     ENGINES,
+    SUPERBATCH_ENGINE_MIN_N,
     CampaignSpec,
     TrialOutcome,
     TrialSpec,
@@ -61,6 +62,7 @@ __all__ = [
     "CampaignStatus",
     "DEFAULT_STORE_PATH",
     "ENGINES",
+    "SUPERBATCH_ENGINE_MIN_N",
     "ExecutionContext",
     "RunReport",
     "TrialOutcome",

@@ -29,6 +29,7 @@ from repro.engine.kernel.multiset import KernelMultisetSimulator
 from repro.engine.multiset import MultisetSimulator
 from repro.engine.protocol import Protocol
 from repro.engine.simulator import AgentSimulator
+from repro.engine.superbatch import SuperBatchSimulator
 from repro.errors import ConvergenceError, ExperimentError
 from repro.orchestration.spec import (
     AUTO_ENGINE,
@@ -65,6 +66,7 @@ Simulator = (
     | MultisetSimulator
     | KernelMultisetSimulator
     | BatchSimulator
+    | SuperBatchSimulator
     | EnsembleLaneSimulator
 )
 
@@ -72,6 +74,7 @@ _ENGINE_FACTORIES: dict[str, Callable[..., Simulator]] = {
     "agent": AgentSimulator,
     "multiset": MultisetSimulator,
     "batch": BatchSimulator,
+    "superbatch": SuperBatchSimulator,
 }
 if set(_ENGINE_FACTORIES) != set(ENGINES):  # pragma: no cover
     raise AssertionError("engine factories out of sync with spec.ENGINES")

@@ -28,6 +28,7 @@ _AGGREGATE_HEADERS = [
     "protocol",
     "params",
     "n",
+    "engine",
     "trials",
     "mean time (parallel)",
     "ci95 half-width",
@@ -47,11 +48,20 @@ def _params_label(params: tuple[tuple[str, object], ...]) -> str:
 
 @dataclass(frozen=True)
 class CampaignStatus:
-    """How much of a campaign the store already holds."""
+    """How much of a campaign the store already holds.
+
+    ``engines`` breaks the same coverage down by the concretely resolved
+    engine each trial spec names (``auto``/``ensemble`` resolve before
+    specs are hashed, so these are the engines that actually produced —
+    or will produce — each store row): ``(engine, cached, total)``
+    tuples in engine-name order.  Resumed campaigns can therefore be
+    audited for which engine ran which slice of the grid.
+    """
 
     campaign: str
     total: int
     cached: int
+    engines: tuple[tuple[str, int, int], ...] = ()
 
     @property
     def pending(self) -> int:
@@ -63,10 +73,17 @@ class CampaignStatus:
 
     def render(self) -> str:
         percent = 100.0 * self.cached / self.total
-        return (
+        lines = [
             f"campaign {self.campaign}: {self.cached}/{self.total} trials "
             f"cached ({percent:.1f}%), {self.pending} pending"
-        )
+        ]
+        if self.engines:
+            breakdown = ", ".join(
+                f"{engine} {cached}/{total}"
+                for engine, cached, total in self.engines
+            )
+            lines.append(f"  by engine: {breakdown}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -102,11 +119,13 @@ class CampaignResult:
                 continue
             times = summarize([outcome.parallel_time for outcome in group])
             steps = summarize([float(outcome.steps) for outcome in group])
+            engines = sorted({spec.engine for spec in specs})
             table.add_record(
                 {
                     "protocol": protocol,
                     "params": _params_label(params),
                     "n": n,
+                    "engine": "+".join(engines),
                     "trials": len(group),
                     "mean time (parallel)": times.mean,
                     "ci95 half-width": (times.ci95_high - times.ci95_low) / 2,
@@ -173,12 +192,22 @@ class CampaignRunner:
         )
 
     def status(self, campaign: CampaignSpec) -> CampaignStatus:
-        """Cache coverage without executing anything."""
+        """Cache coverage without executing anything, split per engine."""
         cached = self.store.get_many(campaign.trials)
+        per_engine: dict[str, list[int]] = {}
+        for spec in campaign.trials:
+            bucket = per_engine.setdefault(spec.engine, [0, 0])
+            bucket[1] += 1
+            if spec.content_hash() in cached:
+                bucket[0] += 1
         return CampaignStatus(
             campaign=campaign.name,
             total=len(campaign),
             cached=len(cached),
+            engines=tuple(
+                (engine, hits, total)
+                for engine, (hits, total) in sorted(per_engine.items())
+            ),
         )
 
     def report(self, campaign: CampaignSpec) -> CampaignResult:

@@ -24,7 +24,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.engine.protocol import Protocol
 from repro.errors import ExperimentError
-from repro.orchestration.crossover import batch_crossover
+from repro.orchestration.crossover import batch_crossover, superbatch_crossover
 from repro.orchestration.registry import build_protocol, canonical_params
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "ENGINES",
     "ENSEMBLE_ENGINE",
     "ENSEMBLE_MIN_TRIALS",
+    "SUPERBATCH_ENGINE_MIN_N",
     "TrialOutcome",
     "TrialSpec",
     "CampaignSpec",
@@ -51,7 +52,7 @@ MONOTONE_LEADER = "monotone-leader"
 
 #: The simulation engines a spec may name; the single source of truth for
 #: engine-name validation, the pool's dispatch table, and CLI choices.
-ENGINES = ("agent", "multiset", "batch")
+ENGINES = ("agent", "multiset", "batch", "superbatch")
 
 #: Pseudo-engine accepted by grid builders and the CLI: resolves per
 #: (population size, trial count) via :func:`default_engine` before specs
@@ -73,31 +74,42 @@ ENSEMBLE_MIN_TRIALS = 4
 
 #: Population size at which ``auto`` switches to the batch engine.
 #: Derived from the committed BENCH_engine.json (the smallest measured
-#: PLL ``n`` from which batch stays the fastest engine — see
-#: :mod:`repro.orchestration.crossover`); the PR 2 hard-coded constant
-#: survives only as that module's fallback for benchless checkouts.
+#: PLL ``n`` from which batch stays faster than both per-interaction
+#: engines — see :mod:`repro.orchestration.crossover`); the PR 2
+#: hard-coded constant survives only as that module's fallback for
+#: benchless checkouts.
 BATCH_ENGINE_MIN_N = batch_crossover()
+
+#: Population size at which ``auto`` switches again, to the count-level
+#: super-batch engine — the smallest measured PLL ``n`` from which it is
+#: the fastest engine outright at every larger measured size (same
+#: derivation module, same committed record).
+SUPERBATCH_ENGINE_MIN_N = superbatch_crossover()
 
 
 def default_engine(n: int) -> str:
     """Concrete engine the ``auto`` pseudo-engine resolves to at size ``n``.
 
-    Large-``n`` Theorem 1 / Table 1 sweeps route through the batch
-    engine.  Below the crossover, ``auto`` names the multiset chain:
-    multi-trial cells then pack into across-trial ensemble lanes at
-    execution time (:func:`repro.orchestration.pool.run_specs`), which is
-    where campaign throughput comes from, while stragglers and
-    single-trial points run the solo multiset engine.
+    Three measured regimes: production-scale sweeps route through the
+    count-level super-batch engine from
+    :data:`SUPERBATCH_ENGINE_MIN_N`, mid-size sweeps through the batch
+    engine from :data:`BATCH_ENGINE_MIN_N`, and everything below the
+    batch crossover names the multiset chain — where multi-trial cells
+    pack into across-trial ensemble lanes at execution time
+    (:func:`repro.orchestration.pool.run_specs`), which is where
+    campaign throughput comes from, while stragglers and single-trial
+    points run the solo multiset engine.
 
     The resolution deliberately depends on ``n`` alone — never on the
     trial count — so a given ``(protocol, params, n, seed)`` data point
     hashes identically regardless of which campaign (or how big a
     campaign) requested it, keeping store rows shared across entry
-    points.  It compares against :data:`BATCH_ENGINE_MIN_N` (the
-    import-time derivation) rather than re-deriving per call, so the
-    exported constant and the resolution can never disagree within a
-    process.
+    points.  It compares against the import-time derivations rather
+    than re-deriving per call, so the exported constants and the
+    resolution can never disagree within a process.
     """
+    if n >= SUPERBATCH_ENGINE_MIN_N:
+        return "superbatch"
     return "batch" if n >= BATCH_ENGINE_MIN_N else "multiset"
 
 

@@ -31,6 +31,42 @@ class TestCampaignRunner:
         assert after.complete
         assert "100.0%" in after.render()
 
+    def test_status_breaks_coverage_down_by_resolved_engine(self):
+        # Mixed-engine campaigns (what auto produces across a large
+        # grid) must be auditable per engine: which engine owns which
+        # slice, and how much of each slice the store already holds.
+        mixed = CampaignSpec(
+            name="mixed",
+            trials=tuple(
+                CampaignSpec.from_grid(
+                    "a", "angluin", [8], trials=2, engine="multiset"
+                ).trials
+                + CampaignSpec.from_grid(
+                    "b", "angluin", [12], trials=3, engine="superbatch"
+                ).trials
+            ),
+        )
+        multiset_only = CampaignSpec(name="part", trials=mixed.trials[:2])
+        with TrialStore(":memory:") as store:
+            runner = CampaignRunner(store)
+            runner.run(multiset_only)
+            status = runner.status(mixed)
+        assert status.engines == (
+            ("multiset", 2, 2),
+            ("superbatch", 0, 3),
+        )
+        rendered = status.render()
+        assert "multiset 2/2" in rendered
+        assert "superbatch 0/3" in rendered
+
+    def test_aggregate_names_the_engine_per_group(self):
+        campaign = CampaignSpec.from_grid(
+            "eng", "angluin", [8], trials=2, engine="superbatch"
+        )
+        with TrialStore(":memory:") as store:
+            result = CampaignRunner(store).run(campaign)
+        assert "superbatch" in result.aggregate().render()
+
     def test_parallel_outcomes_identical_to_serial(self):
         # Same campaign at jobs=1 and jobs=4 must yield identical
         # per-seed outcomes (trials re-derive all randomness from their

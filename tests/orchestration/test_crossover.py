@@ -1,12 +1,16 @@
 """Tests for repro.orchestration.crossover (bench-derived thresholds)."""
 
 import json
+import logging
 
 from repro.orchestration import crossover
 from repro.orchestration.crossover import (
     DEFAULT_BATCH_CROSSOVER,
+    DEFAULT_SUPERBATCH_CROSSOVER,
     batch_crossover,
     crossover_from_report,
+    superbatch_crossover,
+    superbatch_crossover_from_report,
 )
 
 
@@ -42,17 +46,33 @@ class TestCrossoverFromReport:
         }
         assert crossover_from_report(report) == 1_000_000
 
+    def test_superbatch_rows_do_not_erase_the_batch_regime(self):
+        # The batch crossover grades batch against the per-interaction
+        # engines only: superbatch out-running batch at the top of the
+        # grid must not push the batch threshold upward (auto hands
+        # those sizes to superbatch anyway).
+        report = {
+            "results": rows(
+                (1024, {"agent": 500.0, "batch": 100.0, "superbatch": 50.0}),
+                (65536, {"agent": 300.0, "batch": 800.0, "superbatch": 700.0}),
+                (1_000_000, {"agent": 200.0, "batch": 900.0, "superbatch": 5000.0}),
+            )
+        }
+        assert crossover_from_report(report) == 65536
+        assert superbatch_crossover_from_report(report) == 1_000_000
+
     def test_quick_reports_never_move_the_threshold(self):
-        # `report.py --quick` legitimately overwrites the repo-root
+        # `repro bench --quick` legitimately overwrites the repo-root
         # record (CI smoke); a reduced, noisy grid must not silently
         # re-resolve auto and orphan trial-store rows.
         report = {
             "quick": True,
             "results": rows(
-                (16384, {"agent": 100.0, "batch": 800.0}),
+                (16384, {"agent": 100.0, "batch": 800.0, "superbatch": 900.0}),
             ),
         }
         assert crossover_from_report(report) is None
+        assert superbatch_crossover_from_report(report) is None
 
     def test_none_when_batch_never_wins(self):
         report = {
@@ -63,6 +83,7 @@ class TestCrossoverFromReport:
     def test_none_for_empty_or_alien_reports(self):
         assert crossover_from_report({}) is None
         assert crossover_from_report({"results": [{"protocol": "angluin"}]}) is None
+        assert superbatch_crossover_from_report({}) is None
 
     def test_ignores_malformed_rows(self):
         report = {
@@ -72,28 +93,120 @@ class TestCrossoverFromReport:
         assert crossover_from_report(report) == 65536
 
 
-class TestBatchCrossover:
-    def test_committed_bench_derivation_matches_the_documented_value(self):
+class TestSuperbatchCrossoverFromReport:
+    def test_superbatch_must_beat_every_other_engine(self):
+        # Beating batch alone is not enough: a cell where the kernel
+        # multiset engine still wins keeps the threshold above it.
+        report = {
+            "results": rows(
+                (65536, {"multiset": 900.0, "batch": 800.0, "superbatch": 850.0}),
+                (1_000_000, {"multiset": 700.0, "batch": 1400.0, "superbatch": 3000.0}),
+            )
+        }
+        assert superbatch_crossover_from_report(report) == 1_000_000
+
+    def test_none_without_superbatch_rows(self):
+        report = {
+            "results": rows((1_000_000, {"agent": 1.0, "batch": 2.0}))
+        }
+        assert superbatch_crossover_from_report(report) is None
+
+    def test_noise_level_wins_do_not_extend_the_regime(self):
+        # Engine resolution feeds spec content hashes: a 2% win at one
+        # grid size (well inside run-to-run noise near the crossover)
+        # must not re-route that size; only decisive wins (the
+        # SUPERBATCH_WIN_MARGIN) move the boundary down.
+        report = {
+            "results": rows(
+                (65536, {"batch": 944.0, "superbatch": 963.0}),
+                (1_000_000, {"batch": 1845.0, "superbatch": 4160.0}),
+            )
+        }
+        assert superbatch_crossover_from_report(report) == 1_000_000
+
+
+class TestUnknownSchemaFailsSoft:
+    def failing_report(self, schema):
+        report = {
+            "results": rows(
+                (512, {"agent": 1.0, "batch": 2.0, "superbatch": 3.0})
+            )
+        }
+        if schema is not None:
+            report["schema"] = schema
+        return report
+
+    def test_known_and_missing_schemas_parse(self):
+        for schema in (None, "repro-bench-engine/1", "repro-bench-engine/4"):
+            report = self.failing_report(schema)
+            assert crossover_from_report(report) == 512
+            assert superbatch_crossover_from_report(report) == 512
+
+    def test_unknown_schema_warns_and_returns_none(self, caplog):
+        # A future (or garbled) schema version must not be misparsed
+        # into an engine resolution: warn, fall back, never guess.
+        for schema in ("repro-bench-engine/99", "other-schema/1", 7):
+            with caplog.at_level(
+                logging.WARNING, logger="repro.orchestration.crossover"
+            ):
+                caplog.clear()
+                assert crossover_from_report(self.failing_report(schema)) is None
+                assert (
+                    superbatch_crossover_from_report(self.failing_report(schema))
+                    is None
+                )
+            assert any(
+                "unknown schema" in record.message
+                for record in caplog.records
+            ), schema
+
+    def test_unknown_schema_falls_back_to_defaults(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        report = self.failing_report("repro-bench-engine/99")
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        monkeypatch.setenv(crossover.BENCH_REPORT_ENV, str(path))
+        crossover._crossovers_for_path.cache_clear()
+        try:
+            with caplog.at_level(
+                logging.WARNING, logger="repro.orchestration.crossover"
+            ):
+                assert batch_crossover() == DEFAULT_BATCH_CROSSOVER
+                assert superbatch_crossover() == DEFAULT_SUPERBATCH_CROSSOVER
+            assert any(
+                "unknown schema" in record.message
+                for record in caplog.records
+            )
+        finally:
+            crossover._crossovers_for_path.cache_clear()
+
+
+class TestCommittedRecord:
+    def test_committed_bench_derivation_matches_the_documented_values(self):
         # The repository's own BENCH_engine.json is the source of truth;
-        # the PR 2 constant (2^16) must match what it derives to, or the
-        # DESIGN.md documentation is stale.
+        # the documented constants (DESIGN.md Section 2) must match what
+        # it derives to, or the documentation is stale.
         assert batch_crossover() == 1 << 16
+        assert superbatch_crossover() == 1_000_000
 
     def test_env_override_and_fallback(self, tmp_path, monkeypatch):
         report = {
             "results": rows(
-                (512, {"agent": 1.0, "batch": 2.0}),
+                (512, {"agent": 1.0, "batch": 2.0, "superbatch": 3.0}),
             )
         }
         path = tmp_path / "bench.json"
         path.write_text(json.dumps(report))
         monkeypatch.setenv(crossover.BENCH_REPORT_ENV, str(path))
-        crossover._crossover_for_path.cache_clear()
+        crossover._crossovers_for_path.cache_clear()
         try:
             assert batch_crossover() == 512
+            assert superbatch_crossover() == 512
             monkeypatch.setenv(
                 crossover.BENCH_REPORT_ENV, str(tmp_path / "missing.json")
             )
             assert batch_crossover() == DEFAULT_BATCH_CROSSOVER
+            assert superbatch_crossover() == DEFAULT_SUPERBATCH_CROSSOVER
         finally:
-            crossover._crossover_for_path.cache_clear()
+            crossover._crossovers_for_path.cache_clear()

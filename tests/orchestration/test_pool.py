@@ -2,10 +2,12 @@
 
 import pytest
 
+from repro.engine.superbatch import SuperBatchSimulator
 from repro.errors import ConvergenceError, ExperimentError
-from repro.orchestration.pool import execute_trial, run_specs
+from repro.orchestration.pool import build_simulator, execute_trial, run_specs
 from repro.orchestration.spec import TrialSpec, trial_specs
 from repro.orchestration.store import TrialStore
+from repro.protocols.angluin import AngluinProtocol
 
 
 class TestExecuteTrial:
@@ -19,6 +21,27 @@ class TestExecuteTrial:
         spec = TrialSpec.create("angluin", 16, 9, max_steps=5)
         with pytest.raises(ConvergenceError, match="seed 9"):
             execute_trial(spec)
+
+
+class TestBuildSimulator:
+    def test_superbatch_engine_builds_and_runs(self):
+        sim = build_simulator(
+            AngluinProtocol(), 64, seed=3, engine="superbatch"
+        )
+        assert isinstance(sim, SuperBatchSimulator)
+        sim.run_until_stabilized()
+        assert sim.leader_count == 1
+
+    def test_superbatch_trials_execute_declaratively(self):
+        outcome = execute_trial(
+            TrialSpec.create("angluin", 48, 7, engine="superbatch")
+        )
+        assert outcome.seed == 7
+        assert outcome.leader_count == 1
+
+    def test_unknown_engine_is_rejected(self):
+        with pytest.raises(ExperimentError, match="superbatch"):
+            build_simulator(AngluinProtocol(), 64, seed=0, engine="warp")
 
 
 class TestRunSpecs:

@@ -7,6 +7,7 @@ from repro.orchestration.registry import register_protocol
 from repro.orchestration.spec import (
     AUTO_ENGINE,
     BATCH_ENGINE_MIN_N,
+    SUPERBATCH_ENGINE_MIN_N,
     ENGINES,
     CampaignSpec,
     TrialSpec,
@@ -132,6 +133,24 @@ class TestAutoEngine:
     def test_default_engine_crossover(self):
         assert default_engine(BATCH_ENGINE_MIN_N - 1) == "multiset"
         assert default_engine(BATCH_ENGINE_MIN_N) == "batch"
+
+    def test_default_engine_resolves_three_regimes(self):
+        # multiset below the batch crossover, batch in the middle,
+        # count-level superbatch from its own measured crossover up.
+        assert BATCH_ENGINE_MIN_N < SUPERBATCH_ENGINE_MIN_N
+        assert default_engine(SUPERBATCH_ENGINE_MIN_N - 1) == "batch"
+        assert default_engine(SUPERBATCH_ENGINE_MIN_N) == "superbatch"
+        assert default_engine(10 * SUPERBATCH_ENGINE_MIN_N) == "superbatch"
+
+    def test_auto_resolves_superbatch_specs_per_n(self):
+        specs = trial_specs(
+            "angluin", SUPERBATCH_ENGINE_MIN_N, trials=1, engine=AUTO_ENGINE
+        )
+        assert [s.engine for s in specs] == ["superbatch"]
+        explicit = trial_specs(
+            "angluin", SUPERBATCH_ENGINE_MIN_N, trials=1, engine="superbatch"
+        )
+        assert specs[0].content_hash() == explicit[0].content_hash()
 
     def test_auto_resolves_per_population_size(self):
         small = trial_specs("angluin", 64, trials=1, engine=AUTO_ENGINE)

@@ -8,10 +8,14 @@ the tier-1 suite rather than only in the CI benchmark job.
 """
 
 import json
+import runpy
+from pathlib import Path
 
 import pytest
 
 import repro.bench.report as report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def tiny_results():
@@ -97,6 +101,38 @@ class TestCheckGate:
         doctored["results"] += self.fake_report(50.0, 100.0, n=1024)["results"]
         doctored["summary"]["pll/n=1024"] = {"batch_vs_multiset": 0.5}
         assert report.check_batch_speedup(doctored, 1.0) is not None
+
+
+class TestSuperbatchCheckGate:
+    def fake_report(self, *cells):
+        return {
+            "summary": {
+                f"pll/n={n}": {"superbatch_vs_batch": ratio}
+                for n, ratio in cells
+            }
+        }
+
+    def test_passes_when_superbatch_is_faster(self):
+        assert (
+            report.check_superbatch_speedup(
+                self.fake_report((262144, 3.0)), min_ratio=1.0
+            )
+            is None
+        )
+
+    def test_fails_when_superbatch_misses_the_ratio(self):
+        error = report.check_superbatch_speedup(
+            self.fake_report((262144, 2.0)), min_ratio=5.0
+        )
+        assert error is not None and "2.00x" in error
+
+    def test_grades_the_largest_cell_with_both_engines(self):
+        doctored = self.fake_report((1024, 9.0), (100_000_000, 0.5))
+        assert report.check_superbatch_speedup(doctored, 1.0) is not None
+
+    def test_missing_ratio_is_an_error(self):
+        error = report.check_superbatch_speedup({"summary": {}}, 1.0)
+        assert error is not None and "superbatch_vs_batch" in error
 
 
 class TestTrialsSection:
@@ -249,11 +285,11 @@ class TestEndToEnd:
         assert payload["quick"] is True
         assert "trials" not in payload
         assert "kernel" not in payload
-        assert len(payload["results"]) == 3  # three engines, one cell
+        assert len(payload["results"]) == 4  # four engines, one cell
         engines = {row["engine"] for row in payload["results"]}
-        assert engines == {"agent", "multiset", "batch"}
+        assert engines == {"agent", "multiset", "batch", "superbatch"}
 
-    def test_main_writes_v3_json_with_all_sections(self, tmp_path, monkeypatch):
+    def test_main_writes_v4_json_with_all_sections(self, tmp_path, monkeypatch):
         monkeypatch.setattr(report, "QUICK_GRID", (("angluin", (64,)),))
         monkeypatch.setattr(report, "QUICK_STEPS", 2000)
         monkeypatch.setattr(report, "TRIALS_PROTOCOL", "angluin")
@@ -266,8 +302,8 @@ class TestEndToEnd:
         out = tmp_path / "BENCH_engine.json"
         assert report.main(["--quick", "--out", str(out)]) == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-bench-engine/3"
-        # v1/v2 fields are untouched: old consumers parse v3 unchanged.
+        assert payload["schema"] == "repro-bench-engine/4"
+        # v1/v2 fields are untouched: old consumers parse v4 unchanged.
         assert {"results", "summary", "steps_per_cell", "trials"} <= set(
             payload
         )
@@ -280,3 +316,14 @@ class TestEndToEnd:
         assert ("multiset", "kernel") in paths
         assert ("multiset", "cached") in paths
         assert payload["kernel"]["results"]
+
+
+class TestDeprecatedShim:
+    def test_benchmarks_report_warns_and_forwards(self):
+        # `python benchmarks/report.py` must keep working but point
+        # callers at `repro bench`; runpy executes the module body
+        # without tripping its __main__ guard.
+        shim = REPO_ROOT / "benchmarks" / "report.py"
+        with pytest.warns(DeprecationWarning, match="repro bench"):
+            namespace = runpy.run_path(str(shim))
+        assert namespace["main"] is report.main
