@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     repro list                      # enumerate the experiment registry
     repro run E9 [--scale 1.0] [--jobs 4] [--store x.sqlite]
     repro simulate --protocol pll --n 256 [--seed 0] [--engine agent]
     repro campaign run|resume|status|report E1 [--jobs 4] [--store ...]
+    repro telemetry report [store]  # per-cell runtime profiles
     repro bench [--quick] [--check ...]   # BENCH_engine.json harness
 
 ``repro run all`` executes the full per-lemma/per-table sweep (the data
@@ -23,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.errors import ReproError
@@ -173,6 +175,27 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_store_flags(action_parser, default=DEFAULT_STORE_PATH)
 
+    telemetry_parser = subparsers.add_parser(
+        "telemetry",
+        help="inspect runtime records (durations, counters) in a trial store",
+    )
+    telemetry_actions = telemetry_parser.add_subparsers(
+        dest="action", required=True
+    )
+    telemetry_report = telemetry_actions.add_parser(
+        "report",
+        help=(
+            "aggregate per-(protocol, n, engine) runtime profiles — trial "
+            "durations, steps/sec, cache hit rates — as JSON"
+        ),
+    )
+    telemetry_report.add_argument(
+        "store",
+        nargs="?",
+        default=DEFAULT_STORE_PATH,
+        help=f"SQLite trial store path (default {DEFAULT_STORE_PATH})",
+    )
+
     # Registered so `repro --help` lists it; actual dispatch happens in
     # main() before parse_args (the harness owns its own flags, which
     # argparse's REMAINDER cannot forward when they lead).
@@ -235,13 +258,31 @@ def _command_simulate(protocol_name: str, n: int, seed: int, engine: str) -> int
 
 
 def _progress_printer(stride: int):
-    """Progress callback printing every ``stride`` completed trials."""
+    """Progress callback printing every ``stride`` completed trials.
+
+    Stride lines carry elapsed wall-clock and the cumulative interaction
+    throughput of the freshly executed trials, and every line flushes
+    explicitly — campaigns are exactly the runs that get piped to ``tee``
+    or a log file, where block buffering would otherwise sit on hours of
+    progress.
+    """
+    started = time.perf_counter()
+    fresh_steps = 0
 
     def progress(done: int, total: int, outcome: TrialOutcome | None) -> None:
+        nonlocal fresh_steps
         if outcome is None:
-            print(f"  {done}/{total} trials already cached")
-        elif done % stride == 0 or done == total:
-            print(f"  {done}/{total} trials done")
+            print(f"  {done}/{total} trials already cached", flush=True)
+            return
+        fresh_steps += outcome.steps
+        if done % stride == 0 or done == total:
+            elapsed = time.perf_counter() - started
+            rate = fresh_steps / elapsed if elapsed > 0 else 0.0
+            print(
+                f"  {done}/{total} trials done in {elapsed:.1f}s"
+                f" ({rate:,.0f} steps/s)",
+                flush=True,
+            )
 
     return progress
 
@@ -281,6 +322,16 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_telemetry(args: argparse.Namespace) -> int:
+    # Imported lazily: report aggregation pulls in numpy percentiles the
+    # other subcommands never need at startup.
+    from repro.telemetry.report import build_report, render_report
+
+    with TrialStore(args.store, readonly=True) as store:
+        print(render_report(build_report(store)))
+    return 0
+
+
 def _command_bench(bench_args: list[str]) -> int:
     # Imported lazily: the harness pulls in the benchmark machinery,
     # which the other subcommands never need.
@@ -310,6 +361,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         if args.command == "campaign":
             return _command_campaign(args)
+        if args.command == "telemetry":
+            return _command_telemetry(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

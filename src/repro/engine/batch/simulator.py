@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable
 
 import numpy as np
@@ -65,6 +65,8 @@ from repro.engine.interner import StateInterner
 from repro.engine.kernel import make_transition_cache
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
+from repro.telemetry.core import cache_summary
+from repro.telemetry.heartbeat import make_heartbeat
 
 __all__ = ["BatchSimulator", "BatchStats"]
 
@@ -78,6 +80,10 @@ class BatchStats:
     collision_steps: int = 0
     null_events: int = 0
     null_skipped_steps: int = 0
+    #: Blocks cut short at an exact in-block leader-target hit (the
+    #: birthday-block analogue of the super-batch engine's run
+    #: truncation).
+    truncated_blocks: int = 0
 
     @property
     def total_steps(self) -> int:
@@ -99,6 +105,10 @@ class BatchStats:
 class BatchSimulator:
     """Execute a protocol on counts, many interactions per NumPy block."""
 
+    #: Engine name stamped into telemetry summaries and heartbeats
+    #: (subclasses override).
+    ENGINE_NAME = "batch"
+
     def __init__(
         self,
         protocol: Protocol,
@@ -108,11 +118,14 @@ class BatchSimulator:
         block_pairs: int | None = None,
         null_scan_limit: int = 64,
         use_kernel: bool | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"population needs at least 2 agents, got n={n}")
         self.protocol = protocol
         self.n = n
+        self.seed = seed
+        self._telemetry = telemetry
         self.interner = StateInterner()
         self.cache = make_transition_cache(
             protocol, self.interner, cache_entries, use_kernel=use_kernel
@@ -209,6 +222,15 @@ class BatchSimulator:
     def distinct_states_seen(self) -> int:
         """Number of distinct states interned so far."""
         return len(self.interner)
+
+    def telemetry_summary(self) -> dict:
+        """Deterministic counter summary for the trial store."""
+        return {
+            "engine": self.ENGINE_NAME,
+            "steps": self.steps,
+            "stats": asdict(self.stats),
+            "cache": cache_summary(self.cache.stats),
+        }
 
     def describe(self) -> str:
         """One-line human-readable summary of the simulation."""
@@ -320,6 +342,7 @@ class BatchSimulator:
                     pre0, pre1 = pre0[:use], pre1[:use]
                     post0, post1 = post0[:use], post1[:use]
                     reached = True
+                    self.stats.truncated_blocks += 1
         self._commit(pre0, pre1, post0, post1)
         self.steps += use
         self.stats.blocks += 1
@@ -555,11 +578,25 @@ class BatchSimulator:
         if isinstance(detector, MonotoneLeaderStabilization):
             target = detector.target
             executed = 0
+            heartbeat = make_heartbeat(
+                self.ENGINE_NAME,
+                self.protocol.name,
+                self.n,
+                self.seed,
+                max_steps,
+                enabled=self._telemetry,
+            )
             while executed < max_steps:
                 applied, reached = self._advance(max_steps - executed, target)
                 executed += applied
                 if reached:
                     break
+                # One branch per block when telemetry is off; blocks
+                # span Theta(sqrt(n)) interactions (whole runs on the
+                # super-batch subclass), so the poll never sits on a
+                # per-interaction path.
+                if heartbeat is not None:
+                    heartbeat.maybe_beat(self.steps)
         else:
             self.run(max_steps, until=detector.check, check_every=check_every)
         if not detector.check(self):

@@ -54,6 +54,8 @@ from repro.engine.kernel import make_transition_cache
 from repro.engine.multiset import DRAW_BATCH_SIZE
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
+from repro.telemetry.core import cache_summary
+from repro.telemetry.heartbeat import make_heartbeat
 
 __all__ = ["EnsembleLaneSimulator", "EnsembleSimulator", "LaneOutcome"]
 
@@ -104,6 +106,7 @@ class EnsembleSimulator:
         lookahead: int = 4,
         detach_lanes: int = DEFAULT_DETACH_LANES,
         detach_work: int = DEFAULT_DETACH_WORK,
+        telemetry: bool | None = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"population needs at least 2 agents, got n={n}")
@@ -122,10 +125,19 @@ class EnsembleSimulator:
         self._detach_work = detach_work
         self._starved = False
         self._k = max(_MIN_LOOKAHEAD, min(int(lookahead), _MAX_LOOKAHEAD))
+        self._telemetry = telemetry
         self.sweeps = 0
         self._commit_sum = 0
         self._commit_rows = 0
         self._window_sweeps = 0
+        #: Monotone total of interactions committed by vectorized sweeps.
+        #: ``_steps.sum()`` is NOT monotone — retired rows are compacted
+        #: away — so heartbeats and summaries read this instead.
+        self.committed_steps = 0
+        #: Lanes retired at their exact stabilization step.
+        self.retired_lanes = 0
+        #: Lanes handed to scalar SlotLane continuations.
+        self.detached_lanes = 0
 
         initial_global = self.interner.intern(protocol.initial_state())
         if initial_global != 0:  # pragma: no cover - fresh interner
@@ -367,7 +379,9 @@ class EnsembleSimulator:
                 self._D2[row] = rng.integers(0, n - 1, size=B)
                 self._cursor[row] = 0
         self.sweeps += 1
-        self._commit_sum += int(commit.sum())
+        committed = int(commit.sum())
+        self.committed_steps += committed
+        self._commit_sum += committed
         self._commit_rows += M
         self._window_sweeps += 1
         if self._window_sweeps >= 64:
@@ -442,6 +456,7 @@ class EnsembleSimulator:
             self._order[row]: self._detach_row(row)
             for row in range(len(self._order))
         }
+        self.detached_lanes += len(lanes)
         self._compact(np.zeros(len(self._order), dtype=bool))
         self._scalar = lanes
         return lanes
@@ -502,6 +517,17 @@ class EnsembleSimulator:
         """
         if max_steps is None:
             max_steps = 5000 * self.n * max(1, self.n.bit_length())
+        # Aggregate heartbeat over all lanes: progress is the monotone
+        # committed-interaction total, the ceiling its worst case (every
+        # lane running to its full per-lane budget).
+        heartbeat = make_heartbeat(
+            "ensemble",
+            self.protocol.name,
+            self.n,
+            None,
+            max_steps * len(self.seeds),
+            enabled=self._telemetry,
+        )
         outcomes: dict[int, LaneOutcome] = {}
         # (lane index, seed, steps) per budget-exhausted lane; every other
         # lane still runs to its own end before the first failure raises,
@@ -530,18 +556,20 @@ class EnsembleSimulator:
                     break
                 self._retire_stabilized(retire)
                 self._harvest_exhausted(failures)
+                if heartbeat is not None:
+                    heartbeat.maybe_beat(self.committed_steps)
             if len(self._order):
                 budgets = {
                     self._order[row]: int(self._budget[row] - self._steps[row])
                     for row in range(len(self._order))
                 }
                 self._detach_all()
-                self._finish_scalar(budgets, retire, failures)
+                self._finish_scalar(budgets, retire, failures, heartbeat)
         else:
             budgets = {
                 index: max_steps for index in self._scalar
             }
-            self._finish_scalar(budgets, retire, failures)
+            self._finish_scalar(budgets, retire, failures, heartbeat)
         if failures:
             index, seed, steps = min(failures)
             raise ConvergenceError(
@@ -556,6 +584,7 @@ class EnsembleSimulator:
         if not done.any():
             return
         for row in np.nonzero(done)[0].tolist():
+            self.retired_lanes += 1
             retire(
                 self._order[row],
                 int(self._steps[row]),
@@ -581,7 +610,7 @@ class EnsembleSimulator:
         self._compact(~exhausted)
 
     def _finish_scalar(
-        self, budgets: dict[int, int], retire, failures: list
+        self, budgets: dict[int, int], retire, failures: list, heartbeat=None
     ) -> None:
         # Every lane gets its (budget-bounded) chance before any failure
         # propagates: a divergent lane must not cost the store the
@@ -590,14 +619,44 @@ class EnsembleSimulator:
         finished: list[int] = []
         for index in sorted(self._scalar):
             lane = self._scalar[index]
-            lane.run(budgets[index], stop_at_target=True)
+            budget = budgets[index]
+            if heartbeat is None:
+                self.committed_steps += lane.run(budget, stop_at_target=True)
+            else:
+                # Chunked so stragglers keep beating; SlotLane.run resumes
+                # mid-draw-batch, so chunking never changes the chain.
+                while budget > 0:
+                    ran = lane.run(min(budget, 1 << 16), stop_at_target=True)
+                    self.committed_steps += ran
+                    budget -= ran
+                    heartbeat.maybe_beat(self.committed_steps)
+                    if ran == 0 or lane.lead == self.target:
+                        break
             if lane.lead != self.target:
                 failures.append((index, lane.seed, lane.steps))
                 continue
+            self.retired_lanes += 1
             retire(index, lane.steps, lane.lead, lane.distinct_states_seen())
             finished.append(index)
         for index in finished:
             del self._scalar[index]
+
+    def telemetry_summary(self) -> dict:
+        """Ensemble-wide counter summary (aggregate, not per lane).
+
+        Per-lane trial rows never carry this — lane packing is a runtime
+        choice and store rows must stay packing-independent — so these
+        counters feed heartbeats, tests, and ad-hoc profiling only.
+        """
+        return {
+            "engine": "ensemble",
+            "lanes": len(self.seeds),
+            "sweeps": self.sweeps,
+            "committed_steps": self.committed_steps,
+            "retired_lanes": self.retired_lanes,
+            "detached_lanes": self.detached_lanes,
+            "cache": cache_summary(self.cache.stats),
+        }
 
 
 class EnsembleLaneSimulator:
@@ -615,6 +674,7 @@ class EnsembleLaneSimulator:
         seed: int | None = None,
         cache_entries: int = 1 << 20,
         use_kernel: bool | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         interner = StateInterner()
         cache = make_transition_cache(
@@ -622,8 +682,10 @@ class EnsembleLaneSimulator:
         )
         self.protocol = protocol
         self.n = n
+        self.seed = seed
         self.interner = interner
         self.cache = cache
+        self._telemetry = telemetry
         self._lane = SlotLane(protocol, n, seed, cache=cache)
 
     @property
@@ -666,7 +728,24 @@ class EnsembleLaneSimulator:
             self._lane.target = detector.target
         if max_steps is None:
             max_steps = 5000 * self.n * max(1, self.n.bit_length())
-        self._lane.run(max_steps, stop_at_target=True)
+        heartbeat = make_heartbeat(
+            "ensemble",
+            self.protocol.name,
+            self.n,
+            self.seed,
+            max_steps,
+            enabled=self._telemetry,
+        )
+        if heartbeat is None:
+            self._lane.run(max_steps, stop_at_target=True)
+        else:
+            # Chunked so the lane keeps beating; SlotLane.run resumes
+            # mid-draw-batch, so chunking never changes the chain.
+            budget = max_steps
+            lane = self._lane
+            while budget > 0 and lane.lead != lane.target:
+                budget -= lane.run(min(budget, 1 << 16), stop_at_target=True)
+                heartbeat.maybe_beat(lane.steps)
         if self._lane.lead != self._lane.target:
             raise ConvergenceError(
                 f"protocol {self.protocol.name!r} (n={self.n}) did not "
@@ -674,6 +753,16 @@ class EnsembleLaneSimulator:
                 steps=self._lane.steps,
             )
         return self._lane.steps
+
+    def telemetry_summary(self) -> dict:
+        """Deterministic counter summary for the trial store."""
+        return {
+            "engine": "ensemble",
+            "path": "lane",
+            "steps": self.steps,
+            "distinct_states": self.distinct_states_seen(),
+            "cache": cache_summary(self.cache.stats),
+        }
 
     def describe(self) -> str:
         outputs = Counter()

@@ -47,8 +47,15 @@ from repro.engine.kernel import make_transition_cache
 from repro.engine.multiset import DRAW_BATCH_SIZE
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
+from repro.telemetry.core import cache_summary
+from repro.telemetry.heartbeat import make_heartbeat
 
 __all__ = ["KernelMultisetSimulator"]
+
+#: Interactions advanced per ``_advance`` call when a heartbeat is live;
+#: cursor state is preserved across calls, so chunking never changes the
+#: trajectory — it only bounds how stale a progress event can be.
+_HEARTBEAT_CHUNK = 1 << 16
 
 #: Sentinel distinguishing "pair never requested" from a memoized null.
 _UNSEEN = object()
@@ -64,11 +71,20 @@ class KernelMultisetSimulator:
         seed: int | None = None,
         cache_entries: int = 1 << 20,
         batch_size: int = DRAW_BATCH_SIZE,
+        telemetry: bool | None = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"population needs at least 2 agents, got n={n}")
         self.protocol = protocol
         self.n = n
+        self.seed = seed
+        self._telemetry = telemetry
+        #: Null interactions and first-sight pair-table fills, counted
+        #: unconditionally (nulls accumulate in a loop-local int, interns
+        #: happen on the cold resolve path) so the stored summary never
+        #: depends on the telemetry switch.
+        self.null_steps = 0
+        self.pair_interns = 0
         self.interner = StateInterner()
         self.cache = make_transition_cache(
             protocol, self.interner, cache_entries, use_kernel=True
@@ -138,6 +154,7 @@ class KernelMultisetSimulator:
 
     def _resolve(self, pre0: int, pre1: int):
         """First-sight pair: kernel-resolve, memoize, return the entry."""
+        self.pair_interns += 1
         post0, post1 = self.cache.apply(pre0, pre1)
         self._sync_marks()
         self._grow_rows()
@@ -243,6 +260,17 @@ class KernelMultisetSimulator:
         """Number of distinct states interned so far."""
         return len(self.interner)
 
+    def telemetry_summary(self) -> dict:
+        """Deterministic counter summary for the trial store."""
+        return {
+            "engine": "multiset",
+            "path": "kernel",
+            "steps": self.steps,
+            "null_steps": self.null_steps,
+            "pair_interns": self.pair_interns,
+            "cache": cache_summary(self.cache.stats),
+        }
+
     def describe(self) -> str:
         """One-line human-readable summary of the simulation."""
         return (
@@ -276,6 +304,7 @@ class KernelMultisetSimulator:
         rows = self._rows
         lead = self._lead
         executed = 0
+        nulls = 0
         d1, d2, cursor = self._d1, self._d2, self._cursor
         while executed < max_steps:
             if cursor >= len(d1):
@@ -296,6 +325,7 @@ class KernelMultisetSimulator:
                 hit = self._resolve(p0, p1)
                 rows = self._rows  # growth may have rebuilt the tables
             if hit is None:
+                nulls += 1
                 self._last = (p0, p1, p0, p1)
                 continue
             q0, q1, delta = hit
@@ -327,6 +357,7 @@ class KernelMultisetSimulator:
                 if leader_target is not None and lead == leader_target:
                     break
         self.steps += executed
+        self.null_steps += nulls
         self._cursor = cursor
         self._lead = lead
         return executed
@@ -365,7 +396,24 @@ class KernelMultisetSimulator:
         if detector.check(self):
             return self.steps
         if isinstance(detector, MonotoneLeaderStabilization) and check_every == 1:
-            self._advance(max_steps, detector.target)
+            heartbeat = make_heartbeat(
+                "multiset",
+                self.protocol.name,
+                self.n,
+                self.seed,
+                max_steps,
+                enabled=self._telemetry,
+            )
+            if heartbeat is None:
+                self._advance(max_steps, detector.target)
+            else:
+                target = detector.target
+                executed = 0
+                while executed < max_steps and self._lead != target:
+                    executed += self._advance(
+                        min(_HEARTBEAT_CHUNK, max_steps - executed), target
+                    )
+                    heartbeat.maybe_beat(self.steps)
         else:
             self.run(max_steps, until=detector.check, check_every=check_every)
         if not detector.check(self):

@@ -33,6 +33,8 @@ from repro.engine.interner import StateInterner
 from repro.engine.kernel import make_transition_cache
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
+from repro.telemetry.core import cache_summary
+from repro.telemetry.heartbeat import make_heartbeat
 
 __all__ = ["DRAW_BATCH_SIZE", "MultisetSimulator"]
 
@@ -56,11 +58,19 @@ class MultisetSimulator:
         cache_entries: int = 1 << 20,
         batch_size: int = DRAW_BATCH_SIZE,
         use_kernel: bool | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"population needs at least 2 agents, got n={n}")
         self.protocol = protocol
         self.n = n
+        self.seed = seed
+        self._telemetry = telemetry
+        #: Interactions that resolved to a no-op pair.  Counted
+        #: unconditionally (one int add on the null branch) so the
+        #: stored telemetry summary never depends on the telemetry
+        #: switch — see DESIGN.md Section 8.
+        self.null_steps = 0
         self.interner = StateInterner()
         self.cache = make_transition_cache(
             protocol, self.interner, cache_entries, use_kernel=use_kernel
@@ -168,6 +178,7 @@ class MultisetSimulator:
         post0, post1 = self.cache.apply(pre0, pre1)
         self.steps += 1
         if post0 == pre0 and post1 == pre1:
+            self.null_steps += 1
             fenwick.add(pre0, 1)  # revert the temporary removal
             return pre0, pre1, post0, post1
         fenwick.add(pre1, -1)
@@ -231,11 +242,30 @@ class MultisetSimulator:
             output_counts = self.output_counts
             step = self.step
             target = detector.target
-            while executed < max_steps:
-                step()
-                executed += 1
-                if output_counts.get(LEADER, 0) == target:
-                    break
+            heartbeat = make_heartbeat(
+                "multiset",
+                self.protocol.name,
+                self.n,
+                self.seed,
+                max_steps,
+                enabled=self._telemetry,
+            )
+            if heartbeat is None:
+                while executed < max_steps:
+                    step()
+                    executed += 1
+                    if output_counts.get(LEADER, 0) == target:
+                        break
+            else:
+                # Separate loop so the telemetry-off path pays nothing;
+                # the beat poll itself is amortized over 2^14 steps.
+                while executed < max_steps:
+                    step()
+                    executed += 1
+                    if output_counts.get(LEADER, 0) == target:
+                        break
+                    if not executed & 0x3FFF:
+                        heartbeat.maybe_beat(self.steps)
         else:
             self.run(max_steps, until=detector.check, check_every=check_every)
         if not detector.check(self):
@@ -249,6 +279,16 @@ class MultisetSimulator:
     def distinct_states_seen(self) -> int:
         """Number of distinct states interned so far."""
         return len(self.interner)
+
+    def telemetry_summary(self) -> dict:
+        """Deterministic counter summary for the trial store."""
+        return {
+            "engine": "multiset",
+            "path": "fenwick",
+            "steps": self.steps,
+            "null_steps": self.null_steps,
+            "cache": cache_summary(self.cache.stats),
+        }
 
     def describe(self) -> str:
         """One-line human-readable summary of the simulation."""

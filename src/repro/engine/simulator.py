@@ -26,6 +26,8 @@ from repro.engine.kernel import make_transition_cache
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.engine.scheduler import PairScheduler, RandomScheduler
 from repro.errors import ConvergenceError, SimulationError
+from repro.telemetry.core import cache_summary
+from repro.telemetry.heartbeat import make_heartbeat
 
 __all__ = ["AgentSimulator", "Hook"]
 
@@ -67,11 +69,14 @@ class AgentSimulator:
         scheduler: PairScheduler | None = None,
         cache_entries: int = 1 << 20,
         use_kernel: bool | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"population needs at least 2 agents, got n={n}")
         self.protocol = protocol
         self.n = n
+        self.seed = seed
+        self._telemetry = telemetry
         self.interner = StateInterner()
         self.cache = make_transition_cache(
             protocol, self.interner, cache_entries, use_kernel=use_kernel
@@ -273,11 +278,30 @@ class AgentSimulator:
         output_counts = self.output_counts
         step = self.step
         executed = 0
-        while executed < max_steps:
-            step()
-            executed += 1
-            if output_counts.get(LEADER, 0) == target:
-                break
+        heartbeat = make_heartbeat(
+            "agent",
+            self.protocol.name,
+            self.n,
+            self.seed,
+            max_steps,
+            enabled=self._telemetry,
+        )
+        if heartbeat is None:
+            while executed < max_steps:
+                step()
+                executed += 1
+                if output_counts.get(LEADER, 0) == target:
+                    break
+        else:
+            # Separate loop so the telemetry-off path pays nothing; the
+            # beat poll itself is amortized over 2^14 steps.
+            while executed < max_steps:
+                step()
+                executed += 1
+                if output_counts.get(LEADER, 0) == target:
+                    break
+                if not executed & 0x3FFF:
+                    heartbeat.maybe_beat(self.steps)
         return executed
 
     # ------------------------------------------------------------------
@@ -287,6 +311,15 @@ class AgentSimulator:
     def distinct_states_seen(self) -> int:
         """Number of distinct states interned so far (Lemma 3 audits)."""
         return len(self.interner)
+
+    def telemetry_summary(self) -> dict:
+        """Deterministic counter summary for the trial store."""
+        return {
+            "engine": "agent",
+            "steps": self.steps,
+            "distinct_states": len(self.interner),
+            "cache": cache_summary(self.cache.stats),
+        }
 
     def describe(self) -> str:
         """One-line human-readable summary of the simulation."""

@@ -53,7 +53,7 @@ GRID_WIDTH_BOUND = 362
 
 
 def sample_run_length(
-    rng: np.random.Generator, n: int, limit: int
+    rng: np.random.Generator, n: int, limit: int, stats=None
 ) -> tuple[int, bool]:
     """Length of the collision-free interaction run, capped at ``limit``.
 
@@ -75,6 +75,11 @@ def sample_run_length(
 
     A run longer than ``n // 2`` interactions is impossible (every agent
     is in play by then), so ``limit`` is clamped there.
+
+    ``stats``, when given, is any object with ``bisection_calls`` and
+    ``bisection_iters`` int attributes (duck-typed to avoid importing
+    the engine's stats class); each survival-function evaluation counts
+    as one iteration.
     """
     limit = min(limit, n // 2)
     if limit <= 0:
@@ -82,33 +87,41 @@ def sample_run_length(
     lgamma = math.lgamma
     log_nn = math.log(n) + math.log(n - 1)
     base = lgamma(n + 1)
+    iters = 0
 
     def log_survival(k: int) -> float:
+        nonlocal iters
+        iters += 1
         return base - lgamma(n - 2 * k + 1) - k * log_nn
 
-    ticket = rng.random()
-    if ticket <= 0.0:
-        return limit, False
-    log_ticket = math.log(ticket)
-    # S is strictly decreasing; find the largest k with S(k) > ticket.
-    # Run lengths concentrate around sqrt(n), so bracket the answer by
-    # doubling from 32 instead of bisecting the full (budget-sized) cap;
-    # S(high // 2) > ticket always holds when the loop doubled.
-    high = 32
-    while high < limit and log_survival(high) > log_ticket:
-        high *= 2
-    if high >= limit:
-        if log_survival(limit) > log_ticket:
+    try:
+        ticket = rng.random()
+        if ticket <= 0.0:
             return limit, False
-        high = limit
-    low = high // 2 if high > 32 else 0
-    while high - low > 1:
-        mid = (low + high) // 2
-        if log_survival(mid) > log_ticket:
-            low = mid
-        else:
-            high = mid
-    return low, True
+        log_ticket = math.log(ticket)
+        # S is strictly decreasing; find the largest k with S(k) > ticket.
+        # Run lengths concentrate around sqrt(n), so bracket the answer by
+        # doubling from 32 instead of bisecting the full (budget-sized) cap;
+        # S(high // 2) > ticket always holds when the loop doubled.
+        high = 32
+        while high < limit and log_survival(high) > log_ticket:
+            high *= 2
+        if high >= limit:
+            if log_survival(limit) > log_ticket:
+                return limit, False
+            high = limit
+        low = high // 2 if high > 32 else 0
+        while high - low > 1:
+            mid = (low + high) // 2
+            if log_survival(mid) > log_ticket:
+                low = mid
+            else:
+                high = mid
+        return low, True
+    finally:
+        if stats is not None:
+            stats.bisection_calls += 1
+            stats.bisection_iters += iters
 
 
 def sample_run_pairs(
@@ -116,6 +129,7 @@ def sample_run_pairs(
     support: np.ndarray,
     pool: np.ndarray,
     pairs: int,
+    stats=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Ordered state-pair multiset of a collision-free run, from counts.
 
@@ -147,6 +161,10 @@ def sample_run_pairs(
     per distinct pair, so every array is bounded by ``min(S^2, L)``;
     wider supports fall back to per-residual-pair entries (never bounded
     by ``n`` either way).
+
+    ``stats``, when given, is any object with ``residual_runs`` and
+    ``residual_pairs`` int attributes; runs that needed the materialized
+    minority-minority matching bump both.
     """
     width = support.shape[0]
     if width == 1:
@@ -183,6 +201,9 @@ def sample_run_pairs(
     under_modal = modal_initiators - modal_modal  # minority responders
     over_modal = modal_responders - modal_modal  # minority initiators
     residual = pairs - modal_initiators - over_modal  # minority-minority
+    if stats is not None and residual:
+        stats.residual_runs += 1
+        stats.residual_pairs += residual
     if width > GRID_WIDTH_BOUND:
         return _sample_run_pairs_wide(
             rng,

@@ -56,20 +56,31 @@ __all__ = ["SuperBatchSimulator", "SuperBatchStats"]
 
 @dataclass
 class SuperBatchStats(BatchStats):
-    """Batch accounting plus the super-batch truncation counter.
+    """Batch accounting plus the super-batch sampling counters.
 
     ``blocks`` counts sampled runs, ``block_steps`` the interactions they
     committed, ``collision_steps`` the individually replayed colliding
     interactions; the null fields are the inherited geometric fast path.
     ``truncated_runs`` counts runs cut short at an exact leader-target
-    hit.
+    hit.  The sampling counters profile the two places a run's cost can
+    hide: ``bisection_iters`` accumulates ``lgamma`` survival-function
+    evaluations across the run-length inversions (``bisection_calls`` of
+    them), and ``residual_pairs`` counts the minority-minority pairs that
+    had to be materialized and permutation-matched (``residual_runs``
+    runs needed any).
     """
 
     truncated_runs: int = 0
+    bisection_calls: int = 0
+    bisection_iters: int = 0
+    residual_runs: int = 0
+    residual_pairs: int = 0
 
 
 class SuperBatchSimulator(BatchSimulator):
     """Execute a protocol on counts, one collision-free run per block."""
+
+    ENGINE_NAME = "superbatch"
 
     def __init__(
         self,
@@ -79,6 +90,7 @@ class SuperBatchSimulator(BatchSimulator):
         cache_entries: int = 1 << 20,
         null_scan_limit: int = 64,
         use_kernel: bool | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         super().__init__(
             protocol,
@@ -87,6 +99,7 @@ class SuperBatchSimulator(BatchSimulator):
             cache_entries=cache_entries,
             null_scan_limit=null_scan_limit,
             use_kernel=use_kernel,
+            telemetry=telemetry,
         )
         self.stats = SuperBatchStats()
         #: Longest collision-free prefix with positive probability: at
@@ -110,8 +123,8 @@ class SuperBatchSimulator(BatchSimulator):
         """
         rng = self._rng
         limit = min(budget, self._run_cap)
-        length, collided = sample_run_length(rng, self.n, limit)
         stats = self.stats
+        length, collided = sample_run_length(rng, self.n, limit, stats=stats)
         active = 0
         applied = 0
         touched = None
@@ -119,7 +132,7 @@ class SuperBatchSimulator(BatchSimulator):
             counts = self._counts
             support = np.nonzero(counts[: len(self.interner)])[0]
             pre0, pre1, weight = sample_run_pairs(
-                rng, support, counts[support], length
+                rng, support, counts[support], length, stats=stats
             )
             post0, post1 = self.cache.apply_block(pre0, pre1)
             self._ensure_tables()

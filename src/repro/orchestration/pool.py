@@ -19,6 +19,7 @@ from __future__ import annotations
 import multiprocessing
 import signal
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Sequence
 
 from repro.engine.batch import BatchSimulator
@@ -41,6 +42,7 @@ from repro.orchestration.spec import (
     default_engine,
 )
 from repro.orchestration.store import TrialStore
+from repro.telemetry.core import trial_telemetry_json
 
 __all__ = [
     "ENSEMBLE_MAX_LANES",
@@ -143,6 +145,7 @@ def measure_trial(
     never aborts a sweep opaquely.
     """
     sim = build_simulator(protocol, n, seed=seed, engine=engine)
+    started = perf_counter()
     try:
         steps = sim.run_until_stabilized(max_steps=max_steps)
     except ConvergenceError as exc:
@@ -152,12 +155,15 @@ def measure_trial(
             f"({context}n={n}, engine {engine!r}): {exc}",
             steps=exc.steps,
         ) from exc
+    duration = perf_counter() - started
     return TrialOutcome(
         seed=seed,
         steps=steps,
         parallel_time=sim.parallel_time,
         leader_count=sim.leader_count,
         distinct_states=sim.distinct_states_seen(),
+        duration=duration,
+        telemetry=trial_telemetry_json(sim),
     )
 
 
@@ -214,11 +220,16 @@ def _worker_init() -> None:
 
 @dataclass(frozen=True)
 class RunReport:
-    """Outcomes in spec order, plus how much work the cache saved."""
+    """Outcomes in spec order, plus how much work the cache saved.
+
+    ``executed_duration`` sums the wall-clock seconds of the freshly
+    executed trials (worker-seconds under ``jobs>1``, not elapsed time).
+    """
 
     outcomes: list[TrialOutcome]
     executed: int
     cached: int
+    executed_duration: float = 0.0
 
     @property
     def total(self) -> int:
@@ -286,13 +297,19 @@ def _ensemble_chunks(
     ]
 
 
-def _lane_outcome_to_trial(lane_outcome, n: int) -> TrialOutcome:
+def _lane_outcome_to_trial(
+    lane_outcome, n: int, duration: float = 0.0
+) -> TrialOutcome:
+    # ``telemetry`` stays None for packed lanes: a lane's counters would
+    # depend on which siblings it was packed with (a jobs-dependent
+    # runtime choice), and store rows must stay packing-independent.
     return TrialOutcome(
         seed=lane_outcome.seed,
         steps=lane_outcome.steps,
         parallel_time=lane_outcome.steps / n,
         leader_count=lane_outcome.leader_count,
         distinct_states=lane_outcome.distinct_states,
+        duration=duration,
     )
 
 
@@ -313,11 +330,17 @@ def _run_ensemble_chunk(
     simulator = EnsembleSimulator(
         sample.build_protocol(), n, [spec.seed for _index, spec in chunk]
     )
+    started = perf_counter()
 
     def lane_done(lane_outcome) -> None:
+        # Chunk-start-to-retire wall time: lanes share sweeps, so this
+        # is the honest "how long did this trial occupy a worker" figure
+        # (siblings' work included), not a per-lane solo cost.
         record(
             index_of_lane[lane_outcome.index],
-            _lane_outcome_to_trial(lane_outcome, n),
+            _lane_outcome_to_trial(
+                lane_outcome, n, duration=perf_counter() - started
+            ),
         )
 
     simulator.run_until_stabilized(
@@ -369,9 +392,12 @@ def run_specs(
     if progress is not None and done:
         progress(done, total, None)
 
+    executed_duration = 0.0
+
     def record(index: int, outcome: TrialOutcome) -> None:
-        nonlocal done
+        nonlocal done, executed_duration
         results[index] = outcome
+        executed_duration += outcome.duration
         if store is not None:
             store.put(specs[index], outcome)
         done += 1
@@ -427,5 +453,8 @@ def run_specs(
             pool.join()
     outcomes = [results[index] for index in range(total)]
     return RunReport(
-        outcomes=outcomes, executed=missing, cached=total - missing
+        outcomes=outcomes,
+        executed=missing,
+        cached=total - missing,
+        executed_duration=executed_duration,
     )

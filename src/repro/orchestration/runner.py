@@ -22,7 +22,7 @@ from repro.orchestration.pool import ProgressCallback, run_specs
 from repro.orchestration.spec import CampaignSpec, TrialOutcome
 from repro.orchestration.store import TrialStore
 
-__all__ = ["CampaignRunner", "CampaignStatus", "CampaignResult"]
+__all__ = ["CampaignRunner", "CampaignStatus", "CampaignResult", "CellStatus"]
 
 _AGGREGATE_HEADERS = [
     "protocol",
@@ -47,6 +47,40 @@ def _params_label(params: tuple[tuple[str, object], ...]) -> str:
 
 
 @dataclass(frozen=True)
+class CellStatus:
+    """Coverage and remaining-work estimate for one campaign cell.
+
+    ``eta_sec`` extrapolates the mean stored trial duration of the
+    cell's finished trials over its pending count — ``None`` when the
+    cell is complete or no finished trial recorded a duration (stores
+    written before durations existed carry 0.0).
+    """
+
+    protocol: str
+    params: str
+    n: int
+    engine: str
+    cached: int
+    total: int
+    eta_sec: float | None = None
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.cached
+
+    def render(self) -> str:
+        line = (
+            f"{self.protocol} [{self.params}] n={self.n} "
+            f"({self.engine}): {self.cached}/{self.total} cached"
+        )
+        if self.pending and self.eta_sec is not None:
+            line += f", eta ~{self.eta_sec:.0f}s"
+        elif self.pending:
+            line += ", eta unknown (no timed trials yet)"
+        return line
+
+
+@dataclass(frozen=True)
 class CampaignStatus:
     """How much of a campaign the store already holds.
 
@@ -56,12 +90,18 @@ class CampaignStatus:
     or will produce — each store row): ``(engine, cached, total)``
     tuples in engine-name order.  Resumed campaigns can therefore be
     audited for which engine ran which slice of the grid.
+
+    ``cells`` carries per-``(protocol, params, n)`` coverage with an ETA
+    extrapolated from the stored durations of that cell's finished
+    trials, so a half-finished campaign shows where the remaining
+    wall-clock will go.
     """
 
     campaign: str
     total: int
     cached: int
     engines: tuple[tuple[str, int, int], ...] = ()
+    cells: tuple[CellStatus, ...] = ()
 
     @property
     def pending(self) -> int:
@@ -70,6 +110,16 @@ class CampaignStatus:
     @property
     def complete(self) -> bool:
         return self.cached == self.total
+
+    @property
+    def eta_sec(self) -> float | None:
+        """Summed per-cell ETAs (``None`` when no cell can estimate)."""
+        known = [
+            cell.eta_sec for cell in self.cells if cell.eta_sec is not None
+        ]
+        if not known:
+            return None
+        return sum(known)
 
     def render(self) -> str:
         percent = 100.0 * self.cached / self.total
@@ -83,6 +133,17 @@ class CampaignStatus:
                 for engine, cached, total in self.engines
             )
             lines.append(f"  by engine: {breakdown}")
+        if self.cells and self.pending:
+            lines.append("  in flight:")
+            for cell in self.cells:
+                if cell.pending:
+                    lines.append(f"    {cell.render()}")
+            eta = self.eta_sec
+            if eta is not None:
+                lines.append(
+                    f"  estimated remaining: ~{eta:.0f}s serial "
+                    "(divide by --jobs for wall-clock)"
+                )
         return "\n".join(lines)
 
 
@@ -95,10 +156,18 @@ class CampaignResult:
     executed: int
     cached: int
     elapsed: float
+    executed_duration: float = 0.0
 
     @property
     def throughput(self) -> float:
-        """Freshly executed trials per second (0 for pure cache hits)."""
+        """Freshly executed trials per second (0 for pure cache hits).
+
+        Computed from the summed per-trial durations (worker-seconds)
+        when the run recorded them; falls back to wall-clock elapsed for
+        results hydrated from stores without durations.
+        """
+        if self.executed and self.executed_duration > 0:
+            return self.executed / self.executed_duration
         return self.executed / self.elapsed if self.elapsed > 0 else 0.0
 
     def aggregate(self) -> Table:
@@ -189,10 +258,17 @@ class CampaignRunner:
             executed=report.executed,
             cached=report.cached,
             elapsed=time.perf_counter() - started,
+            executed_duration=report.executed_duration,
         )
 
     def status(self, campaign: CampaignSpec) -> CampaignStatus:
-        """Cache coverage without executing anything, split per engine."""
+        """Cache coverage without executing anything, split per engine.
+
+        Per-cell ETAs come from the stored ``duration`` of the cell's
+        finished trials: mean duration times pending count.  No trial is
+        re-run and no timing is measured here — the estimate is only as
+        fresh as the store.
+        """
         cached = self.store.get_many(campaign.trials)
         per_engine: dict[str, list[int]] = {}
         for spec in campaign.trials:
@@ -200,6 +276,34 @@ class CampaignRunner:
             bucket[1] += 1
             if spec.content_hash() in cached:
                 bucket[0] += 1
+        cells = []
+        for (protocol, params, n), specs in campaign.groups():
+            durations = []
+            hits = 0
+            for spec in specs:
+                outcome = cached.get(spec.content_hash())
+                if outcome is None:
+                    continue
+                hits += 1
+                if outcome.duration > 0:
+                    durations.append(outcome.duration)
+            pending = len(specs) - hits
+            eta = (
+                pending * (sum(durations) / len(durations))
+                if pending and durations
+                else None
+            )
+            cells.append(
+                CellStatus(
+                    protocol=protocol,
+                    params=_params_label(params),
+                    n=n,
+                    engine="+".join(sorted({spec.engine for spec in specs})),
+                    cached=hits,
+                    total=len(specs),
+                    eta_sec=eta,
+                )
+            )
         return CampaignStatus(
             campaign=campaign.name,
             total=len(campaign),
@@ -208,6 +312,7 @@ class CampaignRunner:
                 (engine, hits, total)
                 for engine, (hits, total) in sorted(per_engine.items())
             ),
+            cells=tuple(cells),
         )
 
     def report(self, campaign: CampaignSpec) -> CampaignResult:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from repro.engine.protocol import Protocol
@@ -115,13 +115,22 @@ def default_engine(n: int) -> str:
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """One stabilization measurement."""
+    """One stabilization measurement.
+
+    ``duration`` (trial wall-clock seconds, measured even with telemetry
+    off) and ``telemetry`` (the engine's canonical-JSON counter summary,
+    or ``None``) are runtime records, not part of the measurement: they
+    are excluded from equality so outcomes compare by what the chain did,
+    never by how fast the host ran it.
+    """
 
     seed: int
     steps: int
     parallel_time: float
     leader_count: int
     distinct_states: int
+    duration: float = field(default=0.0, compare=False)
+    telemetry: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

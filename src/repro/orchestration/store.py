@@ -10,13 +10,18 @@ Only the orchestrating (parent) process writes; ``multiprocessing``
 workers return outcomes over IPC.  The stdlib :mod:`sqlite3` module is the
 only dependency, and writes are committed per batch so a kill mid-campaign
 loses at most the in-flight trial.
+
+Schema evolution: writable opens migrate older stores in place by adding
+the missing columns (``duration``, ``telemetry``) with backfill defaults;
+readonly opens tolerate their absence instead, so ``status``/``report``
+against a pre-migration store keeps working without write access.
 """
 
 from __future__ import annotations
 
 import sqlite3
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ExperimentError
 from repro.orchestration.spec import TrialOutcome, TrialSpec
@@ -38,10 +43,20 @@ CREATE TABLE IF NOT EXISTS trials (
     parallel_time   REAL NOT NULL,
     leader_count    INTEGER NOT NULL,
     distinct_states INTEGER NOT NULL,
+    duration        REAL NOT NULL DEFAULT 0.0,
+    telemetry       TEXT,
     created_at      TEXT NOT NULL DEFAULT (datetime('now'))
 );
 CREATE INDEX IF NOT EXISTS idx_trials_protocol_n ON trials (protocol, n);
 """
+
+#: Columns added after the original (PR 1) schema, with the ALTER clause
+#: that retrofits each.  Order matters only for readability; each ALTER
+#: is applied independently when its column is missing.
+_MIGRATIONS = (
+    ("duration", "ALTER TABLE trials ADD COLUMN duration REAL NOT NULL DEFAULT 0.0"),
+    ("telemetry", "ALTER TABLE trials ADD COLUMN telemetry TEXT"),
+)
 
 
 class TrialStore:
@@ -76,6 +91,7 @@ class TrialStore:
                 self._connection = sqlite3.connect(self.path)
                 self._connection.executescript(_SCHEMA)
                 self._connection.commit()
+            self._migrate()
         except sqlite3.Error as exc:
             hint = (
                 " (has the campaign been run yet?)" if readonly else ""
@@ -83,6 +99,42 @@ class TrialStore:
             raise ExperimentError(
                 f"cannot open trial store {self.path!r}: {exc}{hint}"
             ) from exc
+
+    def _migrate(self) -> None:
+        """Bring an older store up to the current schema.
+
+        Writable stores gain the missing columns via ``ALTER TABLE``
+        (backfilled with the column defaults: zero duration, NULL
+        telemetry).  Readonly stores cannot be altered, so reads fall
+        back to the defaults per missing column instead.
+        """
+        present = {
+            row[1]
+            for row in self._connection.execute(
+                "PRAGMA table_info(trials)"
+            ).fetchall()
+        }
+        self._has_duration = "duration" in present
+        self._has_telemetry = "telemetry" in present
+        if self.readonly:
+            return
+        migrated = False
+        for column, alter in _MIGRATIONS:
+            if column not in present:
+                self._connection.execute(alter)
+                migrated = True
+        if migrated:
+            self._connection.commit()
+        self._has_duration = True
+        self._has_telemetry = True
+
+    def _outcome_columns(self) -> str:
+        duration = "duration" if self._has_duration else "0.0 AS duration"
+        telemetry = "telemetry" if self._has_telemetry else "NULL AS telemetry"
+        return (
+            "seed, steps, parallel_time, leader_count, distinct_states, "
+            f"{duration}, {telemetry}"
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -113,7 +165,7 @@ class TrialStore:
     def get(self, spec: TrialSpec) -> TrialOutcome | None:
         """The cached outcome for ``spec``, or ``None``."""
         row = self._connection.execute(
-            "SELECT seed, steps, parallel_time, leader_count, distinct_states"
+            f"SELECT {self._outcome_columns()}"
             " FROM trials WHERE spec_hash = ?",
             (spec.content_hash(),),
         ).fetchone()
@@ -130,14 +182,44 @@ class TrialStore:
             chunk = hashes[start : start + 500]
             placeholders = ",".join("?" * len(chunk))
             rows = self._connection.execute(
-                "SELECT spec_hash, seed, steps, parallel_time, leader_count,"
-                " distinct_states FROM trials"
+                f"SELECT spec_hash, {self._outcome_columns()} FROM trials"
                 f" WHERE spec_hash IN ({placeholders})",
                 chunk,
             ).fetchall()
             for spec_hash, *rest in rows:
                 results[spec_hash] = _outcome_from_row(rest)
         return results
+
+    def rows(self) -> Iterator[dict[str, object]]:
+        """Every stored trial as a plain dict, for aggregation/reporting.
+
+        Yields the spec-identity columns alongside the outcome ones so
+        consumers (``repro telemetry report``) can group by cell without
+        re-parsing ``spec_json`` for the common keys.
+        """
+        cursor = self._connection.execute(
+            "SELECT spec_hash, protocol, n, seed, engine, spec_json,"
+            f" steps, parallel_time, leader_count, distinct_states,"
+            f" {'duration' if self._has_duration else '0.0'},"
+            f" {'telemetry' if self._has_telemetry else 'NULL'}"
+            " FROM trials ORDER BY protocol, n, engine, seed"
+        )
+        names = (
+            "spec_hash",
+            "protocol",
+            "n",
+            "seed",
+            "engine",
+            "spec_json",
+            "steps",
+            "parallel_time",
+            "leader_count",
+            "distinct_states",
+            "duration",
+            "telemetry",
+        )
+        for row in cursor:
+            yield dict(zip(names, row))
 
     # ------------------------------------------------------------------
     # writes
@@ -170,24 +252,37 @@ class TrialStore:
                     outcome.parallel_time,
                     outcome.leader_count,
                     outcome.distinct_states,
+                    outcome.duration,
+                    outcome.telemetry,
                 )
             )
         with self._connection:
             self._connection.executemany(
                 "INSERT OR REPLACE INTO trials"
                 " (spec_hash, protocol, n, seed, engine, spec_json, steps,"
-                "  parallel_time, leader_count, distinct_states)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "  parallel_time, leader_count, distinct_states, duration,"
+                "  telemetry)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
 
 
 def _outcome_from_row(row: Sequence[object]) -> TrialOutcome:
-    seed, steps, parallel_time, leader_count, distinct_states = row
+    (
+        seed,
+        steps,
+        parallel_time,
+        leader_count,
+        distinct_states,
+        duration,
+        telemetry,
+    ) = row
     return TrialOutcome(
         seed=int(seed),
         steps=int(steps),
         parallel_time=float(parallel_time),
         leader_count=int(leader_count),
         distinct_states=int(distinct_states),
+        duration=float(duration),
+        telemetry=None if telemetry is None else str(telemetry),
     )

@@ -1,0 +1,58 @@
+"""Near-zero-overhead instrumentation for the simulation engines.
+
+The telemetry layer has three moving parts, all of them optional at run
+time:
+
+* :mod:`repro.telemetry.core` — the enablement switch
+  (``REPRO_TELEMETRY``), counter/gauge/phase-timer primitives, and
+  :class:`TrialTelemetry`, the canonical-JSON per-trial summary every
+  engine can produce via ``telemetry_summary()``;
+* :mod:`repro.telemetry.sink` — a JSONL event sink
+  (``REPRO_TELEMETRY_EVENTS``) plus the stderr echo long-running trials
+  use for visibility;
+* :mod:`repro.telemetry.heartbeat` — the periodic progress emitter
+  (steps so far, steps/sec, ETA to the step budget) threaded through
+  every engine's ``run_until_stabilized`` loop.
+
+Design rule (see DESIGN.md Section 8): anything *wall-clock shaped* —
+heartbeats, timers, event emission — is gated behind the enablement
+switch and costs one branch per block when off; anything *deterministic*
+— the counters that land in the trial store's ``telemetry`` column — is
+collected unconditionally, so stored rows are byte-identical whether
+telemetry is on or off.
+"""
+
+from repro.telemetry.core import (
+    TELEMETRY_ENV,
+    Counter,
+    Gauge,
+    PhaseTimer,
+    TrialTelemetry,
+    telemetry_enabled,
+    trial_telemetry_json,
+)
+from repro.telemetry.heartbeat import (
+    HEARTBEAT_SECS_ENV,
+    Heartbeat,
+    make_heartbeat,
+)
+from repro.telemetry.report import build_report, render_report
+from repro.telemetry.sink import EVENTS_ENV, EventSink, make_sink
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "EVENTS_ENV",
+    "HEARTBEAT_SECS_ENV",
+    "Counter",
+    "Gauge",
+    "PhaseTimer",
+    "TrialTelemetry",
+    "Heartbeat",
+    "EventSink",
+    "build_report",
+    "make_heartbeat",
+    "make_sink",
+    "render_report",
+    "telemetry_enabled",
+    "trial_telemetry_json",
+]

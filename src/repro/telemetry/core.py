@@ -1,0 +1,192 @@
+"""Instrumentation primitives and the per-trial telemetry summary.
+
+The enablement switch is read at *use* time, not import time, so tests
+(and CI jobs) can flip ``REPRO_TELEMETRY`` per process without reloading
+modules.  Disabled primitives compile down to a single attribute check
+per call — they are safe to leave wired into warm (per-block) paths.
+
+Engine *hot* paths never call these primitives at all: the counters that
+feed the trial store's ``telemetry`` column ride on the engines' own
+plain-int accounting (``BatchStats``, ``CacheStats``, the new null/
+resolve tallies), which is collected unconditionally precisely so that
+stored rows do not depend on the telemetry switch.  See DESIGN.md
+Section 8 for the full overhead argument.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "Counter",
+    "Gauge",
+    "PhaseTimer",
+    "TrialTelemetry",
+    "cache_summary",
+    "telemetry_enabled",
+    "trial_telemetry_json",
+]
+
+#: Environment switch: ``0``/``false``/``off``/``no`` disables telemetry
+#: (heartbeats, sinks, timers); anything else — including unset — leaves
+#: it enabled.  Engines also accept a per-instance ``telemetry`` ctor
+#: flag that overrides the environment.
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+_FALSY = frozenset({"0", "false", "off", "no", ""})
+
+
+def telemetry_enabled(override: bool | None = None) -> bool:
+    """Whether wall-clock telemetry (heartbeats, sinks, timers) is on.
+
+    ``override`` short-circuits the environment — the engines' ctor flag
+    lands here — so callers resolve the switch exactly once per trial.
+    """
+    if override is not None:
+        return bool(override)
+    raw = os.environ.get(TELEMETRY_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _FALSY
+
+
+class Counter:
+    """A named monotone tally; one branch per ``add`` when disabled."""
+
+    __slots__ = ("name", "value", "enabled")
+
+    def __init__(self, name: str, enabled: bool = True) -> None:
+        self.name = name
+        self.value = 0
+        self.enabled = enabled
+
+    def add(self, amount: int = 1) -> None:
+        if self.enabled:
+            self.value += amount
+
+
+class Gauge:
+    """A named last-value-wins sample; one branch per ``set`` when disabled."""
+
+    __slots__ = ("name", "value", "enabled")
+
+    def __init__(self, name: str, enabled: bool = True) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.enabled = enabled
+
+    def set(self, value: float) -> None:
+        if self.enabled:
+            self.value = value
+
+
+class PhaseTimer:
+    """Accumulates wall-clock spans per phase name.
+
+    Use as a context-manager factory::
+
+        timer = PhaseTimer(enabled=telemetry_enabled())
+        with timer.phase("sample"):
+            ...
+        timer.totals  # {"sample": 0.0123}
+
+    Disabled timers never touch the clock: ``phase`` returns a shared
+    no-op context manager, so the cost is one branch per entered phase.
+    """
+
+    __slots__ = ("totals", "enabled")
+
+    class _Span:
+        __slots__ = ("_timer", "_name", "_start")
+
+        def __init__(self, timer: "PhaseTimer", name: str) -> None:
+            self._timer = timer
+            self._name = name
+
+        def __enter__(self) -> "PhaseTimer._Span":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            totals = self._timer.totals
+            totals[self._name] = totals.get(self._name, 0.0) + elapsed
+
+    class _NullSpan:
+        __slots__ = ()
+
+        def __enter__(self) -> "PhaseTimer._NullSpan":
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            return None
+
+    _NULL = _NullSpan()
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.totals: dict[str, float] = {}
+        self.enabled = enabled
+
+    def phase(self, name: str):
+        if not self.enabled:
+            return self._NULL
+        return self._Span(self, name)
+
+
+class TrialTelemetry:
+    """One trial's structured counter summary, canonically serialized.
+
+    Wraps the plain mapping an engine's ``telemetry_summary()`` returns
+    and fixes its byte representation: sorted keys, compact separators.
+    Two runs that collect the same counters therefore serialize to the
+    same bytes — the property the store-row neutrality tests pin.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: dict[str, Any]) -> None:
+        self.data = data
+
+    @classmethod
+    def capture(cls, sim: object) -> "TrialTelemetry | None":
+        """Summary of ``sim``, or ``None`` for engines that expose none."""
+        summary = getattr(sim, "telemetry_summary", None)
+        if summary is None:
+            return None
+        return cls(summary())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TrialTelemetry":
+        return cls(json.loads(payload))
+
+    def to_json(self) -> str:
+        return json.dumps(self.data, sort_keys=True, separators=(",", ":"))
+
+
+def cache_summary(stats: object) -> dict[str, int]:
+    """Integer view of a transition cache's ``CacheStats`` counters.
+
+    Counts only, no derived rates: integers serialize identically across
+    platforms, which keeps the stored telemetry JSON byte-stable.
+    """
+    return {
+        "hits": int(getattr(stats, "hits", 0)),
+        "misses": int(getattr(stats, "misses", 0)),
+        "bypasses": int(getattr(stats, "bypasses", 0)),
+        "dense_hits": int(getattr(stats, "dense_hits", 0)),
+    }
+
+
+def trial_telemetry_json(sim: object) -> str | None:
+    """Canonical telemetry JSON for a finished simulator, or ``None``.
+
+    The deterministic-counter summary is collected *unconditionally* —
+    the ``REPRO_TELEMETRY`` switch gates wall-clock machinery only — so
+    the string stored per trial never depends on the switch.
+    """
+    captured = TrialTelemetry.capture(sim)
+    return None if captured is None else captured.to_json()

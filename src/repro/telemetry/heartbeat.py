@@ -1,0 +1,142 @@
+"""Periodic progress events for long-running trials.
+
+A :class:`Heartbeat` is created per ``run_until_stabilized`` call and
+polled from the engine's block loop via :meth:`Heartbeat.maybe_beat`.
+The poll is cheap — one ``perf_counter`` read and a compare — and the
+engines only reach it once per block/chunk (never per interaction), so
+the instrument is safe on every hot path.  When telemetry is disabled,
+:func:`make_heartbeat` returns ``None`` and the loops skip the poll
+entirely: the disabled cost is a single ``is None`` branch per block.
+
+Every beat emits a ``heartbeat`` event (see :mod:`repro.telemetry.sink`)
+carrying the trial's identity, steps so far, wall-clock elapsed,
+steps/sec, and — when the engine knows its step budget — the ETA to
+``max_steps`` at the current rate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.telemetry.core import telemetry_enabled
+from repro.telemetry.sink import EventSink, make_sink
+
+__all__ = ["DEFAULT_HEARTBEAT_SECS", "HEARTBEAT_SECS_ENV", "Heartbeat", "make_heartbeat"]
+
+#: Seconds between beats; override via :data:`HEARTBEAT_SECS_ENV`.
+#: 1 s keeps even a sub-10-second superbatch trial visibly alive while
+#: capping the emission rate far below anything measurable.
+DEFAULT_HEARTBEAT_SECS = 1.0
+
+#: Environment override for the beat interval (float seconds; ``0`` or a
+#: negative value disables heartbeats without touching the rest of the
+#: telemetry layer).
+HEARTBEAT_SECS_ENV = "REPRO_HEARTBEAT_SECS"
+
+
+def heartbeat_interval() -> float:
+    raw = os.environ.get(HEARTBEAT_SECS_ENV)
+    if raw is None:
+        return DEFAULT_HEARTBEAT_SECS
+    try:
+        return float(raw)
+    except ValueError:
+        return DEFAULT_HEARTBEAT_SECS
+
+
+class Heartbeat:
+    """Emit progress events for one trial, at most once per interval."""
+
+    __slots__ = (
+        "engine",
+        "protocol",
+        "n",
+        "seed",
+        "max_steps",
+        "interval",
+        "sink",
+        "beats",
+        "_started",
+        "_last",
+    )
+
+    def __init__(
+        self,
+        engine: str,
+        protocol: str,
+        n: int,
+        seed: int | None,
+        max_steps: int | None,
+        interval: float,
+        sink: EventSink,
+    ) -> None:
+        self.engine = engine
+        self.protocol = protocol
+        self.n = n
+        self.seed = seed
+        self.max_steps = max_steps
+        self.interval = interval
+        self.sink = sink
+        self.beats = 0
+        now = time.perf_counter()
+        self._started = now
+        self._last = now
+
+    def maybe_beat(self, steps: int) -> None:
+        """Emit a heartbeat if at least ``interval`` elapsed since the last."""
+        now = time.perf_counter()
+        if now - self._last < self.interval:
+            return
+        self._last = now
+        self.beats += 1
+        elapsed = now - self._started
+        rate = steps / elapsed if elapsed > 0 else 0.0
+        eta = None
+        if self.max_steps is not None and rate > 0:
+            eta = max(0.0, (self.max_steps - steps) / rate)
+        event = {
+            "event": "heartbeat",
+            "engine": self.engine,
+            "protocol": self.protocol,
+            "n": self.n,
+            "steps": int(steps),
+            "elapsed": round(elapsed, 3),
+            "steps_per_sec": round(rate, 1),
+            "max_steps": self.max_steps,
+            "eta_sec": None if eta is None else round(eta, 1),
+        }
+        if self.seed is not None:
+            event["seed"] = self.seed
+        self.sink.emit(event)
+
+
+def make_heartbeat(
+    engine: str,
+    protocol: str,
+    n: int,
+    seed: int | None,
+    max_steps: int | None,
+    enabled: bool | None = None,
+) -> Heartbeat | None:
+    """A heartbeat for one trial, or ``None`` when telemetry is off.
+
+    ``enabled`` carries the engine's ctor override; ``None`` defers to
+    ``REPRO_TELEMETRY``.  A non-positive ``REPRO_HEARTBEAT_SECS`` also
+    yields ``None``, so the engines' block loops keep their single-branch
+    disabled cost no matter which knob turned heartbeats off.
+    """
+    if not telemetry_enabled(enabled):
+        return None
+    interval = heartbeat_interval()
+    if interval <= 0:
+        return None
+    return Heartbeat(
+        engine=engine,
+        protocol=protocol,
+        n=n,
+        seed=seed,
+        max_steps=max_steps,
+        interval=interval,
+        sink=make_sink(),
+    )

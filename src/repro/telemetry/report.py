@@ -1,0 +1,129 @@
+"""Aggregate per-cell telemetry profiles out of a trial store.
+
+``repro telemetry report <store>`` renders the output of
+:func:`build_report`: one record per ``(protocol, params, n, engine)``
+cell with trial-duration percentiles, the steps/sec distribution, and
+cache hit rates recovered from the stored per-trial counter summaries —
+machine-readable in the same spirit as ``BENCH_engine.json``, so the
+ROADMAP's per-cell job weighting can consume it directly.
+
+Durations come from the ``duration`` column every trial now records;
+rows written before that column existed carry 0 and are excluded from
+the wall-clock statistics (but still counted as trials).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # import cycle guard: engines import this package
+    from repro.orchestration.store import TrialStore
+
+__all__ = ["REPORT_SCHEMA", "build_report", "render_report"]
+
+#: Schema tag for the aggregated report (bump on breaking shape changes).
+REPORT_SCHEMA = "repro-telemetry-report/1"
+
+
+def _params_label(spec_json: str) -> str:
+    try:
+        pairs = json.loads(spec_json).get("params", [])
+    except (ValueError, AttributeError):
+        return "-"
+    if not pairs:
+        return "-"
+    return ", ".join(f"{key}={value}" for key, value in pairs)
+
+
+def _percentiles(values: list[float]) -> dict[str, float]:
+    data = np.asarray(values, dtype=np.float64)
+    return {
+        "mean": float(data.mean()),
+        "p50": float(np.percentile(data, 50)),
+        "p95": float(np.percentile(data, 95)),
+        "min": float(data.min()),
+        "max": float(data.max()),
+    }
+
+
+def _cache_hit_rate(summaries: list[dict]) -> float | None:
+    """Pooled cache hit rate across the cell's stored counter summaries."""
+    hits = 0
+    lookups = 0
+    for summary in summaries:
+        cache = summary.get("cache")
+        if not isinstance(cache, dict):
+            continue
+        hits += int(cache.get("hits", 0))
+        lookups += sum(
+            int(cache.get(key, 0)) for key in ("hits", "misses", "bypasses")
+        )
+    return hits / lookups if lookups else None
+
+
+def build_report(store: "TrialStore") -> dict[str, Any]:
+    """Per-cell duration/throughput/cache profile of everything stored."""
+    cells: dict[tuple, dict[str, Any]] = {}
+    for row in store.rows():
+        key = (
+            row["protocol"],
+            _params_label(row["spec_json"]),
+            row["n"],
+            row["engine"],
+        )
+        cell = cells.setdefault(
+            key,
+            {
+                "trials": 0,
+                "timed_trials": 0,
+                "durations": [],
+                "rates": [],
+                "steps": [],
+                "summaries": [],
+            },
+        )
+        cell["trials"] += 1
+        cell["steps"].append(float(row["steps"]))
+        duration = float(row["duration"])
+        if duration > 0:
+            cell["timed_trials"] += 1
+            cell["durations"].append(duration)
+            cell["rates"].append(row["steps"] / duration)
+        if row["telemetry"]:
+            try:
+                cell["summaries"].append(json.loads(row["telemetry"]))
+            except ValueError:
+                pass
+    records = []
+    for (protocol, params, n, engine), cell in sorted(cells.items()):
+        record: dict[str, Any] = {
+            "protocol": protocol,
+            "params": params,
+            "n": n,
+            "engine": engine,
+            "trials": cell["trials"],
+            "timed_trials": cell["timed_trials"],
+            "steps": _percentiles(cell["steps"]),
+        }
+        if cell["durations"]:
+            record["duration_sec"] = _percentiles(cell["durations"])
+            record["total_duration_sec"] = float(sum(cell["durations"]))
+            record["steps_per_sec"] = _percentiles(cell["rates"])
+        hit_rate = _cache_hit_rate(cell["summaries"])
+        if hit_rate is not None:
+            record["cache_hit_rate"] = hit_rate
+        records.append(record)
+    return {
+        "schema": REPORT_SCHEMA,
+        "store": store.path,
+        "trials": sum(record["trials"] for record in records),
+        "cells": records,
+    }
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Machine-readable rendering (JSON, stable key order)."""
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -1,0 +1,79 @@
+"""JSONL event sink for telemetry events.
+
+Events are single-line JSON objects appended to the file named by
+``REPRO_TELEMETRY_EVENTS``.  The sink opens, appends, and closes per
+emission: heartbeats arrive a few times per second at most, worker
+processes and ensemble lanes interleave safely (single ``write`` of one
+line, append mode), and a crash never loses buffered events.
+
+Heartbeat events additionally echo one human-readable line to stderr —
+that is what makes a long-running ``repro run`` visibly alive even when
+no event file is configured.  Set ``REPRO_TELEMETRY_QUIET=1`` to keep
+the JSONL stream without the stderr echo (CI logs under ``tee``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+__all__ = ["EVENTS_ENV", "QUIET_ENV", "EventSink", "make_sink"]
+
+#: Path the JSONL event stream appends to; unset means no event file.
+EVENTS_ENV = "REPRO_TELEMETRY_EVENTS"
+
+#: Set to suppress the stderr echo of heartbeat events.
+QUIET_ENV = "REPRO_TELEMETRY_QUIET"
+
+
+class EventSink:
+    """Append telemetry events as JSON lines; optionally echo to stderr."""
+
+    __slots__ = ("path", "echo")
+
+    def __init__(self, path: str | None, echo: bool = True) -> None:
+        self.path = path
+        self.echo = echo
+
+    def emit(self, event: dict) -> None:
+        """Write one event; I/O failures are reported once, never raised.
+
+        Telemetry must not be able to kill a multi-hour trial over a
+        full disk or a bad path, so emission errors degrade to a single
+        stderr warning and the sink disables its file output.
+        """
+        if self.path is not None:
+            line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+            try:
+                with open(self.path, "a", encoding="utf-8") as stream:
+                    stream.write(line + "\n")
+            except OSError as exc:
+                print(
+                    f"telemetry: cannot append to {self.path!r} ({exc}); "
+                    "event file disabled",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                self.path = None
+        if self.echo and event.get("event") == "heartbeat":
+            print(_heartbeat_line(event), file=sys.stderr, flush=True)
+
+
+def _heartbeat_line(event: dict) -> str:
+    eta = event.get("eta_sec")
+    eta_text = f", eta {eta:.0f}s to budget" if eta is not None else ""
+    return (
+        f"heartbeat {event.get('protocol')} n={event.get('n')} "
+        f"[{event.get('engine')}]: {event.get('steps'):,} steps in "
+        f"{event.get('elapsed', 0.0):.1f}s "
+        f"({event.get('steps_per_sec', 0.0):,.0f} steps/s{eta_text})"
+    )
+
+
+def make_sink() -> EventSink:
+    """The process-wide sink configuration, resolved from the environment."""
+    return EventSink(
+        path=os.environ.get(EVENTS_ENV) or None,
+        echo=not os.environ.get(QUIET_ENV),
+    )

@@ -1,0 +1,146 @@
+"""Tests for the telemetry primitives (repro.telemetry.core)."""
+
+import json
+
+from repro.telemetry.core import (
+    TELEMETRY_ENV,
+    Counter,
+    Gauge,
+    PhaseTimer,
+    TrialTelemetry,
+    cache_summary,
+    telemetry_enabled,
+    trial_telemetry_json,
+)
+
+
+class TestEnablementSwitch:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+        assert telemetry_enabled() is True
+
+    def test_falsy_values_disable(self, monkeypatch):
+        for raw in ("0", "false", "FALSE", "off", "no", "", "  0  "):
+            monkeypatch.setenv(TELEMETRY_ENV, raw)
+            assert telemetry_enabled() is False, repr(raw)
+
+    def test_truthy_values_enable(self, monkeypatch):
+        for raw in ("1", "true", "on", "yes", "anything"):
+            monkeypatch.setenv(TELEMETRY_ENV, raw)
+            assert telemetry_enabled() is True, repr(raw)
+
+    def test_override_beats_the_environment(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV, "0")
+        assert telemetry_enabled(True) is True
+        monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+        assert telemetry_enabled(False) is False
+
+    def test_switch_is_read_at_use_time(self, monkeypatch):
+        # No import-time caching: the same process can flip the switch.
+        monkeypatch.setenv(TELEMETRY_ENV, "0")
+        assert telemetry_enabled() is False
+        monkeypatch.setenv(TELEMETRY_ENV, "1")
+        assert telemetry_enabled() is True
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter("blocks")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_disabled_counter_stays_zero(self):
+        counter = Counter("blocks", enabled=False)
+        counter.add(100)
+        assert counter.value == 0
+
+    def test_gauge_is_last_value_wins(self):
+        gauge = Gauge("lead")
+        gauge.set(2.0)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_disabled_gauge_never_updates(self):
+        gauge = Gauge("lead", enabled=False)
+        gauge.set(3.0)
+        assert gauge.value == 0.0
+
+    def test_phase_timer_accumulates_per_phase(self):
+        timer = PhaseTimer()
+        with timer.phase("sample"):
+            pass
+        with timer.phase("sample"):
+            pass
+        with timer.phase("apply"):
+            pass
+        assert set(timer.totals) == {"sample", "apply"}
+        assert all(total >= 0.0 for total in timer.totals.values())
+
+    def test_disabled_phase_timer_records_nothing(self):
+        timer = PhaseTimer(enabled=False)
+        with timer.phase("sample"):
+            pass
+        assert timer.totals == {}
+
+
+class FakeStats:
+    hits = 10
+    misses = 3
+    bypasses = 2
+    dense_hits = 7
+
+
+class FakeSim:
+    def telemetry_summary(self):
+        return {"engine": "fake", "steps": 42, "cache": {"hits": 1}}
+
+
+class TestTrialTelemetry:
+    def test_capture_wraps_the_engine_summary(self):
+        captured = TrialTelemetry.capture(FakeSim())
+        assert captured.data["engine"] == "fake"
+
+    def test_capture_returns_none_without_a_summary(self):
+        assert TrialTelemetry.capture(object()) is None
+
+    def test_json_is_canonical(self):
+        # Sorted keys, compact separators: two runs collecting the same
+        # counters must serialize to the same bytes (the store-row
+        # neutrality property rides on this).
+        a = TrialTelemetry({"b": 2, "a": 1}).to_json()
+        b = TrialTelemetry({"a": 1, "b": 2}).to_json()
+        assert a == b == '{"a":1,"b":2}'
+
+    def test_roundtrips_through_json(self):
+        original = TrialTelemetry({"engine": "x", "steps": 3})
+        assert TrialTelemetry.from_json(original.to_json()).data == original.data
+
+    def test_trial_telemetry_json_is_switch_independent(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV, "0")
+        off = trial_telemetry_json(FakeSim())
+        monkeypatch.setenv(TELEMETRY_ENV, "1")
+        on = trial_telemetry_json(FakeSim())
+        assert off == on
+        assert json.loads(off)["steps"] == 42
+
+    def test_trial_telemetry_json_none_for_plain_objects(self):
+        assert trial_telemetry_json(object()) is None
+
+
+class TestCacheSummary:
+    def test_reads_the_counter_fields_as_ints(self):
+        assert cache_summary(FakeStats()) == {
+            "hits": 10,
+            "misses": 3,
+            "bypasses": 2,
+            "dense_hits": 7,
+        }
+
+    def test_missing_fields_default_to_zero(self):
+        assert cache_summary(object()) == {
+            "hits": 0,
+            "misses": 0,
+            "bypasses": 0,
+            "dense_hits": 0,
+        }

@@ -2,7 +2,7 @@
 
 :mod:`repro.bench.report` is the scriptable producer of
 ``BENCH_engine.json`` (CI runs it as ``repro bench --quick --check
---check-trials --check-kernel``); these tests exercise its measurement,
+--check-trials --check-kernel --check-telemetry``); these tests exercise its measurement,
 summary, and gate logic at toy scale so a harness regression fails in
 the tier-1 suite rather than only in the CI benchmark job.
 """
@@ -264,6 +264,48 @@ class TestKernelSection:
         assert error is not None and "no kernel section" in error
 
 
+class TestTelemetrySection:
+    def test_measures_the_same_workload_off_and_on(self):
+        section = report.measure_telemetry_cell(
+            protocol_name="angluin", n=64, steps=2000, repeats=1
+        )
+        assert section["cell"]["engine"] == "superbatch"
+        assert section["steps"] > 0
+        assert section["off_seconds"] > 0 and section["on_seconds"] > 0
+        assert section["overhead_ratio"] == pytest.approx(
+            section["on_seconds"] / section["off_seconds"]
+        )
+
+    def fake_report(self, ratio):
+        return {
+            "telemetry": {
+                "cell": {"protocol": "pll", "n": 1_000_000,
+                         "engine": "superbatch"},
+                "steps": 2_000_000,
+                "overhead_ratio": ratio,
+            }
+        }
+
+    def test_gate_passes_under_the_ceiling(self):
+        assert (
+            report.check_telemetry_overhead(
+                self.fake_report(1.01), max_ratio=1.02
+            )
+            is None
+        )
+
+    def test_gate_fails_over_the_ceiling(self):
+        error = report.check_telemetry_overhead(
+            self.fake_report(1.10), max_ratio=1.02
+        )
+        assert error is not None and "1.100x" in error
+
+    def test_tolerates_v4_reports_without_the_section(self):
+        v4 = {"schema": "repro-bench-engine/4", "results": []}
+        error = report.check_telemetry_overhead(v4, max_ratio=1.02)
+        assert error is not None and "no telemetry section" in error
+
+
 class TestEndToEnd:
     def test_main_writes_v1_json_without_optional_sections(
         self, tmp_path, monkeypatch
@@ -276,7 +318,14 @@ class TestEndToEnd:
         # engine's regime; the gate logic is covered by TestCheckGate.
         assert (
             report.main(
-                ["--quick", "--no-trials", "--no-kernel", "--out", str(out)]
+                [
+                    "--quick",
+                    "--no-trials",
+                    "--no-kernel",
+                    "--no-telemetry",
+                    "--out",
+                    str(out),
+                ]
             )
             == 0
         )
@@ -289,7 +338,7 @@ class TestEndToEnd:
         engines = {row["engine"] for row in payload["results"]}
         assert engines == {"agent", "multiset", "batch", "superbatch"}
 
-    def test_main_writes_v4_json_with_all_sections(self, tmp_path, monkeypatch):
+    def test_main_writes_v5_json_with_all_sections(self, tmp_path, monkeypatch):
         monkeypatch.setattr(report, "QUICK_GRID", (("angluin", (64,)),))
         monkeypatch.setattr(report, "QUICK_STEPS", 2000)
         monkeypatch.setattr(report, "TRIALS_PROTOCOL", "angluin")
@@ -299,14 +348,19 @@ class TestEndToEnd:
         monkeypatch.setattr(report, "KERNEL_PROTOCOL", "angluin")
         monkeypatch.setattr(report, "KERNEL_N", 32)
         monkeypatch.setattr(report, "KERNEL_TRIALS", 4)
+        monkeypatch.setattr(report, "TELEMETRY_PROTOCOL", "angluin")
+        monkeypatch.setattr(report, "TELEMETRY_N", 64)
+        monkeypatch.setattr(report, "TELEMETRY_STEPS_QUICK", 2000)
+        monkeypatch.setattr(report, "TELEMETRY_REPEATS", 1)
         out = tmp_path / "BENCH_engine.json"
         assert report.main(["--quick", "--out", str(out)]) == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-bench-engine/4"
-        # v1/v2 fields are untouched: old consumers parse v4 unchanged.
+        assert payload["schema"] == "repro-bench-engine/5"
+        # v1/v2 fields are untouched: old consumers parse v5 unchanged.
         assert {"results", "summary", "steps_per_cell", "trials"} <= set(
             payload
         )
+        assert payload["telemetry"]["overhead_ratio"] > 0
         assert payload["trials"]["ensemble_vs_serial"] > 0
         # Kernel-compiled cells carry both transition paths.
         paths = {

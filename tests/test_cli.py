@@ -57,6 +57,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign"])
 
+    def test_telemetry_report_parser_defaults(self):
+        args = build_parser().parse_args(["telemetry", "report"])
+        assert args.command == "telemetry"
+        assert args.action == "report"
+        assert args.store == ".repro-store.sqlite"
+
+    def test_telemetry_report_accepts_store_path(self):
+        args = build_parser().parse_args(["telemetry", "report", "x.sqlite"])
+        assert args.store == "x.sqlite"
+
+    def test_telemetry_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry"])
+
 
 class TestCommands:
     def test_list_prints_registry(self, capsys):
@@ -140,3 +154,64 @@ class TestCommands:
         assert main(["run", "E3", "--scale", "0.02", "--out", str(out)]) == 0
         capsys.readouterr()
         assert out.read_text().count("[E3]") == 2
+
+    def test_telemetry_report_after_campaign(self, capsys, tmp_path):
+        import json
+
+        store = str(tmp_path / "trials.sqlite")
+        assert main(["campaign", "run", "E12", "--scale", "0.125",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "report", store]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trials"] == 6
+        for cell in payload["cells"]:
+            assert cell["timed_trials"] == cell["trials"]
+            assert cell["duration_sec"]["p50"] > 0
+
+    def test_telemetry_report_missing_store_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        import os
+
+        store = str(tmp_path / "missing.sqlite")
+        assert main(["telemetry", "report", store]) == 2
+        assert "cannot open trial store" in capsys.readouterr().err
+        assert not os.path.exists(store)
+
+
+class TestProgressPrinter:
+    def make_outcome(self, steps: int):
+        from repro.orchestration.spec import TrialOutcome
+
+        return TrialOutcome(
+            seed=0, steps=steps, parallel_time=1.0,
+            leader_count=1, distinct_states=4,
+        )
+
+    def test_prints_throughput_on_stride_lines(self, capsys):
+        from repro.cli import _progress_printer
+
+        progress = _progress_printer(stride=2)
+        progress(1, 4, self.make_outcome(1000))
+        assert capsys.readouterr().out == ""  # off-stride: silent
+        progress(2, 4, self.make_outcome(1000))
+        line = capsys.readouterr().out
+        assert "2/4 trials done" in line
+        assert "steps/s" in line and "s (" in line  # elapsed + rate
+
+    def test_final_trial_always_prints(self, capsys):
+        from repro.cli import _progress_printer
+
+        progress = _progress_printer(stride=10)
+        progress(3, 3, self.make_outcome(500))
+        assert "3/3 trials done" in capsys.readouterr().out
+
+    def test_cached_trials_reported_without_rate(self, capsys):
+        from repro.cli import _progress_printer
+
+        progress = _progress_printer(stride=1)
+        progress(1, 4, None)
+        line = capsys.readouterr().out
+        assert "1/4 trials already cached" in line
+        assert "steps/s" not in line
