@@ -23,7 +23,7 @@ Usage::
     repro bench --no-trials --no-kernel --no-telemetry  # v1 grid only
     repro bench --out other.json
 
-Schema: ``repro-bench-engine/5`` when the ``telemetry`` section is
+Schema: ``repro-bench-engine/6`` when the ``telemetry`` section is
 present (the default), ``/4`` with ``--no-telemetry``, ``/2`` with
 ``--no-kernel`` too, ``/1`` with all optional sections off — every
 consumer of a lower version keeps working because lower-version fields
@@ -31,8 +31,10 @@ are unchanged.  v3 added per-path ``transitions: kernel|cached`` row
 tags; v4 added the count-level ``superbatch`` engine rows, the
 large-``n`` PLL cells (10^7 and 10^8; the agent engine sits those out,
 see :data:`AGENT_MAX_N`), and ``superbatch_vs_batch`` summary ratios;
-v5 adds the ``telemetry`` overhead section.  Consumers that key rows by
-engine name are unaffected: new engines are new keys.
+v5 added the ``telemetry`` overhead section; v6 extends that section
+with the tracing+probes measurement (``trace_*`` keys — additive, so
+v5 consumers keep parsing).  Consumers that key rows by engine name
+are unaffected: new engines are new keys.
 
 Gates: ``--check`` fails (exit 1) unless the batch engine beats the
 multiset engine on the PLL throughput check at the largest measured
@@ -46,7 +48,12 @@ stream at least ``--min-kernel-ratio`` times as fast as the
 cached-delta path, for both the multiset and batch engines.
 ``--check-telemetry`` fails unless the telemetry-on run of the PLL
 ``n = 10^6`` superbatch cell stays within ``--max-telemetry-overhead``
-times the telemetry-off run (default 1.02: at most 2% overhead).
+times the telemetry-off run (default 1.02: at most 2% overhead), and
+the tracing-on run (spans + stage profile emission into a null sink)
+within ``--max-trace-overhead`` (default 2.0: tracing is opt-in
+diagnostics — the measured cost of emitting the capped span stream is
+~1.4x on this cell — so the gate only catches runaway regressions,
+not near-zero cost).
 """
 
 from __future__ import annotations
@@ -71,7 +78,9 @@ from repro.errors import ConvergenceError
 from repro.orchestration.pool import build_simulator, run_specs
 from repro.orchestration.registry import build_protocol
 from repro.orchestration.spec import ENGINES, trial_specs
+from repro.telemetry.core import TELEMETRY_ENV
 from repro.telemetry.sink import EVENTS_ENV, QUIET_ENV
+from repro.telemetry.trace import TRACE_ENV
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_engine.json"
@@ -520,6 +529,14 @@ def measure_telemetry_cell(
     The stderr heartbeat echo and the JSONL event file are silenced for
     the timed region: the gate grades the always-on poll cost of the
     default sink configuration, not I/O latency.
+
+    Each pair additionally times a third run with span tracing *and*
+    the stage profile emitting (``REPRO_TRACE=1`` with the event sink
+    pointed at ``os.devnull`` — tracing needs somewhere to write, and
+    the null device isolates serialization cost from disk latency).
+    Phase probes are always on, so every run here carries them; the
+    ``trace_*`` keys therefore bound the *additional* cost of opting
+    into the full diagnostic tier over plain telemetry.
     """
     if protocol_name is None:
         protocol_name = TELEMETRY_PROTOCOL
@@ -530,7 +547,11 @@ def measure_telemetry_cell(
     if repeats is None:
         repeats = TELEMETRY_REPEATS
 
-    def run_once(telemetry: bool) -> tuple[float, int]:
+    def run_once(telemetry: bool, trace: bool = False) -> tuple[float, int]:
+        if trace:
+            os.environ[TELEMETRY_ENV] = "1"
+            os.environ[TRACE_ENV] = "1"
+            os.environ[EVENTS_ENV] = os.devnull
         protocol = build_protocol(protocol_name, n)
         sim = SuperBatchSimulator(protocol, n, seed=seed, telemetry=telemetry)
         start = time.process_time()
@@ -538,16 +559,24 @@ def measure_telemetry_cell(
             sim.run_until_stabilized(max_steps=steps)
         except ConvergenceError:
             pass  # budget exhausted: the measured workload, not a failure
-        return time.process_time() - start, sim.steps
+        elapsed = time.process_time() - start
+        if trace:
+            os.environ.pop(TELEMETRY_ENV, None)
+            os.environ.pop(TRACE_ENV, None)
+            os.environ.pop(EVENTS_ENV, None)
+        return elapsed, sim.steps
 
     off_times: list[float] = []
     on_times: list[float] = []
-    off_steps = on_steps = 0
+    trace_times: list[float] = []
+    off_steps = on_steps = trace_steps = 0
     env_before = {
-        key: os.environ.get(key) for key in (QUIET_ENV, EVENTS_ENV)
+        key: os.environ.get(key)
+        for key in (QUIET_ENV, EVENTS_ENV, TELEMETRY_ENV, TRACE_ENV)
     }
     os.environ[QUIET_ENV] = "1"
     os.environ.pop(EVENTS_ENV, None)
+    os.environ.pop(TRACE_ENV, None)
     try:
         for repeat in range(repeats):
             print(
@@ -566,20 +595,27 @@ def measure_telemetry_cell(
                 on_times.append(seconds)
                 seconds, off_steps = run_once(False)
                 off_times.append(seconds)
+            seconds, trace_steps = run_once(True, trace=True)
+            trace_times.append(seconds)
     finally:
         for key, value in env_before.items():
             if value is None:
                 os.environ.pop(key, None)
             else:
                 os.environ[key] = value
-    if off_steps != on_steps:
+    if off_steps != on_steps or off_steps != trace_steps:
         raise RuntimeError(
             f"telemetry changed the chain: {off_steps} steps off vs "
-            f"{on_steps} on ({protocol_name} n={n} seed={seed})"
+            f"{on_steps} on vs {trace_steps} traced "
+            f"({protocol_name} n={n} seed={seed})"
         )
     pair_ratios = [on / off for on, off in zip(on_times, off_times)]
+    trace_pair_ratios = [
+        traced / off for traced, off in zip(trace_times, off_times)
+    ]
     off_best = min(off_times)
     on_best = min(on_times)
+    trace_best = min(trace_times)
     return {
         "cell": {
             "protocol": protocol_name,
@@ -598,6 +634,10 @@ def measure_telemetry_cell(
         "pair_ratios": pair_ratios,
         "best_vs_best_ratio": on_best / off_best,
         "overhead_ratio": min(pair_ratios),
+        "trace_seconds": trace_best,
+        "trace_steps_per_sec": trace_steps / trace_best,
+        "trace_pair_ratios": trace_pair_ratios,
+        "trace_overhead_ratio": min(trace_pair_ratios),
     }
 
 
@@ -653,7 +693,7 @@ def generate_report(
                         )
                     )
     if telemetry_section:
-        schema = "repro-bench-engine/5"
+        schema = "repro-bench-engine/6"
     elif kernel_section:
         schema = "repro-bench-engine/4"
     elif trials_section:
@@ -873,13 +913,20 @@ def check_kernel_speedup(report: dict, min_ratio: float) -> str | None:
     return None
 
 
-def check_telemetry_overhead(report: dict, max_ratio: float) -> str | None:
+def check_telemetry_overhead(
+    report: dict, max_ratio: float, max_trace_ratio: float | None = None
+) -> str | None:
     """Error message when telemetry-on exceeds ``max_ratio`` x off.
 
-    The only gate graded as a *ceiling*: the instruments are supposed to
+    Gates graded as *ceilings*: the passive instruments are supposed to
     cost nothing, so the on-run must stay within ``max_ratio`` times the
-    off-run on the superbatch overhead cell.  Tolerant of pre-v5
-    reports: a missing section is itself the error.
+    off-run on the superbatch overhead cell; the tracing+probes run
+    (when the report carries the v6 ``trace_*`` keys and
+    ``max_trace_ratio`` is given) within ``max_trace_ratio`` — a looser
+    bound, since span emission is opt-in diagnostics rather than an
+    always-on cost.  Tolerant of pre-v5 reports: a missing section is
+    itself the error; a v5 report without ``trace_*`` keys fails only
+    the trace half.
     """
     section = report.get("telemetry")
     if not section:
@@ -901,6 +948,19 @@ def check_telemetry_overhead(report: dict, max_ratio: float) -> str | None:
         f"check ok: telemetry-on is {ratio:.3f}x telemetry-off on {label} "
         f"(required <= {max_ratio:.2f}x)"
     )
+    if max_trace_ratio is not None:
+        trace_ratio = section.get("trace_overhead_ratio")
+        if trace_ratio is None:
+            return "telemetry section lacks a trace_overhead_ratio"
+        if trace_ratio > max_trace_ratio:
+            return (
+                f"tracing-on run is {trace_ratio:.3f}x the telemetry-off "
+                f"run on {label}; required <= {max_trace_ratio:.2f}x"
+            )
+        print(
+            f"check ok: tracing+probes is {trace_ratio:.3f}x telemetry-off "
+            f"on {label} (required <= {max_trace_ratio:.2f}x)"
+        )
     return None
 
 
@@ -1003,6 +1063,16 @@ def main(argv: list[str] | None = None) -> int:
             "(default 1.02: at most 2%%)"
         ),
     )
+    parser.add_argument(
+        "--max-trace-overhead",
+        type=float,
+        default=2.0,
+        help=(
+            "ceiling --check-telemetry enforces on the tracing+probes "
+            "run (default 2.0: opt-in diagnostics, graded only against "
+            "runaway cost)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     if args.check_trials and args.no_trials:
@@ -1094,7 +1164,9 @@ def main(argv: list[str] | None = None) -> int:
         if error is not None:
             failures.append(error)
     if args.check_telemetry:
-        error = check_telemetry_overhead(report, args.max_telemetry_overhead)
+        error = check_telemetry_overhead(
+            report, args.max_telemetry_overhead, args.max_trace_overhead
+        )
         if error is not None:
             failures.append(error)
     for error in failures:

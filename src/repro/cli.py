@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro list                      # enumerate the experiment registry
     repro run E9 [--scale 1.0] [--jobs 4] [--store x.sqlite]
     repro simulate --protocol pll --n 256 [--seed 0] [--engine agent]
     repro campaign run|resume|status|report E1 [--jobs 4] [--store ...]
-    repro telemetry report [store]  # per-cell runtime profiles
+    repro telemetry report|profile|phases ...  # runtime records
+    repro trace export events.jsonl [--out trace.json]   # Perfetto export
     repro bench [--quick] [--check ...]   # BENCH_engine.json harness
 
 ``repro run all`` executes the full per-lemma/per-table sweep (the data
@@ -177,7 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     telemetry_parser = subparsers.add_parser(
         "telemetry",
-        help="inspect runtime records (durations, counters) in a trial store",
+        help=(
+            "inspect runtime records: per-cell durations (report), "
+            "stage-cost profiles (profile), protocol phase timelines "
+            "(phases)"
+        ),
     )
     telemetry_actions = telemetry_parser.add_subparsers(
         dest="action", required=True
@@ -186,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help=(
             "aggregate per-(protocol, n, engine) runtime profiles — trial "
-            "durations, steps/sec, cache hit rates — as JSON"
+            "durations, steps/sec, parallel time/sec, cache hit rates"
         ),
     )
     telemetry_report.add_argument(
@@ -194,6 +199,76 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=DEFAULT_STORE_PATH,
         help=f"SQLite trial store path (default {DEFAULT_STORE_PATH})",
+    )
+    telemetry_report.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text table; json is machine-readable)",
+    )
+    telemetry_profile = telemetry_actions.add_parser(
+        "profile",
+        help=(
+            "aggregate profile events from a JSONL event file into the "
+            "per-(engine, protocol, n) stage-cost table"
+        ),
+    )
+    telemetry_profile.add_argument(
+        "events",
+        help="JSONL event file (the REPRO_TELEMETRY_EVENTS target)",
+    )
+    telemetry_phases = telemetry_actions.add_parser(
+        "phases",
+        help=(
+            "render stored protocol phase timelines (Algorithm 1 phase "
+            "occupancy over each trial's steps)"
+        ),
+    )
+    telemetry_phases.add_argument(
+        "store",
+        nargs="?",
+        default=DEFAULT_STORE_PATH,
+        help=f"SQLite trial store path (default {DEFAULT_STORE_PATH})",
+    )
+    telemetry_phases.add_argument(
+        "--protocol", default=None, help="only this protocol's trials"
+    )
+    telemetry_phases.add_argument(
+        "--n", type=int, default=None, help="only this population size"
+    )
+    telemetry_phases.add_argument(
+        "--seed", type=int, default=None, help="only this seed"
+    )
+    telemetry_phases.add_argument(
+        "--engine", default=None, help="only this engine's trials"
+    )
+    telemetry_phases.add_argument(
+        "--limit",
+        type=int,
+        default=4,
+        help="render at most this many trials (default 4)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="export JSONL trace events for Perfetto / chrome://tracing",
+    )
+    trace_actions = trace_parser.add_subparsers(dest="action", required=True)
+    trace_export = trace_actions.add_parser(
+        "export",
+        help=(
+            "convert a REPRO_TELEMETRY_EVENTS file to Chrome trace-event "
+            "JSON (open the result in ui.perfetto.dev)"
+        ),
+    )
+    trace_export.add_argument(
+        "events",
+        help="JSONL event file written under REPRO_TRACE=1",
+    )
+    trace_export.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: <events>.trace.json)",
     )
 
     # Registered so `repro --help` lists it; actual dispatch happens in
@@ -323,12 +398,98 @@ def _command_campaign(args: argparse.Namespace) -> int:
 
 
 def _command_telemetry(args: argparse.Namespace) -> int:
-    # Imported lazily: report aggregation pulls in numpy percentiles the
-    # other subcommands never need at startup.
-    from repro.telemetry.report import build_report, render_report
+    if args.action == "report":
+        # Imported lazily: report aggregation pulls in numpy percentiles
+        # the other subcommands never need at startup.
+        from repro.telemetry.report import build_report, render_report
 
+        with TrialStore(args.store, readonly=True) as store:
+            print(render_report(build_report(store), fmt=args.format))
+        return 0
+    if args.action == "profile":
+        from repro.telemetry.profile import (
+            load_profile_records,
+            render_profile_table,
+        )
+
+        try:
+            records = load_profile_records(args.events)
+        except OSError as exc:
+            raise ReproError(f"cannot read event file: {exc}") from exc
+        print(render_profile_table(records))
+        return 0
+    return _command_telemetry_phases(args)
+
+
+def _command_telemetry_phases(args: argparse.Namespace) -> int:
+    from repro.telemetry.probe import render_phases
+
+    shown = 0
+    skipped_without_series = 0
     with TrialStore(args.store, readonly=True) as store:
-        print(render_report(build_report(store)))
+        for row in store.rows():
+            if args.protocol is not None and row["protocol"] != args.protocol:
+                continue
+            if args.n is not None and row["n"] != args.n:
+                continue
+            if args.seed is not None and row["seed"] != args.seed:
+                continue
+            if args.engine is not None and row["engine"] != args.engine:
+                continue
+            if not row["phases"]:
+                skipped_without_series += 1
+                continue
+            if shown:
+                print()
+            print(
+                f"{row['protocol']} n={row['n']:,} seed={row['seed']} "
+                f"({row['engine']}, {row['steps']:,} steps)"
+            )
+            print(render_phases(row["phases"]))
+            shown += 1
+            if shown >= args.limit:
+                break
+    if shown == 0:
+        note = (
+            f" ({skipped_without_series} matching trials have no phase "
+            "series: probe-less protocol or packed ensemble lanes)"
+            if skipped_without_series
+            else ""
+        )
+        print(f"no stored phase timelines match{note}")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.telemetry.trace import (
+        chrome_trace_events,
+        load_events,
+        validate_chrome_trace,
+    )
+
+    try:
+        events = load_events(args.events)
+    except OSError as exc:
+        raise ReproError(f"cannot read event file: {exc}") from exc
+    trace_events = chrome_trace_events(events)
+    payload = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    errors = validate_chrome_trace(payload)
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 2
+    out = args.out or f"{args.events}.trace.json"
+    with open(out, "w", encoding="utf-8") as sink:
+        _json.dump(payload, sink)
+        sink.write("\n")
+    spans = sum(event.get("ph") == "X" for event in trace_events)
+    counters = len(trace_events) - spans
+    print(
+        f"wrote {out}: {spans} spans, {counters} counter samples "
+        f"(open in https://ui.perfetto.dev)"
+    )
     return 0
 
 
@@ -363,6 +524,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_campaign(args)
         if args.command == "telemetry":
             return _command_telemetry(args)
+        if args.command == "trace":
+            return _command_trace(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -84,6 +84,48 @@ class PLLProtocol(LeaderElectionProtocol):
 
         return pll_kernel_spec(self.params, self.variant)
 
+    def phase_probe(self):
+        """Occupancy of Algorithm 1's phases, from state counts alone.
+
+        The features mirror the analysis sections: ``lottery_live``
+        counts epoch-1 candidates still playing QuickElimination
+        (Lemma 7's elimination curve), ``survivors`` the Tournament
+        leaders of epochs 2-3, ``epidemic`` the agents reached by the
+        epoch >= 2 one-way epidemic (Lemma 2's fraction, as a count),
+        ``backup_min_level`` the smallest BackUp level present (Lemma
+        12's countdown; ``-1`` while no agent carries one), and
+        ``unassigned`` the V_X stragglers of lines 1-6.
+        """
+        from repro.telemetry.probe import PhaseProbe
+
+        def count_where(predicate):
+            return lambda counts, n: sum(
+                count for state, count in counts.items() if predicate(state)
+            )
+
+        def backup_min_level(counts, n):
+            levels = [
+                state.level_b
+                for state, count in counts.items()
+                if count > 0 and state.level_b is not None
+            ]
+            return min(levels) if levels else -1
+
+        return PhaseProbe(
+            {
+                "leaders": count_where(lambda s: s.leader),
+                "lottery_live": count_where(
+                    lambda s: s.leader and s.epoch == 1 and s.done is False
+                ),
+                "survivors": count_where(
+                    lambda s: s.leader and s.epoch in (2, 3)
+                ),
+                "epidemic": count_where(lambda s: s.epoch >= 2),
+                "backup_min_level": backup_min_level,
+                "unassigned": count_where(lambda s: s.unassigned),
+            }
+        )
+
     def transition(
         self, initiator: PLLState, responder: PLLState
     ) -> tuple[PLLState, PLLState]:

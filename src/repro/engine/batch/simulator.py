@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import Callable
 
@@ -65,8 +66,11 @@ from repro.engine.interner import StateInterner
 from repro.engine.kernel import make_transition_cache
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
-from repro.telemetry.core import cache_summary
+from repro.telemetry.core import cache_summary, telemetry_enabled
 from repro.telemetry.heartbeat import make_heartbeat
+from repro.telemetry.probe import make_phase_series
+from repro.telemetry.profile import StageProfile, emit_profile
+from repro.telemetry.trace import make_tracer
 
 __all__ = ["BatchSimulator", "BatchStats"]
 
@@ -126,10 +130,16 @@ class BatchSimulator:
         self.n = n
         self.seed = seed
         self._telemetry = telemetry
+        # Stage profile (gated wall-clock tier) and phase series
+        # (deterministic tier, always on): see DESIGN.md Section 9.
+        self._profile = StageProfile(enabled=telemetry_enabled(telemetry))
+        self.phase_series = make_phase_series(protocol, n)
         self.interner = StateInterner()
         self.cache = make_transition_cache(
             protocol, self.interner, cache_entries, use_kernel=use_kernel
         )
+        if hasattr(self.cache, "profile"):
+            self.cache.profile = self._profile
         self.steps = 0
         self.stats = BatchStats()
         self._rng = np.random.default_rng(seed)
@@ -232,6 +242,11 @@ class BatchSimulator:
             "cache": cache_summary(self.cache.stats),
         }
 
+    def phases_json(self) -> str | None:
+        """Serialized phase series for the trial store, or ``None``."""
+        series = self.phase_series
+        return None if series is None else series.to_json()
+
     def describe(self) -> str:
         """One-line human-readable summary of the simulation."""
         return (
@@ -321,29 +336,38 @@ class BatchSimulator:
         the true first-hit step).
         """
         pairs = min(self._block_pairs, budget)
-        initiators, responders = draw_interaction_pairs(self._rng, self.n, pairs)
-        free, collision_flat = first_collision(initiators, responders)
-        use = min(free, budget)
-        states = sample_block_states(
-            self._rng, self._counts[: len(self.interner)], 2 * use
-        )
-        pre0 = states[0::2]
-        pre1 = states[1::2]
-        post0, post1 = self._apply_pairs(pre0, pre1)
+        profile = self._profile
+        with profile.stage("sample"):
+            initiators, responders = draw_interaction_pairs(
+                self._rng, self.n, pairs
+            )
+            free, collision_flat = first_collision(initiators, responders)
+            use = min(free, budget)
+            states = sample_block_states(
+                self._rng, self._counts[: len(self.interner)], 2 * use
+            )
+            pre0 = states[0::2]
+            pre1 = states[1::2]
+        with profile.stage("apply"):
+            post0, post1 = self._apply_pairs(pre0, pre1)
         reached = False
         if leader_target is not None:
-            marks = self._leader_mark
-            deltas = marks[post0] + marks[post1] - marks[pre0] - marks[pre1]
-            if deltas.any():
-                cumulative = self.leader_count + np.cumsum(deltas)
-                hits = np.nonzero(cumulative == leader_target)[0]
-                if hits.size:
-                    use = int(hits[0]) + 1
-                    pre0, pre1 = pre0[:use], pre1[:use]
-                    post0, post1 = post0[:use], post1[:use]
-                    reached = True
-                    self.stats.truncated_blocks += 1
-        self._commit(pre0, pre1, post0, post1)
+            with profile.stage("detect"):
+                marks = self._leader_mark
+                deltas = (
+                    marks[post0] + marks[post1] - marks[pre0] - marks[pre1]
+                )
+                if deltas.any():
+                    cumulative = self.leader_count + np.cumsum(deltas)
+                    hits = np.nonzero(cumulative == leader_target)[0]
+                    if hits.size:
+                        use = int(hits[0]) + 1
+                        pre0, pre1 = pre0[:use], pre1[:use]
+                        post0, post1 = post0[:use], post1[:use]
+                        reached = True
+                        self.stats.truncated_blocks += 1
+        with profile.stage("commit"):
+            self._commit(pre0, pre1, post0, post1)
         self.steps += use
         self.stats.blocks += 1
         self.stats.block_steps += use
@@ -353,14 +377,15 @@ class BatchSimulator:
         applied = use
         if collision_flat >= 0 and use == free and use < budget:
             applied += 1
-            collision_active = self._collision_step(
-                int(initiators[free]),
-                int(responders[free]),
-                initiators[:free],
-                responders[:free],
-                post0,
-                post1,
-            )
+            with profile.stage("commit"):
+                collision_active = self._collision_step(
+                    int(initiators[free]),
+                    int(responders[free]),
+                    initiators[:free],
+                    responders[:free],
+                    post0,
+                    post1,
+                )
             active += collision_active
             if (
                 leader_target is not None
@@ -525,7 +550,8 @@ class BatchSimulator:
     ) -> tuple[int, bool]:
         """One scheduling decision: geometric fast path or sampled block."""
         if self._null_mode:
-            skipped = self._null_skip(budget, leader_target)
+            with self._profile.stage("null"):
+                skipped = self._null_skip(budget, leader_target)
             if skipped is not None:
                 return skipped
             self._null_mode = False
@@ -586,17 +612,58 @@ class BatchSimulator:
                 max_steps,
                 enabled=self._telemetry,
             )
-            while executed < max_steps:
-                applied, reached = self._advance(max_steps - executed, target)
-                executed += applied
-                if reached:
-                    break
-                # One branch per block when telemetry is off; blocks
-                # span Theta(sqrt(n)) interactions (whole runs on the
-                # super-batch subclass), so the poll never sits on a
-                # per-interaction path.
-                if heartbeat is not None:
-                    heartbeat.maybe_beat(self.steps)
+            series = self.phase_series
+            profile = self._profile
+            tracer = make_tracer()
+            if tracer is not None:
+                profile.tracer = tracer
+            trial_span = (
+                nullcontext()
+                if tracer is None
+                else tracer.span(
+                    "trial",
+                    cat="trial",
+                    engine=self.ENGINE_NAME,
+                    protocol=self.protocol.name,
+                    n=self.n,
+                    seed=self.seed,
+                )
+            )
+            try:
+                with trial_span:
+                    if series is not None:
+                        series.poll(self.steps, self.state_counts)
+                    while executed < max_steps:
+                        applied, reached = self._advance(
+                            max_steps - executed, target
+                        )
+                        executed += applied
+                        # Probe polls are chain-determined (block
+                        # boundaries; the schedule reads only steps), so
+                        # the series never depends on the telemetry
+                        # switch — the Section 9 neutrality contract.
+                        if series is not None:
+                            series.poll(self.steps, self.state_counts)
+                        if reached:
+                            break
+                        # One branch per block when telemetry is off;
+                        # blocks span Theta(sqrt(n)) interactions (whole
+                        # runs on the super-batch subclass), so the poll
+                        # never sits on a per-interaction path.
+                        if heartbeat is not None:
+                            heartbeat.maybe_beat(self.steps)
+                    if series is not None:
+                        series.finish(self.steps, self.state_counts)
+            finally:
+                profile.tracer = None
+            emit_profile(
+                profile,
+                self.ENGINE_NAME,
+                self.protocol.name,
+                self.n,
+                self.seed,
+                self.steps,
+            )
         else:
             self.run(max_steps, until=detector.check, check_every=check_every)
         if not detector.check(self):

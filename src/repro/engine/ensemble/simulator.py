@@ -42,6 +42,7 @@ packing, sweep schedule, or detach timing; only wall-clock does.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -54,8 +55,11 @@ from repro.engine.kernel import make_transition_cache
 from repro.engine.multiset import DRAW_BATCH_SIZE
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
-from repro.telemetry.core import cache_summary
+from repro.telemetry.core import cache_summary, telemetry_enabled
 from repro.telemetry.heartbeat import make_heartbeat
+from repro.telemetry.probe import make_phase_series
+from repro.telemetry.profile import StageProfile, emit_profile
+from repro.telemetry.trace import make_tracer
 
 __all__ = ["EnsembleLaneSimulator", "EnsembleSimulator", "LaneOutcome"]
 
@@ -126,6 +130,13 @@ class EnsembleSimulator:
         self._starved = False
         self._k = max(_MIN_LOOKAHEAD, min(int(lookahead), _MAX_LOOKAHEAD))
         self._telemetry = telemetry
+        # Sweep/retire stage profile (gated wall-clock tier).  Packed
+        # lanes carry no phase series: per-lane phase timelines would
+        # depend on sweep packing, and store rows must stay
+        # packing-independent — the lane facade below probes instead.
+        self._profile = StageProfile(enabled=telemetry_enabled(telemetry))
+        if hasattr(self.cache, "profile"):
+            self.cache.profile = self._profile
         self.sweeps = 0
         self._commit_sum = 0
         self._commit_rows = 0
@@ -546,30 +557,68 @@ class EnsembleSimulator:
             if on_lane_done is not None:
                 on_lane_done(outcome)
 
-        if self._scalar is None:
-            self._budget = self._steps + max_steps
-            self._retire_stabilized(retire)  # lanes stable before any step
-            while len(self._order) > self._detach_lanes and not self._starved:
-                try:
-                    self._sweep()
-                except PairTableOverflow:
-                    break
-                self._retire_stabilized(retire)
-                self._harvest_exhausted(failures)
-                if heartbeat is not None:
-                    heartbeat.maybe_beat(self.committed_steps)
-            if len(self._order):
-                budgets = {
-                    self._order[row]: int(self._budget[row] - self._steps[row])
-                    for row in range(len(self._order))
-                }
-                self._detach_all()
-                self._finish_scalar(budgets, retire, failures, heartbeat)
-        else:
-            budgets = {
-                index: max_steps for index in self._scalar
-            }
-            self._finish_scalar(budgets, retire, failures, heartbeat)
+        profile = self._profile
+        tracer = make_tracer()
+        if tracer is not None:
+            profile.tracer = tracer
+        ensemble_span = (
+            nullcontext()
+            if tracer is None
+            else tracer.span(
+                "ensemble",
+                cat="trial",
+                engine="ensemble",
+                protocol=self.protocol.name,
+                n=self.n,
+                lanes=len(self.seeds),
+            )
+        )
+        try:
+            with ensemble_span:
+                if self._scalar is None:
+                    self._budget = self._steps + max_steps
+                    # Lanes stable before any step.
+                    self._retire_stabilized(retire)
+                    while (
+                        len(self._order) > self._detach_lanes
+                        and not self._starved
+                    ):
+                        try:
+                            with profile.stage("sweep"):
+                                self._sweep()
+                        except PairTableOverflow:
+                            break
+                        with profile.stage("retire"):
+                            self._retire_stabilized(retire)
+                            self._harvest_exhausted(failures)
+                        if heartbeat is not None:
+                            heartbeat.maybe_beat(self.committed_steps)
+                    if len(self._order):
+                        budgets = {
+                            self._order[row]: int(
+                                self._budget[row] - self._steps[row]
+                            )
+                            for row in range(len(self._order))
+                        }
+                        self._detach_all()
+                        self._finish_scalar(
+                            budgets, retire, failures, heartbeat
+                        )
+                else:
+                    budgets = {
+                        index: max_steps for index in self._scalar
+                    }
+                    self._finish_scalar(budgets, retire, failures, heartbeat)
+        finally:
+            profile.tracer = None
+        emit_profile(
+            profile,
+            "ensemble",
+            self.protocol.name,
+            self.n,
+            None,
+            self.committed_steps,
+        )
         if failures:
             index, seed, steps = min(failures)
             raise ConvergenceError(
@@ -686,6 +735,12 @@ class EnsembleLaneSimulator:
         self.interner = interner
         self.cache = cache
         self._telemetry = telemetry
+        # Stage profile (gated) and phase series (deterministic tier,
+        # always on): see DESIGN.md Section 9.
+        self._profile = StageProfile(enabled=telemetry_enabled(telemetry))
+        self.phase_series = make_phase_series(protocol, n)
+        if hasattr(self.cache, "profile"):
+            self.cache.profile = self._profile
         self._lane = SlotLane(protocol, n, seed, cache=cache)
 
     @property
@@ -736,16 +791,62 @@ class EnsembleLaneSimulator:
             max_steps,
             enabled=self._telemetry,
         )
-        if heartbeat is None:
-            self._lane.run(max_steps, stop_at_target=True)
-        else:
-            # Chunked so the lane keeps beating; SlotLane.run resumes
-            # mid-draw-batch, so chunking never changes the chain.
-            budget = max_steps
-            lane = self._lane
-            while budget > 0 and lane.lead != lane.target:
-                budget -= lane.run(min(budget, 1 << 16), stop_at_target=True)
-                heartbeat.maybe_beat(lane.steps)
+        series = self.phase_series
+        profile = self._profile
+        tracer = make_tracer()
+        if tracer is not None:
+            profile.tracer = tracer
+        trial_span = (
+            nullcontext()
+            if tracer is None
+            else tracer.span(
+                "trial",
+                cat="trial",
+                engine="ensemble",
+                protocol=self.protocol.name,
+                n=self.n,
+                seed=self.seed,
+            )
+        )
+        try:
+            with trial_span:
+                if heartbeat is None and series is None:
+                    self._lane.run(max_steps, stop_at_target=True)
+                else:
+                    # Chunked so the lane keeps beating and the probe
+                    # polls on schedule; SlotLane.run resumes
+                    # mid-draw-batch, so chunking never changes the
+                    # chain, and the chunk size depends only on the
+                    # spec — never on the telemetry switch.
+                    chunk = (
+                        1 << 16
+                        if series is None
+                        else min(1 << 16, max(256, series.stride))
+                    )
+                    budget = max_steps
+                    lane = self._lane
+                    if series is not None:
+                        series.poll(lane.steps, lane.state_counts)
+                    while budget > 0 and lane.lead != lane.target:
+                        budget -= lane.run(
+                            min(budget, chunk), stop_at_target=True
+                        )
+                        if heartbeat is not None:
+                            heartbeat.maybe_beat(lane.steps)
+                        if series is not None:
+                            series.poll(lane.steps, lane.state_counts)
+                    if series is not None:
+                        series.finish(lane.steps, lane.state_counts)
+        finally:
+            profile.tracer = None
+        emit_profile(
+            profile,
+            "ensemble",
+            self.protocol.name,
+            self.n,
+            self.seed,
+            self.steps,
+        )
         if self._lane.lead != self._lane.target:
             raise ConvergenceError(
                 f"protocol {self.protocol.name!r} (n={self.n}) did not "
@@ -763,6 +864,11 @@ class EnsembleLaneSimulator:
             "distinct_states": self.distinct_states_seen(),
             "cache": cache_summary(self.cache.stats),
         }
+
+    def phases_json(self) -> str | None:
+        """Serialized phase series for the trial store, or ``None``."""
+        series = self.phase_series
+        return None if series is None else series.to_json()
 
     def describe(self) -> str:
         outputs = Counter()

@@ -36,6 +36,7 @@ import numpy as np
 from repro.engine.cache import CacheStats
 from repro.engine.interner import StateInterner
 from repro.engine.kernel.compiled import CompiledKernel
+from repro.telemetry.profile import DISABLED
 
 __all__ = ["KERNEL_PAIR_BOUND", "KernelTransitionCache"]
 
@@ -68,6 +69,7 @@ class KernelTransitionCache:
         "_stored",
         "_wide",
         "stats",
+        "profile",
     )
 
     def __init__(
@@ -114,6 +116,10 @@ class KernelTransitionCache:
         self._stored = 0
         self._wide: dict[tuple[int, int], tuple[int, int]] = {}
         self.stats = CacheStats()
+        # Engines holding a StageProfile swap it in; the shared disabled
+        # default keeps the fill sites below unconditional (no hasattr
+        # on the miss path).
+        self.profile = DISABLED
         self._sync_ids()
 
     # ------------------------------------------------------------------
@@ -198,9 +204,11 @@ class KernelTransitionCache:
     def _resolve(self, initiator_id: int, responder_id: int) -> tuple[int, int]:
         """Post ids for a pair not yet in the id tables (and store them)."""
         self._sync_ids()
-        code0, code1 = self._universe.pair_posts(
-            int(self._uindex[initiator_id]), int(self._uindex[responder_id])
-        )
+        with self.profile.stage("kernel_fill"):
+            code0, code1 = self._universe.pair_posts(
+                int(self._uindex[initiator_id]),
+                int(self._uindex[responder_id]),
+            )
         post0 = self._id_for_code(code0)
         post1 = self._id_for_code(code1)
         result = (post0, post1)
@@ -300,9 +308,10 @@ class KernelTransitionCache:
         id tables themselves are out of range.
         """
         self._sync_ids()
-        posts = self._universe.block_posts(
-            self._uindex.take(pre0), self._uindex.take(pre1)
-        )
+        with self.profile.stage("kernel_fill"):
+            posts = self._universe.block_posts(
+                self._uindex.take(pre0), self._uindex.take(pre1)
+            )
         if posts is None:
             return False
         code0, code1 = posts

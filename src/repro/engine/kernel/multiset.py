@@ -34,6 +34,7 @@ experiments.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import nullcontext
 from typing import Callable
 
 import numpy as np
@@ -47,8 +48,11 @@ from repro.engine.kernel import make_transition_cache
 from repro.engine.multiset import DRAW_BATCH_SIZE
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
-from repro.telemetry.core import cache_summary
+from repro.telemetry.core import cache_summary, telemetry_enabled
 from repro.telemetry.heartbeat import make_heartbeat
+from repro.telemetry.probe import make_phase_series
+from repro.telemetry.profile import StageProfile, emit_profile
+from repro.telemetry.trace import make_tracer
 
 __all__ = ["KernelMultisetSimulator"]
 
@@ -85,10 +89,15 @@ class KernelMultisetSimulator:
         #: depends on the telemetry switch.
         self.null_steps = 0
         self.pair_interns = 0
+        # Stage profile (gated) and phase series (deterministic tier,
+        # always on): see DESIGN.md Section 9.
+        self._profile = StageProfile(enabled=telemetry_enabled(telemetry))
+        self.phase_series = make_phase_series(protocol, n)
         self.interner = StateInterner()
         self.cache = make_transition_cache(
             protocol, self.interner, cache_entries, use_kernel=True
         )
+        self.cache.profile = self._profile
         self.steps = 0
         self._rng = np.random.default_rng(seed)
         self._batch_size = batch_size
@@ -271,6 +280,11 @@ class KernelMultisetSimulator:
             "cache": cache_summary(self.cache.stats),
         }
 
+    def phases_json(self) -> str | None:
+        """Serialized phase series for the trial store, or ``None``."""
+        series = self.phase_series
+        return None if series is None else series.to_json()
+
     def describe(self) -> str:
         """One-line human-readable summary of the simulation."""
         return (
@@ -404,16 +418,65 @@ class KernelMultisetSimulator:
                 max_steps,
                 enabled=self._telemetry,
             )
-            if heartbeat is None:
-                self._advance(max_steps, detector.target)
-            else:
-                target = detector.target
-                executed = 0
-                while executed < max_steps and self._lead != target:
-                    executed += self._advance(
-                        min(_HEARTBEAT_CHUNK, max_steps - executed), target
-                    )
-                    heartbeat.maybe_beat(self.steps)
+            series = self.phase_series
+            profile = self._profile
+            tracer = make_tracer()
+            if tracer is not None:
+                profile.tracer = tracer
+            trial_span = (
+                nullcontext()
+                if tracer is None
+                else tracer.span(
+                    "trial",
+                    cat="trial",
+                    engine="multiset",
+                    protocol=self.protocol.name,
+                    n=self.n,
+                    seed=self.seed,
+                )
+            )
+            try:
+                with trial_span:
+                    if heartbeat is None and series is None:
+                        self._advance(max_steps, detector.target)
+                    else:
+                        # Chunked loop: chunking never changes the
+                        # trajectory (cursor state persists), and the
+                        # chunk size depends only on the spec — with a
+                        # series present it follows the probe stride so
+                        # poll sites land on schedule, never on the
+                        # telemetry switch.
+                        chunk = (
+                            _HEARTBEAT_CHUNK
+                            if series is None
+                            else min(
+                                _HEARTBEAT_CHUNK, max(256, series.stride)
+                            )
+                        )
+                        target = detector.target
+                        executed = 0
+                        if series is not None:
+                            series.poll(self.steps, self.state_counts)
+                        while executed < max_steps and self._lead != target:
+                            executed += self._advance(
+                                min(chunk, max_steps - executed), target
+                            )
+                            if heartbeat is not None:
+                                heartbeat.maybe_beat(self.steps)
+                            if series is not None:
+                                series.poll(self.steps, self.state_counts)
+                        if series is not None:
+                            series.finish(self.steps, self.state_counts)
+            finally:
+                profile.tracer = None
+            emit_profile(
+                profile,
+                "multiset",
+                self.protocol.name,
+                self.n,
+                self.seed,
+                self.steps,
+            )
         else:
             self.run(max_steps, until=detector.check, check_every=check_every)
         if not detector.check(self):

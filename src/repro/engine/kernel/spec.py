@@ -102,6 +102,13 @@ class KernelSpec:
     )
     sample_states: Callable[[np.random.Generator, int], list[State]] | None = None
     cache_key: tuple | None = None
+    #: Optional :class:`repro.telemetry.probe.PhaseProbe` carried by the
+    #: spec — the kernel-level attachment point for protocols that do
+    #: not override ``Protocol.phase_probe()`` (see
+    #: :func:`repro.telemetry.probe.phase_probe_for`).  Excluded from
+    #: compilation and from ``cache_key`` identity: probes read decoded
+    #: state counts, never codes.
+    phase_probe: object | None = None
 
     def __post_init__(self) -> None:
         if not self.fields:

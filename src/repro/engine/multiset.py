@@ -20,6 +20,7 @@ distribution (tested statistically in ``tests/engine/test_engines_agree``).
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import nullcontext
 from typing import Callable
 
 import numpy as np
@@ -33,8 +34,11 @@ from repro.engine.interner import StateInterner
 from repro.engine.kernel import make_transition_cache
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.errors import ConvergenceError, SimulationError
-from repro.telemetry.core import cache_summary
+from repro.telemetry.core import cache_summary, telemetry_enabled
 from repro.telemetry.heartbeat import make_heartbeat
+from repro.telemetry.probe import make_phase_series, poll_mask as _poll_mask
+from repro.telemetry.profile import StageProfile, emit_profile
+from repro.telemetry.trace import make_tracer
 
 __all__ = ["DRAW_BATCH_SIZE", "MultisetSimulator"]
 
@@ -71,10 +75,17 @@ class MultisetSimulator:
         #: stored telemetry summary never depends on the telemetry
         #: switch — see DESIGN.md Section 8.
         self.null_steps = 0
+        # Stage profile (gated) and phase series (deterministic tier,
+        # always on): see DESIGN.md Section 9.  The scalar engine's only
+        # profiled stage is the kernel cache's pair-table fill.
+        self._profile = StageProfile(enabled=telemetry_enabled(telemetry))
+        self.phase_series = make_phase_series(protocol, n)
         self.interner = StateInterner()
         self.cache = make_transition_cache(
             protocol, self.interner, cache_entries, use_kernel=use_kernel
         )
+        if hasattr(self.cache, "profile"):
+            self.cache.profile = self._profile
         self.steps = 0
         self._rng = np.random.default_rng(seed)
         self._batch_size = batch_size
@@ -250,22 +261,64 @@ class MultisetSimulator:
                 max_steps,
                 enabled=self._telemetry,
             )
-            if heartbeat is None:
-                while executed < max_steps:
-                    step()
-                    executed += 1
-                    if output_counts.get(LEADER, 0) == target:
-                        break
-            else:
-                # Separate loop so the telemetry-off path pays nothing;
-                # the beat poll itself is amortized over 2^14 steps.
-                while executed < max_steps:
-                    step()
-                    executed += 1
-                    if output_counts.get(LEADER, 0) == target:
-                        break
-                    if not executed & 0x3FFF:
-                        heartbeat.maybe_beat(self.steps)
+            series = self.phase_series
+            profile = self._profile
+            tracer = make_tracer()
+            if tracer is not None:
+                profile.tracer = tracer
+            trial_span = (
+                nullcontext()
+                if tracer is None
+                else tracer.span(
+                    "trial",
+                    cat="trial",
+                    engine="multiset",
+                    protocol=self.protocol.name,
+                    n=self.n,
+                    seed=self.seed,
+                )
+            )
+            try:
+                with trial_span:
+                    if heartbeat is None and series is None:
+                        while executed < max_steps:
+                            step()
+                            executed += 1
+                            if output_counts.get(LEADER, 0) == target:
+                                break
+                    else:
+                        # Separate loop so the poll-free path pays
+                        # nothing.  The poll mask follows the probe
+                        # stride (bounded to [2^8, 2^14]) and depends
+                        # only on the spec — poll sites never depend on
+                        # the telemetry switch.
+                        mask = _poll_mask(series)
+                        if series is not None:
+                            series.poll(self.steps, self.state_counts)
+                        while executed < max_steps:
+                            step()
+                            executed += 1
+                            if output_counts.get(LEADER, 0) == target:
+                                break
+                            if not executed & mask:
+                                if heartbeat is not None:
+                                    heartbeat.maybe_beat(self.steps)
+                                if series is not None:
+                                    series.poll(
+                                        self.steps, self.state_counts
+                                    )
+                        if series is not None:
+                            series.finish(self.steps, self.state_counts)
+            finally:
+                profile.tracer = None
+            emit_profile(
+                profile,
+                "multiset",
+                self.protocol.name,
+                self.n,
+                self.seed,
+                self.steps,
+            )
         else:
             self.run(max_steps, until=detector.check, check_every=check_every)
         if not detector.check(self):
@@ -289,6 +342,11 @@ class MultisetSimulator:
             "null_steps": self.null_steps,
             "cache": cache_summary(self.cache.stats),
         }
+
+    def phases_json(self) -> str | None:
+        """Serialized phase series for the trial store, or ``None``."""
+        series = self.phase_series
+        return None if series is None else series.to_json()
 
     def describe(self) -> str:
         """One-line human-readable summary of the simulation."""

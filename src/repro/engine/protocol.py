@@ -105,6 +105,27 @@ class Protocol(ABC):
         """
         return None
 
+    def phase_probe(self):
+        """Opt in to phase-occupancy probing, or ``None``.
+
+        Protocols with an internal phase structure (PLL's lottery /
+        tournament / epidemic / backup epochs, majority opinion
+        dynamics) return a :class:`repro.telemetry.probe.PhaseProbe`
+        whose integer features are derived purely from a configuration's
+        state counts.  Probes are read-only and deterministic — they
+        never consume randomness and never touch trajectories — so the
+        engines sample them unconditionally on a spec-determined step
+        schedule (see :mod:`repro.telemetry.probe`).  Compiled protocols
+        may instead attach the probe to their ``KernelSpec``
+        (``phase_probe`` field); :func:`repro.telemetry.probe.phase_probe_for`
+        checks both.
+
+        Returns
+        -------
+        PhaseProbe | None
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
 

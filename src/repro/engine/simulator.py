@@ -15,6 +15,7 @@ detected in O(1) per step via incrementally maintained output counts.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import nullcontext
 from typing import Callable, Iterable, Sequence
 
 from repro.engine.convergence import (
@@ -26,8 +27,11 @@ from repro.engine.kernel import make_transition_cache
 from repro.engine.protocol import LEADER, Protocol, State
 from repro.engine.scheduler import PairScheduler, RandomScheduler
 from repro.errors import ConvergenceError, SimulationError
-from repro.telemetry.core import cache_summary
+from repro.telemetry.core import cache_summary, telemetry_enabled
 from repro.telemetry.heartbeat import make_heartbeat
+from repro.telemetry.probe import make_phase_series, poll_mask as _poll_mask
+from repro.telemetry.profile import StageProfile, emit_profile
+from repro.telemetry.trace import make_tracer
 
 __all__ = ["AgentSimulator", "Hook"]
 
@@ -77,10 +81,16 @@ class AgentSimulator:
         self.n = n
         self.seed = seed
         self._telemetry = telemetry
+        # Stage profile (gated) and phase series (deterministic tier,
+        # always on): see DESIGN.md Section 9.
+        self._profile = StageProfile(enabled=telemetry_enabled(telemetry))
+        self.phase_series = make_phase_series(protocol, n)
         self.interner = StateInterner()
         self.cache = make_transition_cache(
             protocol, self.interner, cache_entries, use_kernel=use_kernel
         )
+        if hasattr(self.cache, "profile"):
+            self.cache.profile = self._profile
         self.scheduler: PairScheduler = (
             scheduler if scheduler is not None else RandomScheduler(n, seed)
         )
@@ -286,22 +296,61 @@ class AgentSimulator:
             max_steps,
             enabled=self._telemetry,
         )
-        if heartbeat is None:
-            while executed < max_steps:
-                step()
-                executed += 1
-                if output_counts.get(LEADER, 0) == target:
-                    break
-        else:
-            # Separate loop so the telemetry-off path pays nothing; the
-            # beat poll itself is amortized over 2^14 steps.
-            while executed < max_steps:
-                step()
-                executed += 1
-                if output_counts.get(LEADER, 0) == target:
-                    break
-                if not executed & 0x3FFF:
-                    heartbeat.maybe_beat(self.steps)
+        series = self.phase_series
+        profile = self._profile
+        tracer = make_tracer()
+        if tracer is not None:
+            profile.tracer = tracer
+        trial_span = (
+            nullcontext()
+            if tracer is None
+            else tracer.span(
+                "trial",
+                cat="trial",
+                engine="agent",
+                protocol=self.protocol.name,
+                n=self.n,
+                seed=self.seed,
+            )
+        )
+        try:
+            with trial_span:
+                if heartbeat is None and series is None:
+                    while executed < max_steps:
+                        step()
+                        executed += 1
+                        if output_counts.get(LEADER, 0) == target:
+                            break
+                else:
+                    # Separate loop so the poll-free path pays nothing.
+                    # The poll mask follows the probe stride (bounded
+                    # to [2^8, 2^14]) and depends only on the spec —
+                    # poll sites never depend on the telemetry switch.
+                    mask = _poll_mask(series)
+                    if series is not None:
+                        series.poll(self.steps, self.state_counts)
+                    while executed < max_steps:
+                        step()
+                        executed += 1
+                        if output_counts.get(LEADER, 0) == target:
+                            break
+                        if not executed & mask:
+                            if heartbeat is not None:
+                                heartbeat.maybe_beat(self.steps)
+                            if series is not None:
+                                series.poll(self.steps, self.state_counts)
+                    if series is not None:
+                        series.finish(self.steps, self.state_counts)
+        finally:
+            profile.tracer = None
+        emit_profile(
+            profile,
+            "agent",
+            self.protocol.name,
+            self.n,
+            self.seed,
+            self.steps,
+        )
         return executed
 
     # ------------------------------------------------------------------
@@ -320,6 +369,11 @@ class AgentSimulator:
             "distinct_states": len(self.interner),
             "cache": cache_summary(self.cache.stats),
         }
+
+    def phases_json(self) -> str | None:
+        """Serialized phase series for the trial store, or ``None``."""
+        series = self.phase_series
+        return None if series is None else series.to_json()
 
     def describe(self) -> str:
         """One-line human-readable summary of the simulation."""

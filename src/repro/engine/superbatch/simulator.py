@@ -124,35 +124,48 @@ class SuperBatchSimulator(BatchSimulator):
         rng = self._rng
         limit = min(budget, self._run_cap)
         stats = self.stats
-        length, collided = sample_run_length(rng, self.n, limit, stats=stats)
+        profile = self._profile
+        with profile.stage("sample"):
+            length, collided = sample_run_length(
+                rng, self.n, limit, stats=stats
+            )
         active = 0
         applied = 0
         touched = None
         if length:
             counts = self._counts
-            support = np.nonzero(counts[: len(self.interner)])[0]
-            pre0, pre1, weight = sample_run_pairs(
-                rng, support, counts[support], length, stats=stats
-            )
-            post0, post1 = self.cache.apply_block(pre0, pre1)
+            with profile.stage("sample"):
+                support = np.nonzero(counts[: len(self.interner)])[0]
+                pre0, pre1, weight = sample_run_pairs(
+                    rng, support, counts[support], length, stats=stats
+                )
+            with profile.stage("apply"):
+                post0, post1 = self.cache.apply_block(pre0, pre1)
             self._ensure_tables()
             marks = self._leader_mark
             deltas = (
                 marks[post0] + marks[post1] - marks[pre0] - marks[pre1]
             )
             if leader_target is not None and deltas.any():
-                truncated = self._truncate_run(
-                    weight, deltas, self._lead, leader_target
-                )
+                with profile.stage("detect"):
+                    truncated = self._truncate_run(
+                        weight, deltas, self._lead, leader_target
+                    )
                 if truncated is not None:
                     prefix, steps = truncated
-                    self._commit_weighted(pre0, pre1, post0, post1, prefix)
+                    with profile.stage("commit"):
+                        self._commit_weighted(
+                            pre0, pre1, post0, post1, prefix
+                        )
                     self.steps += steps
                     stats.blocks += 1
                     stats.block_steps += steps
                     stats.truncated_runs += 1
                     return steps, True
-            touched = self._commit_weighted(pre0, pre1, post0, post1, weight)
+            with profile.stage("commit"):
+                touched = self._commit_weighted(
+                    pre0, pre1, post0, post1, weight
+                )
             self.steps += length
             applied = length
             stats.blocks += 1
@@ -162,7 +175,8 @@ class SuperBatchSimulator(BatchSimulator):
                 active = int(weight[changed].sum())
         if collided and applied < budget:
             applied += 1
-            active += self._replay_collision(2 * length, touched)
+            with profile.stage("commit"):
+                active += self._replay_collision(2 * length, touched)
             if (
                 leader_target is not None
                 and self.leader_count == leader_target

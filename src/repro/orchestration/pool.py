@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import multiprocessing
 import signal
+from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Sequence
@@ -43,6 +44,7 @@ from repro.orchestration.spec import (
 )
 from repro.orchestration.store import TrialStore
 from repro.telemetry.core import trial_telemetry_json
+from repro.telemetry.trace import make_tracer
 
 __all__ = [
     "ENSEMBLE_MAX_LANES",
@@ -164,6 +166,7 @@ def measure_trial(
         distinct_states=sim.distinct_states_seen(),
         duration=duration,
         telemetry=trial_telemetry_json(sim),
+        phases=getattr(sim, "phases_json", lambda: None)(),
     )
 
 
@@ -303,6 +306,8 @@ def _lane_outcome_to_trial(
     # ``telemetry`` stays None for packed lanes: a lane's counters would
     # depend on which siblings it was packed with (a jobs-dependent
     # runtime choice), and store rows must stay packing-independent.
+    # ``phases`` likewise: the packed engine carries no per-lane probe
+    # schedule, so only solo runs (and the lane facade) record a series.
     return TrialOutcome(
         seed=lane_outcome.seed,
         steps=lane_outcome.steps,
@@ -343,9 +348,22 @@ def _run_ensemble_chunk(
             ),
         )
 
-    simulator.run_until_stabilized(
-        max_steps=sample.max_steps, on_lane_done=lane_done
+    tracer = make_tracer()
+    cell_span = (
+        nullcontext()
+        if tracer is None
+        else tracer.span(
+            "cell",
+            cat="cell",
+            protocol=sample.protocol,
+            n=n,
+            lanes=len(chunk),
+        )
     )
+    with cell_span:
+        simulator.run_until_stabilized(
+            max_steps=sample.max_steps, on_lane_done=lane_done
+        )
 
 
 def run_specs(

@@ -14,6 +14,7 @@ the same store simply finds fewer missing trials.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.analysis.stats import summarize
@@ -21,6 +22,7 @@ from repro.analysis.tables import Table
 from repro.orchestration.pool import ProgressCallback, run_specs
 from repro.orchestration.spec import CampaignSpec, TrialOutcome
 from repro.orchestration.store import TrialStore
+from repro.telemetry.trace import make_tracer
 
 __all__ = ["CampaignRunner", "CampaignStatus", "CampaignResult", "CellStatus"]
 
@@ -246,12 +248,25 @@ class CampaignRunner:
     def run(self, campaign: CampaignSpec) -> CampaignResult:
         """Execute every trial not already cached; aggregate all of them."""
         started = time.perf_counter()
-        report = run_specs(
-            campaign.trials,
-            jobs=self.jobs,
-            store=self.store,
-            progress=self.progress,
+        tracer = make_tracer()
+        campaign_span = (
+            nullcontext()
+            if tracer is None
+            else tracer.span(
+                "campaign",
+                cat="campaign",
+                campaign=campaign.name,
+                trials=len(campaign),
+                jobs=self.jobs,
+            )
         )
+        with campaign_span:
+            report = run_specs(
+                campaign.trials,
+                jobs=self.jobs,
+                store=self.store,
+                progress=self.progress,
+            )
         return CampaignResult(
             campaign=campaign,
             outcomes=report.outcomes,

@@ -121,7 +121,12 @@ class TrialOutcome:
     off) and ``telemetry`` (the engine's canonical-JSON counter summary,
     or ``None``) are runtime records, not part of the measurement: they
     are excluded from equality so outcomes compare by what the chain did,
-    never by how fast the host ran it.
+    never by how fast the host ran it.  ``phases`` is the serialized
+    protocol phase series (:mod:`repro.telemetry.probe`) — deterministic
+    data, but a *derived view* of the trajectory rather than part of the
+    stabilization measurement, so it is likewise excluded from equality
+    (packed ensemble lanes legitimately store ``None`` for outcomes that
+    solo runs store a series for).
     """
 
     seed: int
@@ -131,6 +136,7 @@ class TrialOutcome:
     distinct_states: int
     duration: float = field(default=0.0, compare=False)
     telemetry: str | None = field(default=None, compare=False)
+    phases: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

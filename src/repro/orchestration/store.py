@@ -12,9 +12,10 @@ only dependency, and writes are committed per batch so a kill mid-campaign
 loses at most the in-flight trial.
 
 Schema evolution: writable opens migrate older stores in place by adding
-the missing columns (``duration``, ``telemetry``) with backfill defaults;
-readonly opens tolerate their absence instead, so ``status``/``report``
-against a pre-migration store keeps working without write access.
+the missing columns (``duration``, ``telemetry``, ``phases``) with
+backfill defaults; readonly opens tolerate their absence instead, so
+``status``/``report`` against a pre-migration store keeps working
+without write access.
 """
 
 from __future__ import annotations
@@ -45,6 +46,7 @@ CREATE TABLE IF NOT EXISTS trials (
     distinct_states INTEGER NOT NULL,
     duration        REAL NOT NULL DEFAULT 0.0,
     telemetry       TEXT,
+    phases          TEXT,
     created_at      TEXT NOT NULL DEFAULT (datetime('now'))
 );
 CREATE INDEX IF NOT EXISTS idx_trials_protocol_n ON trials (protocol, n);
@@ -56,6 +58,7 @@ CREATE INDEX IF NOT EXISTS idx_trials_protocol_n ON trials (protocol, n);
 _MIGRATIONS = (
     ("duration", "ALTER TABLE trials ADD COLUMN duration REAL NOT NULL DEFAULT 0.0"),
     ("telemetry", "ALTER TABLE trials ADD COLUMN telemetry TEXT"),
+    ("phases", "ALTER TABLE trials ADD COLUMN phases TEXT"),
 )
 
 
@@ -116,6 +119,7 @@ class TrialStore:
         }
         self._has_duration = "duration" in present
         self._has_telemetry = "telemetry" in present
+        self._has_phases = "phases" in present
         if self.readonly:
             return
         migrated = False
@@ -127,13 +131,15 @@ class TrialStore:
             self._connection.commit()
         self._has_duration = True
         self._has_telemetry = True
+        self._has_phases = True
 
     def _outcome_columns(self) -> str:
         duration = "duration" if self._has_duration else "0.0 AS duration"
         telemetry = "telemetry" if self._has_telemetry else "NULL AS telemetry"
+        phases = "phases" if self._has_phases else "NULL AS phases"
         return (
             "seed, steps, parallel_time, leader_count, distinct_states, "
-            f"{duration}, {telemetry}"
+            f"{duration}, {telemetry}, {phases}"
         )
 
     # ------------------------------------------------------------------
@@ -201,7 +207,8 @@ class TrialStore:
             "SELECT spec_hash, protocol, n, seed, engine, spec_json,"
             f" steps, parallel_time, leader_count, distinct_states,"
             f" {'duration' if self._has_duration else '0.0'},"
-            f" {'telemetry' if self._has_telemetry else 'NULL'}"
+            f" {'telemetry' if self._has_telemetry else 'NULL'},"
+            f" {'phases' if self._has_phases else 'NULL'}"
             " FROM trials ORDER BY protocol, n, engine, seed"
         )
         names = (
@@ -217,6 +224,7 @@ class TrialStore:
             "distinct_states",
             "duration",
             "telemetry",
+            "phases",
         )
         for row in cursor:
             yield dict(zip(names, row))
@@ -254,6 +262,7 @@ class TrialStore:
                     outcome.distinct_states,
                     outcome.duration,
                     outcome.telemetry,
+                    outcome.phases,
                 )
             )
         with self._connection:
@@ -261,8 +270,8 @@ class TrialStore:
                 "INSERT OR REPLACE INTO trials"
                 " (spec_hash, protocol, n, seed, engine, spec_json, steps,"
                 "  parallel_time, leader_count, distinct_states, duration,"
-                "  telemetry)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "  telemetry, phases)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
 
@@ -276,6 +285,7 @@ def _outcome_from_row(row: Sequence[object]) -> TrialOutcome:
         distinct_states,
         duration,
         telemetry,
+        phases,
     ) = row
     return TrialOutcome(
         seed=int(seed),
@@ -285,4 +295,5 @@ def _outcome_from_row(row: Sequence[object]) -> TrialOutcome:
         distinct_states=int(distinct_states),
         duration=float(duration),
         telemetry=None if telemetry is None else str(telemetry),
+        phases=None if phases is None else str(phases),
     )

@@ -40,8 +40,15 @@ class AngluinProtocol(LeaderElectionProtocol):
         return 2
 
     def compile_kernel(self):
-        """One leader bit; two states lower to a full pair table."""
+        """One leader bit; two states lower to a full pair table.
+
+        The phase probe rides on the spec (the kernel-level attachment
+        point of :func:`repro.telemetry.probe.phase_probe_for`): the
+        only phase here is pairwise elimination, so the single feature
+        is the surviving-leader count.
+        """
         from repro.engine.kernel.spec import Field, KernelSpec
+        from repro.telemetry.probe import PhaseProbe
 
         def delta(a, b):
             both = (a["leader"] == 1) & (b["leader"] == 1)
@@ -55,4 +62,11 @@ class AngluinProtocol(LeaderElectionProtocol):
             delta=delta,
             features={"leader": lambda cols: cols["leader"]},
             cache_key=("angluin",),
+            phase_probe=PhaseProbe(
+                {
+                    "leaders": lambda counts, n: sum(
+                        count for state, count in counts.items() if state
+                    ),
+                }
+            ),
         )

@@ -63,6 +63,21 @@ class ApproximateMajority(Protocol):
     def is_symmetric(self) -> bool:
         return True  # equal states never match an asymmetric rule
 
+    def phase_probe(self):
+        """Opinion occupancy: the annihilate-then-recruit dynamics."""
+        from repro.telemetry.probe import PhaseProbe
+
+        def count_of(symbol):
+            return lambda counts, n: counts.get(symbol, 0)
+
+        return PhaseProbe(
+            {
+                "x": count_of(OPINION_X),
+                "y": count_of(OPINION_Y),
+                "blank": count_of(BLANK),
+            }
+        )
+
     def compile_kernel(self):
         """Opinion field ``b/x/y -> 0/1/2``; lowers to a pair table."""
         from repro.engine.kernel.spec import Field, KernelSpec
@@ -127,6 +142,22 @@ class ExactMajority(Protocol):
 
     def state_bound(self) -> int:
         return 4
+
+    def phase_probe(self):
+        """Strong/weak occupancy: annihilation then follow dynamics."""
+        from repro.telemetry.probe import PhaseProbe
+
+        def count_of(symbol):
+            return lambda counts, n: counts.get(symbol, 0)
+
+        return PhaseProbe(
+            {
+                "strong_x": count_of(OPINION_X),
+                "strong_y": count_of(OPINION_Y),
+                "weak_x": count_of(WEAK_X),
+                "weak_y": count_of(WEAK_Y),
+            }
+        )
 
     def compile_kernel(self):
         """Strong/weak opinions ``x/y/wx/wy -> 0..3``; pair-table mode."""

@@ -1,25 +1,36 @@
 """Near-zero-overhead instrumentation for the simulation engines.
 
-The telemetry layer has three moving parts, all of them optional at run
-time:
+The telemetry layer's moving parts, all of them optional at run time:
 
 * :mod:`repro.telemetry.core` — the enablement switch
   (``REPRO_TELEMETRY``), counter/gauge/phase-timer primitives, and
   :class:`TrialTelemetry`, the canonical-JSON per-trial summary every
   engine can produce via ``telemetry_summary()``;
 * :mod:`repro.telemetry.sink` — a JSONL event sink
-  (``REPRO_TELEMETRY_EVENTS``) plus the stderr echo long-running trials
-  use for visibility;
+  (``REPRO_TELEMETRY_EVENTS``, line-atomic appends, ``{pid}``
+  placeholder for per-worker files) plus the stderr echo long-running
+  trials use for visibility;
 * :mod:`repro.telemetry.heartbeat` — the periodic progress emitter
   (steps so far, steps/sec, ETA to the step budget) threaded through
-  every engine's ``run_until_stabilized`` loop.
+  every engine's ``run_until_stabilized`` loop;
+* :mod:`repro.telemetry.trace` — hierarchical span tracing
+  (``REPRO_TRACE``): campaign → cell → trial → engine-stage spans as
+  sink events, exportable to Chrome trace-event JSON for Perfetto via
+  ``repro trace export``;
+* :mod:`repro.telemetry.profile` — per-stage wall-clock profiles
+  behind the telemetry gate, aggregated into a stage-cost table by
+  ``repro telemetry profile``;
+* :mod:`repro.telemetry.probe` — protocol phase probes: deterministic,
+  always-on phase-occupancy time series derived from state counts,
+  persisted to the trial store's ``phases`` column and rendered by
+  ``repro telemetry phases``.
 
-Design rule (see DESIGN.md Section 8): anything *wall-clock shaped* —
-heartbeats, timers, event emission — is gated behind the enablement
-switch and costs one branch per block when off; anything *deterministic*
-— the counters that land in the trial store's ``telemetry`` column — is
-collected unconditionally, so stored rows are byte-identical whether
-telemetry is on or off.
+Design rule (see DESIGN.md Sections 8-9): anything *wall-clock shaped*
+— heartbeats, timers, spans, profiles, event emission — is gated
+behind the enablement switch and costs one branch per block when off;
+anything *deterministic* — the counters in the store's ``telemetry``
+column, the phase series in ``phases`` — is collected unconditionally,
+so stored rows are byte-identical whether telemetry is on or off.
 """
 
 from repro.telemetry.core import (
@@ -36,23 +47,61 @@ from repro.telemetry.heartbeat import (
     Heartbeat,
     make_heartbeat,
 )
+from repro.telemetry.probe import (
+    PhaseProbe,
+    PhaseSeries,
+    make_phase_series,
+    phase_probe_for,
+    poll_mask,
+    render_phases,
+)
+from repro.telemetry.profile import (
+    StageProfile,
+    aggregate_profiles,
+    emit_profile,
+    render_profile_table,
+)
 from repro.telemetry.report import build_report, render_report
 from repro.telemetry.sink import EVENTS_ENV, EventSink, make_sink
+from repro.telemetry.trace import (
+    TRACE_ENV,
+    Tracer,
+    chrome_trace_events,
+    make_tracer,
+    tracing_enabled,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "TELEMETRY_ENV",
     "EVENTS_ENV",
     "HEARTBEAT_SECS_ENV",
+    "TRACE_ENV",
     "Counter",
     "Gauge",
     "PhaseTimer",
+    "PhaseProbe",
+    "PhaseSeries",
+    "StageProfile",
     "TrialTelemetry",
     "Heartbeat",
     "EventSink",
+    "Tracer",
+    "aggregate_profiles",
     "build_report",
+    "chrome_trace_events",
+    "emit_profile",
     "make_heartbeat",
+    "make_phase_series",
     "make_sink",
+    "make_tracer",
+    "phase_probe_for",
+    "poll_mask",
+    "render_phases",
+    "render_profile_table",
     "render_report",
     "telemetry_enabled",
+    "tracing_enabled",
     "trial_telemetry_json",
+    "validate_chrome_trace",
 ]

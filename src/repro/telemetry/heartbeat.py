@@ -105,6 +105,10 @@ class Heartbeat:
             "steps_per_sec": round(rate, 1),
             "max_steps": self.max_steps,
             "eta_sec": None if eta is None else round(eta, 1),
+            # Wall-clock stamp + pid anchor the beat on the trace
+            # timeline (`repro trace export` renders a counter track).
+            "ts": round(time.time(), 6),
+            "pid": os.getpid(),
         }
         if self.seed is not None:
             event["seed"] = self.seed

@@ -1,0 +1,215 @@
+"""Protocol phase probes: phase occupancy derived from count vectors.
+
+The paper's Algorithm 1 has an explicit phase structure — the
+QuickElimination lottery (epoch 1), the Tournament (epochs 2-3, Lemma
+7), one-way epidemics propagating epochs (Lemma 2), and the BackUp
+countdown timer (epoch 4, Lemma 12).  A :class:`PhaseProbe` derives the
+occupancy of those phases from a configuration's *state counts* — data
+every engine already materializes — so a trial leaves behind a phase
+timeline without touching its trajectory.
+
+Determinism is the contract (see DESIGN.md Section 9): probes are
+**always on**, sampled on a step schedule that depends only on the spec
+(``stride = max(1, n // 8)`` interactions, stride-doubling once the
+bounded buffer fills), and they read counts without consuming
+randomness.  The serialized series is therefore byte-identical whether
+``REPRO_TELEMETRY`` is on or off — it lives in the same tier as the
+PR-6 counters and is pinned by ``tests/telemetry/test_neutrality.py``.
+
+Probes attach at two levels:
+
+* ``Protocol.phase_probe()`` — the protocol author's override
+  (:class:`~repro.core.pll.PLLProtocol`, the majorities);
+* ``KernelSpec.phase_probe`` — compiled protocols can carry the probe
+  on their spec instead (Angluin does), found by
+  :func:`phase_probe_for` when the protocol method returns ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Mapping
+
+__all__ = [
+    "DEFAULT_MAX_SAMPLES",
+    "PhaseProbe",
+    "PhaseSeries",
+    "make_phase_series",
+    "phase_probe_for",
+    "poll_mask",
+    "render_phases",
+]
+
+#: Bound on the serialized series length.  Stride doubling keeps the
+#: sample count in ``[DEFAULT_MAX_SAMPLES // 2, DEFAULT_MAX_SAMPLES)``
+#: no matter how long the trial runs.
+DEFAULT_MAX_SAMPLES = 256
+
+#: A feature maps (state -> count, n) to one integer.  Integers only:
+#: fractions are host-stable to render but not to serialize, so the
+#: probe stores counts and renderers divide by ``n``.
+FeatureFn = Callable[[Mapping, int], int]
+
+
+class PhaseProbe:
+    """Named integer features over a configuration's state counts."""
+
+    __slots__ = ("feature_names", "_features")
+
+    def __init__(self, features: Mapping[str, FeatureFn]) -> None:
+        self.feature_names: tuple[str, ...] = tuple(features)
+        self._features = tuple(features.values())
+
+    def sample(self, counts: Mapping, n: int) -> tuple[int, ...]:
+        return tuple(int(feature(counts, n)) for feature in self._features)
+
+
+def phase_probe_for(protocol) -> PhaseProbe | None:
+    """The protocol's probe: its own override, else its kernel spec's."""
+    probe = protocol.phase_probe()
+    if probe is not None:
+        return probe
+    spec = protocol.compile_kernel()
+    if spec is not None:
+        return getattr(spec, "phase_probe", None)
+    return None
+
+
+class PhaseSeries:
+    """A bounded, deterministically scheduled probe time series.
+
+    Engines call :meth:`poll` from their existing loop sites (block
+    boundaries, chunk boundaries); the series decides whether the step
+    schedule is due and only then asks ``counts_fn`` for the counts.
+    Poll sites are chain-determined and the schedule depends only on
+    the steps observed at them, so the recorded series is a pure
+    function of the spec.
+    """
+
+    __slots__ = ("probe", "n", "max_samples", "stride", "_next", "_steps", "_values")
+
+    def __init__(
+        self,
+        probe: PhaseProbe,
+        n: int,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        stride: int | None = None,
+    ) -> None:
+        self.probe = probe
+        self.n = n
+        self.max_samples = max(4, max_samples)
+        # ~8 samples per parallel-time unit: phase turnover happens on
+        # the Theta(n log n) interaction scale, so this resolves it
+        # while keeping the sample count (and its O(S) decode cost)
+        # bounded well below the work of the steps in between.
+        self.stride = max(1, n // 8) if stride is None else max(1, stride)
+        self._next = 0  # first poll samples the initial configuration
+        self._steps: list[int] = []
+        self._values: list[tuple[int, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def poll(self, steps: int, counts_fn: Callable[[], Mapping]) -> None:
+        if steps < self._next:
+            return
+        self._record(steps, counts_fn)
+        self._next = steps + self.stride
+
+    def finish(self, steps: int, counts_fn: Callable[[], Mapping]) -> None:
+        """Pin the terminal configuration as the series' last sample."""
+        if not self._steps or self._steps[-1] != steps:
+            self._record(steps, counts_fn)
+
+    def _record(self, steps: int, counts_fn: Callable[[], Mapping]) -> None:
+        self._steps.append(steps)
+        self._values.append(self.probe.sample(counts_fn(), self.n))
+        if len(self._steps) >= self.max_samples:
+            # Keep every other sample (the first always survives) and
+            # double the stride: the buffer stays bounded and the
+            # retained schedule is still deterministic.
+            self._steps = self._steps[::2]
+            self._values = self._values[::2]
+            self.stride *= 2
+
+    def to_json(self) -> str | None:
+        """Canonical JSON (sorted keys, no whitespace) or ``None``."""
+        if not self._steps:
+            return None
+        payload = {
+            "version": 1,
+            "n": self.n,
+            "stride": self.stride,
+            "features": list(self.probe.feature_names),
+            "samples": [
+                [step, *values]
+                for step, values in zip(self._steps, self._values)
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def make_phase_series(protocol, n: int) -> PhaseSeries | None:
+    """The series a simulator should poll — ``None`` for probe-less
+    protocols, which keep their bare (poll-free) loops."""
+    probe = phase_probe_for(protocol)
+    if probe is None:
+        return None
+    return PhaseSeries(probe, n)
+
+
+def poll_mask(series: PhaseSeries | None) -> int:
+    """Power-of-two-minus-one step mask for scalar-loop poll sites.
+
+    The per-interaction engines poll on ``executed & mask == 0``; the
+    mask follows the series' initial stride, bounded to ``[2^8, 2^14]``
+    so small populations still resolve their phases while large ones
+    keep the historical 2^14 amortization.  A pure function of the
+    spec — poll sites never depend on the telemetry switch.
+    """
+    if series is None:
+        return (1 << 14) - 1
+    bits = max(8, min(14, int(series.stride).bit_length()))
+    return (1 << bits) - 1
+
+
+def render_phases(phases_json: str, width: int = 60) -> str:
+    """ASCII timeline of one trial's phase series.
+
+    One row per feature: the feature name, a sparkline of its value
+    over the sampled steps (scaled to the feature's own max), and the
+    final value.  Used by ``repro telemetry phases``.
+    """
+    data = json.loads(phases_json)
+    features = data["features"]
+    samples = data["samples"]
+    if not samples:
+        return "(empty phase series)"
+    steps = [row[0] for row in samples]
+    ramp = " .:-=+*#%@"
+    lines = [
+        f"n={data['n']}  samples={len(samples)}  "
+        f"steps {steps[0]:,}..{steps[-1]:,}"
+    ]
+    # Resample each feature onto a fixed-width character grid by step
+    # position, so rows align even after stride doubling.
+    span = max(1, steps[-1] - steps[0])
+    for index, name in enumerate(features, start=1):
+        values = [row[index] for row in samples]
+        peak = max(max(values), 1)
+        cells = [-1] * width
+        for step, value in zip(steps, values):
+            slot = min(width - 1, (step - steps[0]) * width // span)
+            cells[slot] = value
+        # Fill gaps with the last seen value (step function rendering).
+        last = values[0]
+        chars = []
+        for cell in cells:
+            if cell >= 0:
+                last = cell
+            level = min(len(ramp) - 1, (last * (len(ramp) - 1) + peak - 1) // peak)
+            chars.append(ramp[level])
+        lines.append(
+            f"  {name:>16s} |{''.join(chars)}| max={peak:,} last={values[-1]:,}"
+        )
+    return "\n".join(lines)

@@ -2,10 +2,14 @@
 
 ``repro telemetry report <store>`` renders the output of
 :func:`build_report`: one record per ``(protocol, params, n, engine)``
-cell with trial-duration percentiles, the steps/sec distribution, and
-cache hit rates recovered from the stored per-trial counter summaries —
-machine-readable in the same spirit as ``BENCH_engine.json``, so the
-ROADMAP's per-cell job weighting can consume it directly.
+cell with trial-duration percentiles, throughput both raw
+(``steps_per_sec``) and in the paper's unit (``parallel_time_per_sec``,
+steps/``n`` per wall-clock second via
+:func:`repro.engine.metrics.parallel_time` — comparable across ``n``),
+and cache hit rates recovered from the stored per-trial counter
+summaries.  ``--format json`` emits the record machine-readably in the
+same spirit as ``BENCH_engine.json``, so the ROADMAP's per-cell job
+weighting can consume it directly; the default is a plain-text table.
 
 Durations come from the ``duration`` column every trial now records;
 rows written before that column existed carry 0 and are excluded from
@@ -19,10 +23,15 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.engine.metrics import parallel_time
+
 if TYPE_CHECKING:  # import cycle guard: engines import this package
     from repro.orchestration.store import TrialStore
 
-__all__ = ["REPORT_SCHEMA", "build_report", "render_report"]
+__all__ = ["REPORT_SCHEMA", "REPORT_FORMATS", "build_report", "render_report"]
+
+#: Accepted ``render_report`` formats (also the CLI ``--format`` choices).
+REPORT_FORMATS = ("text", "json")
 
 #: Schema tag for the aggregated report (bump on breaking shape changes).
 REPORT_SCHEMA = "repro-telemetry-report/1"
@@ -81,6 +90,7 @@ def build_report(store: "TrialStore") -> dict[str, Any]:
                 "timed_trials": 0,
                 "durations": [],
                 "rates": [],
+                "pt_rates": [],
                 "steps": [],
                 "summaries": [],
             },
@@ -92,6 +102,9 @@ def build_report(store: "TrialStore") -> dict[str, Any]:
             cell["timed_trials"] += 1
             cell["durations"].append(duration)
             cell["rates"].append(row["steps"] / duration)
+            cell["pt_rates"].append(
+                parallel_time(int(row["steps"]), int(row["n"])) / duration
+            )
         if row["telemetry"]:
             try:
                 cell["summaries"].append(json.loads(row["telemetry"]))
@@ -112,6 +125,7 @@ def build_report(store: "TrialStore") -> dict[str, Any]:
             record["duration_sec"] = _percentiles(cell["durations"])
             record["total_duration_sec"] = float(sum(cell["durations"]))
             record["steps_per_sec"] = _percentiles(cell["rates"])
+            record["parallel_time_per_sec"] = _percentiles(cell["pt_rates"])
         hit_rate = _cache_hit_rate(cell["summaries"])
         if hit_rate is not None:
             record["cache_hit_rate"] = hit_rate
@@ -124,6 +138,44 @@ def build_report(store: "TrialStore") -> dict[str, Any]:
     }
 
 
-def render_report(report: dict[str, Any]) -> str:
-    """Machine-readable rendering (JSON, stable key order)."""
-    return json.dumps(report, indent=2, sort_keys=True)
+def render_report(report: dict[str, Any], fmt: str = "text") -> str:
+    """Render a built report: plain-text table or stable-key JSON."""
+    if fmt == "json":
+        return json.dumps(report, indent=2, sort_keys=True)
+    if fmt != "text":
+        raise ValueError(
+            f"unknown report format {fmt!r}; use one of: "
+            + ", ".join(REPORT_FORMATS)
+        )
+    cells = report.get("cells", [])
+    if not cells:
+        return f"store {report.get('store')}: no trials recorded"
+    header = (
+        f"{'protocol':<10s} {'params':<14s} {'n':>10s} {'engine':<10s} "
+        f"{'trials':>6s} {'p50 dur':>10s} {'p95 dur':>10s} "
+        f"{'steps/s p50':>12s} {'pt/s p50':>10s} {'cache':>6s}"
+    )
+    lines = [
+        f"store {report.get('store')}: {report.get('trials', 0)} trials",
+        header,
+        "-" * len(header),
+    ]
+    for cell in cells:
+        durations = cell.get("duration_sec")
+        rates = cell.get("steps_per_sec")
+        pt_rates = cell.get("parallel_time_per_sec")
+        hit_rate = cell.get("cache_hit_rate")
+        lines.append(
+            f"{cell['protocol']:<10s} {cell['params']:<14s} "
+            f"{cell['n']:>10,d} {cell['engine']:<10s} "
+            f"{cell['trials']:>6d} "
+            + (
+                f"{durations['p50']:>9.3f}s {durations['p95']:>9.3f}s "
+                if durations
+                else f"{'-':>10s} {'-':>10s} "
+            )
+            + (f"{rates['p50']:>12,.0f} " if rates else f"{'-':>12s} ")
+            + (f"{pt_rates['p50']:>10.2f} " if pt_rates else f"{'-':>10s} ")
+            + (f"{hit_rate:>6.1%}" if hit_rate is not None else f"{'-':>6s}")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Tests for protocol phase probes (repro.telemetry.probe)."""
+
+import json
+
+import pytest
+
+from repro.telemetry.probe import (
+    DEFAULT_MAX_SAMPLES,
+    PhaseProbe,
+    PhaseSeries,
+    make_phase_series,
+    phase_probe_for,
+    poll_mask,
+    render_phases,
+)
+
+
+def counting_probe():
+    return PhaseProbe(
+        {
+            "total": lambda counts, n: sum(counts.values()),
+            "zeros": lambda counts, n: counts.get(0, 0),
+        }
+    )
+
+
+class TestPhaseSeries:
+    def test_samples_on_stride_schedule(self):
+        series = PhaseSeries(counting_probe(), n=80)  # stride 10
+        for step in range(0, 35):
+            series.poll(step, lambda: {0: 3, 1: 2})
+        payload = json.loads(series.to_json())
+        assert payload["features"] == ["total", "zeros"]
+        assert [row[0] for row in payload["samples"]] == [0, 10, 20, 30]
+        assert payload["samples"][0][1:] == [5, 3]
+
+    def test_finish_pins_terminal_configuration(self):
+        series = PhaseSeries(counting_probe(), n=80)
+        series.poll(0, lambda: {0: 5})
+        series.finish(7, lambda: {1: 5})
+        payload = json.loads(series.to_json())
+        assert [row[0] for row in payload["samples"]] == [0, 7]
+        # finish() at an already-sampled step does not duplicate.
+        series.finish(7, lambda: {1: 5})
+        assert len(json.loads(series.to_json())["samples"]) == 2
+
+    def test_stride_doubling_bounds_the_buffer(self):
+        series = PhaseSeries(counting_probe(), n=8, max_samples=8)  # stride 1
+        for step in range(1000):
+            series.poll(step, lambda: {0: 8})
+        assert len(series) < 8
+        assert series.stride > 1
+        # The first sample always survives the decimation.
+        payload = json.loads(series.to_json())
+        assert payload["samples"][0][0] == 0
+
+    def test_to_json_is_canonical_and_deterministic(self):
+        def run():
+            series = PhaseSeries(counting_probe(), n=16)
+            for step in range(0, 100):
+                series.poll(step, lambda: {0: 10, 1: 6})
+            series.finish(120, lambda: {1: 16})
+            return series.to_json()
+
+        first, second = run(), run()
+        assert first == second
+        # Canonical form: no whitespace, sorted keys.
+        assert " " not in first
+        assert first == json.dumps(
+            json.loads(first), sort_keys=True, separators=(",", ":")
+        )
+
+    def test_empty_series_serializes_to_none(self):
+        assert PhaseSeries(counting_probe(), n=16).to_json() is None
+
+
+class TestPollMask:
+    def test_none_keeps_historical_mask(self):
+        assert poll_mask(None) == (1 << 14) - 1
+
+    def test_small_populations_get_fine_masks(self):
+        series = PhaseSeries(counting_probe(), n=64)  # stride 8
+        assert poll_mask(series) == (1 << 8) - 1
+
+    def test_large_populations_cap_at_historical_mask(self):
+        series = PhaseSeries(counting_probe(), n=1 << 20)
+        assert poll_mask(series) == (1 << 14) - 1
+
+    def test_mask_is_power_of_two_minus_one(self):
+        for n in (2, 100, 5000, 1 << 16):
+            mask = poll_mask(PhaseSeries(counting_probe(), n=n))
+            assert mask & (mask + 1) == 0
+
+
+class TestProbeResolution:
+    def test_pll_probe_comes_from_protocol(self):
+        from repro.core.pll import PLLProtocol
+
+        probe = phase_probe_for(PLLProtocol.for_population(64))
+        assert probe is not None
+        assert "epidemic" in probe.feature_names
+        assert "lottery_live" in probe.feature_names
+
+    def test_make_phase_series_none_for_probeless_protocol(self):
+        class Bare:
+            def phase_probe(self):
+                return None
+
+            def compile_kernel(self):
+                return None
+
+        assert make_phase_series(Bare(), 64) is None
+
+
+class TestRenderPhases:
+    def test_renders_one_row_per_feature(self):
+        series = PhaseSeries(counting_probe(), n=80)
+        for step in range(0, 100):
+            series.poll(step, lambda: {0: step // 2, 1: 1})
+        rendered = render_phases(series.to_json())
+        assert "total" in rendered and "zeros" in rendered
+        assert "n=80" in rendered
+
+
+class TestLemma2Epidemic:
+    def test_superbatch_pll_epidemic_curve(self):
+        """Acceptance pin: the PLL phase timeline reproduces Lemma 2.
+
+        The epoch >= 2 epidemic spreads by one-way infection, so its
+        occupancy count must be monotone nondecreasing over the sampled
+        steps and must saturate at n — the whole population is reached.
+        Pinned cell: superbatch PLL n=1024 seed=1 (a count-level run,
+        so the probe is exercised through the block engine's poll
+        sites, not the scalar loop).
+        """
+        from repro.orchestration.pool import build_simulator
+        from repro.core.pll import PLLProtocol
+
+        n = 1024
+        sim = build_simulator(
+            PLLProtocol.for_population(n), n, seed=1, engine="superbatch"
+        )
+        sim.run_until_stabilized()
+        payload = json.loads(sim.phases_json())
+        assert payload["n"] == n
+        index = payload["features"].index("epidemic") + 1
+        epidemic = [row[index] for row in payload["samples"]]
+        assert epidemic[0] == 0  # nobody starts past epoch 1
+        assert all(a <= b for a, b in zip(epidemic, epidemic[1:]))
+        assert epidemic[-1] == n  # Lemma 2: the epidemic reaches everyone
+        # The series is bounded no matter how long stabilization took.
+        assert len(epidemic) < DEFAULT_MAX_SAMPLES

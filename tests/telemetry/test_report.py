@@ -93,11 +93,45 @@ class TestBuildReport:
         assert report["trials"] == 0
         assert report["cells"] == []
 
-    def test_render_is_stable_json(self):
+    def test_parallel_time_percentiles(self):
+        with TrialStore(":memory:") as store:
+            for seed, steps, duration in (
+                (0, 1000, 0.5),
+                (1, 2000, 1.0),
+                (2, 3000, 1.5),
+            ):
+                put_trial(
+                    store, "pll", 64, "multiset", seed, steps, duration, None
+                )
+            report = build_report(store)
+        (cell,) = report["cells"]
+        # Every trial above simulates (steps/n)/duration = 2000/64
+        # units of parallel time per wall-clock second.
+        assert cell["parallel_time_per_sec"]["p50"] == pytest.approx(2000 / 64)
+        assert cell["parallel_time_per_sec"]["p95"] == pytest.approx(2000 / 64)
+
+    def test_render_json_is_stable(self):
         with TrialStore(":memory:") as store:
             put_trial(store, "pll", 64, "batch", 0, 1000, 0.5, None)
-            rendered = render_report(build_report(store))
+            rendered = render_report(build_report(store), fmt="json")
         payload = json.loads(rendered)
         assert payload["schema"] == REPORT_SCHEMA
         # Stable key order: re-rendering the parsed payload is identical.
         assert json.dumps(payload, indent=2, sort_keys=True) == rendered
+
+    def test_render_text_table(self):
+        with TrialStore(":memory:") as store:
+            put_trial(
+                store, "pll", 64, "batch", 0, 1000, 0.5, cache_json(90, 10)
+            )
+            rendered = render_report(build_report(store))
+        assert "pll" in rendered and "batch" in rendered
+        # Text, not JSON: the default format is the human-readable table.
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(rendered)
+
+    def test_render_rejects_unknown_format(self):
+        with TrialStore(":memory:") as store:
+            report = build_report(store)
+        with pytest.raises(ValueError):
+            render_report(report, fmt="yaml")

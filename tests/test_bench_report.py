@@ -305,6 +305,29 @@ class TestTelemetrySection:
         error = report.check_telemetry_overhead(v4, max_ratio=1.02)
         assert error is not None and "no telemetry section" in error
 
+    def test_trace_gate_passes_and_fails_on_its_own_ceiling(self):
+        passing = self.fake_report(1.01)
+        passing["telemetry"]["trace_overhead_ratio"] = 1.5
+        assert (
+            report.check_telemetry_overhead(
+                passing, max_ratio=1.02, max_trace_ratio=2.0
+            )
+            is None
+        )
+        failing = self.fake_report(1.01)
+        failing["telemetry"]["trace_overhead_ratio"] = 2.5
+        error = report.check_telemetry_overhead(
+            failing, max_ratio=1.02, max_trace_ratio=2.0
+        )
+        assert error is not None and "2.500x" in error
+
+    def test_trace_gate_requires_the_v6_measurement(self):
+        # A v5-shaped section (no trace ratio) must not silently pass.
+        error = report.check_telemetry_overhead(
+            self.fake_report(1.01), max_ratio=1.02, max_trace_ratio=2.0
+        )
+        assert error is not None
+
 
 class TestEndToEnd:
     def test_main_writes_v1_json_without_optional_sections(
@@ -338,7 +361,7 @@ class TestEndToEnd:
         engines = {row["engine"] for row in payload["results"]}
         assert engines == {"agent", "multiset", "batch", "superbatch"}
 
-    def test_main_writes_v5_json_with_all_sections(self, tmp_path, monkeypatch):
+    def test_main_writes_v6_json_with_all_sections(self, tmp_path, monkeypatch):
         monkeypatch.setattr(report, "QUICK_GRID", (("angluin", (64,)),))
         monkeypatch.setattr(report, "QUICK_STEPS", 2000)
         monkeypatch.setattr(report, "TRIALS_PROTOCOL", "angluin")
@@ -355,12 +378,14 @@ class TestEndToEnd:
         out = tmp_path / "BENCH_engine.json"
         assert report.main(["--quick", "--out", str(out)]) == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-bench-engine/5"
-        # v1/v2 fields are untouched: old consumers parse v5 unchanged.
+        assert payload["schema"] == "repro-bench-engine/6"
+        # v1/v2 fields are untouched: old consumers parse v6 unchanged.
         assert {"results", "summary", "steps_per_cell", "trials"} <= set(
             payload
         )
         assert payload["telemetry"]["overhead_ratio"] > 0
+        # v6: the telemetry cell also measures the tracing+probes run.
+        assert payload["telemetry"]["trace_overhead_ratio"] > 0
         assert payload["trials"]["ensemble_vs_serial"] > 0
         # Kernel-compiled cells carry both transition paths.
         paths = {

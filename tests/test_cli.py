@@ -71,6 +71,41 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["telemetry"])
 
+    def test_telemetry_report_format_flag(self):
+        args = build_parser().parse_args(["telemetry", "report"])
+        assert args.format == "text"
+        args = build_parser().parse_args(
+            ["telemetry", "report", "--format", "json"]
+        )
+        assert args.format == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["telemetry", "report", "--format", "yaml"]
+            )
+
+    def test_telemetry_profile_parser(self):
+        args = build_parser().parse_args(
+            ["telemetry", "profile", "events.jsonl"]
+        )
+        assert args.action == "profile"
+        assert args.events == "events.jsonl"
+
+    def test_telemetry_phases_parser_defaults(self):
+        args = build_parser().parse_args(["telemetry", "phases"])
+        assert args.action == "phases"
+        assert args.limit == 4
+        assert args.protocol is None and args.n is None
+
+    def test_trace_export_parser(self):
+        args = build_parser().parse_args(["trace", "export", "e.jsonl"])
+        assert args.command == "trace"
+        assert args.action == "export"
+        assert args.events == "e.jsonl" and args.out is None
+
+    def test_trace_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
 
 class TestCommands:
     def test_list_prints_registry(self, capsys):
@@ -162,12 +197,17 @@ class TestCommands:
         assert main(["campaign", "run", "E12", "--scale", "0.125",
                      "--store", store]) == 0
         capsys.readouterr()
+        # Default format is the human-readable table.
         assert main(["telemetry", "report", store]) == 0
+        table = capsys.readouterr().out
+        assert "trials" in table
+        assert main(["telemetry", "report", store, "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["trials"] == 6
         for cell in payload["cells"]:
             assert cell["timed_trials"] == cell["trials"]
             assert cell["duration_sec"]["p50"] > 0
+            assert cell["parallel_time_per_sec"]["p50"] > 0
 
     def test_telemetry_report_missing_store_fails_cleanly(
         self, capsys, tmp_path
@@ -178,6 +218,51 @@ class TestCommands:
         assert main(["telemetry", "report", store]) == 2
         assert "cannot open trial store" in capsys.readouterr().err
         assert not os.path.exists(store)
+
+    def test_traced_campaign_exports_profile_and_phases(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.telemetry.core import TELEMETRY_ENV
+        from repro.telemetry.sink import EVENTS_ENV, QUIET_ENV
+        from repro.telemetry.trace import TRACE_ENV
+
+        store = str(tmp_path / "trials.sqlite")
+        events = str(tmp_path / "events.jsonl")
+        monkeypatch.setenv(TELEMETRY_ENV, "1")
+        monkeypatch.setenv(TRACE_ENV, "1")
+        monkeypatch.setenv(QUIET_ENV, "1")
+        monkeypatch.setenv(EVENTS_ENV, events)
+        assert main(["campaign", "run", "E12", "--scale", "0.125",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        # trace export: validates and writes Chrome trace JSON.
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "export", events, "--out", out]) == 0
+        assert "spans" in capsys.readouterr().out
+        payload = json.loads(open(out).read())
+        assert payload["traceEvents"]
+        # telemetry profile: aggregates the stage-cost table.
+        assert main(["telemetry", "profile", events]) == 0
+        table = capsys.readouterr().out
+        assert "no profile events" not in table
+        assert "profiled" in table
+        # telemetry phases: renders stored timelines from the store.
+        assert main(["telemetry", "phases", store, "--limit", "1"]) == 0
+        assert "samples=" in capsys.readouterr().out
+
+    def test_trace_export_missing_file_fails_cleanly(self, capsys, tmp_path):
+        missing = str(tmp_path / "missing.jsonl")
+        assert main(["trace", "export", missing]) == 2
+        assert "cannot read event file" in capsys.readouterr().err
+
+    def test_telemetry_profile_missing_file_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        missing = str(tmp_path / "missing.jsonl")
+        assert main(["telemetry", "profile", missing]) == 2
+        assert "cannot" in capsys.readouterr().err
 
 
 class TestProgressPrinter:
