@@ -19,22 +19,24 @@ Usage::
 
     repro bench                          # full grid (also: python benchmarks/report.py)
     repro bench --quick                  # CI scale
-    repro bench --check --check-trials --check-kernel --check-telemetry
-    repro bench --no-trials --no-kernel --no-telemetry  # v1 grid only
+    repro bench --check --check-trials --check-kernel --check-telemetry --check-faults
+    repro bench --no-trials --no-kernel --no-telemetry --no-faults  # v1 grid only
     repro bench --out other.json
 
-Schema: ``repro-bench-engine/6`` when the ``telemetry`` section is
-present (the default), ``/4`` with ``--no-telemetry``, ``/2`` with
-``--no-kernel`` too, ``/1`` with all optional sections off — every
-consumer of a lower version keeps working because lower-version fields
-are unchanged.  v3 added per-path ``transitions: kernel|cached`` row
-tags; v4 added the count-level ``superbatch`` engine rows, the
-large-``n`` PLL cells (10^7 and 10^8; the agent engine sits those out,
-see :data:`AGENT_MAX_N`), and ``superbatch_vs_batch`` summary ratios;
+Schema: ``repro-bench-engine/7`` when the ``faults`` section is
+present (the default), ``/6`` with ``--no-faults``, ``/4`` with
+``--no-telemetry`` too, ``/2`` with ``--no-kernel`` as well, ``/1``
+with all optional sections off — every consumer of a lower version
+keeps working because lower-version fields are unchanged.  v3 added
+per-path ``transitions: kernel|cached`` row tags; v4 added the
+count-level ``superbatch`` engine rows, the large-``n`` PLL cells
+(10^7 and 10^8; the agent engine sits those out, see
+:data:`AGENT_MAX_N`), and ``superbatch_vs_batch`` summary ratios;
 v5 added the ``telemetry`` overhead section; v6 extends that section
 with the tracing+probes measurement (``trace_*`` keys — additive, so
-v5 consumers keep parsing).  Consumers that key rows by engine name
-are unaffected: new engines are new keys.
+v5 consumers keep parsing); v7 adds the ``faults`` driver-overhead
+section.  Consumers that key rows by engine name are unaffected: new
+engines are new keys.
 
 Gates: ``--check`` fails (exit 1) unless the batch engine beats the
 multiset engine on the PLL throughput check at the largest measured
@@ -53,7 +55,11 @@ the tracing-on run (spans + stage profile emission into a null sink)
 within ``--max-trace-overhead`` (default 2.0: tracing is opt-in
 diagnostics — the measured cost of emitting the capped span stream is
 ~1.4x on this cell — so the gate only catches runaway regressions,
-not near-zero cost).
+not near-zero cost).  ``--check-faults`` fails unless driving the same
+superbatch cell through a near-no-op
+:class:`~repro.faults.injector.FaultInjector` stays within
+``--max-fault-overhead`` times the clean ``plan=None`` run (default
+1.05).
 """
 
 from __future__ import annotations
@@ -75,6 +81,8 @@ from repro.engine.kernel.cache import KernelTransitionCache
 from repro.engine.kernel.compiled import CompiledKernel
 from repro.engine.superbatch import SuperBatchSimulator
 from repro.errors import ConvergenceError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.orchestration.pool import build_simulator, run_specs
 from repro.orchestration.registry import build_protocol
 from repro.orchestration.spec import ENGINES, trial_specs
@@ -153,6 +161,20 @@ TELEMETRY_STEPS_QUICK = 800_000
 #: for a ceiling on noisy hosts).  Nine pairs gives the minimum a real
 #: chance of landing in a quiet scheduling window even on busy hosts.
 TELEMETRY_REPEATS = 9
+
+#: The fault-overhead cell: the same superbatch workload driven clean
+#: (``plan=None`` — a plain ``run_until_stabilized``) versus through a
+#: near-no-op :class:`~repro.faults.injector.FaultInjector` (one
+#: single-agent corruption mid-budget), so the graded ratio bounds the
+#: cost of the segment driver itself — the machinery every faulted
+#: campaign trial pays — not of any particular fault.  Same
+#: methodology as the telemetry cell: alternating adjacent pairs, CPU
+#: time, minimum pair ratio as the ceiling statistic.
+FAULTS_PROTOCOL = "pll"
+FAULTS_N = 1_000_000
+FAULTS_STEPS = 2_000_000
+FAULTS_STEPS_QUICK = 800_000
+FAULTS_REPEATS = 7
 
 
 def measure_trials_cell(
@@ -641,12 +663,120 @@ def measure_telemetry_cell(
     }
 
 
+def measure_faults_cell(
+    protocol_name: str | None = None,
+    n: int | None = None,
+    steps: int | None = None,
+    seed: int = 0,
+    repeats: int | None = None,
+    quick: bool = False,
+) -> dict:
+    """Clean vs injector-driven timings of one superbatch workload.
+
+    The clean side is the exact ``plan=None`` path campaigns run — a
+    plain ``run_until_stabilized`` under a fixed budget, with the
+    resulting :class:`ConvergenceError` as the intended stop.  The
+    faulted side drives the same budget through a
+    :class:`~repro.faults.injector.FaultInjector` whose one-event plan
+    corrupts a *single* agent mid-budget: the closest thing to a no-op
+    plan the validator admits, so the measured difference is the
+    segment-driving machinery (an extra ``run_until_stabilized``
+    re-entry plus one count-vector rewrite), not fault work.  Both
+    sides execute exactly ``steps`` interactions (asserted), and the
+    single-state perturbation leaves superbatch's per-block cost — a
+    function of the distinct-state count, which changes by at most one
+    — statistically indistinguishable.
+
+    Pairing, timer, and the minimum-pair-ratio ceiling statistic follow
+    :func:`measure_telemetry_cell` (see there for the rationale on
+    noisy hosts).
+    """
+    if protocol_name is None:
+        protocol_name = FAULTS_PROTOCOL
+    if n is None:
+        n = FAULTS_N
+    if steps is None:
+        steps = FAULTS_STEPS_QUICK if quick else FAULTS_STEPS
+    if repeats is None:
+        repeats = FAULTS_REPEATS
+    plan = FaultPlan.create(
+        [{"kind": "corrupt", "at_step": steps // 2, "count": 1}]
+    )
+
+    def run_once(faulted: bool) -> tuple[float, int]:
+        protocol = build_protocol(protocol_name, n)
+        sim = SuperBatchSimulator(protocol, n, seed=seed)
+        injector = FaultInjector(plan, n, seed) if faulted else None
+        start = time.process_time()
+        try:
+            if injector is not None:
+                injector.drive(sim, max_steps=steps)
+            else:
+                sim.run_until_stabilized(max_steps=steps)
+        except ConvergenceError:
+            pass  # budget exhausted: the measured workload, not a failure
+        return time.process_time() - start, sim.steps
+
+    clean_times: list[float] = []
+    faulted_times: list[float] = []
+    clean_steps = faulted_steps = 0
+    for repeat in range(repeats):
+        print(
+            f"  measuring faults    {protocol_name} n={n} "
+            f"(superbatch, {steps:,} step budget, "
+            f"pair {repeat + 1}/{repeats}) ...",
+            flush=True,
+        )
+        if repeat % 2 == 0:
+            seconds, clean_steps = run_once(False)
+            clean_times.append(seconds)
+            seconds, faulted_steps = run_once(True)
+            faulted_times.append(seconds)
+        else:
+            seconds, faulted_steps = run_once(True)
+            faulted_times.append(seconds)
+            seconds, clean_steps = run_once(False)
+            clean_times.append(seconds)
+    if clean_steps != faulted_steps:
+        raise RuntimeError(
+            f"fault driver changed the executed budget: {clean_steps} "
+            f"clean vs {faulted_steps} faulted "
+            f"({protocol_name} n={n} seed={seed})"
+        )
+    pair_ratios = [
+        faulted / clean for faulted, clean in zip(faulted_times, clean_times)
+    ]
+    clean_best = min(clean_times)
+    faulted_best = min(faulted_times)
+    return {
+        "cell": {
+            "protocol": protocol_name,
+            "n": n,
+            "engine": "superbatch",
+            "max_steps": steps,
+        },
+        "seed": seed,
+        "repeats": repeats,
+        "steps": clean_steps,
+        "timer": "process_time",
+        "plan": plan.canonical(),
+        "clean_seconds": clean_best,
+        "faulted_seconds": faulted_best,
+        "clean_steps_per_sec": clean_steps / clean_best,
+        "faulted_steps_per_sec": faulted_steps / faulted_best,
+        "pair_ratios": pair_ratios,
+        "best_vs_best_ratio": faulted_best / clean_best,
+        "overhead_ratio": min(pair_ratios),
+    }
+
+
 def generate_report(
     quick: bool = False,
     seed: int = 0,
     trials_section: bool = True,
     kernel_section: bool = True,
     telemetry_section: bool = True,
+    faults_section: bool = True,
 ) -> dict:
     """Run the full engine x protocol x n grid; return the report dict.
 
@@ -654,8 +784,9 @@ def generate_report(
     ``kernel_section`` adds the compiled-kernel comparison cell and
     measures every kernel-compiled grid cell on both paths (two rows —
     kernel and cached — per engine and cell); ``telemetry_section``
-    adds the telemetry-overhead cell.  Fields are strictly additive
-    over the lower-version layouts, so older consumers keep parsing.
+    adds the telemetry-overhead cell; ``faults_section`` adds the
+    fault-driver-overhead cell.  Fields are strictly additive over the
+    lower-version layouts, so older consumers keep parsing.
     """
     grid = QUICK_GRID if quick else FULL_GRID
     steps = QUICK_STEPS if quick else FULL_STEPS
@@ -692,7 +823,9 @@ def generate_report(
                             use_kernel=use_kernel,
                         )
                     )
-    if telemetry_section:
+    if faults_section:
+        schema = "repro-bench-engine/7"
+    elif telemetry_section:
         schema = "repro-bench-engine/6"
     elif kernel_section:
         schema = "repro-bench-engine/4"
@@ -717,6 +850,8 @@ def generate_report(
         report["kernel"] = measure_kernel_cell(seed=seed)
     if telemetry_section:
         report["telemetry"] = measure_telemetry_cell(seed=seed, quick=quick)
+    if faults_section:
+        report["faults"] = measure_faults_cell(seed=seed, quick=quick)
     return report
 
 
@@ -964,6 +1099,39 @@ def check_telemetry_overhead(
     return None
 
 
+def check_fault_overhead(report: dict, max_ratio: float) -> str | None:
+    """Error message when the injector-driven run exceeds ``max_ratio``
+    times the clean run.
+
+    A ceiling gate like :func:`check_telemetry_overhead`: ``plan=None``
+    trials must cost nothing extra, and the segment driver a faulted
+    trial pays must stay within ``max_ratio`` of the clean loop on the
+    superbatch overhead cell.  Tolerant of pre-v7 reports: a missing
+    section is itself the error.
+    """
+    section = report.get("faults")
+    if not section:
+        return "report has no faults section to check"
+    ratio = section.get("overhead_ratio")
+    if ratio is None:
+        return "faults section lacks an overhead_ratio"
+    cell = section.get("cell", {})
+    label = (
+        f"{cell.get('protocol', '?')} n={cell.get('n', '?')} "
+        f"({cell.get('engine', '?')}, {section.get('steps', '?')} steps)"
+    )
+    if ratio > max_ratio:
+        return (
+            f"injector-driven run is {ratio:.3f}x the clean run on "
+            f"{label}; required <= {max_ratio:.2f}x"
+        )
+    print(
+        f"check ok: fault driver is {ratio:.3f}x the clean run on {label} "
+        f"(required <= {max_ratio:.2f}x)"
+    )
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1073,6 +1241,29 @@ def main(argv: list[str] | None = None) -> int:
             "runaway cost)"
         ),
     )
+    parser.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the fault-driver-overhead section",
+    )
+    parser.add_argument(
+        "--check-faults",
+        action="store_true",
+        help=(
+            "fail unless the injector-driven run stays within "
+            "--max-fault-overhead x the clean run on the superbatch "
+            "overhead cell"
+        ),
+    )
+    parser.add_argument(
+        "--max-fault-overhead",
+        type=float,
+        default=1.05,
+        help=(
+            "overhead ratio ceiling the --check-faults gate enforces "
+            "(default 1.05: at most 5%%)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     if args.check_trials and args.no_trials:
@@ -1081,12 +1272,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--check-kernel requires the kernel section")
     if args.check_telemetry and args.no_telemetry:
         parser.error("--check-telemetry requires the telemetry section")
+    if args.check_faults and args.no_faults:
+        parser.error("--check-faults requires the faults section")
     report = generate_report(
         quick=args.quick,
         seed=args.seed,
         trials_section=not args.no_trials,
         kernel_section=not args.no_kernel,
         telemetry_section=not args.no_telemetry,
+        faults_section=not args.no_faults,
     )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -1146,6 +1340,18 @@ def main(argv: list[str] | None = None) -> int:
             f"on {telemetry['on_steps_per_sec']:,.0f} steps/s  "
             f"overhead {telemetry['overhead_ratio']:.3f}x"
         )
+    faults = report.get("faults")
+    if faults:
+        cell = faults["cell"]
+        print(
+            f"  faults cell {cell['protocol']}/n={cell['n']} "
+            f"({cell['engine']}, {faults['steps']:,} steps):"
+        )
+        print(
+            f"    clean {faults['clean_steps_per_sec']:,.0f} steps/s  "
+            f"faulted {faults['faulted_steps_per_sec']:,.0f} steps/s  "
+            f"overhead {faults['overhead_ratio']:.3f}x"
+        )
     failures = []
     if args.check:
         error = check_batch_speedup(report, args.min_ratio)
@@ -1167,6 +1373,10 @@ def main(argv: list[str] | None = None) -> int:
         error = check_telemetry_overhead(
             report, args.max_telemetry_overhead, args.max_trace_overhead
         )
+        if error is not None:
+            failures.append(error)
+    if args.check_faults:
+        error = check_fault_overhead(report, args.max_fault_overhead)
         if error is not None:
             failures.append(error)
     for error in failures:

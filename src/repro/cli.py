@@ -174,6 +174,27 @@ def build_parser() -> argparse.ArgumentParser:
                 "batch crossover)"
             ),
         )
+        if action in ("run", "resume"):
+            action_parser.add_argument(
+                "--retries",
+                type=int,
+                default=1,
+                help=(
+                    "solo retry rounds for failed trials before "
+                    "quarantining them (default 1)"
+                ),
+            )
+            action_parser.add_argument(
+                "--trial-timeout",
+                type=float,
+                default=None,
+                metavar="SECS",
+                help=(
+                    "per-trial wall-clock timeout in seconds (default: "
+                    "unlimited); a timed-out trial is retried, then "
+                    "quarantined"
+                ),
+            )
         _add_store_flags(action_parser, default=DEFAULT_STORE_PATH)
 
     telemetry_parser = subparsers.add_parser(
@@ -247,6 +268,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="render at most this many trials (default 4)",
+    )
+    telemetry_faults = telemetry_actions.add_parser(
+        "faults",
+        help=(
+            "render stored fault records (injected events with per-fault "
+            "recovery times) for faulted trials"
+        ),
+    )
+    telemetry_faults.add_argument(
+        "store",
+        nargs="?",
+        default=DEFAULT_STORE_PATH,
+        help=f"SQLite trial store path (default {DEFAULT_STORE_PATH})",
+    )
+    telemetry_faults.add_argument(
+        "--protocol", default=None, help="only this protocol's trials"
+    )
+    telemetry_faults.add_argument(
+        "--n", type=int, default=None, help="only this population size"
+    )
+    telemetry_faults.add_argument(
+        "--seed", type=int, default=None, help="only this seed"
+    )
+    telemetry_faults.add_argument(
+        "--engine", default=None, help="only this engine's trials"
+    )
+    telemetry_faults.add_argument(
+        "--limit",
+        type=int,
+        default=8,
+        help="render at most this many trials (default 8)",
     )
 
     trace_parser = subparsers.add_parser(
@@ -378,7 +430,11 @@ def _command_campaign(args: argparse.Namespace) -> int:
     with TrialStore(args.store) as store:
         stride = max(1, len(campaign) // 10)
         runner = CampaignRunner(
-            store, jobs=args.jobs, progress=_progress_printer(stride)
+            store,
+            jobs=args.jobs,
+            progress=_progress_printer(stride),
+            retries=args.retries,
+            trial_timeout=args.trial_timeout,
         )
         print(
             f"campaign {campaign.name}: {len(campaign)} trials, "
@@ -418,7 +474,40 @@ def _command_telemetry(args: argparse.Namespace) -> int:
             raise ReproError(f"cannot read event file: {exc}") from exc
         print(render_profile_table(records))
         return 0
+    if args.action == "faults":
+        return _command_telemetry_faults(args)
     return _command_telemetry_phases(args)
+
+
+def _command_telemetry_faults(args: argparse.Namespace) -> int:
+    from repro.faults.report import render_faults
+
+    shown = 0
+    with TrialStore(args.store, readonly=True) as store:
+        for row in store.rows():
+            if args.protocol is not None and row["protocol"] != args.protocol:
+                continue
+            if args.n is not None and row["n"] != args.n:
+                continue
+            if args.seed is not None and row["seed"] != args.seed:
+                continue
+            if args.engine is not None and row["engine"] != args.engine:
+                continue
+            if not row["faults"]:
+                continue
+            if shown:
+                print()
+            print(
+                f"{row['protocol']} n={row['n']:,} seed={row['seed']} "
+                f"({row['engine']}, {row['steps']:,} steps)"
+            )
+            print(render_faults(row["faults"], int(row["n"])))
+            shown += 1
+            if shown >= args.limit:
+                break
+    if shown == 0:
+        print("no stored fault records match (clean trials carry none)")
+    return 0
 
 
 def _command_telemetry_phases(args: argparse.Namespace) -> int:

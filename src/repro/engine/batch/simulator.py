@@ -143,6 +143,11 @@ class BatchSimulator:
         self.steps = 0
         self.stats = BatchStats()
         self._rng = np.random.default_rng(seed)
+        #: Optional :class:`~repro.faults.checkpoint.TrialCheckpointer`
+        #: attached by the measurement layer; polled at block
+        #: boundaries.  ``None`` (the default) costs one branch per
+        #: block.
+        self.checkpointer = None
         if block_pairs is None:
             # The first collision lands after ~1.25 sqrt(n) picks in
             # expectation; 1.5 sqrt(n) pairs (3 sqrt(n) picks) captures
@@ -254,6 +259,50 @@ class BatchSimulator:
             f"(parallel time {self.parallel_time:.2f}) "
             f"outputs={dict(self.output_counts)}"
         )
+
+    # ------------------------------------------------------------------
+    # checkpoint round-trip (in-trial resume; see repro.faults.checkpoint)
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Everything a resumed run needs to continue *bit-identically*.
+
+        States travel decoded, in intern order, so the restoring process
+        re-interns them into the same ids (the transition cache, side
+        tables and kernel mirrors rebuild lazily from there).  The RNG
+        generator state is the payload's heart: restoring it makes the
+        continued trajectory indistinguishable from the uninterrupted
+        one.
+        """
+        known = len(self.interner)
+        state_of = self.interner.state_of
+        series = self.phase_series
+        return {
+            "steps": self.steps,
+            "states": [state_of(sid) for sid in range(known)],
+            "counts": self._counts[:known].tolist(),
+            "rng": self._rng.bit_generator.state,
+            "null_mode": self._null_mode,
+            "stats": asdict(self.stats),
+            "phases": None if series is None else series.state_dict(),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Resume from a :meth:`checkpoint_state` snapshot."""
+        for state in payload["states"]:
+            self.interner.intern(state)
+        self._ensure_tables()
+        self._counts[:] = 0
+        counts = payload["counts"]
+        self._counts[: len(counts)] = counts
+        size = self._counts.shape[0]
+        self._lead = int((self._counts * self._leader_mark[:size]).sum())
+        self.steps = int(payload["steps"])
+        self._null_mode = bool(payload["null_mode"])
+        self.stats = type(self.stats)(**payload["stats"])
+        self._rng.bit_generator.state = payload["rng"]
+        if self.phase_series is not None and payload["phases"] is not None:
+            self.phase_series.load_state(payload["phases"])
 
     # ------------------------------------------------------------------
     # id-indexed side tables
@@ -578,6 +627,8 @@ class BatchSimulator:
             return 0
         while executed < max_steps:
             executed += self._advance(max_steps - executed, None)[0]
+            if self.checkpointer is not None:
+                self.checkpointer.maybe_save(self)
             if until is not None and until(self):
                 break
         return executed
@@ -652,6 +703,8 @@ class BatchSimulator:
                         # never sits on a per-interaction path.
                         if heartbeat is not None:
                             heartbeat.maybe_beat(self.steps)
+                        if self.checkpointer is not None:
+                            self.checkpointer.maybe_save(self)
                     if series is not None:
                         series.finish(self.steps, self.state_counts)
             finally:

@@ -12,6 +12,7 @@ __all__ = [
     "ProtocolError",
     "SimulationError",
     "ConvergenceError",
+    "TrialTimeoutError",
     "ParameterError",
     "ScheduleError",
     "ExperimentError",
@@ -37,6 +38,10 @@ class ConvergenceError(SimulationError):
         super().__init__(message)
         #: Number of steps executed before giving up (``None`` if unknown).
         self.steps = steps
+
+
+class TrialTimeoutError(SimulationError):
+    """A trial exceeded its wall-clock budget (campaign per-trial timeout)."""
 
 
 class ParameterError(ReproError, ValueError):

@@ -19,11 +19,40 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ExperimentError
-from repro.experiments import ablations, table1_comparison, theorem1_scaling
+from repro.experiments import ablations, robustness, table1_comparison, theorem1_scaling
 from repro.experiments.spec import scaled
+from repro.faults.plan import FaultPlan
 from repro.orchestration.spec import CampaignSpec, TrialSpec, trial_specs
 
-__all__ = ["campaign_for", "campaign_ids"]
+__all__ = ["campaign_for", "campaign_ids", "canary_specs"]
+
+#: EROB's quarantine canary: a deliberately unconvergeable cell (full
+#: scramble of the population with only ~90 interactions of budget
+#: left), so every robustness campaign run — including the CI smoke —
+#: exercises retry, the failure ledger, and quarantine reporting.  The
+#: surrounding grid completes around it; `repro campaign status` shows
+#: it as quarantined.
+CANARY_N = 256
+CANARY_MAX_STEPS = 600
+CANARY_FAULT_STEP = 512
+
+
+def canary_specs(seed: int, engine: str = "auto") -> list[TrialSpec]:
+    """The one-trial poison cell appended to every EROB campaign."""
+    plan = FaultPlan.create(
+        [{"kind": "corrupt", "at_step": CANARY_FAULT_STEP, "count": CANARY_N}]
+    )
+    return list(
+        trial_specs(
+            "pll",
+            CANARY_N,
+            1,
+            base_seed=seed,
+            engine=engine,
+            max_steps=CANARY_MAX_STEPS,
+            fault_plan=plan,
+        )
+    )
 
 
 def _theorem1_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:
@@ -85,10 +114,35 @@ def _ablations_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:
     return CampaignSpec(name="E12", trials=tuple(specs))
 
 
+def _robustness_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:
+    """EROB — E13's fault grid (protocol × n × kind × severity) plus the
+    quarantine canary.
+
+    Grid specs share hashes (and therefore store rows) with ``repro run
+    E13``'s fault section; from ``scale >= LARGE_N_SCALE`` the campaign
+    carries the superbatch-scale million-agent cells too.
+    """
+    specs: list[TrialSpec] = []
+    for protocol, n, kind, severity, trials in robustness.fault_grid(scale):
+        specs.extend(
+            trial_specs(
+                protocol,
+                n,
+                trials,
+                base_seed=seed,
+                engine=engine,
+                fault_plan=robustness.fault_plan_for(n, kind, severity),
+            )
+        )
+    specs.extend(canary_specs(seed, engine))
+    return CampaignSpec(name="EROB", trials=tuple(specs))
+
+
 _BUILDERS: dict[str, Callable[[float, int, str], CampaignSpec]] = {
     "E1": _table1_campaign,
     "E9": _theorem1_campaign,
     "E12": _ablations_campaign,
+    "EROB": _robustness_campaign,
 }
 
 

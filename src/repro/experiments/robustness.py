@@ -8,7 +8,7 @@ The probability-1 correctness of PLL rests on two unconditional lemmas:
 * **Lemma 10** — from any all-epoch-4 configuration, the pairwise-election
   rule elects a unique leader within ``O(n)`` expected parallel time.
 
-Two stress scenarios make these measurable:
+Three stress families make these measurable:
 
 * **Partition-then-heal**: run the population under a
   :class:`~repro.engine.scheduler.RestrictedScheduler` that only lets a
@@ -22,11 +22,22 @@ Two stress scenarios make these measurable:
   leaders) and measure stabilization.  Lemma 10's argument needs nothing
   but the epoch-4 rules, so it must hold even for configurations no fair
   execution would produce.
+* **Fault grid** (protocol × n × kind × severity): declarative
+  :class:`~repro.faults.plan.FaultPlan`\\ s inject transient corruption
+  and churn mid-run and the :class:`~repro.faults.injector.FaultInjector`
+  measures per-fault recovery time — interactions from the fault to the
+  re-armed convergence detector's first hit.  The grid constants here
+  are shared with the ``EROB`` campaign builder
+  (:mod:`repro.experiments.campaigns`) so ``repro run E13`` and
+  ``repro campaign run EROB`` address identical spec hashes and share
+  trial-store rows.
 """
 
 from __future__ import annotations
 
+import json
 import math
+from collections import Counter
 
 import numpy as np
 
@@ -34,8 +45,9 @@ from repro.analysis.stats import summarize
 from repro.core.pll import PLLProtocol
 from repro.core.state import PLLState, STATUS_CANDIDATE, STATUS_TIMER
 from repro.engine.scheduler import RandomScheduler, RestrictedScheduler
-from repro.engine.simulator import AgentSimulator
+from repro.experiments.runner import make_simulator, stabilization_trials
 from repro.experiments.spec import ExperimentResult, ExperimentSpec, register, scaled
+from repro.faults.plan import FaultPlan
 
 SPEC = ExperimentSpec(
     id="E13",
@@ -48,19 +60,94 @@ SPEC = ExperimentSpec(
     bench="benchmarks/bench_robustness.py",
 )
 
+#: The fault grid, shared with the EROB campaign builder
+#: (:func:`repro.experiments.campaigns.campaign_for`) so both entry
+#: points produce identical spec hashes and share store rows.  Kinds are
+#: the exchangeable pair — uniform-victim corruption and churn apply on
+#: count vectors, so the grid survives on batch/superbatch engines at
+#: any ``n`` the ``auto`` resolution picks.
+FAULT_KINDS = ("corrupt", "churn")
+
+#: Fraction of the population each fault hits.
+FAULT_SEVERITIES = (0.05, 0.25)
+
+#: Population sizes per protocol for the dense (always-on) grid cells.
+FAULT_NS = {"pll": (256, 1024), "angluin": (256,)}
+
+#: Trials per grid cell at scale 1.
+FAULT_TRIALS = 5
+
+#: Superbatch-scale extension cells: joined from ``scale >=
+#: LARGE_N_SCALE`` (same explicit opt-in as E9's large-``n`` cells —
+#: even a few million-agent faulted trials dominate the wall clock).
+LARGE_FAULT_NS = {"pll": (1_000_000,)}
+LARGE_N_SCALE = 4.0
+LARGE_FAULT_TRIALS = 3
+
+
+def fault_plan_for(n: int, kind: str, severity: float) -> FaultPlan:
+    """The grid's one-event plan: hit ``severity * n`` agents at step
+    ``2 n`` (two parallel-time units in — election well underway, not
+    yet necessarily stabilized)."""
+    return FaultPlan.create(
+        [{"kind": kind, "at_step": 2 * n, "count": max(1, round(severity * n))}]
+    )
+
+
+def fault_grid(scale: float) -> list[tuple[str, int, str, float, int]]:
+    """``(protocol, n, kind, severity, trials)`` cells at a given scale.
+
+    Below ``scale=0.5`` each protocol keeps only its smallest ``n`` (the
+    experiment smoke tests run every registered experiment at tiny
+    scale); from :data:`LARGE_N_SCALE` the superbatch-scale extension
+    cells join with their own reduced trial count.
+    """
+    trials = scaled([FAULT_TRIALS], scale)[0]
+    cells = []
+    for protocol, all_ns in FAULT_NS.items():
+        ns = all_ns[:1] if scale < 0.5 else all_ns
+        for n in ns:
+            for kind in FAULT_KINDS:
+                for severity in FAULT_SEVERITIES:
+                    cells.append((protocol, n, kind, severity, trials))
+    if scale >= LARGE_N_SCALE:
+        for protocol, all_ns in LARGE_FAULT_NS.items():
+            for n in all_ns:
+                for kind in FAULT_KINDS:
+                    for severity in FAULT_SEVERITIES:
+                        cells.append(
+                            (protocol, n, kind, severity, LARGE_FAULT_TRIALS)
+                        )
+    return cells
+
+
+def recovery_parallel_times(faults_json: str | None) -> list[float]:
+    """Per-event recovery parallel times from one outcome's fault record
+    (events the run never re-converged after are dropped)."""
+    if not faults_json:
+        return []
+    events = json.loads(faults_json).get("events", [])
+    return [
+        event["recovery_parallel_time"]
+        for event in events
+        if event.get("recovery_parallel_time") is not None
+    ]
+
 
 def _partition_then_heal(n: int, seed: int, clique: int = 4) -> tuple[float, float]:
     """(parallel time to all-epoch-4 after heal, total stabilization time)."""
     protocol = PLLProtocol.for_population(n)
-    sim = AgentSimulator(
-        protocol, n, scheduler=RestrictedScheduler(n, range(clique), seed=seed)
-    )
+    # Per-agent engine via the shared registry builder: restricted
+    # interaction graphs need agent identity, the one non-exchangeable
+    # regime (DESIGN.md §10).
+    sim = make_simulator(protocol, n, seed=seed, engine="agent")
+    sim.set_scheduler(RestrictedScheduler(n, range(clique), seed=seed))
     # Partition phase: drive the clique through several timer periods.
     sim.run(8 * protocol.params.cmax * clique)
     heal_step = sim.steps
     sim.set_scheduler(RandomScheduler(n, seed=seed + 1))
 
-    def all_epoch4(s: AgentSimulator) -> bool:
+    def all_epoch4(s) -> bool:
         return all(state.epoch == 4 for state in s.configuration())
 
     sim.run(3000 * protocol.params.m * n, until=all_epoch4, check_every=max(64, n // 2))
@@ -134,17 +221,22 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         )
 
     # Lemma 10 analogue: scrambled epoch-4 starts with many tied leaders.
+    # The engine comes from the registry resolution (count semantics are
+    # engine-independent, so the multiset/batch chains measure the same
+    # process); the per-agent list collapses to a count vector first.
     for n in (32, 128):
         protocol = PLLProtocol.for_population(n)
         rng = np.random.default_rng(seed)
         times = []
         for trial in range(trials):
-            sim = AgentSimulator(protocol, n, seed=seed + trial)
-            sim.load_configuration(
-                scrambled_epoch4_configuration(
-                    n, leaders=n // 4, rng=rng, params=protocol.params
-                )
+            sim = make_simulator(protocol, n, seed=seed + trial, engine="auto")
+            configuration = scrambled_epoch4_configuration(
+                n, leaders=n // 4, rng=rng, params=protocol.params
             )
+            if hasattr(sim, "load_counts"):
+                sim.load_counts(dict(Counter(configuration)))
+            else:
+                sim.load_configuration(configuration)
             sim.run_until_stabilized()
             times.append(sim.parallel_time)
         mean_time = summarize(times).mean
@@ -157,13 +249,46 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
                 "consistent": mean_time < 4 * n,
             }
         )
+
+    # Fault grid: injected corruption/churn with measured recovery times.
+    for protocol_name, n, kind, severity, cell_trials in fault_grid(scale):
+        outcomes = stabilization_trials(
+            protocol_name,
+            n,
+            cell_trials,
+            base_seed=seed,
+            fault_plan=fault_plan_for(n, kind, severity),
+        )
+        recoveries = []
+        recovered_all = True
+        for outcome in outcomes:
+            if outcome is None:
+                recovered_all = False
+                continue
+            times = recovery_parallel_times(outcome.faults)
+            recovered_all = recovered_all and bool(times)
+            recoveries.extend(times)
+        mean_recovery = summarize(recoveries).mean if recoveries else math.inf
+        rows.append(
+            {
+                "scenario": f"fault: {kind} {severity:.0%} ({protocol_name})",
+                "n": n,
+                "measured (parallel time)": mean_recovery,
+                "reference": "re-converges within budget (Lemmas 9-10)",
+                "consistent": recovered_all,
+            }
+        )
+
     notes = [
-        f"{trials} trials per scenario",
+        f"{trials} trials per adversarial-configuration scenario",
         "partition phase: only a 4-agent clique interacts for 8 cmax "
         "rounds, then the scheduler heals",
         "scrambled starts pin every levelB at lmax so only the pairwise "
         "rule (line 58) can make progress — the pure Lemma 10 regime; its "
         "expected meeting time for the last two leaders is ~n/2",
+        "fault rows: recovery time is measured from the fault event to "
+        "the re-armed convergence detector's first hit; `repro telemetry "
+        "faults <store>` renders the stored per-event records",
     ]
     return ExperimentResult(
         spec=SPEC, headers=headers, rows=rows, notes=notes, scale=scale, seed=seed

@@ -19,6 +19,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.engine.protocol import Protocol
 from repro.errors import ExperimentError
+from repro.faults.plan import FaultPlan, resolve_engine
 from repro.orchestration.context import current_context
 from repro.orchestration.pool import build_simulator, measure_trial, run_specs
 from repro.orchestration.spec import (
@@ -50,6 +51,7 @@ def stabilization_trials(
     engine: str = AUTO_ENGINE,
     max_steps: int | None = None,
     params: Mapping[str, object] | None = None,
+    fault_plan=None,
 ) -> list[TrialOutcome]:
     """Measure stabilization over ``trials`` independent runs.
 
@@ -68,6 +70,13 @@ def stabilization_trials(
     Multi-trial named cells then pack into across-trial ensemble lanes
     inside the pool; factory callables cannot be packed (they run one
     simulator at a time) and execute their multiset trials solo.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`, an event
+    list, or ``None``) schedules mid-run faults; each outcome then
+    carries the serialized per-fault recovery record in ``.faults``.
+    Exchangeable plans keep the size-resolved engine; non-exchangeable
+    ones degrade ``auto`` to the per-agent engine (see
+    :func:`~repro.faults.plan.resolve_engine`).
     """
     if trials < 1:
         raise ExperimentError(f"trials must be positive, got {trials}")
@@ -85,6 +94,7 @@ def stabilization_trials(
             engine=engine,
             params=params,
             max_steps=max_steps,
+            fault_plan=fault_plan,
         )
         return run_specs(
             specs,
@@ -97,11 +107,17 @@ def stabilization_trials(
             "params only apply to registry-named protocols; bind them into "
             "the factory instead"
         )
+    plan = FaultPlan.coerce(fault_plan)
     if engine == AUTO_ENGINE:
-        engine = default_engine(n)
+        engine = resolve_engine(plan, default_engine(n))
     return [
         measure_trial(
-            protocol(), n, base_seed + trial, engine=engine, max_steps=max_steps
+            protocol(),
+            n,
+            base_seed + trial,
+            engine=engine,
+            max_steps=max_steps,
+            fault_plan=plan,
         )
         for trial in range(trials)
     ]

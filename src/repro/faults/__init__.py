@@ -1,0 +1,39 @@
+"""Fault injection: declarative fault plans, the engine-agnostic
+injector, in-trial checkpoints, and fault-record rendering.
+
+See DESIGN.md Section 10 for the fault model and the
+exchangeability-based engine degradation argument.
+"""
+
+from repro.faults.checkpoint import (
+    CHECKPOINT_DIR_ENV,
+    CHECKPOINT_SECS_ENV,
+    DEFAULT_CHECKPOINT_DIR,
+    TrialCheckpointer,
+    checkpoint_engines,
+    make_checkpointer,
+)
+from repro.faults.injector import FaultInjector, faults_json
+from repro.faults.plan import (
+    EVENT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    resolve_engine,
+)
+from repro.faults.report import render_faults
+
+__all__ = [
+    "CHECKPOINT_DIR_ENV",
+    "CHECKPOINT_SECS_ENV",
+    "DEFAULT_CHECKPOINT_DIR",
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "TrialCheckpointer",
+    "checkpoint_engines",
+    "faults_json",
+    "make_checkpointer",
+    "render_faults",
+    "resolve_engine",
+]

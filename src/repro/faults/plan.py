@@ -1,0 +1,279 @@
+"""Declarative fault plans: hash-stable descriptions of mid-run faults.
+
+A :class:`FaultPlan` is part of a trial's *identity*: it attaches to
+:class:`~repro.orchestration.spec.TrialSpec` and is content-hashed with
+everything else, so a faulted trial caches, resumes, and shares store
+rows exactly like a clean one.  ``plan=None`` (the default everywhere)
+contributes nothing to the canonical form, keeping every pre-existing
+spec hash and store row byte-identical.
+
+Three event kinds cover the adversarial regimes the paper's Lemmas 9/10
+promise recovery from:
+
+* ``corrupt`` — transient state corruption: at step ``at_step``,
+  ``count`` agents are re-assigned states drawn uniformly from the
+  states *currently present* (an adversarial-but-reachable scramble).
+  Uniformly-chosen victims are **exchangeable** — the fault is a pure
+  function of the count vector, so every engine (including the
+  count-level batch/superbatch pair) applies it without materializing
+  agents.  An explicit ``agents`` tuple targets identified victims and
+  is non-exchangeable.
+* ``churn`` — crash/join: ``count`` uniformly-chosen agents leave and
+  the same number of fresh agents (protocol initial state) join, so the
+  population size is conserved.  Exchangeable for the same reason.
+* ``partition`` — scheduler perturbation: only agents ``0..count-1``
+  interact for ``duration`` steps (the
+  :class:`~repro.engine.scheduler.RestrictedScheduler`), then the
+  uniform scheduler takes over again — the generalization of E13's
+  partition-then-heal.  Restricted interaction graphs need agent
+  identity, so partitions are always non-exchangeable.
+
+Exchangeability drives engine selection (see :func:`resolve_engine`):
+exchangeable plans run on whatever engine the population size would get
+anyway; non-exchangeable plans degrade to the per-agent engine, and the
+degradation is recorded in the trial's stored fault record so ``auto``
+stays deterministic and auditable.
+
+Fault randomness never touches the engine's generator: each event draws
+from its own ``default_rng([seed, FAULT_STREAM, event_index])`` stream,
+so the faulted chain differs from the clean one *only* through the
+configuration change itself — the property the cross-engine KS tests
+rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "EVENT_KINDS",
+    "FAULT_STREAM",
+    "FaultEvent",
+    "FaultPlan",
+    "resolve_engine",
+]
+
+#: Spawn-key namespace separating fault draws from every engine stream.
+FAULT_STREAM = 0xFA17
+
+#: The fault kinds a plan may contain.
+EVENT_KINDS = ("corrupt", "churn", "partition")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at_step`` is the absolute interaction index the fault fires at —
+    the run is driven to exactly that step (every engine executes exact
+    step budgets) before the event applies.  ``count`` is the number of
+    affected agents (clique size for partitions).  ``agents`` targets
+    explicit victims for ``corrupt`` (non-exchangeable); ``duration`` is
+    the partition's length in steps.
+    """
+
+    kind: str
+    at_step: int
+    count: int = 0
+    agents: tuple[int, ...] | None = None
+    duration: int | None = None
+
+    def validate(self, index: int) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ExperimentError(
+                f"fault event #{index} has unknown kind {self.kind!r}; "
+                f"use one of: {', '.join(EVENT_KINDS)}"
+            )
+        if self.at_step < 0:
+            raise ExperimentError(
+                f"fault event #{index} fires at negative step {self.at_step}"
+            )
+        if self.agents is not None:
+            if self.kind != "corrupt":
+                raise ExperimentError(
+                    f"fault event #{index}: explicit agents are only "
+                    f"meaningful for 'corrupt', not {self.kind!r}"
+                )
+            if not self.agents:
+                raise ExperimentError(
+                    f"fault event #{index} targets an empty agent tuple"
+                )
+            if len(set(self.agents)) != len(self.agents):
+                raise ExperimentError(
+                    f"fault event #{index} targets duplicate agents"
+                )
+        elif self.count < 1:
+            raise ExperimentError(
+                f"fault event #{index} affects {self.count} agents; "
+                "need at least 1"
+            )
+        if self.kind == "partition":
+            if self.duration is None or self.duration < 1:
+                raise ExperimentError(
+                    f"fault event #{index}: a partition needs a positive "
+                    f"duration, got {self.duration}"
+                )
+            if self.count < 2:
+                raise ExperimentError(
+                    f"fault event #{index}: a partition clique needs at "
+                    f"least 2 members, got {self.count}"
+                )
+        elif self.duration is not None:
+            raise ExperimentError(
+                f"fault event #{index}: duration is only meaningful for "
+                f"'partition', not {self.kind!r}"
+            )
+
+    @property
+    def exchangeable(self) -> bool:
+        """Whether the event is a pure function of the count vector."""
+        return self.agents is None and self.kind != "partition"
+
+    @property
+    def end_step(self) -> int:
+        """First step after the event has fully applied (heal step for
+        partitions, ``at_step`` for instantaneous faults)."""
+        if self.kind == "partition":
+            return self.at_step + (self.duration or 0)
+        return self.at_step
+
+    def canonical(self) -> dict[str, object]:
+        """JSON-ready form with absent optionals omitted (hash-stable)."""
+        payload: dict[str, object] = {
+            "kind": self.kind,
+            "at_step": self.at_step,
+        }
+        if self.agents is not None:
+            payload["agents"] = list(self.agents)
+        else:
+            payload["count"] = self.count
+        if self.duration is not None:
+            payload["duration"] = self.duration
+        return payload
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, object]) -> "FaultEvent":
+        known = {"kind", "at_step", "count", "agents", "duration"}
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(
+                f"fault event has unknown fields: {', '.join(sorted(unknown))}"
+            )
+        agents = data.get("agents")
+        return cls(
+            kind=str(data.get("kind", "")),
+            at_step=int(data.get("at_step", -1)),
+            count=int(data.get("count", 0) or 0),
+            agents=None if agents is None else tuple(int(a) for a in agents),
+            duration=(
+                None if data.get("duration") is None else int(data["duration"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered schedule of fault events for one trial.
+
+    Events must fire at strictly increasing steps; a partition's healed
+    interval may not overlap the next event (the driver applies events
+    one at a time at exact steps).  Frozen and tuple-backed so plans are
+    hashable — :class:`TrialSpec` carries them directly.
+    """
+
+    events: tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ExperimentError("a fault plan needs at least one event")
+        previous_end = -1
+        for index, event in enumerate(self.events):
+            event.validate(index)
+            if event.at_step <= previous_end:
+                raise ExperimentError(
+                    f"fault event #{index} fires at step {event.at_step}, "
+                    "not after the previous event finished "
+                    f"(step {previous_end})"
+                )
+            previous_end = event.end_step
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def exchangeable(self) -> bool:
+        """Whether every event applies on the count vector alone."""
+        return all(event.exchangeable for event in self.events)
+
+    def validate_against(self, n: int, max_steps: int | None) -> None:
+        """Check the plan fits population size and step budget."""
+        for index, event in enumerate(self.events):
+            affected = (
+                len(event.agents) if event.agents is not None else event.count
+            )
+            if affected > n:
+                raise ExperimentError(
+                    f"fault event #{index} affects {affected} agents in a "
+                    f"population of n={n}"
+                )
+            if event.agents is not None and max(event.agents) >= n:
+                raise ExperimentError(
+                    f"fault event #{index} targets agent "
+                    f"{max(event.agents)} outside 0..{n - 1}"
+                )
+            if max_steps is not None and event.end_step >= max_steps:
+                raise ExperimentError(
+                    f"fault event #{index} finishes at step "
+                    f"{event.end_step}, beyond the max_steps budget "
+                    f"{max_steps}"
+                )
+
+    def canonical(self) -> list[dict[str, object]]:
+        """The hashed identity of the plan, as a JSON-ready list."""
+        return [event.canonical() for event in self.events]
+
+    @classmethod
+    def create(
+        cls,
+        events: Sequence[Mapping[str, object] | FaultEvent],
+    ) -> "FaultPlan":
+        """Build and validate a plan from events or their mappings."""
+        built = tuple(
+            event
+            if isinstance(event, FaultEvent)
+            else FaultEvent.from_mapping(event)
+            for event in events
+        )
+        return cls(events=built)
+
+    @classmethod
+    def coerce(
+        cls,
+        plan: "FaultPlan | Sequence | None",
+    ) -> "FaultPlan | None":
+        """Normalize the spec-facing argument: plan, event list, or None."""
+        if plan is None or isinstance(plan, FaultPlan):
+            return plan
+        return cls.create(plan)
+
+
+def resolve_engine(plan: FaultPlan | None, engine: str) -> str:
+    """The engine a faulted spec must actually run on.
+
+    Exchangeable plans (and ``plan=None``) keep whatever engine the
+    population size resolved to — uniform corruption and churn apply
+    directly on count vectors, so superbatch/batch scale survives.
+    Non-exchangeable plans (targeted agents, restricted interaction
+    graphs) need per-agent identity and degrade to the ``agent``
+    engine.  Explicitly requesting a count-level engine for a
+    non-exchangeable plan is an error rather than a silent downgrade —
+    :func:`~repro.orchestration.spec.trial_specs` applies this to
+    ``auto``-resolved engines, where degradation is the documented
+    contract.
+    """
+    if plan is None or plan.exchangeable:
+        return engine
+    return "agent"

@@ -1,0 +1,40 @@
+"""Rendering for stored fault records (``repro telemetry faults``)."""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_faults"]
+
+
+def render_faults(faults_json: str, n: int) -> str:
+    """Plain-text recovery report for one trial's ``faults`` column.
+
+    One row per applied fault event: kind, fault step, affected-agent
+    count, and the measured recovery (interactions and parallel time,
+    or ``not recovered`` for faults the trial never came back from).
+    """
+    data = json.loads(faults_json)
+    events = data.get("events", [])
+    recovered = sum(
+        1 for event in events if event.get("recovery_steps") is not None
+    )
+    lines = [f"n={n:,}  events={len(events)}  recovered {recovered}/{len(events)}"]
+    degraded = data.get("degraded_from")
+    if degraded:
+        lines.append(f"  engine degraded from {degraded} (per-agent plan)")
+    for event in events:
+        label = f"{event['kind']:>9s} @step {event['step']:,}"
+        detail = f"k={event['count']}"
+        if event.get("duration") is not None:
+            detail += f" dur={event['duration']:,}"
+        recovery = event.get("recovery_steps")
+        if recovery is None:
+            tail = "not recovered"
+        else:
+            tail = (
+                f"recovery {recovery:,} steps "
+                f"({recovery / n:.2f} parallel time)"
+            )
+        lines.append(f"  {label}  {detail:<12s} {tail}")
+    return "\n".join(lines)

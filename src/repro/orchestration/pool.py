@@ -12,13 +12,21 @@ Each trial re-derives everything from its :class:`TrialSpec` inside the
 worker (protocol instance, engine, RNG from the spec's own seed), so
 results are independent of worker count and scheduling order: ``jobs=4``
 produces byte-identical per-seed outcomes to ``jobs=1``.
+
+Campaign-fabric robustness (opt-in per call): a per-trial wall-clock
+``trial_timeout``, bounded ``retries`` with exponential backoff, and
+``on_failure="quarantine"`` — record repeatedly-failing specs in the
+store's failure ledger and *complete the campaign around them* instead
+of aborting it.  The default (``on_failure="raise"``, no retries) is
+byte-for-byte the historical behavior.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import signal
-from contextlib import nullcontext
+import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Sequence
@@ -32,7 +40,10 @@ from repro.engine.multiset import MultisetSimulator
 from repro.engine.protocol import Protocol
 from repro.engine.simulator import AgentSimulator
 from repro.engine.superbatch import SuperBatchSimulator
-from repro.errors import ConvergenceError, ExperimentError
+from repro.errors import ConvergenceError, ExperimentError, TrialTimeoutError
+from repro.faults.checkpoint import TrialCheckpointer, make_checkpointer
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.orchestration.spec import (
     AUTO_ENGINE,
     ENGINES,
@@ -136,6 +147,8 @@ def measure_trial(
     engine: str = "agent",
     max_steps: int | None = None,
     label: str = "",
+    fault_plan: FaultPlan | None = None,
+    checkpointer: TrialCheckpointer | None = None,
 ) -> TrialOutcome:
     """Run one already-built protocol to stabilization.
 
@@ -145,11 +158,38 @@ def measure_trial(
     budget overrun surfaces as :class:`ConvergenceError` naming the
     offending seed (plus ``label`` for context), so one divergent trial
     never aborts a sweep opaquely.
+
+    With a ``fault_plan`` the run is driven by a
+    :class:`~repro.faults.injector.FaultInjector` through the plan's
+    fault schedule and the outcome carries the serialized fault record
+    (applied events, per-fault recovery times, and the engine the spec
+    was degraded from when a non-exchangeable plan forced the per-agent
+    engine).  With a ``checkpointer`` the run first restores any on-disk
+    snapshot (in-trial resume after a kill), attaches the checkpointer
+    to the engine's block loop, and clears the snapshot on success.
     """
     sim = build_simulator(protocol, n, seed=seed, engine=engine)
+    injector = None
+    degraded_from = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan, n, seed)
+        if not fault_plan.exchangeable and engine == "agent":
+            # Record what `auto` would have picked at this size, so the
+            # store row says *why* a production-scale spec ran per-agent.
+            resolved = default_engine(n)
+            if resolved != "agent":
+                degraded_from = resolved
+    if checkpointer is not None:
+        checkpointer.injector = injector
+        checkpointer.restore(sim, injector)
+        if hasattr(sim, "checkpointer"):
+            sim.checkpointer = checkpointer
     started = perf_counter()
     try:
-        steps = sim.run_until_stabilized(max_steps=max_steps)
+        if injector is not None:
+            steps = injector.drive(sim, max_steps=max_steps)
+        else:
+            steps = sim.run_until_stabilized(max_steps=max_steps)
     except ConvergenceError as exc:
         context = f"{label}, " if label else ""
         raise ConvergenceError(
@@ -158,6 +198,8 @@ def measure_trial(
             steps=exc.steps,
         ) from exc
     duration = perf_counter() - started
+    if checkpointer is not None:
+        checkpointer.clear()
     return TrialOutcome(
         seed=seed,
         steps=steps,
@@ -167,6 +209,7 @@ def measure_trial(
         duration=duration,
         telemetry=trial_telemetry_json(sim),
         phases=getattr(sim, "phases_json", lambda: None)(),
+        faults=None if injector is None else injector.to_json(degraded_from),
     )
 
 
@@ -183,35 +226,150 @@ def execute_trial(spec: TrialSpec) -> TrialOutcome:
         engine=spec.engine,
         max_steps=spec.max_steps,
         label=f"protocol {spec.protocol!r}",
+        fault_plan=spec.fault_plan,
+        checkpointer=make_checkpointer(spec),
     )
+
+
+@contextmanager
+def _trial_timeout(seconds: float | None):
+    """Raise :class:`TrialTimeoutError` if the body outlives ``seconds``.
+
+    SIGALRM-based, so it interrupts a trial stuck inside a NumPy call
+    too.  A no-op when no timeout is set, off POSIX, or off the main
+    thread (``signal.signal`` refuses there) — the timeout is a
+    best-effort campaign guard, never a correctness dependency.
+    """
+    if not seconds or seconds <= 0 or not hasattr(signal, "setitimer"):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TrialTimeoutError(
+            f"trial exceeded its {seconds:g}s wall-clock timeout"
+        )
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _alarm)
+    except ValueError:  # not the main thread
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+#: A captured trial failure: ``(index, kind, message, steps)`` where
+#: ``kind`` preserves the exception family across process boundaries so
+#: the parent re-raises the matching type in ``on_failure="raise"`` mode.
+Failure = tuple[int, str, str, int | None]
+
+
+def _classify(exc: BaseException) -> str:
+    if isinstance(exc, ConvergenceError):
+        return "convergence"
+    if isinstance(exc, TrialTimeoutError):
+        return "timeout"
+    return "error"
+
+
+def _describe_failure(spec: TrialSpec, exc: BaseException) -> str:
+    if isinstance(exc, ConvergenceError):
+        return str(exc)  # measure_trial already named the seed
+    return (
+        f"trial with seed {spec.seed} failed (protocol {spec.protocol!r}, "
+        f"n={spec.n}, engine {spec.engine!r}): {type(exc).__name__}: {exc}"
+    )
+
+
+def _raise_failure(kind: str, message: str, steps: int | None):
+    if kind == "convergence":
+        raise ConvergenceError(message, steps=steps)
+    if kind == "timeout":
+        raise TrialTimeoutError(message)
+    raise ExperimentError(message)
+
+
+def _attempt_solo(
+    index: int, spec: TrialSpec, timeout: float | None
+) -> tuple[tuple[int, TrialOutcome] | None, Failure | None]:
+    """One captured solo execution: an outcome or a failure, never both.
+
+    Catches :class:`Exception` only — ``KeyboardInterrupt`` and friends
+    stay abort signals, not retryable trial failures.
+    """
+    try:
+        with _trial_timeout(timeout):
+            return (index, execute_trial(spec)), None
+    except Exception as exc:
+        return None, (
+            index,
+            _classify(exc),
+            _describe_failure(spec, exc),
+            getattr(exc, "steps", None),
+        )
+
+
+def _run_ensemble_task(
+    chunk: list[tuple[int, TrialSpec]], timeout: float | None
+) -> tuple[list[tuple[int, TrialOutcome]], list[Failure]]:
+    """One ensemble chunk with per-spec failure isolation.
+
+    A lane failure (budget overrun, timeout) aborts the packed run, but
+    lanes are bit-identical to solo multiset runs — so the unretired
+    lanes simply re-run solo inside the same task, each under its own
+    timeout, and only the genuinely failing seeds come back as
+    failures.  The chunk-level timeout scales with the lane count: a
+    chunk is up to ``len(chunk)`` trials of work sharing sweeps.
+    """
+    results: list[tuple[int, TrialOutcome]] = []
+    failures: list[Failure] = []
+    retired: set[int] = set()
+
+    def lane_record(index: int, outcome: TrialOutcome) -> None:
+        retired.add(index)
+        results.append((index, outcome))
+
+    try:
+        chunk_timeout = None if timeout is None else timeout * len(chunk)
+        with _trial_timeout(chunk_timeout):
+            _run_ensemble_chunk(chunk, lane_record)
+    except Exception:
+        for index, spec in chunk:
+            if index in retired:
+                continue
+            result, failure = _attempt_solo(index, spec, timeout)
+            if result is not None:
+                results.append(result)
+            if failure is not None:
+                failures.append(failure)
+    return results, failures
 
 
 def _execute_task(task):
     """Worker entry point: one solo trial or one ensemble lane chunk.
 
-    ``("trial", index, spec)`` runs one spec solo; ``("ensemble",
-    chunk)`` advances a same-cell chunk through ensemble lanes inside
-    the worker.  Returns ``(outcomes, failure)``: index-tagged outcomes
-    for every lane/trial that finished, plus a ``(message, steps)``
-    marker when a lane in the chunk overran its budget.  The marker —
-    rather than a raised exception — is what lets the parent record the
-    chunk's completed lanes into the store *before* re-raising, so a
-    divergent seed costs a resumed campaign only itself and the
-    genuinely in-flight work.
+    ``("trial", index, spec, timeout)`` runs one spec solo;
+    ``("ensemble", chunk, timeout)`` advances a same-cell chunk through
+    ensemble lanes inside the worker.  Returns ``(outcomes, failures)``:
+    index-tagged outcomes for every lane/trial that finished, plus a
+    captured :data:`Failure` per trial that did not.  Captured failures
+    — rather than raised exceptions — are what let the parent record a
+    task's completed work into the store *before* deciding (re-raise,
+    retry, or quarantine), so a divergent seed costs a resumed campaign
+    only itself and the genuinely in-flight work.
     """
     if task[0] == "trial":
-        _kind, index, spec = task
-        return [(index, execute_trial(spec))], None
-    _kind, chunk = task
-    results: list[tuple[int, TrialOutcome]] = []
-    failure: tuple[str, int | None] | None = None
-    try:
-        _run_ensemble_chunk(
-            chunk, lambda index, outcome: results.append((index, outcome))
+        _kind, index, spec, timeout = task
+        result, failure = _attempt_solo(index, spec, timeout)
+        return ([result] if result is not None else []), (
+            [failure] if failure is not None else []
         )
-    except ConvergenceError as exc:
-        failure = (str(exc), exc.steps)
-    return results, failure
+    _kind, chunk, timeout = task
+    return _run_ensemble_task(chunk, timeout)
 
 
 def _worker_init() -> None:
@@ -227,16 +385,25 @@ class RunReport:
 
     ``executed_duration`` sums the wall-clock seconds of the freshly
     executed trials (worker-seconds under ``jobs>1``, not elapsed time).
+
+    Under ``on_failure="quarantine"`` the ``outcomes`` slots of failed
+    trials hold ``None`` (the default raise mode never returns with
+    one); ``failed``/``quarantined``/``retried`` count trials that ended
+    the run failed, were recorded as quarantined, and were given at
+    least one retry attempt, respectively.
     """
 
-    outcomes: list[TrialOutcome]
+    outcomes: list[TrialOutcome | None]
     executed: int
     cached: int
     executed_duration: float = 0.0
+    failed: int = 0
+    quarantined: int = 0
+    retried: int = 0
 
     @property
     def total(self) -> int:
-        return self.executed + self.cached
+        return self.executed + self.cached + self.failed
 
 
 def _chunk_size(pending: int, jobs: int, persisting: bool) -> int:
@@ -265,7 +432,9 @@ def _ensemble_groups(
     """
     grouped: dict[tuple, list[tuple[int, TrialSpec]]] = {}
     for index, spec in pending:
-        if spec.engine != "multiset":
+        # Faulted trials never pack: lanes share one sweep schedule, and
+        # a mid-run count rewrite on one lane has no packed equivalent.
+        if spec.engine != "multiset" or spec.fault_plan is not None:
             continue
         key = (spec.protocol, spec.params, spec.n, spec.max_steps, spec.detector)
         grouped.setdefault(key, []).append((index, spec))
@@ -366,12 +535,22 @@ def _run_ensemble_chunk(
         )
 
 
+#: First-retry backoff in seconds; each further round doubles it, capped
+#: at :data:`RETRY_BACKOFF_CAP`.
+RETRY_BACKOFF = 0.5
+RETRY_BACKOFF_CAP = 30.0
+
+
 def run_specs(
     specs: Sequence[TrialSpec],
     jobs: int = 1,
     store: TrialStore | None = None,
     progress: ProgressCallback | None = None,
     ensemble_lanes: int | None = ENSEMBLE_MIN_TRIALS,
+    retries: int = 0,
+    trial_timeout: float | None = None,
+    on_failure: str = "raise",
+    retry_backoff: float = RETRY_BACKOFF,
 ) -> RunReport:
     """Execute ``specs``, reusing ``store`` hits; return outcomes in order.
 
@@ -393,9 +572,29 @@ def run_specs(
     ``ensemble_lanes=0``/``None`` to force every trial down the solo
     path (benchmarks do, to measure the pool baseline the ensemble is
     compared against).
+
+    Robustness controls: ``trial_timeout`` bounds each trial's
+    wall-clock seconds (SIGALRM, POSIX main thread; raises
+    :class:`TrialTimeoutError`); ``retries`` re-runs failed trials as
+    solo tasks up to that many extra rounds, sleeping an exponentially
+    growing ``retry_backoff`` between rounds (transient failures — OOM
+    kills, machine hiccups — get a fresh chance, deterministic ones
+    fail identically and fall through).  ``on_failure`` decides what
+    happens to trials that are still failing after the last round:
+    ``"raise"`` (the historical default) records them in the store's
+    failure ledger and re-raises the first failure; ``"quarantine"``
+    records them as quarantined and *returns*, with ``None`` in the
+    failed trials' outcome slots — a campaign completes and reports
+    around its poison cells instead of dying on them.
     """
     if jobs < 1:
         raise ExperimentError(f"jobs must be positive, got {jobs}")
+    if on_failure not in ("raise", "quarantine"):
+        raise ExperimentError(
+            f"on_failure must be 'raise' or 'quarantine', got {on_failure!r}"
+        )
+    if retries < 0:
+        raise ExperimentError(f"retries must be non-negative, got {retries}")
     cached = store.get_many(specs) if store is not None else {}
     results: dict[int, TrialOutcome] = {}
     pending: list[tuple[int, TrialSpec]] = []
@@ -422,6 +621,73 @@ def run_specs(
         if progress is not None:
             progress(done, total, outcome)
 
+    # Captured-failure mode: failures accumulate instead of aborting the
+    # round.  The historical raise-everything path survives untouched
+    # for the default arguments (tier-1 determinism tests pin it).
+    capture = retries > 0 or on_failure == "quarantine"
+    failures: list[Failure] = []
+
+    def run_round(tasks: list) -> None:
+        if not tasks:
+            return
+        if jobs == 1 or len(tasks) <= 1:
+            # In-process: ensemble lanes stream straight into ``record``
+            # as they retire — the finest persistence granularity.
+            for task in tasks:
+                if task[0] == "trial":
+                    _kind, index, spec, timeout = task
+                    if capture:
+                        result, failure = _attempt_solo(index, spec, timeout)
+                        if result is not None:
+                            record(*result)
+                        if failure is not None:
+                            failures.append(failure)
+                    else:
+                        with _trial_timeout(timeout):
+                            record(index, execute_trial(spec))
+                else:
+                    _kind, chunk, timeout = task
+                    if capture:
+                        chunk_results, chunk_failures = _run_ensemble_task(
+                            chunk, timeout
+                        )
+                        for index, outcome in chunk_results:
+                            record(index, outcome)
+                        failures.extend(chunk_failures)
+                    else:
+                        _run_ensemble_chunk(chunk, record)
+        else:
+            # Worker pool: ensemble chunks are pool tasks like any solo
+            # trial, so deep cells shard across workers and packed work
+            # overlaps the unpackable remainder.
+            processes = min(jobs, len(tasks))
+            chunksize = _chunk_size(len(tasks), processes, store is not None)
+            pool = multiprocessing.Pool(
+                processes=processes, initializer=_worker_init
+            )
+            try:
+                for task_results, task_failures in pool.imap_unordered(
+                    _execute_task, tasks, chunksize=chunksize
+                ):
+                    for index, outcome in task_results:
+                        record(index, outcome)
+                    if task_failures:
+                        if not capture:
+                            # Completed lanes above are already recorded
+                            # (and persisted) before the re-raise.
+                            _index, kind, message, steps = task_failures[0]
+                            _raise_failure(kind, message, steps)
+                        failures.extend(task_failures)
+                pool.close()
+            except BaseException:
+                # Covers worker failures (e.g. ConvergenceError) and
+                # Ctrl-C in the parent alike: stop the workers, keep
+                # what's persisted.
+                pool.terminate()
+                raise
+            finally:
+                pool.join()
+
     missing = len(pending)
     groups = (
         _ensemble_groups(pending, ensemble_lanes) if ensemble_lanes else []
@@ -430,49 +696,63 @@ def run_specs(
     solo_pending = [
         (index, spec) for index, spec in pending if index not in packed
     ]
+    first_round: list = [
+        ("ensemble", chunk, trial_timeout)
+        for group in groups
+        for chunk in _ensemble_chunks(
+            group, jobs if len(pending) > 1 else 1, ensemble_lanes or 1
+        )
+    ]
+    first_round += [
+        ("trial", index, spec, trial_timeout) for index, spec in solo_pending
+    ]
+    run_round(first_round)
 
-    if jobs == 1 or len(pending) <= 1:
-        # In-process: ensemble lanes stream straight into ``record`` as
-        # they retire — the finest persistence granularity available.
-        for group in groups:
-            for chunk in _ensemble_chunks(group, 1, ensemble_lanes or 1):
-                _run_ensemble_chunk(chunk, record)
-        for index, spec in solo_pending:
-            record(index, execute_trial(spec))
-    else:
-        # Worker pool: ensemble chunks are pool tasks like any solo
-        # trial, so deep cells shard across workers and packed work
-        # overlaps the unpackable remainder.
-        tasks: list = [
-            ("ensemble", chunk)
-            for group in groups
-            for chunk in _ensemble_chunks(group, jobs, ensemble_lanes or 1)
+    # Retry rounds: still-failing trials re-run solo (no packing — the
+    # siblings already succeeded) with exponential backoff in between.
+    retried: set[int] = set()
+    attempt = 0
+    while failures and attempt < retries:
+        time.sleep(min(RETRY_BACKOFF_CAP, retry_backoff * (2**attempt)))
+        retry_indices = sorted({failure[0] for failure in failures})
+        retried.update(retry_indices)
+        failures = []
+        run_round(
+            [
+                ("trial", index, specs[index], trial_timeout)
+                for index in retry_indices
+            ]
+        )
+        attempt += 1
+
+    if store is not None:
+        # Successful trials clear any stale ledger entry (a failure from
+        # an earlier run of the same campaign that now succeeded).
+        recovered = [
+            spec
+            for index, spec in pending
+            if results.get(index) is not None
         ]
-        tasks += [("trial", index, spec) for index, spec in solo_pending]
-        processes = min(jobs, len(tasks))
-        chunksize = _chunk_size(len(tasks), processes, store is not None)
-        pool = multiprocessing.Pool(processes=processes, initializer=_worker_init)
-        try:
-            for task_results, failure in pool.imap_unordered(
-                _execute_task, tasks, chunksize=chunksize
-            ):
-                for index, outcome in task_results:
-                    record(index, outcome)
-                if failure is not None:
-                    message, failed_steps = failure
-                    raise ConvergenceError(message, steps=failed_steps)
-            pool.close()
-        except BaseException:
-            # Covers worker failures (e.g. ConvergenceError) and Ctrl-C in
-            # the parent alike: stop the workers, keep what's persisted.
-            pool.terminate()
-            raise
-        finally:
-            pool.join()
-    outcomes = [results[index] for index in range(total)]
+        if recovered and store.failures():
+            store.clear_failures(recovered)
+        for index, _kind, message, _steps in failures:
+            store.record_failure(
+                specs[index],
+                attempts=attempt + 1,
+                error=message,
+                quarantined=on_failure == "quarantine",
+            )
+    if failures and on_failure == "raise":
+        _index, kind, message, steps = min(failures)
+        _raise_failure(kind, message, steps)
+
+    outcomes = [results.get(index) for index in range(total)]
     return RunReport(
         outcomes=outcomes,
-        executed=missing,
+        executed=missing - len(failures),
         cached=total - missing,
         executed_duration=executed_duration,
+        failed=len(failures),
+        quarantined=len(failures) if on_failure == "quarantine" else 0,
+        retried=len(retried),
     )

@@ -24,7 +24,13 @@ from repro.orchestration.spec import CampaignSpec, TrialOutcome
 from repro.orchestration.store import TrialStore
 from repro.telemetry.trace import make_tracer
 
-__all__ = ["CampaignRunner", "CampaignStatus", "CampaignResult", "CellStatus"]
+__all__ = [
+    "CampaignRunner",
+    "CampaignStatus",
+    "CampaignResult",
+    "CellStatus",
+    "FailureStatus",
+]
 
 _AGGREGATE_HEADERS = [
     "protocol",
@@ -83,6 +89,27 @@ class CellStatus:
 
 
 @dataclass(frozen=True)
+class FailureStatus:
+    """One outstanding failure-ledger row scoped to a campaign."""
+
+    protocol: str
+    n: int
+    seed: int
+    engine: str
+    attempts: int
+    error: str
+    quarantined: bool
+
+    def render(self) -> str:
+        tag = "quarantined" if self.quarantined else "failed"
+        return (
+            f"{self.protocol} n={self.n} seed={self.seed} "
+            f"({self.engine}): {tag} after {self.attempts} attempt"
+            f"{'s' if self.attempts != 1 else ''} — {self.error}"
+        )
+
+
+@dataclass(frozen=True)
 class CampaignStatus:
     """How much of a campaign the store already holds.
 
@@ -104,6 +131,9 @@ class CampaignStatus:
     cached: int
     engines: tuple[tuple[str, int, int], ...] = ()
     cells: tuple[CellStatus, ...] = ()
+    #: Outstanding failure-ledger rows for this campaign's specs
+    #: (quarantined poison cells and not-yet-retried failures).
+    failures: tuple[FailureStatus, ...] = ()
 
     @property
     def pending(self) -> int:
@@ -146,6 +176,14 @@ class CampaignStatus:
                     f"  estimated remaining: ~{eta:.0f}s serial "
                     "(divide by --jobs for wall-clock)"
                 )
+        if self.failures:
+            quarantined = sum(f.quarantined for f in self.failures)
+            lines.append(
+                f"  failures: {len(self.failures)} outstanding "
+                f"({quarantined} quarantined)"
+            )
+            for failure in self.failures:
+                lines.append(f"    {failure.render()}")
         return "\n".join(lines)
 
 
@@ -154,11 +192,14 @@ class CampaignResult:
     """Aggregated outcomes of one campaign run (or report)."""
 
     campaign: CampaignSpec
-    outcomes: list[TrialOutcome]
+    outcomes: list[TrialOutcome | None]
     executed: int
     cached: int
     elapsed: float
     executed_duration: float = 0.0
+    failed: int = 0
+    quarantined: int = 0
+    retried: int = 0
 
     @property
     def throughput(self) -> float:
@@ -219,11 +260,24 @@ class CampaignResult:
             f"trials ({self.cached} cached, {self.executed} executed in "
             f"{self.elapsed:.2f}s"
             + (f", {self.throughput:.1f} trials/s" if self.executed else "")
+            + (f", {self.retried} retried" if self.retried else "")
+            + (
+                f", {self.quarantined} quarantined"
+                if self.quarantined
+                else (f", {self.failed} failed" if self.failed else "")
+            )
             + ")",
             "",
             self.aggregate().render(),
         ]
-        if known < len(self.campaign):
+        if self.quarantined:
+            lines += [
+                "",
+                f"note: {self.quarantined} trials quarantined after "
+                "repeated failure; see `repro campaign status` for the "
+                "ledger",
+            ]
+        elif known < len(self.campaign):
             lines += [
                 "",
                 f"note: {len(self.campaign) - known} trials not yet in the "
@@ -233,17 +287,30 @@ class CampaignResult:
 
 
 class CampaignRunner:
-    """Execute campaigns against one store with a fixed worker budget."""
+    """Execute campaigns against one store with a fixed worker budget.
+
+    Campaign execution runs the fabric in self-healing mode by default:
+    failing trials are retried (``retries`` solo rounds with exponential
+    backoff) and trials that keep failing are *quarantined* — recorded
+    in the store's failure ledger while the rest of the campaign
+    completes — rather than aborting the whole run, since a multi-hour
+    grid should never die on one poison cell.  ``trial_timeout`` bounds
+    each trial's wall-clock seconds.
+    """
 
     def __init__(
         self,
         store: TrialStore,
         jobs: int = 1,
         progress: ProgressCallback | None = None,
+        retries: int = 1,
+        trial_timeout: float | None = None,
     ) -> None:
         self.store = store
         self.jobs = jobs
         self.progress = progress
+        self.retries = retries
+        self.trial_timeout = trial_timeout
 
     def run(self, campaign: CampaignSpec) -> CampaignResult:
         """Execute every trial not already cached; aggregate all of them."""
@@ -266,6 +333,9 @@ class CampaignRunner:
                 jobs=self.jobs,
                 store=self.store,
                 progress=self.progress,
+                retries=self.retries,
+                trial_timeout=self.trial_timeout,
+                on_failure="quarantine",
             )
         return CampaignResult(
             campaign=campaign,
@@ -274,6 +344,9 @@ class CampaignRunner:
             cached=report.cached,
             elapsed=time.perf_counter() - started,
             executed_duration=report.executed_duration,
+            failed=report.failed,
+            quarantined=report.quarantined,
+            retried=report.retried,
         )
 
     def status(self, campaign: CampaignSpec) -> CampaignStatus:
@@ -319,6 +392,20 @@ class CampaignRunner:
                     eta_sec=eta,
                 )
             )
+        campaign_hashes = {spec.content_hash() for spec in campaign.trials}
+        failures = tuple(
+            FailureStatus(
+                protocol=str(row["protocol"]),
+                n=int(row["n"]),
+                seed=int(row["seed"]),
+                engine=str(row["engine"]),
+                attempts=int(row["attempts"]),
+                error=str(row["error"]),
+                quarantined=bool(row["quarantined"]),
+            )
+            for row in self.store.failures()
+            if row["spec_hash"] in campaign_hashes
+        )
         return CampaignStatus(
             campaign=campaign.name,
             total=len(campaign),
@@ -328,6 +415,7 @@ class CampaignRunner:
                 for engine, (hits, total) in sorted(per_engine.items())
             ),
             cells=tuple(cells),
+            failures=failures,
         )
 
     def report(self, campaign: CampaignSpec) -> CampaignResult:

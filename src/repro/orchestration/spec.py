@@ -24,6 +24,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.engine.protocol import Protocol
 from repro.errors import ExperimentError
+from repro.faults.plan import FaultPlan, resolve_engine
 from repro.orchestration.crossover import batch_crossover, superbatch_crossover
 from repro.orchestration.registry import build_protocol, canonical_params
 
@@ -137,6 +138,13 @@ class TrialOutcome:
     duration: float = field(default=0.0, compare=False)
     telemetry: str | None = field(default=None, compare=False)
     phases: str | None = field(default=None, compare=False)
+    #: Serialized fault record (:func:`repro.faults.injector.faults_json`)
+    #: for faulted trials: applied events with per-fault recovery times
+    #: and any recorded engine degradation.  ``None`` for clean trials —
+    #: the pre-fault-subsystem store row, byte-identical.  Deterministic
+    #: data, but a derived view like ``phases``, so excluded from
+    #: equality.
+    faults: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -158,6 +166,11 @@ class TrialSpec:
     params: tuple[tuple[str, object], ...] = ()
     max_steps: int | None = None
     detector: str = MONOTONE_LEADER
+    #: Optional fault schedule (:class:`~repro.faults.plan.FaultPlan`).
+    #: Part of the trial's hashed identity when present; ``None`` adds
+    #: nothing to the canonical form, so every clean spec hash is
+    #: byte-identical to the pre-fault-subsystem one.
+    fault_plan: FaultPlan | None = None
 
     @classmethod
     def create(
@@ -169,6 +182,7 @@ class TrialSpec:
         params: Mapping[str, object] | None = None,
         max_steps: int | None = None,
         detector: str = MONOTONE_LEADER,
+        fault_plan: FaultPlan | Sequence | None = None,
     ) -> "TrialSpec":
         if n < 2:
             raise ExperimentError(f"population needs at least 2 agents, got n={n}")
@@ -183,6 +197,15 @@ class TrialSpec:
             )
         if max_steps is not None and max_steps < 1:
             raise ExperimentError(f"max_steps must be positive, got {max_steps}")
+        plan = FaultPlan.coerce(fault_plan)
+        if plan is not None:
+            plan.validate_against(n, max_steps)
+            if not plan.exchangeable and engine != "agent":
+                raise ExperimentError(
+                    f"fault plan needs per-agent identity (targeted agents "
+                    f"or a partition) but engine {engine!r} is count-level; "
+                    "use engine='agent' or 'auto' (which degrades)"
+                )
         normalized = tuple(sorted(canonical_params(protocol, params).items()))
         try:
             json.dumps(dict(normalized))
@@ -198,14 +221,22 @@ class TrialSpec:
             params=normalized,
             max_steps=max_steps,
             detector=detector,
+            fault_plan=plan,
         )
 
     def params_dict(self) -> dict[str, object]:
         return dict(self.params)
 
     def canonical(self) -> dict[str, object]:
-        """The hashed identity of this trial, as a JSON-ready mapping."""
-        return {
+        """The hashed identity of this trial, as a JSON-ready mapping.
+
+        The ``faults`` key exists only for faulted specs: ``plan=None``
+        must keep the serialized form — and therefore the content hash
+        and every store row keyed by it — byte-identical to specs
+        created before the fault subsystem existed (pinned by
+        ``tests/faults/test_hash_neutrality.py``).
+        """
+        payload: dict[str, object] = {
             "version": SPEC_VERSION,
             "protocol": self.protocol,
             "params": [list(pair) for pair in self.params],
@@ -215,6 +246,9 @@ class TrialSpec:
             "max_steps": self.max_steps,
             "detector": self.detector,
         }
+        if self.fault_plan is not None:
+            payload["faults"] = self.fault_plan.canonical()
+        return payload
 
     def content_hash(self) -> str:
         """Stable SHA-256 hex digest of the canonical form."""
@@ -241,6 +275,7 @@ class TrialSpec:
             params={key: value for key, value in data["params"]},
             max_steps=data["max_steps"],
             detector=data["detector"],
+            fault_plan=data.get("faults"),
         )
 
 
@@ -252,6 +287,7 @@ def trial_specs(
     engine: str = "agent",
     params: Mapping[str, object] | None = None,
     max_steps: int | None = None,
+    fault_plan: FaultPlan | Sequence | None = None,
 ) -> list[TrialSpec]:
     """Specs for ``trials`` independent runs with sequentially derived seeds.
 
@@ -267,13 +303,22 @@ def trial_specs(
     ``"multiset"`` — ensemble lanes are bit-identical to solo multiset
     runs, so the hash (and store row) is the multiset trial's; the pool
     supplies the across-trial vectorization at execution time.
+
+    A non-exchangeable ``fault_plan`` (targeted agents, partitions)
+    needs per-agent identity: on the resolved-engine paths (``auto``,
+    ``ensemble``) it deterministically degrades the engine to
+    ``"agent"`` via :func:`repro.faults.plan.resolve_engine`, and the
+    degradation is recorded per trial in the stored fault record.  An
+    explicit count-level engine choice with such a plan is rejected by
+    :meth:`TrialSpec.create` instead of silently overridden.
     """
     if trials < 1:
         raise ExperimentError(f"trials must be positive, got {trials}")
+    plan = FaultPlan.coerce(fault_plan)
     if engine == AUTO_ENGINE:
-        engine = default_engine(n)
+        engine = resolve_engine(plan, default_engine(n))
     elif engine == ENSEMBLE_ENGINE:
-        engine = "multiset"
+        engine = resolve_engine(plan, "multiset")
     return [
         TrialSpec.create(
             protocol=protocol,
@@ -282,6 +327,7 @@ def trial_specs(
             engine=engine,
             params=params,
             max_steps=max_steps,
+            fault_plan=plan,
         )
         for trial in range(trials)
     ]
@@ -335,6 +381,7 @@ class CampaignSpec:
         engine: str = "agent",
         params: Mapping[str, object] | None = None,
         max_steps: int | None = None,
+        fault_plan: FaultPlan | Sequence | None = None,
     ) -> "CampaignSpec":
         """A ``len(ns) x trials`` grid over one protocol."""
         specs: list[TrialSpec] = []
@@ -348,6 +395,7 @@ class CampaignSpec:
                     engine=engine,
                     params=params,
                     max_steps=max_steps,
+                    fault_plan=fault_plan,
                 )
             )
         return cls(name=name, trials=tuple(specs))

@@ -12,10 +12,16 @@ only dependency, and writes are committed per batch so a kill mid-campaign
 loses at most the in-flight trial.
 
 Schema evolution: writable opens migrate older stores in place by adding
-the missing columns (``duration``, ``telemetry``, ``phases``) with
-backfill defaults; readonly opens tolerate their absence instead, so
-``status``/``report`` against a pre-migration store keeps working
-without write access.
+the missing columns (``duration``, ``telemetry``, ``phases``,
+``faults``) with backfill defaults; readonly opens tolerate their
+absence instead, so ``status``/``report`` against a pre-migration store
+keeps working without write access.
+
+The campaign fabric's robustness ledger lives here too: a ``failures``
+table records specs that errored or timed out — attempt counts, the
+offending seed, the last error, and whether the spec was quarantined —
+so ``repro campaign status`` can report what a completed-with-failures
+campaign skipped, and a later ``resume`` can retry it.
 """
 
 from __future__ import annotations
@@ -47,9 +53,28 @@ CREATE TABLE IF NOT EXISTS trials (
     duration        REAL NOT NULL DEFAULT 0.0,
     telemetry       TEXT,
     phases          TEXT,
+    faults          TEXT,
     created_at      TEXT NOT NULL DEFAULT (datetime('now'))
 );
 CREATE INDEX IF NOT EXISTS idx_trials_protocol_n ON trials (protocol, n);
+"""
+
+#: Failed/quarantined specs (campaign-fabric robustness ledger).  Rows
+#: are keyed by spec hash like trials; a successful retry deletes the
+#: row, so the table holds only *outstanding* failures.
+_FAILURES_SCHEMA = """
+CREATE TABLE IF NOT EXISTS failures (
+    spec_hash   TEXT PRIMARY KEY,
+    protocol    TEXT NOT NULL,
+    n           INTEGER NOT NULL,
+    seed        INTEGER NOT NULL,
+    engine      TEXT NOT NULL,
+    spec_json   TEXT NOT NULL,
+    attempts    INTEGER NOT NULL,
+    error       TEXT NOT NULL,
+    quarantined INTEGER NOT NULL DEFAULT 0,
+    updated_at  TEXT NOT NULL DEFAULT (datetime('now'))
+);
 """
 
 #: Columns added after the original (PR 1) schema, with the ALTER clause
@@ -59,6 +84,7 @@ _MIGRATIONS = (
     ("duration", "ALTER TABLE trials ADD COLUMN duration REAL NOT NULL DEFAULT 0.0"),
     ("telemetry", "ALTER TABLE trials ADD COLUMN telemetry TEXT"),
     ("phases", "ALTER TABLE trials ADD COLUMN phases TEXT"),
+    ("faults", "ALTER TABLE trials ADD COLUMN faults TEXT"),
 )
 
 
@@ -93,6 +119,7 @@ class TrialStore:
             else:
                 self._connection = sqlite3.connect(self.path)
                 self._connection.executescript(_SCHEMA)
+                self._connection.executescript(_FAILURES_SCHEMA)
                 self._connection.commit()
             self._migrate()
         except sqlite3.Error as exc:
@@ -120,6 +147,13 @@ class TrialStore:
         self._has_duration = "duration" in present
         self._has_telemetry = "telemetry" in present
         self._has_phases = "phases" in present
+        self._has_faults = "faults" in present
+        self._has_failures = (
+            self._connection.execute(
+                "SELECT 1 FROM sqlite_master WHERE name = 'failures'"
+            ).fetchone()
+            is not None
+        )
         if self.readonly:
             return
         migrated = False
@@ -132,14 +166,17 @@ class TrialStore:
         self._has_duration = True
         self._has_telemetry = True
         self._has_phases = True
+        self._has_faults = True
+        self._has_failures = True
 
     def _outcome_columns(self) -> str:
         duration = "duration" if self._has_duration else "0.0 AS duration"
         telemetry = "telemetry" if self._has_telemetry else "NULL AS telemetry"
         phases = "phases" if self._has_phases else "NULL AS phases"
+        faults = "faults" if self._has_faults else "NULL AS faults"
         return (
             "seed, steps, parallel_time, leader_count, distinct_states, "
-            f"{duration}, {telemetry}, {phases}"
+            f"{duration}, {telemetry}, {phases}, {faults}"
         )
 
     # ------------------------------------------------------------------
@@ -208,7 +245,8 @@ class TrialStore:
             f" steps, parallel_time, leader_count, distinct_states,"
             f" {'duration' if self._has_duration else '0.0'},"
             f" {'telemetry' if self._has_telemetry else 'NULL'},"
-            f" {'phases' if self._has_phases else 'NULL'}"
+            f" {'phases' if self._has_phases else 'NULL'},"
+            f" {'faults' if self._has_faults else 'NULL'}"
             " FROM trials ORDER BY protocol, n, engine, seed"
         )
         names = (
@@ -225,6 +263,7 @@ class TrialStore:
             "duration",
             "telemetry",
             "phases",
+            "faults",
         )
         for row in cursor:
             yield dict(zip(names, row))
@@ -263,6 +302,7 @@ class TrialStore:
                     outcome.duration,
                     outcome.telemetry,
                     outcome.phases,
+                    outcome.faults,
                 )
             )
         with self._connection:
@@ -270,10 +310,82 @@ class TrialStore:
                 "INSERT OR REPLACE INTO trials"
                 " (spec_hash, protocol, n, seed, engine, spec_json, steps,"
                 "  parallel_time, leader_count, distinct_states, duration,"
-                "  telemetry, phases)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "  telemetry, phases, faults)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
+
+    # ------------------------------------------------------------------
+    # failure ledger (campaign-fabric robustness)
+    # ------------------------------------------------------------------
+
+    def record_failure(
+        self,
+        spec: TrialSpec,
+        attempts: int,
+        error: str,
+        quarantined: bool = False,
+    ) -> None:
+        """Upsert one outstanding failure for ``spec``."""
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO failures"
+                " (spec_hash, protocol, n, seed, engine, spec_json,"
+                "  attempts, error, quarantined, updated_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, datetime('now'))",
+                (
+                    spec.content_hash(),
+                    spec.protocol,
+                    spec.n,
+                    spec.seed,
+                    spec.engine,
+                    spec.to_json(),
+                    int(attempts),
+                    str(error),
+                    1 if quarantined else 0,
+                ),
+            )
+
+    def clear_failure(self, spec: TrialSpec) -> None:
+        """Drop the failure row for ``spec`` (it succeeded after all)."""
+        self.clear_failures([spec])
+
+    def clear_failures(self, specs: Iterable[TrialSpec]) -> None:
+        """Drop the failure rows for ``specs`` in one transaction."""
+        with self._connection:
+            self._connection.executemany(
+                "DELETE FROM failures WHERE spec_hash = ?",
+                [(spec.content_hash(),) for spec in specs],
+            )
+
+    def failures(self) -> list[dict[str, object]]:
+        """Every outstanding failure as a plain dict (empty when the
+        table is absent — pre-migration readonly stores)."""
+        if not self._has_failures:
+            return []
+        cursor = self._connection.execute(
+            "SELECT spec_hash, protocol, n, seed, engine, spec_json,"
+            " attempts, error, quarantined, updated_at"
+            " FROM failures ORDER BY protocol, n, engine, seed"
+        )
+        names = (
+            "spec_hash",
+            "protocol",
+            "n",
+            "seed",
+            "engine",
+            "spec_json",
+            "attempts",
+            "error",
+            "quarantined",
+            "updated_at",
+        )
+        rows = []
+        for row in cursor:
+            record = dict(zip(names, row))
+            record["quarantined"] = bool(record["quarantined"])
+            rows.append(record)
+        return rows
 
 
 def _outcome_from_row(row: Sequence[object]) -> TrialOutcome:
@@ -286,6 +398,7 @@ def _outcome_from_row(row: Sequence[object]) -> TrialOutcome:
         duration,
         telemetry,
         phases,
+        faults,
     ) = row
     return TrialOutcome(
         seed=int(seed),
@@ -296,4 +409,5 @@ def _outcome_from_row(row: Sequence[object]) -> TrialOutcome:
         duration=float(duration),
         telemetry=None if telemetry is None else str(telemetry),
         phases=None if phases is None else str(phases),
+        faults=None if faults is None else str(faults),
     )

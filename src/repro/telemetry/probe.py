@@ -132,6 +132,22 @@ class PhaseSeries:
             self._values = self._values[::2]
             self.stride *= 2
 
+    def state_dict(self) -> dict:
+        """Checkpointable snapshot of the sampling state (the probe and
+        bounds come from the spec, so only the dynamic parts travel)."""
+        return {
+            "stride": self.stride,
+            "next": self._next,
+            "steps": list(self._steps),
+            "values": [list(values) for values in self._values],
+        }
+
+    def load_state(self, payload: Mapping) -> None:
+        self.stride = int(payload["stride"])
+        self._next = int(payload["next"])
+        self._steps = [int(step) for step in payload["steps"]]
+        self._values = [tuple(values) for values in payload["values"]]
+
     def to_json(self) -> str | None:
         """Canonical JSON (sorted keys, no whitespace) or ``None``."""
         if not self._steps:

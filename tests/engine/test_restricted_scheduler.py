@@ -34,6 +34,27 @@ class TestRestrictedScheduler:
         scheduler = RestrictedScheduler(5, allowed=[1, 1, 2], seed=0)
         assert set(scheduler.pairs(50)) <= {(1, 2), (2, 1)}
 
+    def test_deterministic_under_seed(self):
+        first = RestrictedScheduler(20, allowed=[1, 4, 9, 16], seed=7)
+        second = RestrictedScheduler(20, allowed=[1, 4, 9, 16], seed=7)
+        assert list(first.pairs(300)) == list(second.pairs(300))
+
+    def test_different_seeds_diverge(self):
+        first = RestrictedScheduler(20, allowed=[1, 4, 9, 16], seed=7)
+        second = RestrictedScheduler(20, allowed=[1, 4, 9, 16], seed=8)
+        assert list(first.pairs(300)) != list(second.pairs(300))
+
+    def test_complete_graph_matches_random_scheduler(self):
+        """allowed=everyone is the uniform scheduler: identical streams.
+
+        The member list is the identity map, and the inner generator is
+        seeded the same way, so this is exact equality, not just
+        distributional agreement.
+        """
+        restricted = RestrictedScheduler(12, allowed=range(12), seed=5)
+        uniform = RandomScheduler(12, seed=5)
+        assert list(restricted.pairs(1000)) == list(uniform.pairs(1000))
+
 
 class TestSchedulerSwap:
     def test_partitioned_population_cannot_stabilize(self):

@@ -1,0 +1,159 @@
+"""Campaign fabric: retries, quarantine, timeouts, and the failure ledger."""
+
+import time
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.experiments.campaigns import canary_specs
+from repro.orchestration import pool
+from repro.orchestration.pool import RunReport, _ensemble_groups, run_specs
+from repro.orchestration.spec import TrialSpec
+from repro.orchestration.store import TrialStore
+
+
+def doomed_spec(seed=0):
+    """A deterministic convergence failure: a 10-step budget cannot
+    stabilize any population."""
+    return TrialSpec.create("angluin", 16, seed, max_steps=10)
+
+
+def good_specs(count=3):
+    return [TrialSpec.create("angluin", 16, seed) for seed in range(count)]
+
+
+class TestQuarantine:
+    def test_deterministic_failure_is_retried_then_quarantined(self):
+        specs = good_specs(2) + [doomed_spec()]
+        with TrialStore(":memory:") as store:
+            report = run_specs(
+                specs,
+                store=store,
+                retries=2,
+                on_failure="quarantine",
+                retry_backoff=0,
+            )
+            (failure,) = store.failures()
+        assert isinstance(report, RunReport)
+        assert report.failed == 1
+        assert report.quarantined == 1
+        assert report.retried == 1
+        assert report.executed == 2
+        assert report.outcomes[2] is None
+        assert all(outcome is not None for outcome in report.outcomes[:2])
+        # Initial attempt + 2 retry rounds.
+        assert failure["attempts"] == 3
+        assert failure["quarantined"]
+        assert "did not stabilize" in failure["error"]
+
+    def test_raise_mode_still_raises(self):
+        with pytest.raises(ConvergenceError):
+            run_specs([doomed_spec()])
+
+    def test_completed_trials_persist_around_the_poison_spec(self):
+        """Worker failures never abort the campaign: jobs>1 + quarantine
+        completes, and every good trial's row lands in the store."""
+        specs = [doomed_spec()] + good_specs(3)
+        with TrialStore(":memory:") as store:
+            report = run_specs(
+                specs, jobs=2, store=store, on_failure="quarantine"
+            )
+            rows = list(store.rows())
+            failures = store.failures()
+        assert report.failed == 1
+        assert report.executed == 3
+        assert len(rows) == 3
+        assert len(failures) == 1
+
+
+class TestRetries:
+    def test_flaky_trial_recovers_on_retry(self, monkeypatch):
+        state = {"calls": 0}
+        original = pool.execute_trial
+
+        def flaky(spec):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise OSError("transient worker hiccup")
+            return original(spec)
+
+        monkeypatch.setattr(pool, "execute_trial", flaky)
+        report = run_specs(
+            [TrialSpec.create("angluin", 16, 0)],
+            retries=1,
+            retry_backoff=0,
+            ensemble_lanes=None,
+        )
+        assert report.failed == 0
+        assert report.retried == 1
+        assert report.outcomes[0] is not None
+
+    def test_backoff_grows_exponentially(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        with TrialStore(":memory:") as store:
+            run_specs(
+                [doomed_spec()],
+                store=store,
+                retries=3,
+                on_failure="quarantine",
+                retry_backoff=0.25,
+            )
+        assert sleeps == [0.25, 0.5, 1.0]
+
+
+class TestTimeout:
+    def test_slow_trial_lands_in_the_ledger_as_timeout(self, monkeypatch):
+        def stuck(spec):
+            time.sleep(5)
+            raise AssertionError("the alarm should have fired")
+
+        monkeypatch.setattr(pool, "execute_trial", stuck)
+        with TrialStore(":memory:") as store:
+            report = run_specs(
+                [TrialSpec.create("angluin", 16, 0)],
+                store=store,
+                trial_timeout=0.05,
+                on_failure="quarantine",
+                ensemble_lanes=None,
+            )
+            (failure,) = store.failures()
+        assert report.failed == 1
+        assert "wall-clock timeout" in failure["error"]
+
+
+class TestLedgerHygiene:
+    def test_success_clears_the_stale_entry(self):
+        spec = TrialSpec.create("angluin", 16, 0)
+        with TrialStore(":memory:") as store:
+            store.record_failure(spec, attempts=1, error="an earlier run died")
+            assert store.failures()
+            run_specs([spec], store=store)
+            assert store.failures() == []
+
+
+class TestFaultedSpecsNeverPack:
+    def test_ensemble_groups_skip_faulted_multiset_specs(self):
+        plan = [{"kind": "corrupt", "at_step": 100, "count": 4}]
+        faulted = [
+            (seed, TrialSpec.create(
+                "pll", 64, seed, engine="multiset", fault_plan=plan
+            ))
+            for seed in range(8)
+        ]
+        clean = [
+            (seed, TrialSpec.create("pll", 64, seed, engine="multiset"))
+            for seed in range(8)
+        ]
+        assert _ensemble_groups(faulted, 2) == []
+        assert len(_ensemble_groups(clean, 2)) == 1
+
+
+class TestCanary:
+    def test_canary_spec_fails_deterministically(self):
+        """The EROB canary scrambles the whole population 88 steps before
+        the budget: it must fail, every run — that is what keeps the
+        quarantine path exercised by every robustness campaign."""
+        (spec,) = canary_specs(seed=1)
+        with pytest.raises(ConvergenceError):
+            pool.execute_trial(spec)

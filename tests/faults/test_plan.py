@@ -1,0 +1,150 @@
+"""FaultPlan / FaultEvent validation and engine resolution."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.faults.plan import FaultEvent, FaultPlan, resolve_engine
+
+
+def corrupt(at_step=100, count=4, **kwargs):
+    return FaultEvent(kind="corrupt", at_step=at_step, count=count, **kwargs)
+
+
+class TestEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown kind"):
+            FaultPlan.create([{"kind": "meteor", "at_step": 10, "count": 1}])
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ExperimentError, match="negative step"):
+            FaultPlan.create([corrupt(at_step=-1)])
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ExperimentError, match="at least 1"):
+            FaultPlan.create([corrupt(count=0)])
+
+    def test_agents_only_for_corrupt(self):
+        with pytest.raises(ExperimentError, match="only meaningful for 'corrupt'"):
+            FaultPlan.create(
+                [FaultEvent(kind="churn", at_step=10, agents=(1, 2))]
+            )
+
+    def test_duplicate_agents_rejected(self):
+        with pytest.raises(ExperimentError, match="duplicate"):
+            FaultPlan.create([corrupt(count=0, agents=(3, 3))])
+
+    def test_partition_needs_duration(self):
+        with pytest.raises(ExperimentError, match="positive duration"):
+            FaultPlan.create([{"kind": "partition", "at_step": 10, "count": 4}])
+
+    def test_partition_needs_two_members(self):
+        with pytest.raises(ExperimentError, match="at least 2 members"):
+            FaultPlan.create(
+                [{"kind": "partition", "at_step": 10, "count": 1, "duration": 50}]
+            )
+
+    def test_duration_only_for_partition(self):
+        with pytest.raises(ExperimentError, match="only meaningful for"):
+            FaultPlan.create([corrupt(duration=10)])
+
+    def test_unknown_mapping_field_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown fields"):
+            FaultPlan.create([{"kind": "corrupt", "at_step": 1, "amount": 3}])
+
+
+class TestPlanValidation:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ExperimentError, match="at least one event"):
+            FaultPlan(events=())
+
+    def test_events_must_strictly_increase(self):
+        with pytest.raises(ExperimentError, match="not after"):
+            FaultPlan.create([corrupt(at_step=50), corrupt(at_step=50)])
+
+    def test_event_inside_partition_window_rejected(self):
+        with pytest.raises(ExperimentError, match="not after"):
+            FaultPlan.create(
+                [
+                    {
+                        "kind": "partition",
+                        "at_step": 10,
+                        "count": 4,
+                        "duration": 100,
+                    },
+                    corrupt(at_step=60),
+                ]
+            )
+
+    def test_event_after_partition_heal_accepted(self):
+        plan = FaultPlan.create(
+            [
+                {"kind": "partition", "at_step": 10, "count": 4, "duration": 50},
+                corrupt(at_step=100),
+            ]
+        )
+        assert len(plan) == 2
+
+    def test_validate_against_population(self):
+        plan = FaultPlan.create([corrupt(count=10)])
+        plan.validate_against(16, None)
+        with pytest.raises(ExperimentError, match="population"):
+            plan.validate_against(8, None)
+
+    def test_validate_against_targets_out_of_range(self):
+        plan = FaultPlan.create([corrupt(count=0, agents=(0, 9))])
+        with pytest.raises(ExperimentError, match="outside"):
+            plan.validate_against(8, None)
+
+    def test_validate_against_budget(self):
+        plan = FaultPlan.create([corrupt(at_step=100)])
+        plan.validate_against(16, 101)
+        with pytest.raises(ExperimentError, match="beyond the max_steps"):
+            plan.validate_against(16, 100)
+
+
+class TestExchangeability:
+    def test_uniform_corrupt_and_churn_are_exchangeable(self):
+        plan = FaultPlan.create(
+            [corrupt(at_step=10), {"kind": "churn", "at_step": 20, "count": 2}]
+        )
+        assert plan.exchangeable
+
+    def test_targeted_corrupt_is_not(self):
+        plan = FaultPlan.create([corrupt(count=0, agents=(1, 2))])
+        assert not plan.exchangeable
+
+    def test_partition_is_not(self):
+        plan = FaultPlan.create(
+            [{"kind": "partition", "at_step": 10, "count": 4, "duration": 50}]
+        )
+        assert not plan.exchangeable
+
+    def test_resolve_engine(self):
+        exchangeable = FaultPlan.create([corrupt()])
+        targeted = FaultPlan.create([corrupt(count=0, agents=(0,))])
+        assert resolve_engine(None, "superbatch") == "superbatch"
+        assert resolve_engine(exchangeable, "superbatch") == "superbatch"
+        assert resolve_engine(targeted, "superbatch") == "agent"
+
+
+class TestCanonicalForm:
+    def test_round_trips_through_mappings(self):
+        plan = FaultPlan.create(
+            [
+                corrupt(at_step=10, count=3),
+                {"kind": "partition", "at_step": 50, "count": 4, "duration": 25},
+                {"kind": "churn", "at_step": 100, "count": 2},
+            ]
+        )
+        assert FaultPlan.create(plan.canonical()) == plan
+
+    def test_optionals_omitted(self):
+        (event,) = FaultPlan.create([corrupt()]).canonical()
+        assert "agents" not in event
+        assert "duration" not in event
+
+    def test_coerce(self):
+        plan = FaultPlan.create([corrupt()])
+        assert FaultPlan.coerce(None) is None
+        assert FaultPlan.coerce(plan) is plan
+        assert FaultPlan.coerce([corrupt()]) == plan

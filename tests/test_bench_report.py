@@ -346,6 +346,7 @@ class TestEndToEnd:
                     "--no-trials",
                     "--no-kernel",
                     "--no-telemetry",
+                    "--no-faults",
                     "--out",
                     str(out),
                 ]
@@ -357,11 +358,12 @@ class TestEndToEnd:
         assert payload["quick"] is True
         assert "trials" not in payload
         assert "kernel" not in payload
+        assert "faults" not in payload
         assert len(payload["results"]) == 4  # four engines, one cell
         engines = {row["engine"] for row in payload["results"]}
         assert engines == {"agent", "multiset", "batch", "superbatch"}
 
-    def test_main_writes_v6_json_with_all_sections(self, tmp_path, monkeypatch):
+    def test_main_writes_v7_json_with_all_sections(self, tmp_path, monkeypatch):
         monkeypatch.setattr(report, "QUICK_GRID", (("angluin", (64,)),))
         monkeypatch.setattr(report, "QUICK_STEPS", 2000)
         monkeypatch.setattr(report, "TRIALS_PROTOCOL", "angluin")
@@ -375,17 +377,26 @@ class TestEndToEnd:
         monkeypatch.setattr(report, "TELEMETRY_N", 64)
         monkeypatch.setattr(report, "TELEMETRY_STEPS_QUICK", 2000)
         monkeypatch.setattr(report, "TELEMETRY_REPEATS", 1)
+        # An angluin n=256 cell cannot stabilize inside a 2000-step
+        # budget, so both fault-cell sides run the full budget.
+        monkeypatch.setattr(report, "FAULTS_PROTOCOL", "angluin")
+        monkeypatch.setattr(report, "FAULTS_N", 256)
+        monkeypatch.setattr(report, "FAULTS_STEPS_QUICK", 2000)
+        monkeypatch.setattr(report, "FAULTS_REPEATS", 1)
         out = tmp_path / "BENCH_engine.json"
         assert report.main(["--quick", "--out", str(out)]) == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-bench-engine/6"
-        # v1/v2 fields are untouched: old consumers parse v6 unchanged.
+        assert payload["schema"] == "repro-bench-engine/7"
+        # v1/v2 fields are untouched: old consumers parse v7 unchanged.
         assert {"results", "summary", "steps_per_cell", "trials"} <= set(
             payload
         )
         assert payload["telemetry"]["overhead_ratio"] > 0
         # v6: the telemetry cell also measures the tracing+probes run.
         assert payload["telemetry"]["trace_overhead_ratio"] > 0
+        # v7: the fault-driver overhead cell.
+        assert payload["faults"]["overhead_ratio"] > 0
+        assert payload["faults"]["clean_steps_per_sec"] > 0
         assert payload["trials"]["ensemble_vs_serial"] > 0
         # Kernel-compiled cells carry both transition paths.
         paths = {
