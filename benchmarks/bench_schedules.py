@@ -1,0 +1,14 @@
+"""Benchmark E14 — adversarial schedules: stabilization off uniform Gamma."""
+
+from repro.experiments import get_experiment
+
+SCALE = 0.4
+
+
+def test_schedules_inflation(benchmark, save_result):
+    _spec, run = get_experiment("E14")
+    result = benchmark.pedantic(
+        run, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    save_result(result)
+    assert all(row["consistent"] for row in result.rows)

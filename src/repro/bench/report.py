@@ -19,24 +19,25 @@ Usage::
 
     repro bench                          # full grid (also: python benchmarks/report.py)
     repro bench --quick                  # CI scale
-    repro bench --check --check-trials --check-kernel --check-telemetry --check-faults
-    repro bench --no-trials --no-kernel --no-telemetry --no-faults  # v1 grid only
+    repro bench --check --check-trials --check-kernel --check-telemetry --check-faults --check-schedulers
+    repro bench --no-trials --no-kernel --no-telemetry --no-faults --no-schedulers  # v1 grid only
     repro bench --out other.json
 
-Schema: ``repro-bench-engine/7`` when the ``faults`` section is
-present (the default), ``/6`` with ``--no-faults``, ``/4`` with
-``--no-telemetry`` too, ``/2`` with ``--no-kernel`` as well, ``/1``
-with all optional sections off — every consumer of a lower version
-keeps working because lower-version fields are unchanged.  v3 added
-per-path ``transitions: kernel|cached`` row tags; v4 added the
-count-level ``superbatch`` engine rows, the large-``n`` PLL cells
-(10^7 and 10^8; the agent engine sits those out, see
-:data:`AGENT_MAX_N`), and ``superbatch_vs_batch`` summary ratios;
+Schema: ``repro-bench-engine/8`` when the ``schedulers`` section is
+present (the default), ``/7`` with ``--no-schedulers``, ``/6`` with
+``--no-faults`` too, ``/4`` with ``--no-telemetry`` as well, ``/2``
+with ``--no-kernel`` on top, ``/1`` with all optional sections off —
+every consumer of a lower version keeps working because lower-version
+fields are unchanged.  v3 added per-path ``transitions: kernel|cached``
+row tags; v4 added the count-level ``superbatch`` engine rows, the
+large-``n`` PLL cells (10^7 and 10^8; the agent engine sits those out,
+see :data:`AGENT_MAX_N`), and ``superbatch_vs_batch`` summary ratios;
 v5 added the ``telemetry`` overhead section; v6 extends that section
 with the tracing+probes measurement (``trace_*`` keys — additive, so
 v5 consumers keep parsing); v7 adds the ``faults`` driver-overhead
-section.  Consumers that key rows by engine name are unaffected: new
-engines are new keys.
+section; v8 adds the ``schedulers`` thinning-overhead section.
+Consumers that key rows by engine name are unaffected: new engines are
+new keys.
 
 Gates: ``--check`` fails (exit 1) unless the batch engine beats the
 multiset engine on the PLL throughput check at the largest measured
@@ -59,7 +60,11 @@ not near-zero cost).  ``--check-faults`` fails unless driving the same
 superbatch cell through a near-no-op
 :class:`~repro.faults.injector.FaultInjector` stays within
 ``--max-fault-overhead`` times the clean ``plan=None`` run (default
-1.05).
+1.05).  ``--check-schedulers`` fails unless running the same
+superbatch cell through the state-weighted thinning path with a
+*neutral* weight map (every acceptance probability exactly 1.0 — the
+closest thing to a no-op schedule) stays within
+``--max-scheduler-overhead`` times the uniform run (default 1.10).
 """
 
 from __future__ import annotations
@@ -175,6 +180,23 @@ FAULTS_N = 1_000_000
 FAULTS_STEPS = 2_000_000
 FAULTS_STEPS_QUICK = 800_000
 FAULTS_REPEATS = 7
+
+#: The scheduler-overhead cell: the same superbatch workload run uniform
+#: versus through :class:`~repro.schedulers.weighted
+#: .WeightedSuperBatchSimulator` under a *neutral* weight map — every
+#: symbol weighs 1.0, so every proposal's acceptance probability is
+#: exactly 1.0 and zero proposals are rejected.  The graded ratio
+#: therefore bounds the cost of the thinning machinery itself (the
+#: per-run acceptance vectors and weight-table upkeep every weighted
+#: campaign cell pays), not of any particular schedule.  Same
+#: methodology as the telemetry/faults cells: alternating adjacent
+#: pairs, CPU time, minimum pair ratio as the ceiling statistic.
+SCHEDULERS_PROTOCOL = "pll"
+SCHEDULERS_N = 1_000_000
+SCHEDULERS_STEPS = 2_000_000
+SCHEDULERS_STEPS_QUICK = 800_000
+SCHEDULERS_REPEATS = 7
+SCHEDULERS_WEIGHTS = {"L": 1.0}
 
 
 def measure_trials_cell(
@@ -770,6 +792,111 @@ def measure_faults_cell(
     }
 
 
+def measure_schedulers_cell(
+    protocol_name: str | None = None,
+    n: int | None = None,
+    steps: int | None = None,
+    seed: int = 0,
+    repeats: int | None = None,
+    quick: bool = False,
+) -> dict:
+    """Uniform vs neutrally-weighted timings of one superbatch workload.
+
+    The uniform side is the exact ``scheduler=None`` path campaigns run;
+    the weighted side drives the same fixed budget through
+    :class:`~repro.schedulers.weighted.WeightedSuperBatchSimulator` with
+    the neutral map ``{"L": 1.0}``: ``wmax = 1`` makes every acceptance
+    probability exactly 1.0, so no proposal is rejected and both sides
+    execute exactly ``steps`` chain interactions (asserted).  The
+    measured difference is the thinning machinery — per-run acceptance
+    vectors, Binomial draws, and weight-table upkeep — which is what
+    every state-weighted campaign cell pays *on top of* the rejected
+    proposals its actual weight map induces.
+
+    Pairing, timer, and the minimum-pair-ratio ceiling statistic follow
+    :func:`measure_telemetry_cell` (see there for the rationale on
+    noisy hosts).
+    """
+    from repro.schedulers.weighted import WeightedSuperBatchSimulator
+
+    if protocol_name is None:
+        protocol_name = SCHEDULERS_PROTOCOL
+    if n is None:
+        n = SCHEDULERS_N
+    if steps is None:
+        steps = SCHEDULERS_STEPS_QUICK if quick else SCHEDULERS_STEPS
+    if repeats is None:
+        repeats = SCHEDULERS_REPEATS
+
+    def run_once(weighted: bool) -> tuple[float, int]:
+        protocol = build_protocol(protocol_name, n)
+        if weighted:
+            sim = WeightedSuperBatchSimulator(
+                protocol, n, SCHEDULERS_WEIGHTS, seed=seed
+            )
+        else:
+            sim = SuperBatchSimulator(protocol, n, seed=seed)
+        start = time.process_time()
+        try:
+            sim.run_until_stabilized(max_steps=steps)
+        except ConvergenceError:
+            pass  # budget exhausted: the measured workload, not a failure
+        return time.process_time() - start, sim.steps
+
+    uniform_times: list[float] = []
+    weighted_times: list[float] = []
+    uniform_steps = weighted_steps = 0
+    for repeat in range(repeats):
+        print(
+            f"  measuring scheduler {protocol_name} n={n} "
+            f"(superbatch, {steps:,} step budget, "
+            f"pair {repeat + 1}/{repeats}) ...",
+            flush=True,
+        )
+        if repeat % 2 == 0:
+            seconds, uniform_steps = run_once(False)
+            uniform_times.append(seconds)
+            seconds, weighted_steps = run_once(True)
+            weighted_times.append(seconds)
+        else:
+            seconds, weighted_steps = run_once(True)
+            weighted_times.append(seconds)
+            seconds, uniform_steps = run_once(False)
+            uniform_times.append(seconds)
+    if uniform_steps != weighted_steps:
+        raise RuntimeError(
+            f"neutral thinning changed the executed budget: "
+            f"{uniform_steps} uniform vs {weighted_steps} weighted "
+            f"({protocol_name} n={n} seed={seed})"
+        )
+    pair_ratios = [
+        weighted / uniform
+        for weighted, uniform in zip(weighted_times, uniform_times)
+    ]
+    uniform_best = min(uniform_times)
+    weighted_best = min(weighted_times)
+    return {
+        "cell": {
+            "protocol": protocol_name,
+            "n": n,
+            "engine": "superbatch",
+            "max_steps": steps,
+        },
+        "seed": seed,
+        "repeats": repeats,
+        "steps": uniform_steps,
+        "timer": "process_time",
+        "weights": dict(SCHEDULERS_WEIGHTS),
+        "uniform_seconds": uniform_best,
+        "weighted_seconds": weighted_best,
+        "uniform_steps_per_sec": uniform_steps / uniform_best,
+        "weighted_steps_per_sec": weighted_steps / weighted_best,
+        "pair_ratios": pair_ratios,
+        "best_vs_best_ratio": weighted_best / uniform_best,
+        "overhead_ratio": min(pair_ratios),
+    }
+
+
 def generate_report(
     quick: bool = False,
     seed: int = 0,
@@ -777,6 +904,7 @@ def generate_report(
     kernel_section: bool = True,
     telemetry_section: bool = True,
     faults_section: bool = True,
+    schedulers_section: bool = True,
 ) -> dict:
     """Run the full engine x protocol x n grid; return the report dict.
 
@@ -785,8 +913,9 @@ def generate_report(
     measures every kernel-compiled grid cell on both paths (two rows —
     kernel and cached — per engine and cell); ``telemetry_section``
     adds the telemetry-overhead cell; ``faults_section`` adds the
-    fault-driver-overhead cell.  Fields are strictly additive over the
-    lower-version layouts, so older consumers keep parsing.
+    fault-driver-overhead cell; ``schedulers_section`` adds the
+    scheduler-thinning-overhead cell.  Fields are strictly additive
+    over the lower-version layouts, so older consumers keep parsing.
     """
     grid = QUICK_GRID if quick else FULL_GRID
     steps = QUICK_STEPS if quick else FULL_STEPS
@@ -823,7 +952,9 @@ def generate_report(
                             use_kernel=use_kernel,
                         )
                     )
-    if faults_section:
+    if schedulers_section:
+        schema = "repro-bench-engine/8"
+    elif faults_section:
         schema = "repro-bench-engine/7"
     elif telemetry_section:
         schema = "repro-bench-engine/6"
@@ -852,6 +983,8 @@ def generate_report(
         report["telemetry"] = measure_telemetry_cell(seed=seed, quick=quick)
     if faults_section:
         report["faults"] = measure_faults_cell(seed=seed, quick=quick)
+    if schedulers_section:
+        report["schedulers"] = measure_schedulers_cell(seed=seed, quick=quick)
     return report
 
 
@@ -1132,6 +1265,40 @@ def check_fault_overhead(report: dict, max_ratio: float) -> str | None:
     return None
 
 
+def check_scheduler_overhead(report: dict, max_ratio: float) -> str | None:
+    """Error message when the neutrally-weighted run exceeds ``max_ratio``
+    times the uniform run.
+
+    A ceiling gate like :func:`check_fault_overhead`: state-weighted
+    campaign cells ride the thinned superbatch sampler, and its
+    machinery — acceptance vectors, Binomial draws, weight-table upkeep
+    — must stay within ``max_ratio`` of the uniform engine on the
+    superbatch overhead cell.  Tolerant of pre-v8 reports: a missing
+    section is itself the error.
+    """
+    section = report.get("schedulers")
+    if not section:
+        return "report has no schedulers section to check"
+    ratio = section.get("overhead_ratio")
+    if ratio is None:
+        return "schedulers section lacks an overhead_ratio"
+    cell = section.get("cell", {})
+    label = (
+        f"{cell.get('protocol', '?')} n={cell.get('n', '?')} "
+        f"({cell.get('engine', '?')}, {section.get('steps', '?')} steps)"
+    )
+    if ratio > max_ratio:
+        return (
+            f"neutrally-weighted run is {ratio:.3f}x the uniform run on "
+            f"{label}; required <= {max_ratio:.2f}x"
+        )
+    print(
+        f"check ok: weighted thinning is {ratio:.3f}x the uniform run on "
+        f"{label} (required <= {max_ratio:.2f}x)"
+    )
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1264,6 +1431,29 @@ def main(argv: list[str] | None = None) -> int:
             "(default 1.05: at most 5%%)"
         ),
     )
+    parser.add_argument(
+        "--no-schedulers",
+        action="store_true",
+        help="skip the scheduler-thinning-overhead section",
+    )
+    parser.add_argument(
+        "--check-schedulers",
+        action="store_true",
+        help=(
+            "fail unless the neutrally-weighted run stays within "
+            "--max-scheduler-overhead x the uniform run on the "
+            "superbatch overhead cell"
+        ),
+    )
+    parser.add_argument(
+        "--max-scheduler-overhead",
+        type=float,
+        default=1.10,
+        help=(
+            "overhead ratio ceiling the --check-schedulers gate enforces "
+            "(default 1.10: at most 10%%)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     if args.check_trials and args.no_trials:
@@ -1274,6 +1464,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--check-telemetry requires the telemetry section")
     if args.check_faults and args.no_faults:
         parser.error("--check-faults requires the faults section")
+    if args.check_schedulers and args.no_schedulers:
+        parser.error("--check-schedulers requires the schedulers section")
     report = generate_report(
         quick=args.quick,
         seed=args.seed,
@@ -1281,6 +1473,7 @@ def main(argv: list[str] | None = None) -> int:
         kernel_section=not args.no_kernel,
         telemetry_section=not args.no_telemetry,
         faults_section=not args.no_faults,
+        schedulers_section=not args.no_schedulers,
     )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -1352,6 +1545,18 @@ def main(argv: list[str] | None = None) -> int:
             f"faulted {faults['faulted_steps_per_sec']:,.0f} steps/s  "
             f"overhead {faults['overhead_ratio']:.3f}x"
         )
+    schedulers = report.get("schedulers")
+    if schedulers:
+        cell = schedulers["cell"]
+        print(
+            f"  schedulers cell {cell['protocol']}/n={cell['n']} "
+            f"({cell['engine']}, {schedulers['steps']:,} steps):"
+        )
+        print(
+            f"    uniform {schedulers['uniform_steps_per_sec']:,.0f} steps/s  "
+            f"weighted {schedulers['weighted_steps_per_sec']:,.0f} steps/s  "
+            f"overhead {schedulers['overhead_ratio']:.3f}x"
+        )
     failures = []
     if args.check:
         error = check_batch_speedup(report, args.min_ratio)
@@ -1377,6 +1582,10 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(error)
     if args.check_faults:
         error = check_fault_overhead(report, args.max_fault_overhead)
+        if error is not None:
+            failures.append(error)
+    if args.check_schedulers:
+        error = check_scheduler_overhead(report, args.max_scheduler_overhead)
         if error is not None:
             failures.append(error)
     for error in failures:

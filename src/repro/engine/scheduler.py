@@ -105,6 +105,15 @@ class RestrictedScheduler:
     -but-reachable configurations before handing the run back to the
     uniformly random scheduler — the paper's Lemmas 9/10 promise recovery
     from *any* reachable configuration.
+
+    Induced distribution: with ``m = len(allowed)`` members, every one of
+    the ``m * (m - 1)`` ordered pairs of *distinct* members is equally
+    likely at every step — the member list is sorted and index-remapped
+    onto an inner :class:`RandomScheduler` over ``m`` virtual agents, so
+    ``allowed = range(n)`` reproduces the uniform scheduler's stream
+    exactly (same seed, same pairs).  A member listed twice would have
+    silently collapsed to one membership (not a doubled interaction
+    rate), so duplicates are rejected rather than deduplicated.
     """
 
     __slots__ = ("n", "_members", "_inner")
@@ -115,7 +124,15 @@ class RestrictedScheduler:
         allowed: Sequence[int],
         seed: int | np.random.Generator | None = None,
     ) -> None:
-        members = sorted(set(allowed))
+        members = sorted(allowed)
+        if len(members) != len(set(members)):
+            duplicates = sorted(
+                {m for m in members if members.count(m) > 1}
+            )
+            raise ScheduleError(
+                f"duplicate partition members {duplicates}: membership is "
+                f"a set; weight agents via a weighted schedule instead"
+            )
         if len(members) < 2:
             raise ScheduleError("a partition needs at least 2 members")
         if members[0] < 0 or members[-1] >= n:

@@ -43,6 +43,7 @@ from repro.experiments import (  # noqa: F401  (import-for-registration)
     lemma8_tournament,
     lemma12_backup,
     robustness,
+    schedules,
     section4_symmetric,
     table1_comparison,
     table2_lower_bounds,

@@ -19,7 +19,13 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ExperimentError
-from repro.experiments import ablations, robustness, table1_comparison, theorem1_scaling
+from repro.experiments import (
+    ablations,
+    robustness,
+    schedules,
+    table1_comparison,
+    theorem1_scaling,
+)
 from repro.experiments.spec import scaled
 from repro.faults.plan import FaultPlan
 from repro.orchestration.spec import CampaignSpec, TrialSpec, trial_specs
@@ -138,11 +144,54 @@ def _robustness_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:
     return CampaignSpec(name="EROB", trials=tuple(specs))
 
 
+def _schedules_campaign(scale: float, seed: int, engine: str) -> CampaignSpec:
+    """ESCHED — E14's scheduler grid (protocol × n × family × parameter)
+    plus the schedule-composed recovery cells.
+
+    Grid specs share hashes (and therefore store rows) with ``repro run
+    E14``.  Graph-restricted cells ride the degradation ladder: with
+    ``engine="auto"`` they resolve to the per-agent engine and their
+    store rows carry ``degraded_from`` (surfaced by ``repro campaign
+    status``), while the state-weighted cells keep the size-resolved
+    count-level engine.
+    """
+    specs: list[TrialSpec] = []
+    for protocol, params, n, scheduler, trials in schedules.schedule_grid(scale):
+        specs.extend(
+            trial_specs(
+                protocol,
+                n,
+                trials,
+                base_seed=seed,
+                engine=engine,
+                params=params,
+                scheduler=scheduler,
+            )
+        )
+    for protocol, params, n, scheduler, plan, trials in schedules.recovery_cells(
+        scale
+    ):
+        specs.extend(
+            trial_specs(
+                protocol,
+                n,
+                trials,
+                base_seed=seed,
+                engine=engine,
+                params=params,
+                scheduler=scheduler,
+                fault_plan=plan,
+            )
+        )
+    return CampaignSpec(name="ESCHED", trials=tuple(specs))
+
+
 _BUILDERS: dict[str, Callable[[float, int, str], CampaignSpec]] = {
     "E1": _table1_campaign,
     "E9": _theorem1_campaign,
     "E12": _ablations_campaign,
     "EROB": _robustness_campaign,
+    "ESCHED": _schedules_campaign,
 }
 
 

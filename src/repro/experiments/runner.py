@@ -20,6 +20,7 @@ from typing import Callable, Mapping, Sequence
 from repro.engine.protocol import Protocol
 from repro.errors import ExperimentError
 from repro.faults.plan import FaultPlan, resolve_engine
+from repro.schedulers.spec import SchedulerSpec, resolve_schedule_engine
 from repro.orchestration.context import current_context
 from repro.orchestration.pool import build_simulator, measure_trial, run_specs
 from repro.orchestration.spec import (
@@ -52,6 +53,7 @@ def stabilization_trials(
     max_steps: int | None = None,
     params: Mapping[str, object] | None = None,
     fault_plan=None,
+    scheduler=None,
 ) -> list[TrialOutcome]:
     """Measure stabilization over ``trials`` independent runs.
 
@@ -77,6 +79,14 @@ def stabilization_trials(
     Exchangeable plans keep the size-resolved engine; non-exchangeable
     ones degrade ``auto`` to the per-agent engine (see
     :func:`~repro.faults.plan.resolve_engine`).
+
+    ``scheduler`` (a :class:`~repro.schedulers.spec.SchedulerSpec`, a
+    mapping, or ``None``) selects the interaction schedule; outcomes
+    then carry the serialized scheduler record in ``.scheduler``.
+    Exchangeable families (``weighted``) likewise keep the
+    size-resolved engine via the reweighted samplers; graph-restricted
+    families degrade ``auto`` to the per-agent engine (see
+    :func:`~repro.schedulers.spec.resolve_schedule_engine`).
     """
     if trials < 1:
         raise ExperimentError(f"trials must be positive, got {trials}")
@@ -95,6 +105,7 @@ def stabilization_trials(
             params=params,
             max_steps=max_steps,
             fault_plan=fault_plan,
+            scheduler=scheduler,
         )
         return run_specs(
             specs,
@@ -108,8 +119,9 @@ def stabilization_trials(
             "the factory instead"
         )
     plan = FaultPlan.coerce(fault_plan)
+    sched = SchedulerSpec.coerce(scheduler)
     if engine == AUTO_ENGINE:
-        engine = resolve_engine(plan, default_engine(n))
+        engine = resolve_engine(plan, resolve_schedule_engine(sched, default_engine(n)))
     return [
         measure_trial(
             protocol(),
@@ -118,6 +130,7 @@ def stabilization_trials(
             engine=engine,
             max_steps=max_steps,
             fault_plan=plan,
+            scheduler=sched,
         )
         for trial in range(trials)
     ]

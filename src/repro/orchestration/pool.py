@@ -54,6 +54,14 @@ from repro.orchestration.spec import (
     default_engine,
 )
 from repro.orchestration.store import TrialStore
+from repro.schedulers.graphs import graph_scheduler_for
+from repro.schedulers.spec import SchedulerSpec, scheduler_json
+from repro.schedulers.weighted import (
+    StateWeightedScheduler,
+    WeightedBatchSimulator,
+    WeightedMultisetSimulator,
+    WeightedSuperBatchSimulator,
+)
 from repro.telemetry.core import trial_telemetry_json
 from repro.telemetry.trace import make_tracer
 
@@ -101,6 +109,7 @@ def build_simulator(
     seed: int,
     engine: str = "agent",
     use_kernel: bool | None = None,
+    scheduler: SchedulerSpec | None = None,
 ) -> Simulator:
     """Build the requested engine (one of :data:`~repro.orchestration.spec.ENGINES`).
 
@@ -117,9 +126,25 @@ def build_simulator(
     byte-identical trajectories — while ``True``/``False`` force one
     path (benchmarks and equivalence tests).  The choice never touches
     spec identity: trial hashes name the engine, not the path.
+
+    ``scheduler`` selects the interaction schedule
+    (:class:`~repro.schedulers.spec.SchedulerSpec`).  ``None`` and an
+    explicit ``uniform`` spec take the exact pre-scheduler path — same
+    construction, same draws, bit-identical trajectories.  A
+    ``weighted`` spec routes count-level engines to the reweighted
+    block samplers (:mod:`repro.schedulers.weighted`) and the agent
+    engine to a thinning :class:`StateWeightedScheduler`; graph
+    families attach a :class:`~repro.schedulers.graphs.GraphScheduler`
+    to the agent engine (the only engine with agent identity — the
+    degradation ladder in :func:`~repro.orchestration.spec.trial_specs`
+    routes such specs here).
     """
     if engine == AUTO_ENGINE:
         engine = default_engine(n)
+    if scheduler is not None and scheduler.family != "uniform":
+        return _build_scheduled_simulator(
+            protocol, n, seed, engine, scheduler, use_kernel
+        )
     if engine == ENSEMBLE_ENGINE:
         return EnsembleLaneSimulator(protocol, n, seed=seed, use_kernel=use_kernel)
     if engine == "multiset":
@@ -140,6 +165,64 @@ def build_simulator(
     return factory(protocol, n, seed=seed, use_kernel=use_kernel)
 
 
+def _build_scheduled_simulator(
+    protocol: Protocol,
+    n: int,
+    seed: int,
+    engine: str,
+    scheduler: SchedulerSpec,
+    use_kernel: bool | None,
+) -> Simulator:
+    """Engine construction for non-uniform schedules.
+
+    The weighted family has a sound implementation on every engine
+    (thinning — see :mod:`repro.schedulers.weighted`); graph families
+    exist only on the per-agent engine, which the spec layer guarantees
+    by construction (``TrialSpec.create`` rejects count-level engines
+    for them), so anything else arriving here is a programming error.
+    """
+    scheduler.validate_against(n)
+    if scheduler.family == "weighted":
+        weights = scheduler.weight_map
+        if engine == "multiset":
+            # The kernel-backed sorted-slot engine has no thinning hook;
+            # the weighted multiset engine resolves transitions through
+            # the same cache (kernel-backed when available), so only the
+            # sampling loop differs.
+            return WeightedMultisetSimulator(
+                protocol, n, weights, seed=seed, use_kernel=use_kernel
+            )
+        if engine == "batch":
+            return WeightedBatchSimulator(
+                protocol, n, weights, seed=seed, use_kernel=use_kernel
+            )
+        if engine == "superbatch":
+            return WeightedSuperBatchSimulator(
+                protocol, n, weights, seed=seed, use_kernel=use_kernel
+            )
+        if engine == "agent":
+            sim = AgentSimulator(protocol, n, seed=seed, use_kernel=use_kernel)
+            sim.set_scheduler(StateWeightedScheduler(sim, weights, seed))
+            return sim
+        raise ExperimentError(
+            f"weighted schedule has no {engine!r} implementation; use one "
+            f"of: {', '.join(ENGINES)}"
+        )
+    if engine != "agent":
+        raise ExperimentError(
+            f"graph-restricted schedule ({scheduler.family!r}) needs the "
+            f"per-agent engine, got {engine!r} — spec validation should "
+            "have rejected or degraded this"
+        )
+    return AgentSimulator(
+        protocol,
+        n,
+        seed=seed,
+        scheduler=graph_scheduler_for(scheduler, n, seed),
+        use_kernel=use_kernel,
+    )
+
+
 def measure_trial(
     protocol: Protocol,
     n: int,
@@ -149,6 +232,7 @@ def measure_trial(
     label: str = "",
     fault_plan: FaultPlan | None = None,
     checkpointer: TrialCheckpointer | None = None,
+    scheduler: SchedulerSpec | None = None,
 ) -> TrialOutcome:
     """Run one already-built protocol to stabilization.
 
@@ -167,18 +251,27 @@ def measure_trial(
     engine).  With a ``checkpointer`` the run first restores any on-disk
     snapshot (in-trial resume after a kill), attaches the checkpointer
     to the engine's block loop, and clears the snapshot on success.
+
+    With a ``scheduler`` spec the simulator is built for that schedule
+    (see :func:`build_simulator`) and the outcome carries the serialized
+    scheduler record, including the engine a graph-restricted spec was
+    degraded from when the ladder forced the per-agent engine.
     """
-    sim = build_simulator(protocol, n, seed=seed, engine=engine)
+    sim = build_simulator(protocol, n, seed=seed, engine=engine, scheduler=scheduler)
     injector = None
     degraded_from = None
+    sched_degraded_from = None
+    # Record what `auto` would have picked at this size, so the store
+    # row says *why* a production-scale spec ran per-agent — once per
+    # identity-needing input, in its own record.
+    resolved = default_engine(n)
+    degraded = engine == "agent" and resolved != "agent"
     if fault_plan is not None:
         injector = FaultInjector(fault_plan, n, seed)
-        if not fault_plan.exchangeable and engine == "agent":
-            # Record what `auto` would have picked at this size, so the
-            # store row says *why* a production-scale spec ran per-agent.
-            resolved = default_engine(n)
-            if resolved != "agent":
-                degraded_from = resolved
+        if not fault_plan.exchangeable and degraded:
+            degraded_from = resolved
+    if scheduler is not None and not scheduler.exchangeable and degraded:
+        sched_degraded_from = resolved
     if checkpointer is not None:
         checkpointer.injector = injector
         checkpointer.restore(sim, injector)
@@ -210,6 +303,11 @@ def measure_trial(
         telemetry=trial_telemetry_json(sim),
         phases=getattr(sim, "phases_json", lambda: None)(),
         faults=None if injector is None else injector.to_json(degraded_from),
+        scheduler=(
+            None
+            if scheduler is None
+            else scheduler_json(scheduler, sched_degraded_from)
+        ),
     )
 
 
@@ -228,6 +326,7 @@ def execute_trial(spec: TrialSpec) -> TrialOutcome:
         label=f"protocol {spec.protocol!r}",
         fault_plan=spec.fault_plan,
         checkpointer=make_checkpointer(spec),
+        scheduler=spec.scheduler,
     )
 
 
@@ -434,7 +533,13 @@ def _ensemble_groups(
     for index, spec in pending:
         # Faulted trials never pack: lanes share one sweep schedule, and
         # a mid-run count rewrite on one lane has no packed equivalent.
-        if spec.engine != "multiset" or spec.fault_plan is not None:
+        # Scheduled trials likewise — per-lane proposal thinning has no
+        # packed equivalent either.
+        if (
+            spec.engine != "multiset"
+            or spec.fault_plan is not None
+            or spec.scheduler is not None
+        ):
             continue
         key = (spec.protocol, spec.params, spec.n, spec.max_steps, spec.detector)
         grouped.setdefault(key, []).append((index, spec))

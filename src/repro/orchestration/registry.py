@@ -145,8 +145,14 @@ def _angluin(n: int) -> Protocol:
 
 
 @register_protocol("fast-nonce")
-def _fast_nonce(n: int) -> Protocol:
-    return FastNonceProtocol.for_population(n)
+def _fast_nonce(n: int, bits: int | None = None) -> Protocol:
+    # ``bits`` overrides the population-derived nonce width.  The E14
+    # graph cells use a wide fixed width (48) so the equal-nonce backstop
+    # — which needs *direct* meetings and therefore crawls on sparse
+    # interaction graphs — is never exercised in practice.
+    if bits is None:
+        return FastNonceProtocol.for_population(n)
+    return FastNonceProtocol(bits=bits)
 
 
 @register_protocol("loose")

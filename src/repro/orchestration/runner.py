@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.analysis.stats import summarize
 from repro.analysis.tables import Table
 from repro.orchestration.pool import ProgressCallback, run_specs
-from repro.orchestration.spec import CampaignSpec, TrialOutcome
+from repro.orchestration.spec import CampaignSpec, TrialOutcome, default_engine
 from repro.orchestration.store import TrialStore
 from repro.telemetry.trace import make_tracer
 
@@ -71,6 +71,11 @@ class CellStatus:
     cached: int
     total: int
     eta_sec: float | None = None
+    #: The engine ``auto`` would have picked at this size when the
+    #: cell's specs were degraded to the per-agent engine by an
+    #: identity-needing (graph-restricted) scheduler spec; ``None``
+    #: for undegraded cells.
+    degraded_from: str | None = None
 
     @property
     def pending(self) -> int:
@@ -165,6 +170,17 @@ class CampaignStatus:
                 for engine, cached, total in self.engines
             )
             lines.append(f"  by engine: {breakdown}")
+        degraded = [cell for cell in self.cells if cell.degraded_from]
+        if degraded:
+            lines.append(
+                "  degraded to per-agent engine (schedule needs agent "
+                "identity):"
+            )
+            for cell in degraded:
+                lines.append(
+                    f"    {cell.protocol} [{cell.params}] n={cell.n}: "
+                    f"degraded_from={cell.degraded_from}"
+                )
         if self.cells and self.pending:
             lines.append("  in flight:")
             for cell in self.cells:
@@ -381,6 +397,16 @@ class CampaignRunner:
                 if pending and durations
                 else None
             )
+            degraded = sorted(
+                {
+                    default_engine(spec.n)
+                    for spec in specs
+                    if spec.engine == "agent"
+                    and spec.scheduler is not None
+                    and not spec.scheduler.exchangeable
+                    and default_engine(spec.n) != "agent"
+                }
+            )
             cells.append(
                 CellStatus(
                     protocol=protocol,
@@ -390,6 +416,7 @@ class CampaignRunner:
                     cached=hits,
                     total=len(specs),
                     eta_sec=eta,
+                    degraded_from="+".join(degraded) or None,
                 )
             )
         campaign_hashes = {spec.content_hash() for spec in campaign.trials}

@@ -27,6 +27,7 @@ from repro.errors import ExperimentError
 from repro.faults.plan import FaultPlan, resolve_engine
 from repro.orchestration.crossover import batch_crossover, superbatch_crossover
 from repro.orchestration.registry import build_protocol, canonical_params
+from repro.schedulers.spec import SchedulerSpec, resolve_schedule_engine
 
 __all__ = [
     "AUTO_ENGINE",
@@ -145,6 +146,12 @@ class TrialOutcome:
     #: data, but a derived view like ``phases``, so excluded from
     #: equality.
     faults: str | None = field(default=None, compare=False)
+    #: Serialized scheduler record
+    #: (:func:`repro.schedulers.spec.scheduler_json`) for trials run
+    #: under an adversarial schedule: the spec's canonical form plus any
+    #: recorded engine degradation.  ``None`` for uniform-scheduler
+    #: trials — the pre-scheduler-subsystem store row, byte-identical.
+    scheduler: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -171,6 +178,13 @@ class TrialSpec:
     #: nothing to the canonical form, so every clean spec hash is
     #: byte-identical to the pre-fault-subsystem one.
     fault_plan: FaultPlan | None = None
+    #: Optional interaction schedule
+    #: (:class:`~repro.schedulers.spec.SchedulerSpec`).  Part of the
+    #: trial's hashed identity when present, with the same
+    #: None-neutrality contract as ``fault_plan``; an explicit
+    #: ``uniform`` spec normalizes to ``None`` (it *is* the default
+    #: scheduler), so both spellings hash identically.
+    scheduler: SchedulerSpec | None = None
 
     @classmethod
     def create(
@@ -183,6 +197,7 @@ class TrialSpec:
         max_steps: int | None = None,
         detector: str = MONOTONE_LEADER,
         fault_plan: FaultPlan | Sequence | None = None,
+        scheduler: SchedulerSpec | Mapping | None = None,
     ) -> "TrialSpec":
         if n < 2:
             raise ExperimentError(f"population needs at least 2 agents, got n={n}")
@@ -206,6 +221,29 @@ class TrialSpec:
                     f"or a partition) but engine {engine!r} is count-level; "
                     "use engine='agent' or 'auto' (which degrades)"
                 )
+        sched = SchedulerSpec.coerce(scheduler)
+        if sched is not None:
+            sched.validate_against(n)
+            if sched.family == "uniform":
+                # An explicit uniform spec *is* the default scheduler:
+                # normalize it away so both spellings hash (and run)
+                # identically — the None-neutrality contract.
+                sched = None
+        if sched is not None:
+            if not sched.exchangeable and engine != "agent":
+                raise ExperimentError(
+                    f"scheduler family {sched.family!r} needs per-agent "
+                    f"identity but engine {engine!r} is count-level; use "
+                    "engine='agent' or 'auto' (which degrades)"
+                )
+            if plan is not None and any(
+                event.kind == "partition" for event in plan.events
+            ):
+                raise ExperimentError(
+                    "a partition fault heals back to the uniform scheduler "
+                    "and would clobber the trial's scheduler spec; use "
+                    "churn/corrupt faults with an adversarial schedule"
+                )
         normalized = tuple(sorted(canonical_params(protocol, params).items()))
         try:
             json.dumps(dict(normalized))
@@ -222,6 +260,7 @@ class TrialSpec:
             max_steps=max_steps,
             detector=detector,
             fault_plan=plan,
+            scheduler=sched,
         )
 
     def params_dict(self) -> dict[str, object]:
@@ -234,7 +273,9 @@ class TrialSpec:
         must keep the serialized form — and therefore the content hash
         and every store row keyed by it — byte-identical to specs
         created before the fault subsystem existed (pinned by
-        ``tests/faults/test_hash_neutrality.py``).
+        ``tests/faults/test_hash_neutrality.py``).  The ``scheduler``
+        key follows the same contract (pinned by
+        ``tests/schedulers/test_hash_neutrality.py``).
         """
         payload: dict[str, object] = {
             "version": SPEC_VERSION,
@@ -248,6 +289,8 @@ class TrialSpec:
         }
         if self.fault_plan is not None:
             payload["faults"] = self.fault_plan.canonical()
+        if self.scheduler is not None:
+            payload["scheduler"] = self.scheduler.canonical()
         return payload
 
     def content_hash(self) -> str:
@@ -276,6 +319,7 @@ class TrialSpec:
             max_steps=data["max_steps"],
             detector=data["detector"],
             fault_plan=data.get("faults"),
+            scheduler=data.get("scheduler"),
         )
 
 
@@ -288,6 +332,7 @@ def trial_specs(
     params: Mapping[str, object] | None = None,
     max_steps: int | None = None,
     fault_plan: FaultPlan | Sequence | None = None,
+    scheduler: SchedulerSpec | Mapping | None = None,
 ) -> list[TrialSpec]:
     """Specs for ``trials`` independent runs with sequentially derived seeds.
 
@@ -311,14 +356,23 @@ def trial_specs(
     degradation is recorded per trial in the stored fault record.  An
     explicit count-level engine choice with such a plan is rejected by
     :meth:`TrialSpec.create` instead of silently overridden.
+
+    A ``scheduler`` spec rides the same ladder
+    (:func:`repro.schedulers.spec.resolve_schedule_engine`):
+    exchangeable families (``uniform``, ``weighted``) keep whatever
+    engine the population size would get — the count-level engines run
+    them via reweighted block samplers — while graph-restricted
+    families need per-agent identity and degrade to ``"agent"``, with
+    the degradation recorded per trial in the stored scheduler record.
     """
     if trials < 1:
         raise ExperimentError(f"trials must be positive, got {trials}")
     plan = FaultPlan.coerce(fault_plan)
+    sched = SchedulerSpec.coerce(scheduler)
     if engine == AUTO_ENGINE:
-        engine = resolve_engine(plan, default_engine(n))
+        engine = resolve_engine(plan, resolve_schedule_engine(sched, default_engine(n)))
     elif engine == ENSEMBLE_ENGINE:
-        engine = resolve_engine(plan, "multiset")
+        engine = resolve_engine(plan, resolve_schedule_engine(sched, "multiset"))
     return [
         TrialSpec.create(
             protocol=protocol,
@@ -328,6 +382,7 @@ def trial_specs(
             params=params,
             max_steps=max_steps,
             fault_plan=plan,
+            scheduler=sched,
         )
         for trial in range(trials)
     ]
@@ -382,6 +437,7 @@ class CampaignSpec:
         params: Mapping[str, object] | None = None,
         max_steps: int | None = None,
         fault_plan: FaultPlan | Sequence | None = None,
+        scheduler: SchedulerSpec | Mapping | None = None,
     ) -> "CampaignSpec":
         """A ``len(ns) x trials`` grid over one protocol."""
         specs: list[TrialSpec] = []
@@ -396,6 +452,7 @@ class CampaignSpec:
                     params=params,
                     max_steps=max_steps,
                     fault_plan=fault_plan,
+                    scheduler=scheduler,
                 )
             )
         return cls(name=name, trials=tuple(specs))

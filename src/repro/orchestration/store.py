@@ -13,8 +13,8 @@ loses at most the in-flight trial.
 
 Schema evolution: writable opens migrate older stores in place by adding
 the missing columns (``duration``, ``telemetry``, ``phases``,
-``faults``) with backfill defaults; readonly opens tolerate their
-absence instead, so ``status``/``report`` against a pre-migration store
+``faults``, ``scheduler``) with backfill defaults; readonly opens
+tolerate their absence instead, so ``status``/``report`` against a pre-migration store
 keeps working without write access.
 
 The campaign fabric's robustness ledger lives here too: a ``failures``
@@ -54,6 +54,7 @@ CREATE TABLE IF NOT EXISTS trials (
     telemetry       TEXT,
     phases          TEXT,
     faults          TEXT,
+    scheduler       TEXT,
     created_at      TEXT NOT NULL DEFAULT (datetime('now'))
 );
 CREATE INDEX IF NOT EXISTS idx_trials_protocol_n ON trials (protocol, n);
@@ -85,6 +86,7 @@ _MIGRATIONS = (
     ("telemetry", "ALTER TABLE trials ADD COLUMN telemetry TEXT"),
     ("phases", "ALTER TABLE trials ADD COLUMN phases TEXT"),
     ("faults", "ALTER TABLE trials ADD COLUMN faults TEXT"),
+    ("scheduler", "ALTER TABLE trials ADD COLUMN scheduler TEXT"),
 )
 
 
@@ -148,6 +150,7 @@ class TrialStore:
         self._has_telemetry = "telemetry" in present
         self._has_phases = "phases" in present
         self._has_faults = "faults" in present
+        self._has_scheduler = "scheduler" in present
         self._has_failures = (
             self._connection.execute(
                 "SELECT 1 FROM sqlite_master WHERE name = 'failures'"
@@ -167,6 +170,7 @@ class TrialStore:
         self._has_telemetry = True
         self._has_phases = True
         self._has_faults = True
+        self._has_scheduler = True
         self._has_failures = True
 
     def _outcome_columns(self) -> str:
@@ -174,9 +178,12 @@ class TrialStore:
         telemetry = "telemetry" if self._has_telemetry else "NULL AS telemetry"
         phases = "phases" if self._has_phases else "NULL AS phases"
         faults = "faults" if self._has_faults else "NULL AS faults"
+        scheduler = (
+            "scheduler" if self._has_scheduler else "NULL AS scheduler"
+        )
         return (
             "seed, steps, parallel_time, leader_count, distinct_states, "
-            f"{duration}, {telemetry}, {phases}, {faults}"
+            f"{duration}, {telemetry}, {phases}, {faults}, {scheduler}"
         )
 
     # ------------------------------------------------------------------
@@ -246,7 +253,8 @@ class TrialStore:
             f" {'duration' if self._has_duration else '0.0'},"
             f" {'telemetry' if self._has_telemetry else 'NULL'},"
             f" {'phases' if self._has_phases else 'NULL'},"
-            f" {'faults' if self._has_faults else 'NULL'}"
+            f" {'faults' if self._has_faults else 'NULL'},"
+            f" {'scheduler' if self._has_scheduler else 'NULL'}"
             " FROM trials ORDER BY protocol, n, engine, seed"
         )
         names = (
@@ -264,6 +272,7 @@ class TrialStore:
             "telemetry",
             "phases",
             "faults",
+            "scheduler",
         )
         for row in cursor:
             yield dict(zip(names, row))
@@ -303,6 +312,7 @@ class TrialStore:
                     outcome.telemetry,
                     outcome.phases,
                     outcome.faults,
+                    outcome.scheduler,
                 )
             )
         with self._connection:
@@ -310,8 +320,8 @@ class TrialStore:
                 "INSERT OR REPLACE INTO trials"
                 " (spec_hash, protocol, n, seed, engine, spec_json, steps,"
                 "  parallel_time, leader_count, distinct_states, duration,"
-                "  telemetry, phases, faults)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "  telemetry, phases, faults, scheduler)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
 
@@ -399,6 +409,7 @@ def _outcome_from_row(row: Sequence[object]) -> TrialOutcome:
         telemetry,
         phases,
         faults,
+        scheduler,
     ) = row
     return TrialOutcome(
         seed=int(seed),
@@ -410,4 +421,5 @@ def _outcome_from_row(row: Sequence[object]) -> TrialOutcome:
         telemetry=None if telemetry is None else str(telemetry),
         phases=None if phases is None else str(phases),
         faults=None if faults is None else str(faults),
+        scheduler=None if scheduler is None else str(scheduler),
     )

@@ -1,0 +1,239 @@
+"""Communication-graph construction and the edge-restricted scheduler.
+
+A graph-restricted schedule replaces the complete interaction graph of
+Section 2 with a sparse communication graph ``G``: at every step the
+scheduler draws uniformly from the *directed edge multiset* of ``G``.
+Undirected graphs contribute both orientations of every edge, so each
+undirected edge is twice as likely as a single ordered pair — matching
+how the uniform scheduler weights the complete graph.
+
+The builders here are deterministic functions of the spec (the random
+``d``-regular family draws its topology from ``graph_seed`` on a
+dedicated stream, *independent of the trial seed*), so a spec names one
+graph, not a distribution over graphs: two trials with different seeds
+run on the same topology, and the topology is part of the spec identity.
+
+Duplicate directed edges are kept, not deduplicated: the ``regular``
+family is a union of ``degree/2`` random Hamiltonian cycles — a standard
+random-regular *multigraph* model — and a repeated edge is honestly
+twice as likely to fire.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.schedulers.spec import SchedulerSpec
+
+__all__ = [
+    "GRAPH_STREAM",
+    "GraphScheduler",
+    "ring_edges",
+    "torus_edges",
+    "regular_edges",
+    "clique_edges",
+    "edges_for",
+    "graph_scheduler_for",
+]
+
+#: Spawn-key namespace for topology streams (the FAULT_STREAM idiom):
+#: keeps the d-regular construction independent of every trial stream.
+GRAPH_STREAM = 0x5C4E
+
+
+def ring_edges(n: int) -> np.ndarray:
+    """Directed edges of the ``n``-cycle: ``2n`` ordered pairs."""
+    if n < 3:
+        raise ScheduleError(f"a ring needs at least 3 agents, got {n}")
+    agents = np.arange(n, dtype=np.int64)
+    return np.stack(
+        [
+            np.concatenate([agents, agents]),
+            np.concatenate([(agents + 1) % n, (agents - 1) % n]),
+        ],
+        axis=1,
+    )
+
+
+def torus_edges(n: int, rows: int = 0) -> np.ndarray:
+    """Directed edges of the wraparound ``rows x (n/rows)`` grid.
+
+    ``rows=0`` means a square torus (``isqrt(n)`` a side), requiring a
+    perfect-square population.  Four neighbours per agent: ``4n``
+    ordered pairs.
+    """
+    if rows == 0:
+        rows = math.isqrt(n)
+        if rows * rows != n:
+            raise ScheduleError(
+                f"square torus needs a perfect-square population, got {n}"
+            )
+    if n % rows != 0 or rows < 3 or n // rows < 3:
+        raise ScheduleError(
+            f"torus {rows}x{n // rows if rows else 0} needs both sides >= 3"
+        )
+    cols = n // rows
+    agents = np.arange(n, dtype=np.int64)
+    row, col = agents // cols, agents % cols
+    neighbours = [
+        ((row + 1) % rows) * cols + col,
+        ((row - 1) % rows) * cols + col,
+        row * cols + (col + 1) % cols,
+        row * cols + (col - 1) % cols,
+    ]
+    return np.stack(
+        [np.tile(agents, 4), np.concatenate(neighbours)], axis=1
+    )
+
+
+def regular_edges(n: int, degree: int, graph_seed: int = 0) -> np.ndarray:
+    """Random ``degree``-regular multigraph: a union of random cycles.
+
+    ``degree/2`` independent Hamiltonian cycles (each a uniform random
+    cyclic permutation) give every vertex degree ``degree`` and keep the
+    graph connected (every cycle alone already is).  The topology is a
+    pure function of ``(n, degree, graph_seed)``.
+    """
+    if degree < 2 or degree % 2 != 0:
+        raise ScheduleError(
+            f"regular degree must be even and >= 2, got {degree}"
+        )
+    if n < 3 or degree >= n:
+        raise ScheduleError(
+            f"regular degree {degree} needs a population larger than "
+            f"{max(degree, 2)}, got {n}"
+        )
+    rng = np.random.default_rng([graph_seed, GRAPH_STREAM])
+    sources, targets = [], []
+    for _cycle in range(degree // 2):
+        order = rng.permutation(n).astype(np.int64)
+        follower = np.roll(order, -1)
+        sources.extend([order, follower])
+        targets.extend([follower, order])
+    return np.stack(
+        [np.concatenate(sources), np.concatenate(targets)], axis=1
+    )
+
+
+def clique_edges(n: int, cliques: int, bridges: int = 0) -> np.ndarray:
+    """Union of equal cliques plus round-robin bridge edges.
+
+    The population splits into ``cliques`` contiguous blocks, each a
+    complete graph.  Bridge pair ``b`` connects member ``(b // cliques)
+    % size`` of clique ``b % cliques`` to the same member index of the
+    next clique (both orientations), so bridges spread evenly over
+    clique boundaries and member indices.  ``cliques=1`` is the complete
+    graph — the uniform scheduler, edge for edge.
+    """
+    if cliques < 1 or n % cliques != 0 or n // cliques < 2:
+        raise ScheduleError(
+            f"population {n} does not split into {cliques} cliques of "
+            f"size >= 2"
+        )
+    size = n // cliques
+    inside = np.arange(size, dtype=np.int64)
+    init, resp = np.meshgrid(inside, inside, indexing="ij")
+    distinct = init != resp
+    block0 = np.stack([init[distinct], resp[distinct]], axis=1)
+    blocks = [block0 + clique * size for clique in range(cliques)]
+    for bridge in range(bridges):
+        clique = bridge % cliques
+        member = (bridge // cliques) % size
+        here = clique * size + member
+        there = ((clique + 1) % cliques) * size + member
+        blocks.append(np.array([[here, there], [there, here]], dtype=np.int64))
+    return np.concatenate(blocks, axis=0)
+
+
+def edges_for(spec: SchedulerSpec, n: int) -> np.ndarray:
+    """The directed edge multiset behind a graph-family spec."""
+    if spec.family == "ring":
+        return ring_edges(n)
+    if spec.family == "torus":
+        return torus_edges(n, spec.rows)
+    if spec.family == "regular":
+        return regular_edges(n, spec.degree, spec.graph_seed)
+    if spec.family == "cliques":
+        return clique_edges(n, spec.cliques, spec.bridges)
+    raise ScheduleError(
+        f"scheduler family {spec.family!r} is not graph-restricted"
+    )
+
+
+class GraphScheduler:
+    """Uniform draws from a directed edge multiset, numpy-batched.
+
+    Mirrors :class:`~repro.engine.scheduler.RandomScheduler`'s RNG
+    contract: an ``int`` (or ``None``) seed creates a private generator;
+    a passed ``numpy.random.Generator`` is *shared*, not copied, so the
+    caller's stream advances with every refill.
+    """
+
+    def __init__(
+        self,
+        edges: np.ndarray,
+        seed: int | np.random.Generator | None = None,
+        batch_size: int = 16384,
+    ) -> None:
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2 or len(edges) == 0:
+            raise ScheduleError(
+                f"edge array must be a non-empty (E, 2) array, got shape "
+                f"{edges.shape}"
+            )
+        if bool(np.any(edges[:, 0] == edges[:, 1])):
+            raise ScheduleError("self-loop edges are not valid interactions")
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = np.random.default_rng(seed)
+        self._initiators = edges[:, 0].copy()
+        self._responders = edges[:, 1].copy()
+        self._batch_size = batch_size
+        self._batch: list[tuple[int, int]] = []
+        self._cursor = 0
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The underlying generator (shared when one was passed in)."""
+        return self._rng
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._initiators)
+
+    def _refill(self) -> None:
+        chosen = self._rng.integers(
+            0, len(self._initiators), size=self._batch_size
+        )
+        self._batch = list(
+            zip(
+                self._initiators[chosen].tolist(),
+                self._responders[chosen].tolist(),
+            )
+        )
+        self._cursor = 0
+
+    def next_pair(self) -> tuple[int, int]:
+        if self._cursor >= len(self._batch):
+            self._refill()
+        pair = self._batch[self._cursor]
+        self._cursor += 1
+        return pair
+
+    def pairs(self, count: int):
+        """Yield ``count`` ordered pairs (testing convenience)."""
+        for _ in range(count):
+            yield self.next_pair()
+
+
+def graph_scheduler_for(
+    spec: SchedulerSpec,
+    n: int,
+    seed: int | np.random.Generator | None = None,
+) -> GraphScheduler:
+    """Build the scheduler realizing a graph-family spec for ``n`` agents."""
+    return GraphScheduler(edges_for(spec, n), seed=seed)

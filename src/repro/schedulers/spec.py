@@ -1,0 +1,339 @@
+"""Declarative scheduler specs: the adversarial-schedule analog of FaultPlan.
+
+The paper's analysis assumes the uniform random scheduler Γ: every ordered
+pair of distinct agents is equally likely at every step (Section 2).  A
+:class:`SchedulerSpec` names a *deviation* from Γ declaratively — by
+family and parameters, never by callables — so it can enter a
+:class:`~repro.orchestration.spec.TrialSpec` content hash, cross process
+boundaries, and be rebuilt identically inside a worker.
+
+Families and their exchangeability class:
+
+``uniform``
+    Γ itself, as a named spec.  Exists so grids can carry an explicit
+    baseline cell; the engine build path treats it exactly like
+    ``scheduler=None`` (bit-identical trajectories), and
+    :meth:`~repro.orchestration.spec.TrialSpec.create` normalizes it to
+    ``None`` so the two spellings hash identically.
+
+``weighted``
+    State-weighted non-uniform schedule under the *pair-product* model:
+    agent ``u`` carries weight ``w(u) = weights[output(state(u))]``
+    (default 1.0 for unlisted output symbols) and the scheduler selects
+    ordered pair ``(u, v)`` with probability proportional to
+    ``w(u) * w(v)``.  Every engine realizes this by thinning the uniform
+    scheduler — accept a proposed pair with probability
+    ``w(u) w(v) / wmax^2`` — which is sound on the count-level engines
+    because acceptance depends only on the pair's own states, never on
+    agent identity.  **Exchangeable**: agents with equal states stay
+    interchangeable, so multiset/batch/superbatch remain exact.
+
+``ring`` / ``torus`` / ``regular`` / ``cliques``
+    Graph-restricted schedules: interactions are drawn uniformly from the
+    directed edge multiset of a communication graph (see
+    :mod:`repro.schedulers.graphs`).  **Identity-dependent**: which agent
+    is which matters, so these degrade to the per-agent engine (the
+    degradation ladder in :func:`resolve_schedule_engine`), with
+    ``degraded_from`` recorded in the trial store.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "SCHEDULERS_VERSION",
+    "FAMILIES",
+    "GRAPH_FAMILIES",
+    "SchedulerSpec",
+    "resolve_schedule_engine",
+    "scheduler_json",
+]
+
+#: Version tag stamped into serialized scheduler records (store rows).
+SCHEDULERS_VERSION = 1
+
+#: All scheduler families, in documentation order.
+FAMILIES = ("uniform", "weighted", "ring", "torus", "regular", "cliques")
+
+#: The identity-dependent (non-exchangeable) families.
+GRAPH_FAMILIES = ("ring", "torus", "regular", "cliques")
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """One interaction schedule, named declaratively.
+
+    Instances are immutable and hashable; construct through
+    :meth:`create` (or :meth:`coerce`), which validates and normalizes so
+    that semantically identical specs compare — and content-hash —
+    identically.
+    """
+
+    family: str
+    #: ``weighted`` only: sorted ``(output symbol, weight)`` pairs.
+    weights: tuple[tuple[str, float], ...] = ()
+    #: ``torus`` only: grid rows (0 = square, ``isqrt(n)``).
+    rows: int = 0
+    #: ``regular`` only: vertex degree (even, >= 2).
+    degree: int = 0
+    #: ``regular`` only: seed of the topology stream (spec identity,
+    #: independent of the trial seed).
+    graph_seed: int = 0
+    #: ``cliques`` only: number of cliques the population splits into.
+    cliques: int = 0
+    #: ``cliques`` only: directed bridge-edge pairs added round-robin.
+    bridges: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        family: str,
+        *,
+        weights: Mapping[str, float] | None = None,
+        rows: int | None = None,
+        degree: int | None = None,
+        graph_seed: int | None = None,
+        cliques: int | None = None,
+        bridges: int | None = None,
+    ) -> "SchedulerSpec":
+        """Validate and normalize one scheduler spec."""
+        if family not in FAMILIES:
+            known = ", ".join(FAMILIES)
+            raise ExperimentError(
+                f"unknown scheduler family {family!r}; known: {known}"
+            )
+        given = {
+            "weights": weights,
+            "rows": rows,
+            "degree": degree,
+            "graph_seed": graph_seed,
+            "cliques": cliques,
+            "bridges": bridges,
+        }
+        allowed = {
+            "uniform": (),
+            "weighted": ("weights",),
+            "ring": (),
+            "torus": ("rows",),
+            "regular": ("degree", "graph_seed"),
+            "cliques": ("cliques", "bridges"),
+        }[family]
+        for key, value in given.items():
+            if value is not None and key not in allowed:
+                raise ExperimentError(
+                    f"scheduler family {family!r} takes no {key!r} parameter"
+                )
+
+        normalized_weights: tuple[tuple[str, float], ...] = ()
+        if family == "weighted":
+            if not weights:
+                raise ExperimentError(
+                    "weighted scheduler needs a non-empty weights mapping"
+                )
+            pairs = []
+            for symbol, weight in weights.items():
+                value = float(weight)
+                if not math.isfinite(value) or value <= 0.0:
+                    raise ExperimentError(
+                        f"weight for output {symbol!r} must be positive and "
+                        f"finite, got {weight!r}"
+                    )
+                pairs.append((str(symbol), value))
+            normalized_weights = tuple(sorted(pairs))
+
+        if family == "torus" and rows is not None and rows < 3:
+            raise ExperimentError(f"torus rows must be at least 3, got {rows}")
+        if family == "regular":
+            if degree is None:
+                raise ExperimentError("regular scheduler needs a degree")
+            if degree < 2 or degree % 2 != 0:
+                raise ExperimentError(
+                    f"regular degree must be even and >= 2, got {degree}"
+                )
+        if family == "cliques":
+            if cliques is None or cliques < 1:
+                raise ExperimentError(
+                    f"cliques scheduler needs cliques >= 1, got {cliques}"
+                )
+            if bridges is not None and bridges < 0:
+                raise ExperimentError(
+                    f"bridge count must be non-negative, got {bridges}"
+                )
+            if cliques == 1 and bridges:
+                raise ExperimentError(
+                    "a single clique is the complete graph; bridges make no "
+                    "sense there"
+                )
+
+        return cls(
+            family=family,
+            weights=normalized_weights,
+            rows=int(rows or 0),
+            degree=int(degree or 0),
+            graph_seed=int(graph_seed or 0),
+            cliques=int(cliques or 0),
+            bridges=int(bridges or 0),
+        )
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, object]) -> "SchedulerSpec":
+        """Build a spec from a plain mapping, rejecting unknown keys."""
+        known = {
+            "family",
+            "weights",
+            "rows",
+            "degree",
+            "graph_seed",
+            "cliques",
+            "bridges",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown scheduler spec fields: {sorted(unknown)}"
+            )
+        if "family" not in data:
+            raise ExperimentError("scheduler spec needs a 'family' field")
+        kwargs = {key: data[key] for key in known - {"family"} if key in data}
+        return cls.create(str(data["family"]), **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def coerce(
+        cls, value: "SchedulerSpec | Mapping[str, object] | None"
+    ) -> "SchedulerSpec | None":
+        """Accept a spec, a mapping describing one, or ``None``."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_mapping(value)
+        raise ExperimentError(
+            f"cannot interpret {value!r} as a scheduler spec"
+        )
+
+    @property
+    def exchangeable(self) -> bool:
+        """Whether agents with equal states stay interchangeable.
+
+        Exchangeable schedules (uniform, state-weighted) are functions of
+        the state *multiset* only, so the count-level engines remain
+        exact.  Graph families depend on agent identity and must run on
+        the per-agent engine.
+        """
+        return self.family not in GRAPH_FAMILIES
+
+    @property
+    def weight_map(self) -> dict[str, float]:
+        """``weighted`` family: output symbol -> weight (others: empty)."""
+        return dict(self.weights)
+
+    def validate_against(self, n: int) -> None:
+        """Check population-size constraints; raise ExperimentError."""
+        if self.family in ("ring", "torus", "regular") and n < 3:
+            raise ExperimentError(
+                f"{self.family} schedule needs at least 3 agents, got {n}"
+            )
+        if self.family == "torus":
+            rows = self.rows or math.isqrt(n)
+            if self.rows == 0 and rows * rows != n:
+                raise ExperimentError(
+                    f"square torus needs a perfect-square population, got {n}"
+                )
+            if n % rows != 0 or rows < 3 or n // rows < 3:
+                raise ExperimentError(
+                    f"torus {rows}x{n // rows} needs both sides >= 3 "
+                    f"(n={n}, rows={rows})"
+                )
+        if self.family == "regular" and self.degree >= n:
+            raise ExperimentError(
+                f"degree {self.degree} needs more than {n} agents"
+            )
+        if self.family == "cliques":
+            if n % self.cliques != 0:
+                raise ExperimentError(
+                    f"population {n} does not split into {self.cliques} "
+                    f"equal cliques"
+                )
+            if n // self.cliques < 2:
+                raise ExperimentError(
+                    f"cliques of size {n // self.cliques} cannot interact "
+                    f"(n={n}, cliques={self.cliques})"
+                )
+            if self.bridges > n:
+                raise ExperimentError(
+                    f"at most n={n} bridge pairs are meaningful, "
+                    f"got {self.bridges}"
+                )
+
+    def canonical(self) -> dict[str, object]:
+        """JSON-ready canonical form: family plus only the set fields.
+
+        Default-valued parameters are omitted (the
+        :func:`~repro.orchestration.registry.canonical_params` idiom), so
+        e.g. ``regular`` with ``graph_seed=0`` and with the field absent
+        hash identically.
+        """
+        payload: dict[str, object] = {"family": self.family}
+        if self.weights:
+            payload["weights"] = {symbol: weight for symbol, weight in self.weights}
+        if self.rows:
+            payload["rows"] = self.rows
+        if self.degree:
+            payload["degree"] = self.degree
+        if self.graph_seed:
+            payload["graph_seed"] = self.graph_seed
+        if self.cliques:
+            payload["cliques"] = self.cliques
+        if self.bridges:
+            payload["bridges"] = self.bridges
+        return payload
+
+    def describe(self) -> str:
+        """Short human label, e.g. ``weighted(L=4)`` or ``cliques(4,b=4)``."""
+        if self.family == "weighted":
+            inner = ",".join(f"{s}={w:g}" for s, w in self.weights)
+            return f"weighted({inner})"
+        if self.family == "torus" and self.rows:
+            return f"torus(rows={self.rows})"
+        if self.family == "regular":
+            label = f"regular({self.degree}"
+            if self.graph_seed:
+                label += f",g{self.graph_seed}"
+            return label + ")"
+        if self.family == "cliques":
+            return f"cliques({self.cliques},b={self.bridges})"
+        return self.family
+
+
+def resolve_schedule_engine(
+    spec: SchedulerSpec | None, engine: str
+) -> str:
+    """The degradation ladder: the fastest engine that is still *sound*.
+
+    Exchangeable specs keep whatever engine the fault ladder and the
+    crossover policy picked (superbatch/batch/multiset run the weighted
+    schedule by thinning their block samplers); identity-dependent specs
+    force the per-agent engine — graceful degradation to a correct
+    answer, never a fast wrong one.
+    """
+    if spec is None or spec.exchangeable:
+        return engine
+    return "agent"
+
+
+def scheduler_json(
+    spec: SchedulerSpec, degraded_from: str | None = None
+) -> str:
+    """Serialized scheduler record for a trial-store row."""
+    payload: dict[str, object] = {
+        "version": SCHEDULERS_VERSION,
+        "spec": spec.canonical(),
+    }
+    if degraded_from is not None:
+        payload["degraded_from"] = degraded_from
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -30,9 +30,11 @@ class TestRestrictedScheduler:
         with pytest.raises(ScheduleError):
             RestrictedScheduler(5, allowed=[0, 7], seed=0)
 
-    def test_duplicate_members_deduplicated(self):
-        scheduler = RestrictedScheduler(5, allowed=[1, 1, 2], seed=0)
-        assert set(scheduler.pairs(50)) <= {(1, 2), (2, 1)}
+    def test_duplicate_members_rejected(self):
+        """Duplicates used to be silently deduplicated; now they are an
+        error — a doubled entry cannot mean a doubled interaction rate."""
+        with pytest.raises(ScheduleError, match="duplicate"):
+            RestrictedScheduler(5, allowed=[1, 1, 2], seed=0)
 
     def test_deterministic_under_seed(self):
         first = RestrictedScheduler(20, allowed=[1, 4, 9, 16], seed=7)

@@ -1,0 +1,115 @@
+"""Chi-square uniformity of the pair schedulers, and the RNG-sharing pin.
+
+The paper's scheduler Gamma is *uniform over ordered pairs of distinct
+agents*; the restricted scheduler is uniform over the partition's pairs,
+and the graph scheduler uniform over a directed edge multiset.  These
+tests grade observed pair frequencies with a chi-square statistic
+against hardcoded alpha = 0.001 critical values (no scipy in the
+image), so a biased sampler fails loudly while seed-to-seed noise does
+not.
+
+The RNG contract is pinned too: a scheduler built from a
+``numpy.random.Generator`` *shares* the caller's stream (the generator
+object itself), never a copy — simulators rely on this to keep one
+reproducible stream per trial.
+"""
+
+import numpy as np
+
+from repro.engine.scheduler import RandomScheduler, RestrictedScheduler
+from repro.engine.simulator import AgentSimulator
+from repro.orchestration.registry import build_protocol
+from repro.schedulers.graphs import GraphScheduler, ring_edges
+from repro.schedulers.weighted import StateWeightedScheduler
+
+#: chi-square critical values at alpha = 0.001, keyed by degrees of
+#: freedom (scipy.stats.chi2.ppf(0.999, df), precomputed).
+CHI2_CRIT = {11: 31.264, 15: 37.697, 29: 58.301}
+
+
+def chi_square(observed: dict, expected_counts: dict) -> tuple[float, int]:
+    """Statistic and degrees of freedom over the expected support."""
+    assert set(observed) <= set(expected_counts), "draws outside the support"
+    stat = sum(
+        (observed.get(pair, 0) - expected) ** 2 / expected
+        for pair, expected in expected_counts.items()
+    )
+    return stat, len(expected_counts) - 1
+
+
+def tally(scheduler, draws: int) -> dict:
+    counts: dict = {}
+    for pair in scheduler.pairs(draws):
+        counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+class TestPairUniformity:
+    def test_random_scheduler_is_uniform_over_ordered_pairs(self):
+        n, draws = 6, 60_000
+        scheduler = RandomScheduler(n, seed=11)
+        expected = {
+            (u, v): draws / (n * (n - 1))
+            for u in range(n)
+            for v in range(n)
+            if u != v
+        }
+        stat, df = chi_square(tally(scheduler, draws), expected)
+        assert df == 29
+        assert stat < CHI2_CRIT[df], f"chi2={stat:.1f}"
+
+    def test_restricted_scheduler_is_uniform_over_member_pairs(self):
+        members, draws = (1, 3, 5, 7), 24_000
+        scheduler = RestrictedScheduler(10, members, seed=11)
+        expected = {
+            (u, v): draws / (len(members) * (len(members) - 1))
+            for u in members
+            for v in members
+            if u != v
+        }
+        stat, df = chi_square(tally(scheduler, draws), expected)
+        assert df == 11
+        assert stat < CHI2_CRIT[df], f"chi2={stat:.1f}"
+
+    def test_graph_scheduler_is_uniform_over_directed_edges(self):
+        edges = ring_edges(8)
+        draws = 32_000
+        scheduler = GraphScheduler(edges, seed=11)
+        expected = {
+            (int(u), int(v)): draws / len(edges) for u, v in edges
+        }
+        stat, df = chi_square(tally(scheduler, draws), expected)
+        assert df == 15
+        assert stat < CHI2_CRIT[df], f"chi2={stat:.1f}"
+
+
+class TestGeneratorSharing:
+    def test_random_scheduler_shares_a_passed_generator(self):
+        gen = np.random.default_rng(7)
+        scheduler = RandomScheduler(8, gen)
+        assert scheduler.rng is gen
+
+    def test_graph_scheduler_shares_a_passed_generator(self):
+        gen = np.random.default_rng(7)
+        scheduler = GraphScheduler(ring_edges(8), gen)
+        assert scheduler.rng is gen
+
+    def test_state_weighted_scheduler_shares_a_passed_generator(self):
+        sim = AgentSimulator(build_protocol("pll", 8), 8, seed=0)
+        gen = np.random.default_rng(7)
+        scheduler = StateWeightedScheduler(sim, {"L": 2.0}, gen)
+        assert scheduler.rng is gen
+
+    def test_shared_stream_advances_in_the_caller(self):
+        # Sharing means drawing through the scheduler consumes the
+        # caller's stream: a fresh identically-seeded generator no
+        # longer agrees with the shared one after scheduler use.
+        gen = np.random.default_rng(7)
+        RandomScheduler(8, gen)  # construction refills a batch
+        untouched = np.random.default_rng(7)
+        assert gen.integers(1 << 30) != untouched.integers(1 << 30)
+
+    def test_identical_seeds_give_identical_streams(self):
+        a = RandomScheduler(12, seed=5)
+        b = RandomScheduler(12, seed=5)
+        assert list(a.pairs(200)) == list(b.pairs(200))

@@ -15,7 +15,7 @@ from repro.errors import ExperimentError
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = set(all_experiments())
-        assert ids == {f"E{i}" for i in range(1, 14)}
+        assert ids == {f"E{i}" for i in range(1, 15)}
 
     def test_lookup_is_case_insensitive(self):
         spec, run = get_experiment("e9")

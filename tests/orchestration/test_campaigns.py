@@ -10,7 +10,7 @@ from repro.orchestration.store import TrialStore
 
 class TestCampaignFor:
     def test_known_ids(self):
-        assert campaign_ids() == ["E1", "E12", "E9", "EROB"]
+        assert campaign_ids() == ["E1", "E12", "E9", "EROB", "ESCHED"]
 
     def test_unknown_id_lists_known(self):
         with pytest.raises(ExperimentError, match="E9"):

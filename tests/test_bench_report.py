@@ -329,6 +329,52 @@ class TestTelemetrySection:
         assert error is not None
 
 
+class TestSchedulersSection:
+    def test_measures_the_same_workload_uniform_and_weighted(self):
+        section = report.measure_schedulers_cell(
+            protocol_name="angluin", n=256, steps=2000, repeats=1
+        )
+        assert section["cell"]["engine"] == "superbatch"
+        assert section["weights"] == {"L": 1.0}
+        # Neutral weights accept every proposal, so both sides executed
+        # the identical fixed budget (the function asserts it).
+        assert section["steps"] == 2000
+        assert section["uniform_seconds"] > 0
+        assert section["weighted_seconds"] > 0
+        assert section["overhead_ratio"] == pytest.approx(
+            section["weighted_seconds"] / section["uniform_seconds"]
+        )
+
+    def fake_report(self, ratio):
+        return {
+            "schedulers": {
+                "cell": {"protocol": "pll", "n": 1_000_000,
+                         "engine": "superbatch"},
+                "steps": 2_000_000,
+                "overhead_ratio": ratio,
+            }
+        }
+
+    def test_gate_passes_under_the_ceiling(self):
+        assert (
+            report.check_scheduler_overhead(
+                self.fake_report(1.05), max_ratio=1.10
+            )
+            is None
+        )
+
+    def test_gate_fails_over_the_ceiling(self):
+        error = report.check_scheduler_overhead(
+            self.fake_report(1.25), max_ratio=1.10
+        )
+        assert error is not None and "1.250x" in error
+
+    def test_tolerates_v7_reports_without_the_section(self):
+        v7 = {"schema": "repro-bench-engine/7", "results": []}
+        error = report.check_scheduler_overhead(v7, max_ratio=1.10)
+        assert error is not None and "no schedulers section" in error
+
+
 class TestEndToEnd:
     def test_main_writes_v1_json_without_optional_sections(
         self, tmp_path, monkeypatch
@@ -347,6 +393,7 @@ class TestEndToEnd:
                     "--no-kernel",
                     "--no-telemetry",
                     "--no-faults",
+                    "--no-schedulers",
                     "--out",
                     str(out),
                 ]
@@ -359,11 +406,12 @@ class TestEndToEnd:
         assert "trials" not in payload
         assert "kernel" not in payload
         assert "faults" not in payload
+        assert "schedulers" not in payload
         assert len(payload["results"]) == 4  # four engines, one cell
         engines = {row["engine"] for row in payload["results"]}
         assert engines == {"agent", "multiset", "batch", "superbatch"}
 
-    def test_main_writes_v7_json_with_all_sections(self, tmp_path, monkeypatch):
+    def test_main_writes_v8_json_with_all_sections(self, tmp_path, monkeypatch):
         monkeypatch.setattr(report, "QUICK_GRID", (("angluin", (64,)),))
         monkeypatch.setattr(report, "QUICK_STEPS", 2000)
         monkeypatch.setattr(report, "TRIALS_PROTOCOL", "angluin")
@@ -383,11 +431,17 @@ class TestEndToEnd:
         monkeypatch.setattr(report, "FAULTS_N", 256)
         monkeypatch.setattr(report, "FAULTS_STEPS_QUICK", 2000)
         monkeypatch.setattr(report, "FAULTS_REPEATS", 1)
+        # Same regime for the scheduler cell: both sides must run the
+        # full budget for the equal-steps assertion to hold.
+        monkeypatch.setattr(report, "SCHEDULERS_PROTOCOL", "angluin")
+        monkeypatch.setattr(report, "SCHEDULERS_N", 256)
+        monkeypatch.setattr(report, "SCHEDULERS_STEPS_QUICK", 2000)
+        monkeypatch.setattr(report, "SCHEDULERS_REPEATS", 1)
         out = tmp_path / "BENCH_engine.json"
         assert report.main(["--quick", "--out", str(out)]) == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-bench-engine/7"
-        # v1/v2 fields are untouched: old consumers parse v7 unchanged.
+        assert payload["schema"] == "repro-bench-engine/8"
+        # v1/v2 fields are untouched: old consumers parse v8 unchanged.
         assert {"results", "summary", "steps_per_cell", "trials"} <= set(
             payload
         )
@@ -397,6 +451,9 @@ class TestEndToEnd:
         # v7: the fault-driver overhead cell.
         assert payload["faults"]["overhead_ratio"] > 0
         assert payload["faults"]["clean_steps_per_sec"] > 0
+        # v8: the scheduler-thinning overhead cell.
+        assert payload["schedulers"]["overhead_ratio"] > 0
+        assert payload["schedulers"]["uniform_steps_per_sec"] > 0
         assert payload["trials"]["ensemble_vs_serial"] > 0
         # Kernel-compiled cells carry both transition paths.
         paths = {
