@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     repro list                      # enumerate the experiment registry
     repro run E9 [--scale 1.0] [--jobs 4] [--store x.sqlite]
     repro simulate --protocol pll --n 256 [--seed 0] [--engine agent]
     repro campaign run|resume|status|report E1 [--jobs 4] [--store ...]
+    repro store merge|status|gc ...    # trial-store maintenance
     repro telemetry report|profile|phases ...  # runtime records
     repro trace export events.jsonl [--out trace.json]   # Perfetto export
     repro bench [--quick] [--check ...]   # BENCH_engine.json harness
@@ -16,6 +17,15 @@ subsystem: trials shard across ``--jobs`` worker processes and every
 outcome persists to the SQLite trial store (default
 ``.repro-store.sqlite``), so re-running only executes missing trials and
 ``resume`` picks up exactly where an interrupted ``run`` stopped.
+
+``repro campaign run --shard <worker>`` joins the *distributed* campaign
+fabric instead: the store becomes a directory of per-worker shard
+stores, work is claimed through a TTL lease table (a killed worker's
+cells are reclaimed by survivors after the TTL), and ``repro store
+merge`` deterministically folds the shards into one canonical store.
+Every store-reading command accepts either layout — pass the shard root
+directory where you would pass a ``.sqlite`` path.
+
 ``repro bench`` runs the machine-readable engine benchmark
 (:mod:`repro.bench.report`) — the same harness CI's bench-smoke job
 drives — without path-invoking ``benchmarks/report.py``.
@@ -41,6 +51,8 @@ from repro.orchestration import (
     CampaignRunner,
     TrialStore,
     build_protocol,
+    is_sharded_root,
+    open_store,
     protocol_names,
 )
 from repro.orchestration.spec import (
@@ -195,7 +207,97 @@ def build_parser() -> argparse.ArgumentParser:
                     "quarantined"
                 ),
             )
+            action_parser.add_argument(
+                "--shard",
+                default=None,
+                metavar="WORKER",
+                help=(
+                    "join the distributed campaign fabric as this worker: "
+                    "--store becomes a shard-root directory (default "
+                    ".repro-store.shards), work is claimed via TTL leases, "
+                    "and outcomes land in a private per-worker shard "
+                    "(fold with `repro store merge`)"
+                ),
+            )
+            action_parser.add_argument(
+                "--lease-ttl",
+                type=float,
+                default=None,
+                metavar="SECS",
+                help=(
+                    "seconds a sharded worker's work claim survives "
+                    "without renewal (default 120); only with --shard"
+                ),
+            )
         _add_store_flags(action_parser, default=DEFAULT_STORE_PATH)
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help=(
+            "trial-store maintenance: fold shards into the canonical "
+            "store (merge), inspect any store layout (status), sweep "
+            "orphaned checkpoints and expired leases (gc)"
+        ),
+    )
+    store_actions = store_parser.add_subparsers(dest="action", required=True)
+    store_merge = store_actions.add_parser(
+        "merge",
+        help=(
+            "deterministically fold every shard-*.sqlite in a shard root "
+            "into canonical.sqlite (idempotent; order-independent; "
+            "byte-identical output for identical inputs)"
+        ),
+    )
+    store_merge.add_argument("root", help="shard-root directory")
+    store_merge.add_argument(
+        "--keep-shards",
+        action="store_true",
+        help=(
+            "leave folded shard files in place (safe mid-campaign: the "
+            "merge reads only committed rows)"
+        ),
+    )
+    store_status = store_actions.add_parser(
+        "status",
+        help=(
+            "summarize a store: trials, outstanding failures, journal "
+            "mode; per-shard coverage and live leases for shard roots"
+        ),
+    )
+    store_status.add_argument(
+        "store",
+        nargs="?",
+        default=DEFAULT_STORE_PATH,
+        help=(
+            "store path — a .sqlite file or a shard-root directory "
+            f"(default {DEFAULT_STORE_PATH})"
+        ),
+    )
+    store_gc = store_actions.add_parser(
+        "gc",
+        help=(
+            "sweep garbage a crashed worker leaves behind: checkpoint "
+            "files whose trial is already stored, interrupted "
+            "checkpoint tmp files, and expired lease rows"
+        ),
+    )
+    store_gc.add_argument(
+        "store",
+        nargs="?",
+        default=DEFAULT_STORE_PATH,
+        help=(
+            "store path — a .sqlite file or a shard-root directory "
+            f"(default {DEFAULT_STORE_PATH})"
+        ),
+    )
+    store_gc.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "checkpoint directory to sweep (default: REPRO_CHECKPOINT_DIR "
+            "or .repro-checkpoints)"
+        ),
+    )
 
     telemetry_parser = subparsers.add_parser(
         "telemetry",
@@ -420,13 +522,25 @@ def _command_campaign(args: argparse.Namespace) -> int:
     )
     if args.action in ("status", "report"):
         # Read-only: inspecting a campaign must not create a store file.
-        with TrialStore(args.store, readonly=True) as store:
+        # open_store routes a directory path to the sharded backend's
+        # federated view, so a mid-campaign shard root reports the union
+        # of canonical + every worker shard plus live lease holders.
+        with open_store(args.store, readonly=True) as store:
             runner = CampaignRunner(store)
             if args.action == "status":
                 print(runner.status(campaign).render())
             else:
                 print(runner.report(campaign).render())
         return 0
+    if getattr(args, "shard", None) is not None:
+        return _command_campaign_sharded(args, campaign)
+    if getattr(args, "lease_ttl", None) is not None:
+        raise ReproError("--lease-ttl only applies with --shard")
+    if is_sharded_root(args.store):
+        raise ReproError(
+            f"{args.store!r} is a shard-root directory; run it with "
+            "--shard <worker> (or point --store at a .sqlite file)"
+        )
     with TrialStore(args.store) as store:
         stride = max(1, len(campaign) // 10)
         runner = CampaignRunner(
@@ -453,13 +567,121 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign_sharded(args: argparse.Namespace, campaign) -> int:
+    from repro.orchestration.backend import DEFAULT_SHARD_ROOT
+    from repro.orchestration.backend.fabric import run_sharded_campaign
+    from repro.orchestration.backend.leases import DEFAULT_LEASE_TTL
+
+    # A sharded campaign's store is a directory; the single-file default
+    # path would be wrong, so --shard without --store gets its own root.
+    root = (
+        DEFAULT_SHARD_ROOT if args.store == DEFAULT_STORE_PATH else args.store
+    )
+    ttl = DEFAULT_LEASE_TTL if args.lease_ttl is None else args.lease_ttl
+    stride = max(1, len(campaign) // 10)
+    print(
+        f"campaign {campaign.name}: {len(campaign)} trials, "
+        f"worker={args.shard}, jobs={args.jobs}, root={root}, "
+        f"lease_ttl={ttl:.0f}s"
+    )
+    report = run_sharded_campaign(
+        campaign.trials,
+        root,
+        worker=args.shard,
+        jobs=args.jobs,
+        lease_ttl=ttl,
+        progress=_progress_printer(stride),
+        retries=args.retries,
+        trial_timeout=args.trial_timeout,
+    )
+    print()
+    print(report.render())
+    print(
+        "fold shards into the canonical store with "
+        f"`repro store merge {root}`"
+    )
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    if args.action == "merge":
+        from repro.orchestration.backend.merge import merge_store
+
+        print(merge_store(args.root, keep_shards=args.keep_shards).render())
+        return 0
+    if args.action == "status":
+        return _command_store_status(args)
+    return _command_store_gc(args)
+
+
+def _command_store_status(args: argparse.Namespace) -> int:
+    with open_store(args.store, readonly=True) as store:
+        trials = len(store)
+        failures = store.failures()
+        quarantined = sum(1 for row in failures if row["quarantined"])
+        print(f"store {args.store}: {trials} trials")
+        if failures:
+            print(
+                f"  failures: {len(failures)} outstanding "
+                f"({quarantined} quarantined)"
+            )
+        coverage = getattr(store, "shard_coverage", None)
+        if coverage is None:
+            print(f"  journal mode: {store.journal_mode()}")
+            return 0
+        print("  members:")
+        for member in coverage():
+            plural = "s" if member.rows != 1 else ""
+            print(f"    {member.name}: {member.rows} trial{plural}")
+        leases = store.live_leases()
+        if leases:
+            print(f"  live leases: {len(leases)}")
+            for lease in leases:
+                print(
+                    f"    {lease.spec_hash[:12]} held by {lease.worker}, "
+                    f"{max(0.0, lease.remaining()):.0f}s left"
+                )
+        else:
+            print("  live leases: none")
+    return 0
+
+
+def _command_store_gc(args: argparse.Namespace) -> int:
+    from repro.faults.checkpoint import checkpoint_dir, sweep_orphans
+
+    with open_store(args.store, readonly=True) as store:
+        completed = store.completed_hashes()
+        swept_leases = 0
+        expired_sweeper = getattr(store, "leases_path", None)
+        if expired_sweeper is not None and expired_sweeper.exists():
+            from repro.orchestration.backend.leases import LeaseManager
+
+            manager = LeaseManager(expired_sweeper, worker="gc")
+            try:
+                swept_leases = manager.sweep_expired()
+            finally:
+                manager.close()
+    directory = (
+        checkpoint_dir() if args.checkpoint_dir is None else args.checkpoint_dir
+    )
+    removed = sweep_orphans(completed, directory)
+    print(
+        f"gc {args.store}: removed {len(removed)} orphaned checkpoint "
+        f"file(s) under {directory}"
+        + (f", {swept_leases} expired lease row(s)" if swept_leases else "")
+    )
+    for path in removed:
+        print(f"  {path}")
+    return 0
+
+
 def _command_telemetry(args: argparse.Namespace) -> int:
     if args.action == "report":
         # Imported lazily: report aggregation pulls in numpy percentiles
         # the other subcommands never need at startup.
         from repro.telemetry.report import build_report, render_report
 
-        with TrialStore(args.store, readonly=True) as store:
+        with open_store(args.store, readonly=True) as store:
             print(render_report(build_report(store), fmt=args.format))
         return 0
     if args.action == "profile":
@@ -483,7 +705,7 @@ def _command_telemetry_faults(args: argparse.Namespace) -> int:
     from repro.faults.report import render_faults
 
     shown = 0
-    with TrialStore(args.store, readonly=True) as store:
+    with open_store(args.store, readonly=True) as store:
         for row in store.rows():
             if args.protocol is not None and row["protocol"] != args.protocol:
                 continue
@@ -515,7 +737,7 @@ def _command_telemetry_phases(args: argparse.Namespace) -> int:
 
     shown = 0
     skipped_without_series = 0
-    with TrialStore(args.store, readonly=True) as store:
+    with open_store(args.store, readonly=True) as store:
         for row in store.rows():
             if args.protocol is not None and row["protocol"] != args.protocol:
                 continue
@@ -611,6 +833,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         if args.command == "campaign":
             return _command_campaign(args)
+        if args.command == "store":
+            return _command_store(args)
         if args.command == "telemetry":
             return _command_telemetry(args)
         if args.command == "trace":

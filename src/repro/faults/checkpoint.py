@@ -32,8 +32,10 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "DEFAULT_CHECKPOINT_DIR",
     "TrialCheckpointer",
+    "checkpoint_dir",
     "checkpoint_engines",
     "make_checkpointer",
+    "sweep_orphans",
 ]
 
 #: Seconds between checkpoint writes; unset/empty disables checkpointing.
@@ -149,6 +151,47 @@ class TrialCheckpointer:
             pass
 
 
+def checkpoint_dir() -> Path:
+    """The active checkpoint directory (env override or the default)."""
+    return Path(
+        os.environ.get(CHECKPOINT_DIR_ENV) or DEFAULT_CHECKPOINT_DIR
+    )
+
+
+def sweep_orphans(
+    completed_hashes: set[str], directory: str | Path | None = None
+) -> list[Path]:
+    """Delete checkpoint files whose trial already completed.
+
+    A worker killed *between* a trial's final store write and the
+    checkpointer's ``clear()`` leaves an orphan ``<hash>.ckpt`` behind —
+    harmless (a re-run would just resume and immediately finish) but
+    unbounded garbage across a long campaign.  ``repro store gc`` calls
+    this with the store's completed set; files keyed by an in-flight
+    hash survive, so sweeping is safe while workers run.  Stray
+    ``*.tmp`` droppings from interrupted atomic writes are always
+    swept.  Returns the deleted paths.
+    """
+    root = checkpoint_dir() if directory is None else Path(directory)
+    if not root.is_dir():
+        return []
+    removed: list[Path] = []
+    for path in sorted(root.iterdir()):
+        orphaned = (
+            path.suffixes and path.suffixes[-1] == ".tmp"
+        ) or (
+            path.suffix == ".ckpt" and path.stem in completed_hashes
+        )
+        if not orphaned:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed.append(path)
+    return removed
+
+
 def make_checkpointer(spec) -> TrialCheckpointer | None:
     """The env-gated checkpointer for one trial spec, or ``None``.
 
@@ -164,6 +207,5 @@ def make_checkpointer(spec) -> TrialCheckpointer | None:
         return None
     if interval < 0 or spec.engine not in checkpoint_engines():
         return None
-    directory = os.environ.get(CHECKPOINT_DIR_ENV) or DEFAULT_CHECKPOINT_DIR
-    path = Path(directory) / f"{spec.content_hash()}.ckpt"
+    path = checkpoint_dir() / f"{spec.content_hash()}.ckpt"
     return TrialCheckpointer(path, interval)

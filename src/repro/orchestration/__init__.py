@@ -6,6 +6,10 @@ The subsystem splits trial farming into four layers:
   :class:`TrialSpec`/:class:`CampaignSpec` descriptions of work;
 * :mod:`~repro.orchestration.store` — a SQLite :class:`TrialStore` caching
   every completed outcome by spec hash (resume-after-crash for free);
+* :mod:`~repro.orchestration.backend` — the :class:`StoreBackend`
+  protocol behind the store, plus the distributed campaign fabric: a
+  sharded multi-worker backend, TTL work leases, and a deterministic
+  shard → canonical merge;
 * :mod:`~repro.orchestration.pool` — serial fast path plus a
   ``multiprocessing`` worker farm sharding missing trials across cores;
 * :mod:`~repro.orchestration.runner` — :class:`CampaignRunner` diffing
@@ -19,6 +23,11 @@ layer without touching experiment signatures, and
 picklable and hashable.
 """
 
+from repro.orchestration.backend import (
+    StoreBackend,
+    is_sharded_root,
+    open_store,
+)
 from repro.orchestration.context import (
     ExecutionContext,
     current_context,
@@ -65,6 +74,7 @@ __all__ = [
     "SUPERBATCH_ENGINE_MIN_N",
     "ExecutionContext",
     "RunReport",
+    "StoreBackend",
     "TrialOutcome",
     "TrialSpec",
     "TrialStore",
@@ -74,6 +84,8 @@ __all__ = [
     "default_engine",
     "execute_trial",
     "execution_context",
+    "is_sharded_root",
+    "open_store",
     "protocol_names",
     "register_protocol",
     "run_specs",

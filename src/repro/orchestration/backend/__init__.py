@@ -1,0 +1,100 @@
+"""Store backends for the distributed campaign fabric.
+
+* :mod:`~repro.orchestration.backend.base` — the :class:`StoreBackend`
+  protocol every backend implements (the historical ``TrialStore``
+  surface, unchanged).
+* :mod:`~repro.orchestration.backend.sharded` — :class:`ShardedStore`:
+  a directory of per-worker shard stores plus one canonical file, for
+  crash-isolated multi-worker campaigns.
+* :mod:`~repro.orchestration.backend.merge` — deterministic shard →
+  canonical compaction (``repro store merge``).
+* :mod:`~repro.orchestration.backend.leases` — TTL work claims with
+  heartbeat renewal (crash-recovering work stealing).
+* :mod:`~repro.orchestration.backend.fabric` — the sharded campaign
+  worker loop (``repro campaign run --shard``).
+
+Only :mod:`base` is imported eagerly: :mod:`~repro.orchestration.store`
+implements the protocol and therefore imports this package while the
+other submodules import *it* — the lazy attributes below keep that a
+one-way dependency at import time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.orchestration.backend.base import StoreBackend
+
+__all__ = [
+    "DEFAULT_SHARD_ROOT",
+    "LeaseManager",
+    "MergeReport",
+    "ShardedStore",
+    "StoreBackend",
+    "is_sharded_root",
+    "merge_store",
+    "open_store",
+    "run_sharded_campaign",
+]
+
+#: Default shard-root directory for ``repro campaign run --shard`` when
+#: ``--store`` was left at the single-file default (a sharded campaign
+#: cannot use a ``.sqlite`` file path).
+DEFAULT_SHARD_ROOT = ".repro-store.shards"
+
+#: Lazily importable submodule attributes (``backend.ShardedStore``
+#: etc.) — resolved on first access to keep the store → base import
+#: one-way.
+_LAZY = {
+    "ShardedStore": ("repro.orchestration.backend.sharded", "ShardedStore"),
+    "LeaseManager": ("repro.orchestration.backend.leases", "LeaseManager"),
+    "MergeReport": ("repro.orchestration.backend.merge", "MergeReport"),
+    "merge_store": ("repro.orchestration.backend.merge", "merge_store"),
+    "run_sharded_campaign": (
+        "repro.orchestration.backend.fabric",
+        "run_sharded_campaign",
+    ),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def is_sharded_root(path: str | Path) -> bool:
+    """Whether ``path`` names a sharded store directory.
+
+    A directory is a sharded root if it exists (even empty — a worker
+    about to write its first shard) — single-file stores are regular
+    files, so the two layouts can never be confused.
+    """
+    return Path(path).is_dir()
+
+
+def open_store(
+    path: str | Path,
+    readonly: bool = False,
+    worker: str | None = None,
+):
+    """Open the right backend for ``path``.
+
+    * ``worker`` given → the sharded backend, writing to that worker's
+      private shard (creates the directory when missing).
+    * ``path`` is a directory → the sharded backend's federated view
+      (canonical + every shard).
+    * otherwise → the default single-file SQLite backend.
+    """
+    from repro.orchestration.backend.sharded import ShardedStore
+    from repro.orchestration.store import TrialStore
+
+    if worker is not None:
+        return ShardedStore(path, worker=worker, readonly=readonly)
+    if is_sharded_root(path):
+        return ShardedStore(path, readonly=readonly)
+    return TrialStore(path, readonly=readonly)

@@ -1,0 +1,127 @@
+"""The store backend interface.
+
+Everything above the persistence layer — :func:`~repro.orchestration.pool.run_specs`,
+:class:`~repro.orchestration.runner.CampaignRunner`, the telemetry
+reports, the CLI — talks to a trial store through this protocol and
+nothing else.  Two backends implement it today:
+
+* :class:`~repro.orchestration.store.TrialStore` — one SQLite file, the
+  default.  Hardened for concurrent writers (WAL + busy timeout), which
+  covers N worker *processes* on one machine sharing one file.
+* :class:`~repro.orchestration.backend.sharded.ShardedStore` — a
+  directory of stores: one canonical file plus one private shard per
+  worker, for workers that must never contend on a single writer lock
+  (across machines on a shared filesystem, or when the canonical store
+  can disappear mid-run).  ``repro store merge`` folds shards back into
+  the canonical file deterministically.
+
+The interface is deliberately the *existing* ``TrialStore`` surface:
+the refactor moved the contract into a base class rather than changing
+any call site, so every pre-backend caller keeps working against both
+backends unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec only)
+    from repro.orchestration.spec import TrialOutcome, TrialSpec
+
+__all__ = ["StoreBackend"]
+
+
+class StoreBackend(ABC):
+    """Abstract trial store: content-addressed outcomes + failure ledger.
+
+    Contract highlights every backend must honor:
+
+    * **Idempotent writes.**  ``put`` of an existing hash replaces the
+      row; duplicate execution of one spec is harmless by construction
+      (spec hashes are content hashes, and trial outcomes are
+      deterministic functions of the spec).
+    * **Readonly opens never create or mutate anything** — they are the
+      mode for ``status``/``report`` inspection.
+    * **Reads see only committed outcomes**: a crash mid-write loses at
+      most the in-flight trial, never corrupts stored ones.
+    """
+
+    #: Filesystem path (or ``":memory:"``) the backend persists under.
+    path: str
+    readonly: bool
+
+    # -- lifecycle -----------------------------------------------------
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release every underlying connection/handle."""
+
+    def __enter__(self) -> "StoreBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reads ---------------------------------------------------------
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of distinct stored trials."""
+
+    def __contains__(self, spec: "TrialSpec") -> bool:
+        return self.get(spec) is not None
+
+    @abstractmethod
+    def get(self, spec: "TrialSpec") -> "TrialOutcome | None":
+        """The cached outcome for ``spec``, or ``None``."""
+
+    @abstractmethod
+    def get_many(
+        self, specs: Sequence["TrialSpec"]
+    ) -> dict[str, "TrialOutcome"]:
+        """Cached outcomes for ``specs``, keyed by spec content hash."""
+
+    @abstractmethod
+    def completed_hashes(self) -> set[str]:
+        """Every stored trial's spec hash (the backend's "done" set)."""
+
+    @abstractmethod
+    def rows(self) -> Iterator[dict[str, object]]:
+        """Every stored trial as a plain dict (spec identity + outcome
+        columns), ordered by ``(protocol, n, engine, seed)``."""
+
+    # -- writes --------------------------------------------------------
+
+    @abstractmethod
+    def put(self, spec: "TrialSpec", outcome: "TrialOutcome") -> None:
+        """Persist one outcome (idempotent: same hash overwrites)."""
+
+    @abstractmethod
+    def put_many(
+        self, items: Iterable[tuple["TrialSpec", "TrialOutcome"]]
+    ) -> None:
+        """Persist a batch of outcomes in one transaction."""
+
+    # -- failure ledger ------------------------------------------------
+
+    @abstractmethod
+    def record_failure(
+        self,
+        spec: "TrialSpec",
+        attempts: int,
+        error: str,
+        quarantined: bool = False,
+    ) -> None:
+        """Upsert one outstanding failure for ``spec``."""
+
+    @abstractmethod
+    def clear_failures(self, specs: Iterable["TrialSpec"]) -> None:
+        """Drop the failure rows for ``specs`` (they succeeded after all)."""
+
+    def clear_failure(self, spec: "TrialSpec") -> None:
+        self.clear_failures([spec])
+
+    @abstractmethod
+    def failures(self) -> list[dict[str, object]]:
+        """Every outstanding failure as a plain dict."""

@@ -1,0 +1,328 @@
+"""Deterministic shard → canonical compaction (``repro store merge``).
+
+Folds every shard store in a shard root into the canonical file.  The
+merge is a pure function of the member stores' *contents*:
+
+* Rows are keyed by spec content hash; duplicates across members pick a
+  winner by a total order (earliest execution first, full-row ``repr``
+  as the final tiebreak), so no input ordering, filename, or mtime can
+  influence a row.
+* The output is written as a **fresh** database — schema, then trial
+  rows in sorted spec-hash order, then failure rows in sorted spec-hash
+  order, one transaction, rollback journal (no WAL frames) — and then
+  atomically :func:`os.replace`-d onto ``canonical.sqlite``.
+
+Merging the same members in any order therefore produces
+**byte-identical** canonical files, which is the property the CI
+fabric-smoke job asserts and the property that makes cross-machine
+result aggregation auditable: two operators merging the same shards get
+files with equal checksums.
+
+The failure ledger federates with *trial-row-wins*: a spec that has a
+trial row in any member is done, so its failure rows (stale leftovers
+from a worker that errored before a sibling succeeded) are dropped.
+Surviving duplicate failures keep the most-failed copy — max attempts,
+quarantine sticky — so a quarantine verdict can never be washed out by
+a shard that only saw the first attempt.
+
+A crash mid-merge loses nothing: the temp file is garbage (swept by
+``repro store gc``), the canonical and every shard are untouched, and
+re-running the merge from the same members produces the same bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.orchestration.backend.sharded import (
+    CANONICAL_NAME,
+    shard_paths,
+)
+from repro.orchestration.store import _FAILURES_SCHEMA, _SCHEMA
+
+__all__ = [
+    "FAILURE_COLUMNS",
+    "MERGE_TMP_SUFFIX",
+    "MergeReport",
+    "TRIAL_COLUMNS",
+    "merge_store",
+]
+
+#: Full current trials schema, in table order.  ``created_at`` rides
+#: along so the merge preserves execution timestamps (and uses them as
+#: the primary winner key).
+TRIAL_COLUMNS = (
+    "spec_hash",
+    "protocol",
+    "n",
+    "seed",
+    "engine",
+    "spec_json",
+    "steps",
+    "parallel_time",
+    "leader_count",
+    "distinct_states",
+    "duration",
+    "telemetry",
+    "phases",
+    "faults",
+    "scheduler",
+    "created_at",
+)
+
+FAILURE_COLUMNS = (
+    "spec_hash",
+    "protocol",
+    "n",
+    "seed",
+    "engine",
+    "spec_json",
+    "attempts",
+    "error",
+    "quarantined",
+    "updated_at",
+)
+
+#: Defaults substituted when a member store predates a column (PR 1–9
+#: schema generations) — mirrors the readonly-open fallbacks in
+#: :class:`~repro.orchestration.store.TrialStore`.
+_TRIAL_DEFAULTS = {
+    "duration": "0.0",
+    "telemetry": "NULL",
+    "phases": "NULL",
+    "faults": "NULL",
+    "scheduler": "NULL",
+}
+
+MERGE_TMP_SUFFIX = ".merge-tmp"
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What one ``merge_store`` call folded together."""
+
+    root: str
+    #: Member files that contributed rows (canonical first, shards in
+    #: name order).
+    members: tuple[str, ...]
+    #: Distinct trials in the merged canonical store.
+    trials: int
+    #: Outstanding failures in the merged canonical store.
+    failures: int
+    #: Duplicate trial rows collapsed (same hash in >1 member, or a
+    #: canonical row re-read from a shard).
+    duplicate_trials: int
+    #: Failure rows dropped because some member held a trial row for the
+    #: same spec (the trial-row-wins federation rule).
+    superseded_failures: int
+    #: Shard files deleted after folding (empty with ``keep_shards``).
+    removed_shards: tuple[str, ...] = field(default_factory=tuple)
+
+    def render(self) -> str:
+        lines = [
+            f"merged {len(self.members)} store(s) -> "
+            f"{Path(self.root) / CANONICAL_NAME}",
+            f"  trials:   {self.trials}"
+            + (
+                f" ({self.duplicate_trials} duplicate row(s) collapsed)"
+                if self.duplicate_trials
+                else ""
+            ),
+            f"  failures: {self.failures}"
+            + (
+                f" ({self.superseded_failures} superseded by trial rows)"
+                if self.superseded_failures
+                else ""
+            ),
+        ]
+        for member in self.members:
+            lines.append(f"  from {member}")
+        if self.removed_shards:
+            lines.append(
+                f"  removed {len(self.removed_shards)} folded shard(s)"
+            )
+        return "\n".join(lines)
+
+
+def _columns_present(
+    connection: sqlite3.Connection, table: str
+) -> set[str]:
+    return {
+        row[1]
+        for row in connection.execute(f"PRAGMA table_info({table})")
+    }
+
+
+def _read_member(
+    path: Path,
+) -> tuple[list[tuple], list[tuple]]:
+    """All (trial, failure) rows of one member store, full-width.
+
+    Columns a pre-migration member lacks are filled with the same
+    defaults a writable open would backfill, so old shards merge
+    losslessly into the current schema.
+    """
+    connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    try:
+        present = _columns_present(connection, "trials")
+        if "spec_hash" not in present:
+            raise ExperimentError(f"{path} is not a trial store")
+        select = ", ".join(
+            column
+            if column in present
+            else f"{_TRIAL_DEFAULTS[column]} AS {column}"
+            for column in TRIAL_COLUMNS
+        )
+        trials = connection.execute(
+            f"SELECT {select} FROM trials"
+        ).fetchall()
+        failures: list[tuple] = []
+        if _columns_present(connection, "failures"):
+            failures = connection.execute(
+                "SELECT {} FROM failures".format(", ".join(FAILURE_COLUMNS))
+            ).fetchall()
+        return trials, failures
+    finally:
+        connection.close()
+
+
+def _trial_rank(row: tuple) -> tuple:
+    """Winner order for duplicate trial rows: earliest ``created_at``,
+    then shortest ``duration``, then full-row ``repr`` — a total order,
+    so the winner never depends on member enumeration order."""
+    created_at = row[TRIAL_COLUMNS.index("created_at")]
+    duration = row[TRIAL_COLUMNS.index("duration")]
+    return (str(created_at or ""), float(duration or 0.0), repr(row))
+
+
+def _failure_rank(row: tuple) -> tuple:
+    """Winner order for duplicate failure rows: most attempts, then
+    quarantined, then latest update, then full-row ``repr`` (the *max*
+    wins — quarantine verdicts are sticky across shards)."""
+    attempts = row[FAILURE_COLUMNS.index("attempts")]
+    quarantined = row[FAILURE_COLUMNS.index("quarantined")]
+    updated_at = row[FAILURE_COLUMNS.index("updated_at")]
+    return (
+        int(attempts or 0),
+        int(bool(quarantined)),
+        str(updated_at or ""),
+        repr(row),
+    )
+
+
+def merge_store(
+    root: str | Path, keep_shards: bool = False
+) -> MergeReport:
+    """Fold every shard in ``root`` into ``canonical.sqlite``.
+
+    Deterministic and idempotent (see the module docstring); with
+    ``keep_shards`` the folded shard files stay on disk (useful while
+    workers are still appending — merge is safe mid-campaign, it only
+    reads committed rows).  Without it, folded shards are deleted, so
+    the steady state after a finished campaign is one canonical file.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ExperimentError(
+            f"{str(root)!r} is not a sharded store root (need the "
+            "directory that holds canonical.sqlite and shard-*.sqlite)"
+        )
+    canonical = root / CANONICAL_NAME
+    members: list[Path] = []
+    if canonical.exists():
+        members.append(canonical)
+    shards = shard_paths(root)
+    members.extend(shards)
+    if not members:
+        raise ExperimentError(
+            f"nothing to merge under {str(root)!r}: no canonical store "
+            "and no shards"
+        )
+
+    hash_at = TRIAL_COLUMNS.index("spec_hash")
+    best_trials: dict[str, tuple] = {}
+    best_failures: dict[str, tuple] = {}
+    duplicate_trials = 0
+    for member in members:
+        trials, failures = _read_member(member)
+        for row in trials:
+            key = str(row[hash_at])
+            kept = best_trials.get(key)
+            if kept is None:
+                best_trials[key] = row
+            else:
+                duplicate_trials += 1
+                if _trial_rank(row) < _trial_rank(kept):
+                    best_trials[key] = row
+        for row in failures:
+            key = str(row[0])
+            kept = best_failures.get(key)
+            if kept is None or _failure_rank(row) > _failure_rank(kept):
+                best_failures[key] = row
+
+    superseded = [
+        key for key in best_failures if key in best_trials
+    ]
+    for key in superseded:
+        del best_failures[key]
+
+    # Fresh output file: rollback journal (never WAL frames), schema +
+    # sorted rows in one transaction — identical inputs give identical
+    # bytes no matter which member order fed the dicts above.
+    tmp = root / (CANONICAL_NAME + MERGE_TMP_SUFFIX)
+    if tmp.exists():
+        tmp.unlink()
+    out = sqlite3.connect(tmp)
+    try:
+        out.executescript(_SCHEMA)
+        out.executescript(_FAILURES_SCHEMA)
+        trial_slots = ", ".join("?" * len(TRIAL_COLUMNS))
+        out.executemany(
+            f"INSERT INTO trials ({', '.join(TRIAL_COLUMNS)})"
+            f" VALUES ({trial_slots})",
+            (best_trials[key] for key in sorted(best_trials)),
+        )
+        failure_slots = ", ".join("?" * len(FAILURE_COLUMNS))
+        out.executemany(
+            f"INSERT INTO failures ({', '.join(FAILURE_COLUMNS)})"
+            f" VALUES ({failure_slots})",
+            (best_failures[key] for key in sorted(best_failures)),
+        )
+        out.commit()
+    finally:
+        out.close()
+
+    os.replace(tmp, canonical)
+    # The replaced file is a fresh rollback-journal db; stale WAL
+    # sidecars from the previous canonical generation must not survive
+    # next to it.
+    for suffix in ("-wal", "-shm"):
+        sidecar = Path(str(canonical) + suffix)
+        if sidecar.exists():
+            sidecar.unlink()
+
+    removed: list[str] = []
+    if not keep_shards:
+        for shard in shards:
+            for victim in (
+                shard,
+                Path(str(shard) + "-wal"),
+                Path(str(shard) + "-shm"),
+            ):
+                if victim.exists():
+                    victim.unlink()
+            removed.append(shard.name)
+
+    return MergeReport(
+        root=str(root),
+        members=tuple(member.name for member in members),
+        trials=len(best_trials),
+        failures=len(best_failures),
+        duplicate_trials=duplicate_trials,
+        superseded_failures=len(superseded),
+        removed_shards=tuple(removed),
+    )

@@ -1,0 +1,530 @@
+"""The sharded store backend: one directory, N crash-isolated writers.
+
+Layout of a shard root directory::
+
+    campaign.shards/
+        canonical.sqlite          # the merged, compacted store
+        shard-<worker>.sqlite     # one private store per worker
+        leases.sqlite             # TTL work claims (advisory)
+
+Each worker appends only to its *own* shard (a plain
+:class:`~repro.orchestration.store.TrialStore` file it never shares a
+writer lock on), so a crash, a lock conflict, or a full disk on one
+worker can never corrupt — or even stall — another's writes.  Reads
+federate: the canonical store plus every shard, deduplicated by spec
+hash, which is sound because rows are content-addressed and trial
+outcomes are deterministic — any two rows with one hash describe the
+same measurement.
+
+``repro store merge`` (:mod:`repro.orchestration.backend.merge`) folds
+shards into the canonical file; until then the federated view *is* the
+store, so ``status``/``report``/``telemetry report`` work mid-campaign.
+
+Graceful degradation: when the canonical store is unreachable (locked
+by a dying writer, read-only mount, deleted mid-run), reads fall back
+to the shards and re-attachment is retried with exponential backoff;
+coordinator-mode writes spill to a private ``shard-spill-<pid>`` store
+instead of aborting.  Workers therefore keep making durable progress
+through canonical outages, and the spill folds in at the next merge.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ExperimentError
+from repro.orchestration.backend.base import StoreBackend
+from repro.orchestration.backend.leases import (
+    DEFAULT_LEASE_TTL,
+    Lease,
+    LeaseManager,
+)
+from repro.orchestration.spec import TrialOutcome, TrialSpec
+from repro.orchestration.store import TrialStore
+
+__all__ = [
+    "CANONICAL_NAME",
+    "LEASES_NAME",
+    "SHARD_PREFIX",
+    "ShardCoverage",
+    "ShardedStore",
+    "shard_name",
+    "shard_paths",
+]
+
+CANONICAL_NAME = "canonical.sqlite"
+LEASES_NAME = "leases.sqlite"
+SHARD_PREFIX = "shard-"
+
+#: Worker ids must stay filename- and shell-safe.
+_WORKER_ID = re.compile(r"^[A-Za-z0-9._-]+$")
+
+#: First canonical re-attachment retry delay; doubles per failure up to
+#: the cap, so a genuinely gone canonical costs one failed open per
+#: ~minute, not per read.
+_ATTACH_BACKOFF = 0.5
+_ATTACH_BACKOFF_CAP = 60.0
+
+
+def shard_name(worker: str) -> str:
+    return f"{SHARD_PREFIX}{worker}.sqlite"
+
+
+def shard_paths(root: str | Path) -> list[Path]:
+    """Every shard store under ``root``, in deterministic name order."""
+    return sorted(Path(root).glob(f"{SHARD_PREFIX}*.sqlite"))
+
+
+@dataclass(frozen=True)
+class ShardCoverage:
+    """Row counts for one member store of a shard root."""
+
+    name: str
+    rows: int
+    #: Rows whose hash is in the queried campaign (equals ``rows`` when
+    #: no campaign scope was given).
+    in_scope: int
+
+
+class ShardedStore(StoreBackend):
+    """Federated multi-writer trial store over a shard root directory.
+
+    ``worker="w1"`` opens worker mode: writes (outcomes *and* failure
+    rows) land in the private ``shard-w1.sqlite``; reads see canonical
+    plus every shard.  ``worker=None`` opens coordinator mode: writes
+    go to the canonical store (spilling to a private shard when it is
+    unreachable), which makes a ShardedStore a drop-in ``--store`` for
+    non-sharded commands pointed at a directory.  ``readonly=True``
+    never creates anything and tolerates a missing canonical (a root
+    that has only shards so far).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        worker: str | None = None,
+        readonly: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.path = str(root)
+        self.worker = worker
+        self.readonly = readonly
+        if worker is not None and not _WORKER_ID.match(worker):
+            raise ExperimentError(
+                f"worker id {worker!r} is not filename-safe; use letters, "
+                "digits, dots, underscores, dashes"
+            )
+        if worker is not None and readonly:
+            raise ExperimentError(
+                "a readonly sharded store cannot have a worker shard"
+            )
+        if self.root.exists() and not self.root.is_dir():
+            raise ExperimentError(
+                f"{self.path!r} is a regular file; a sharded store needs a "
+                "directory (pass a fresh path, or drop --shard to use the "
+                "single-file backend)"
+            )
+        if not self.root.exists():
+            if readonly:
+                raise ExperimentError(
+                    f"cannot open sharded store {self.path!r}: no such "
+                    "directory (has the campaign been run yet?)"
+                )
+            self.root.mkdir(parents=True, exist_ok=True)
+        #: Open handles for federated reads, keyed by file name.
+        self._readers: dict[str, TrialStore] = {}
+        self._own: TrialStore | None = None
+        self._canonical: TrialStore | None = None
+        self._canonical_retry_at = 0.0
+        self._canonical_backoff = _ATTACH_BACKOFF
+        #: Where coordinator-mode writes landed after a canonical
+        #: failure (``None`` until the first spill).
+        self._spill: TrialStore | None = None
+
+    # ------------------------------------------------------------------
+    # member stores
+    # ------------------------------------------------------------------
+
+    @property
+    def canonical_path(self) -> Path:
+        return self.root / CANONICAL_NAME
+
+    @property
+    def leases_path(self) -> Path:
+        return self.root / LEASES_NAME
+
+    def _own_store(self) -> TrialStore:
+        """This worker's private shard (created on first use)."""
+        if self._own is None:
+            assert self.worker is not None
+            self._own = TrialStore(self.root / shard_name(self.worker))
+        return self._own
+
+    def _canonical_store(self) -> TrialStore | None:
+        """The canonical store, or ``None`` while it is unreachable.
+
+        Worker and readonly modes open it read-only (workers write to
+        their shard, never the canonical); coordinator mode opens it
+        writable, creating it on first use.  Open failures degrade: the
+        store runs on shards alone and re-attachment is retried with
+        exponential backoff.
+        """
+        if self._canonical is not None:
+            return self._canonical
+        now = time.monotonic()
+        if now < self._canonical_retry_at:
+            return None
+        writable = self.worker is None and not self.readonly
+        try:
+            if writable:
+                self._canonical = TrialStore(self.canonical_path)
+            else:
+                if not self.canonical_path.exists():
+                    # Normal pre-merge state, not an outage: nothing to
+                    # attach, and nothing worth backing off over.
+                    return None
+                self._canonical = TrialStore(
+                    self.canonical_path, readonly=True
+                )
+        except ExperimentError:
+            self._canonical_retry_at = now + self._canonical_backoff
+            self._canonical_backoff = min(
+                self._canonical_backoff * 2, _ATTACH_BACKOFF_CAP
+            )
+            return None
+        self._canonical_backoff = _ATTACH_BACKOFF
+        return self._canonical
+
+    def _detach_canonical(self) -> None:
+        """Drop a canonical handle that just failed mid-operation."""
+        if self._canonical is not None:
+            try:
+                self._canonical.close()
+            except Exception:
+                pass
+            self._canonical = None
+        self._canonical_retry_at = time.monotonic() + self._canonical_backoff
+        self._canonical_backoff = min(
+            self._canonical_backoff * 2, _ATTACH_BACKOFF_CAP
+        )
+
+    def _shard_stores(self) -> list[tuple[str, TrialStore]]:
+        """Readonly handles on every shard file currently in the root.
+
+        Fresh shards appear between calls (other workers joining), so
+        the directory is re-globbed per read; handles are cached.  A
+        shard that cannot be opened yet (its writer is mid-creation) is
+        skipped this round and retried on the next read.
+        """
+        stores: list[tuple[str, TrialStore]] = []
+        own_name = (
+            shard_name(self.worker) if self.worker is not None else None
+        )
+        for path in shard_paths(self.root):
+            name = path.name
+            if name == own_name:
+                stores.append((name, self._own_store()))
+                continue
+            handle = self._readers.get(name)
+            if handle is None:
+                try:
+                    handle = TrialStore(path, readonly=True)
+                except ExperimentError:
+                    continue
+                self._readers[name] = handle
+            stores.append((name, handle))
+        return stores
+
+    def _read_stores(self) -> list[tuple[str, TrialStore]]:
+        """Every member store to consult for reads, canonical first."""
+        stores: list[tuple[str, TrialStore]] = []
+        canonical = self._canonical_store()
+        if canonical is not None:
+            stores.append((CANONICAL_NAME, canonical))
+        stores.extend(self._shard_stores())
+        return stores
+
+    def _write_store(self) -> TrialStore:
+        """Where this handle's writes go.
+
+        Worker mode: always the private shard.  Coordinator mode: the
+        canonical store, spilling to a pid-named local shard when the
+        canonical cannot be opened — durable progress beats failing the
+        trial that was just paid for.
+        """
+        if self.readonly:
+            raise ExperimentError(
+                f"sharded store {self.path!r} is readonly"
+            )
+        if self.worker is not None:
+            return self._own_store()
+        canonical = self._canonical_store()
+        if canonical is not None:
+            return canonical
+        if self._spill is None:
+            self._spill = TrialStore(
+                self.root / shard_name(f"spill-{os.getpid()}")
+            )
+        return self._spill
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        for handle in (
+            self._own,
+            self._canonical,
+            self._spill,
+            *self._readers.values(),
+        ):
+            if handle is not None:
+                try:
+                    handle.close()
+                except Exception:
+                    pass
+        self._own = None
+        self._canonical = None
+        self._spill = None
+        self._readers.clear()
+
+    # ------------------------------------------------------------------
+    # reads (federated)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.completed_hashes())
+
+    def get(self, spec: TrialSpec) -> TrialOutcome | None:
+        hits = self.get_many([spec])
+        return hits.get(spec.content_hash())
+
+    def get_many(
+        self, specs: Sequence[TrialSpec]
+    ) -> dict[str, TrialOutcome]:
+        results: dict[str, TrialOutcome] = {}
+        remaining = list(specs)
+        for _name, store in self._read_stores():
+            if not remaining:
+                break
+            try:
+                hits = store.get_many(remaining)
+            except ExperimentError:
+                if store is self._canonical:
+                    self._detach_canonical()
+                continue
+            results.update(hits)
+            remaining = [
+                spec
+                for spec in remaining
+                if spec.content_hash() not in results
+            ]
+        return results
+
+    def completed_hashes(self) -> set[str]:
+        hashes: set[str] = set()
+        for _name, store in self._read_stores():
+            try:
+                hashes |= store.completed_hashes()
+            except ExperimentError:
+                if store is self._canonical:
+                    self._detach_canonical()
+        return hashes
+
+    def rows(self) -> Iterator[dict[str, object]]:
+        """Federated rows, deduplicated by spec hash.
+
+        Duplicates across members describe the same deterministic
+        measurement; the earliest-executed copy wins (the same rule the
+        merge compaction applies — see
+        :func:`repro.orchestration.backend.merge.merge_store`), so the
+        federated view and the post-merge canonical agree row for row.
+        """
+        best: dict[str, dict[str, object]] = {}
+        for _name, store in self._read_stores():
+            try:
+                for row in store.rows():
+                    key = str(row["spec_hash"])
+                    kept = best.get(key)
+                    if kept is None or _row_rank(row) < _row_rank(kept):
+                        best[key] = row
+            except ExperimentError:
+                if store is self._canonical:
+                    self._detach_canonical()
+        ordered = sorted(
+            best.values(),
+            key=lambda row: (
+                row["protocol"],
+                row["n"],
+                row["engine"],
+                row["seed"],
+            ),
+        )
+        yield from ordered
+
+    # ------------------------------------------------------------------
+    # writes (private shard / canonical with spill)
+    # ------------------------------------------------------------------
+
+    def put(self, spec: TrialSpec, outcome: TrialOutcome) -> None:
+        self.put_many([(spec, outcome)])
+
+    def put_many(
+        self, items: Iterable[tuple[TrialSpec, TrialOutcome]]
+    ) -> None:
+        items = list(items)
+        target = self._write_store()
+        try:
+            target.put_many(items)
+        except ExperimentError:
+            raise
+        except sqlite3.Error:
+            if target is not self._canonical:
+                raise
+            # Canonical died mid-write (locked beyond the busy timeout,
+            # remounted read-only, file gone): spill and carry on.
+            self._detach_canonical()
+            self._write_store().put_many(items)
+
+    # ------------------------------------------------------------------
+    # failure ledger (federated reads, private writes)
+    # ------------------------------------------------------------------
+
+    def record_failure(
+        self,
+        spec: TrialSpec,
+        attempts: int,
+        error: str,
+        quarantined: bool = False,
+    ) -> None:
+        self._write_store().record_failure(
+            spec, attempts, error, quarantined=quarantined
+        )
+
+    def clear_failures(self, specs: Iterable[TrialSpec]) -> None:
+        # Only the writable member can be cleared directly; stale rows
+        # in sibling shards are masked by the trial-row-wins rule in
+        # :meth:`failures` and dropped at merge time.
+        self._write_store().clear_failures(specs)
+
+    def failures(self) -> list[dict[str, object]]:
+        """Federated outstanding failures.
+
+        A spec with a trial row in *any* member is not outstanding —
+        some worker eventually succeeded — so it is dropped even when a
+        sibling shard still carries its failure row.  Duplicate failure
+        rows keep the most-failed copy (max attempts, quarantine
+        sticky), matching the merge-time federation rule.
+        """
+        done = self.completed_hashes()
+        best: dict[str, dict[str, object]] = {}
+        for _name, store in self._read_stores():
+            try:
+                ledger = store.failures()
+            except ExperimentError:
+                if store is self._canonical:
+                    self._detach_canonical()
+                continue
+            for row in ledger:
+                key = str(row["spec_hash"])
+                if key in done:
+                    continue
+                kept = best.get(key)
+                if kept is None or _failure_rank(row) > _failure_rank(kept):
+                    best[key] = row
+        return sorted(
+            best.values(),
+            key=lambda row: (
+                row["protocol"],
+                row["n"],
+                row["engine"],
+                row["seed"],
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # fabric coordination
+    # ------------------------------------------------------------------
+
+    def lease_manager(
+        self, ttl_secs: float = DEFAULT_LEASE_TTL
+    ) -> LeaseManager:
+        """A lease manager for this store's worker over the shared
+        ``leases.sqlite`` (worker mode only)."""
+        if self.worker is None:
+            raise ExperimentError(
+                "lease claims need worker mode: open the store with a "
+                "worker id (repro campaign run --shard <worker>)"
+            )
+        return LeaseManager(self.leases_path, self.worker, ttl_secs=ttl_secs)
+
+    def live_leases(self) -> list[Lease]:
+        """Every unexpired work claim (empty when no lease file yet)."""
+        if not self.leases_path.exists():
+            return []
+        manager = LeaseManager(self.leases_path, worker="status-reader")
+        try:
+            return manager.live()
+        finally:
+            manager.close()
+
+    def shard_coverage(
+        self, hashes: Iterable[str] | None = None
+    ) -> list[ShardCoverage]:
+        """Per-member row counts, optionally scoped to ``hashes``.
+
+        The canonical store leads (when present), shards follow in name
+        order — the per-shard view behind ``repro campaign status`` and
+        ``repro store status``.
+        """
+        scope = None if hashes is None else set(hashes)
+        coverage = []
+        for name, store in self._read_stores():
+            try:
+                stored = store.completed_hashes()
+            except ExperimentError:
+                if store is self._canonical:
+                    self._detach_canonical()
+                continue
+            coverage.append(
+                ShardCoverage(
+                    name=name,
+                    rows=len(stored),
+                    in_scope=len(
+                        stored if scope is None else stored & scope
+                    ),
+                )
+            )
+        return coverage
+
+
+def _row_rank(row: dict[str, object]) -> tuple:
+    """Deterministic preference order for duplicate trial rows.
+
+    Earliest execution wins (``created_at``, then ``duration``); the
+    ``repr`` of the full row is a total-order tiebreak so the choice
+    can never depend on which member store was read first.
+    """
+    return (
+        str(row.get("created_at") or ""),
+        float(row.get("duration") or 0.0),
+        repr(sorted(row.items(), key=lambda item: item[0])),
+    )
+
+
+def _failure_rank(row: dict[str, object]) -> tuple:
+    """Deterministic preference order for duplicate failure rows:
+    most attempts, quarantine sticky, latest update; full-row ``repr``
+    tiebreak for total order."""
+    return (
+        int(row.get("attempts") or 0),
+        bool(row.get("quarantined")),
+        str(row.get("updated_at") or ""),
+        repr(sorted(row.items(), key=lambda item: (item[0], repr(item[1])))),
+    )

@@ -19,9 +19,9 @@ from dataclasses import dataclass
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import Table
+from repro.orchestration.backend.base import StoreBackend
 from repro.orchestration.pool import ProgressCallback, run_specs
 from repro.orchestration.spec import CampaignSpec, TrialOutcome, default_engine
-from repro.orchestration.store import TrialStore
 from repro.telemetry.trace import make_tracer
 
 __all__ = [
@@ -30,6 +30,8 @@ __all__ = [
     "CampaignResult",
     "CellStatus",
     "FailureStatus",
+    "LeaseStatus",
+    "ShardStatus",
 ]
 
 _AGGREGATE_HEADERS = [
@@ -115,6 +117,42 @@ class FailureStatus:
 
 
 @dataclass(frozen=True)
+class ShardStatus:
+    """Coverage one member of a sharded store contributes to a campaign."""
+
+    name: str
+    #: Trials stored in this member (campaign or not).
+    rows: int
+    #: How many of this campaign's trials this member holds.
+    in_campaign: int
+
+    def render(self) -> str:
+        line = f"{self.name}: {self.in_campaign} campaign trial"
+        line += "s" if self.in_campaign != 1 else ""
+        extra = self.rows - self.in_campaign
+        if extra:
+            line += f" (+{extra} other)"
+        return line
+
+
+@dataclass(frozen=True)
+class LeaseStatus:
+    """One live work claim on a sharded campaign's lease table."""
+
+    spec_hash: str
+    worker: str
+    remaining_sec: float
+    renewals: int
+
+    def render(self) -> str:
+        return (
+            f"{self.spec_hash[:12]} held by {self.worker}, "
+            f"{self.remaining_sec:.0f}s left"
+            + (f" ({self.renewals} renewals)" if self.renewals else "")
+        )
+
+
+@dataclass(frozen=True)
 class CampaignStatus:
     """How much of a campaign the store already holds.
 
@@ -139,6 +177,11 @@ class CampaignStatus:
     #: Outstanding failure-ledger rows for this campaign's specs
     #: (quarantined poison cells and not-yet-retried failures).
     failures: tuple[FailureStatus, ...] = ()
+    #: Per-member coverage when the store is sharded (canonical first,
+    #: shards in name order); empty for single-file stores.
+    shards: tuple[ShardStatus, ...] = ()
+    #: Live work claims on a sharded campaign's lease table.
+    leases: tuple[LeaseStatus, ...] = ()
 
     @property
     def pending(self) -> int:
@@ -192,6 +235,14 @@ class CampaignStatus:
                     f"  estimated remaining: ~{eta:.0f}s serial "
                     "(divide by --jobs for wall-clock)"
                 )
+        if self.shards:
+            lines.append("  shards:")
+            for shard in self.shards:
+                lines.append(f"    {shard.render()}")
+        if self.leases:
+            lines.append(f"  live leases: {len(self.leases)}")
+            for lease in self.leases:
+                lines.append(f"    {lease.render()}")
         if self.failures:
             quarantined = sum(f.quarantined for f in self.failures)
             lines.append(
@@ -316,7 +367,7 @@ class CampaignRunner:
 
     def __init__(
         self,
-        store: TrialStore,
+        store: StoreBackend,
         jobs: int = 1,
         progress: ProgressCallback | None = None,
         retries: int = 1,
@@ -420,6 +471,30 @@ class CampaignRunner:
                 )
             )
         campaign_hashes = {spec.content_hash() for spec in campaign.trials}
+        # Sharded stores expose per-member coverage and the lease table;
+        # duck-typed so the runner needs no backend import beyond the
+        # protocol (single-file stores simply render no shard section).
+        shards: tuple[ShardStatus, ...] = ()
+        leases: tuple[LeaseStatus, ...] = ()
+        coverage = getattr(self.store, "shard_coverage", None)
+        if coverage is not None:
+            shards = tuple(
+                ShardStatus(
+                    name=member.name,
+                    rows=member.rows,
+                    in_campaign=member.in_scope,
+                )
+                for member in coverage(campaign_hashes)
+            )
+            leases = tuple(
+                LeaseStatus(
+                    spec_hash=lease.spec_hash,
+                    worker=lease.worker,
+                    remaining_sec=max(0.0, lease.remaining()),
+                    renewals=lease.renewals,
+                )
+                for lease in self.store.live_leases()
+            )
         failures = tuple(
             FailureStatus(
                 protocol=str(row["protocol"]),
@@ -443,6 +518,8 @@ class CampaignRunner:
             ),
             cells=tuple(cells),
             failures=failures,
+            shards=shards,
+            leases=leases,
         )
 
     def report(self, campaign: CampaignSpec) -> CampaignResult:

@@ -17,6 +17,14 @@ the missing columns (``duration``, ``telemetry``, ``phases``,
 tolerate their absence instead, so ``status``/``report`` against a pre-migration store
 keeps working without write access.
 
+Concurrency hardening (the default backend of the distributed campaign
+fabric — see :mod:`repro.orchestration.backend`): writable opens enable
+WAL journal mode, so concurrent readers never block a writer and a
+reader never sees a half-committed batch, and every open sets a
+``busy_timeout`` (default 30 s, overridable per open or via
+:data:`BUSY_TIMEOUT_ENV`) so two writers racing for the write lock
+queue instead of surfacing ``database is locked`` to one of them.
+
 The campaign fabric's robustness ledger lives here too: a ``failures``
 table records specs that errored or timed out — attempt counts, the
 offending seed, the last error, and whether the spec was quarantined —
@@ -26,17 +34,46 @@ campaign skipped, and a later ``resume`` can retry it.
 
 from __future__ import annotations
 
+import os
 import sqlite3
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ExperimentError
+from repro.orchestration.backend.base import StoreBackend
 from repro.orchestration.spec import TrialOutcome, TrialSpec
 
-__all__ = ["TrialStore", "DEFAULT_STORE_PATH"]
+__all__ = [
+    "BUSY_TIMEOUT_ENV",
+    "DEFAULT_BUSY_TIMEOUT_MS",
+    "DEFAULT_STORE_PATH",
+    "TrialStore",
+]
 
 #: Where campaign outcomes land unless ``--store`` says otherwise.
 DEFAULT_STORE_PATH = ".repro-store.sqlite"
+
+#: How long (milliseconds) an open blocks on another connection's write
+#: lock before giving up.  30 s rides out any realistic ``put_many``
+#: batch commit from a sibling worker; override per open (ctor) or per
+#: process (:data:`BUSY_TIMEOUT_ENV`).
+DEFAULT_BUSY_TIMEOUT_MS = 30_000
+
+#: Environment override for the SQLite busy timeout, in milliseconds.
+BUSY_TIMEOUT_ENV = "REPRO_SQLITE_BUSY_TIMEOUT_MS"
+
+
+def busy_timeout_ms(override: int | None = None) -> int:
+    """The effective busy timeout: ctor override, env, then default."""
+    if override is not None:
+        return max(0, int(override))
+    raw = os.environ.get(BUSY_TIMEOUT_ENV)
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_BUSY_TIMEOUT_MS
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS trials (
@@ -90,7 +127,7 @@ _MIGRATIONS = (
 )
 
 
-class TrialStore:
+class TrialStore(StoreBackend):
     """Content-addressed trial cache over one SQLite file.
 
     ``path=":memory:"`` gives an ephemeral store (useful in tests and for
@@ -99,17 +136,29 @@ class TrialStore:
     the mode for ``repro campaign status|report``, which must not leave
     an empty database behind (or silently mask a mistyped ``--store``
     path as an empty cache).
+
+    Writable file-backed opens run in WAL journal mode with a busy
+    timeout (see the module docstring), so N processes can hammer one
+    store concurrently without ``database is locked`` failures; the WAL
+    switch is persistent, sticking for every later open of the file.
     """
 
     def __init__(
-        self, path: str | Path = DEFAULT_STORE_PATH, readonly: bool = False
+        self,
+        path: str | Path = DEFAULT_STORE_PATH,
+        readonly: bool = False,
+        busy_timeout: int | None = None,
     ) -> None:
         self.path = str(path)
         self.readonly = readonly
+        timeout_ms = busy_timeout_ms(busy_timeout)
         try:
             if readonly:
                 self._connection = sqlite3.connect(
                     f"file:{self.path}?mode=ro", uri=True
+                )
+                self._connection.execute(
+                    f"PRAGMA busy_timeout = {timeout_ms}"
                 )
                 has_table = self._connection.execute(
                     "SELECT 1 FROM sqlite_master WHERE name = 'trials'"
@@ -120,6 +169,16 @@ class TrialStore:
                     )
             else:
                 self._connection = sqlite3.connect(self.path)
+                self._connection.execute(
+                    f"PRAGMA busy_timeout = {timeout_ms}"
+                )
+                # WAL is what lets N writer processes share one store:
+                # writers queue on one lock (bounded by busy_timeout)
+                # while readers go on reading the last committed state.
+                # In-memory stores have no journal to switch (the pragma
+                # reports "memory"); that is fine, they are single-process
+                # by construction.
+                self._connection.execute("PRAGMA journal_mode = WAL")
                 self._connection.executescript(_SCHEMA)
                 self._connection.executescript(_FAILURES_SCHEMA)
                 self._connection.commit()
@@ -239,6 +298,29 @@ class TrialStore:
             for spec_hash, *rest in rows:
                 results[spec_hash] = _outcome_from_row(rest)
         return results
+
+    def completed_hashes(self) -> set[str]:
+        """Every stored trial's spec hash (the store's "done" set).
+
+        The campaign fabric's work-claiming and ``repro store gc`` both
+        key on this: a hash in the set means the trial's outcome is
+        durable and any leftover artifact keyed by it (lease row,
+        checkpoint file) is garbage.
+        """
+        return {
+            row[0]
+            for row in self._connection.execute(
+                "SELECT spec_hash FROM trials"
+            )
+        }
+
+    def journal_mode(self) -> str:
+        """The connection's active journal mode (``wal`` for hardened
+        file stores, ``memory`` for ``:memory:`` ones)."""
+        (mode,) = self._connection.execute(
+            "PRAGMA journal_mode"
+        ).fetchone()
+        return str(mode).lower()
 
     def rows(self) -> Iterator[dict[str, object]]:
         """Every stored trial as a plain dict, for aggregation/reporting.

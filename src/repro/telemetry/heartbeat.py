@@ -12,17 +12,39 @@ Every beat emits a ``heartbeat`` event (see :mod:`repro.telemetry.sink`)
 carrying the trial's identity, steps so far, wall-clock elapsed,
 steps/sec, and — when the engine knows its step budget — the ETA to
 ``max_steps`` at the current rate.
+
+Beats also fan out to registered *beat listeners*
+(:func:`add_beat_listener`) — process-local callables fired with the
+event payload.  Listeners are how other subsystems borrow the engines'
+block-loop liveness poll without adding their own hot-path hook: the
+campaign fabric's lease renewal
+(:class:`repro.orchestration.backend.leases.LeaseRenewer`) rides it to
+keep a worker's claims alive through a multi-minute trial.  With at
+least one listener registered, :func:`make_heartbeat` builds a
+heartbeat even when telemetry is off (the sink/echo machinery stays
+disabled; only the listeners fire), so liveness does not depend on the
+observability switch.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import time
+from typing import Callable
 
 from repro.telemetry.core import telemetry_enabled
 from repro.telemetry.sink import EventSink, make_sink
 
-__all__ = ["DEFAULT_HEARTBEAT_SECS", "HEARTBEAT_SECS_ENV", "Heartbeat", "make_heartbeat"]
+__all__ = [
+    "DEFAULT_HEARTBEAT_SECS",
+    "HEARTBEAT_SECS_ENV",
+    "Heartbeat",
+    "add_beat_listener",
+    "beat_listeners",
+    "make_heartbeat",
+    "remove_beat_listener",
+]
 
 #: Seconds between beats; override via :data:`HEARTBEAT_SECS_ENV`.
 #: 1 s keeps even a sub-10-second superbatch trial visibly alive while
@@ -45,6 +67,29 @@ def heartbeat_interval() -> float:
         return DEFAULT_HEARTBEAT_SECS
 
 
+#: Process-local beat listeners: ``listener(event_dict)`` per beat.
+#: Deliberately inherited across ``fork`` (pool workers keep renewing
+#: the leases their parent registered a renewer for).
+_BEAT_LISTENERS: list[Callable[[dict], None]] = []
+
+
+def add_beat_listener(listener: Callable[[dict], None]) -> None:
+    """Register ``listener`` to run on every heartbeat in this process."""
+    _BEAT_LISTENERS.append(listener)
+
+
+def remove_beat_listener(listener: Callable[[dict], None]) -> None:
+    """Unregister ``listener`` (no-op when it is not registered)."""
+    try:
+        _BEAT_LISTENERS.remove(listener)
+    except ValueError:
+        pass
+
+
+def beat_listeners() -> tuple[Callable[[dict], None], ...]:
+    return tuple(_BEAT_LISTENERS)
+
+
 class Heartbeat:
     """Emit progress events for one trial, at most once per interval."""
 
@@ -59,6 +104,7 @@ class Heartbeat:
         "beats",
         "_started",
         "_last",
+        "_listener_warned",
     )
 
     def __init__(
@@ -69,7 +115,7 @@ class Heartbeat:
         seed: int | None,
         max_steps: int | None,
         interval: float,
-        sink: EventSink,
+        sink: EventSink | None,
     ) -> None:
         self.engine = engine
         self.protocol = protocol
@@ -82,6 +128,7 @@ class Heartbeat:
         now = time.perf_counter()
         self._started = now
         self._last = now
+        self._listener_warned = False
 
     def maybe_beat(self, steps: int) -> None:
         """Emit a heartbeat if at least ``interval`` elapsed since the last."""
@@ -112,7 +159,21 @@ class Heartbeat:
         }
         if self.seed is not None:
             event["seed"] = self.seed
-        self.sink.emit(event)
+        if self.sink is not None:
+            self.sink.emit(event)
+        for listener in _BEAT_LISTENERS:
+            try:
+                listener(event)
+            except Exception as exc:
+                # A listener (e.g. lease renewal against a briefly
+                # unreachable file) must never abort a trial; degrade
+                # to one warning per heartbeat instance.
+                if not self._listener_warned:
+                    self._listener_warned = True
+                    print(
+                        f"warning: heartbeat listener failed: {exc}",
+                        file=sys.stderr,
+                    )
 
 
 def make_heartbeat(
@@ -129,8 +190,14 @@ def make_heartbeat(
     ``REPRO_TELEMETRY``.  A non-positive ``REPRO_HEARTBEAT_SECS`` also
     yields ``None``, so the engines' block loops keep their single-branch
     disabled cost no matter which knob turned heartbeats off.
+
+    With beat listeners registered, a heartbeat is built even when
+    telemetry is off — listener-only (no sink, no echo, no events), so
+    fabric lease renewal works without the observability switch while
+    the off-path cost for listener-less processes stays ``None``.
     """
-    if not telemetry_enabled(enabled):
+    telemetry_on = telemetry_enabled(enabled)
+    if not telemetry_on and not _BEAT_LISTENERS:
         return None
     interval = heartbeat_interval()
     if interval <= 0:
@@ -142,5 +209,5 @@ def make_heartbeat(
         seed=seed,
         max_steps=max_steps,
         interval=interval,
-        sink=make_sink(),
+        sink=make_sink() if telemetry_on else None,
     )

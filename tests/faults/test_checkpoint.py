@@ -7,8 +7,11 @@ import pytest
 from repro.faults.checkpoint import (
     CHECKPOINT_DIR_ENV,
     CHECKPOINT_SECS_ENV,
+    DEFAULT_CHECKPOINT_DIR,
     TrialCheckpointer,
+    checkpoint_dir,
     make_checkpointer,
+    sweep_orphans,
 )
 from repro.orchestration.pool import execute_trial
 from repro.orchestration.spec import TrialSpec
@@ -150,3 +153,44 @@ class TestSnapshotHygiene:
             pickle.dumps({"version": 1, "engine": "batch", "sim": {}, "injector": None})
         )
         assert checkpointer.restore(FakeSim()) is False
+
+
+class TestSweepOrphans:
+    """``repro store gc``: checkpoint files whose trial already
+    completed are garbage; in-flight ones must survive the sweep."""
+
+    def test_completed_hashes_are_swept(self, tmp_path):
+        done = tmp_path / "aaaa.ckpt"
+        live = tmp_path / "bbbb.ckpt"
+        done.write_bytes(b"snapshot")
+        live.write_bytes(b"snapshot")
+        removed = sweep_orphans({"aaaa"}, tmp_path)
+        assert removed == [done]
+        assert not done.exists()
+        assert live.exists()
+
+    def test_interrupted_tmp_droppings_always_swept(self, tmp_path):
+        dropping = tmp_path / "cccc.ckpt12345.tmp"
+        dropping.write_bytes(b"partial")
+        assert sweep_orphans(set(), tmp_path) == [dropping]
+        assert not dropping.exists()
+
+    def test_unrelated_files_survive(self, tmp_path):
+        other = tmp_path / "notes.txt"
+        other.write_text("keep me")
+        assert sweep_orphans({"notes"}, tmp_path) == []
+        assert other.exists()
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert sweep_orphans({"aaaa"}, tmp_path / "absent") == []
+
+    def test_env_names_the_default_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CHECKPOINT_DIR_ENV, str(tmp_path))
+        assert checkpoint_dir() == tmp_path
+        orphan = tmp_path / "dddd.ckpt"
+        orphan.write_bytes(b"snapshot")
+        assert sweep_orphans({"dddd"}) == [orphan]
+
+    def test_default_directory_without_env(self, monkeypatch):
+        monkeypatch.delenv(CHECKPOINT_DIR_ENV, raising=False)
+        assert str(checkpoint_dir()) == DEFAULT_CHECKPOINT_DIR

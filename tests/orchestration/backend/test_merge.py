@@ -1,0 +1,215 @@
+"""Merge determinism: shard order must never change a canonical byte."""
+
+import hashlib
+import shutil
+import sqlite3
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.orchestration.backend.merge import merge_store
+from repro.orchestration.backend.sharded import (
+    CANONICAL_NAME,
+    ShardedStore,
+    shard_name,
+    shard_paths,
+)
+from repro.orchestration.spec import TrialOutcome, TrialSpec
+from repro.orchestration.store import TrialStore
+
+
+def spec_for(seed: int, n: int = 8) -> TrialSpec:
+    return TrialSpec.create("angluin", n, seed)
+
+
+def outcome_for(spec: TrialSpec, steps: int = 100, **extra) -> TrialOutcome:
+    return TrialOutcome(
+        seed=spec.seed,
+        steps=steps,
+        parallel_time=steps / spec.n,
+        leader_count=1,
+        distinct_states=4,
+        **extra,
+    )
+
+
+def checksum(path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def build_shard(root, worker, items, failures=()):
+    with ShardedStore(root, worker=worker) as store:
+        for spec, outcome in items:
+            store.put(spec, outcome)
+        for spec, attempts, error, quarantined in failures:
+            store.record_failure(
+                spec, attempts=attempts, error=error, quarantined=quarantined
+            )
+
+
+def swap_shards(src_root, dst_root, name_a, name_b):
+    """Copy ``src_root``'s shards into ``dst_root`` with the two shard
+    names exchanged — identical contents, opposite enumeration order."""
+    dst_root.mkdir()
+    mapping = {name_a: name_b, name_b: name_a}
+    for shard in shard_paths(src_root):
+        shutil.copy(shard, dst_root / mapping.get(shard.name, shard.name))
+
+
+class TestByteIdentity:
+    def test_opposite_order_merges_are_byte_identical(self, tmp_path):
+        """The satellite guarantee: same rows fed in opposite member
+        order produce byte-identical canonical files — including the
+        failures ledger and every outcome column (telemetry, phases,
+        faults, scheduler)."""
+        root_a = tmp_path / "a"
+        s1, s2, s3, s4 = (spec_for(seed) for seed in (1, 2, 3, 4))
+        rich = outcome_for(
+            s1,
+            telemetry='{"stage": "x"}',
+            phases='{"phase": [1, 2]}',
+            faults='{"events": []}',
+            scheduler='{"kind": "weighted"}',
+        )
+        build_shard(
+            root_a,
+            "w1",
+            [(s1, rich), (s3, outcome_for(s3))],
+            failures=[(s4, 2, "boom", True)],
+        )
+        build_shard(
+            root_a,
+            "w2",
+            [(s2, outcome_for(s2)), (s3, outcome_for(s3))],
+            failures=[(s4, 1, "earlier boom", False)],
+        )
+        root_b = tmp_path / "b"
+        swap_shards(root_a, root_b, shard_name("w1"), shard_name("w2"))
+
+        report_a = merge_store(root_a)
+        report_b = merge_store(root_b)
+        assert report_a.trials == report_b.trials == 3
+        assert report_a.failures == report_b.failures == 1
+        assert checksum(root_a / CANONICAL_NAME) == checksum(
+            root_b / CANONICAL_NAME
+        )
+        # The merged canonical preserves every outcome column.
+        with TrialStore(root_a / CANONICAL_NAME, readonly=True) as store:
+            merged = store.get(s1)
+            assert merged == rich
+            assert merged.telemetry == rich.telemetry
+            assert merged.phases == rich.phases
+            assert merged.faults == rich.faults
+            assert merged.scheduler == rich.scheduler
+            (failure,) = store.failures()
+            assert failure["attempts"] == 2
+            assert failure["quarantined"] is True
+
+    def test_merge_is_idempotent_bytewise(self, tmp_path):
+        root = tmp_path / "root"
+        s1, s2 = spec_for(1), spec_for(2)
+        build_shard(root, "w1", [(s1, outcome_for(s1))])
+        build_shard(root, "w2", [(s2, outcome_for(s2))])
+        merge_store(root, keep_shards=True)
+        first = checksum(root / CANONICAL_NAME)
+        merge_store(root, keep_shards=True)
+        assert checksum(root / CANONICAL_NAME) == first
+
+    def test_duplicate_with_divergent_created_at_picks_earliest(
+        self, tmp_path
+    ):
+        root = tmp_path / "root"
+        s1 = spec_for(1)
+        build_shard(root, "w1", [(s1, outcome_for(s1))])
+        build_shard(root, "w2", [(s1, outcome_for(s1))])
+        # Backdate w2's copy: it must win regardless of member order.
+        shard = root / shard_name("w2")
+        connection = sqlite3.connect(shard)
+        with connection:
+            connection.execute(
+                "UPDATE trials SET created_at = '2000-01-01 00:00:00',"
+                " steps = 42"
+            )
+        # Checkpoint the WAL so the bare-file copy below sees the update.
+        connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        connection.close()
+        root_b = tmp_path / "b"
+        swap_shards(root, root_b, shard_name("w1"), shard_name("w2"))
+        report = merge_store(root)
+        merge_store(root_b)
+        assert report.duplicate_trials == 1
+        assert checksum(root / CANONICAL_NAME) == checksum(
+            root_b / CANONICAL_NAME
+        )
+        with TrialStore(root / CANONICAL_NAME, readonly=True) as store:
+            assert store.get(s1).steps == 42
+
+
+class TestFederation:
+    def test_trial_row_supersedes_failure_across_shards(self, tmp_path):
+        root = tmp_path / "root"
+        s1 = spec_for(1)
+        build_shard(root, "w1", [], failures=[(s1, 3, "boom", True)])
+        build_shard(root, "w2", [(s1, outcome_for(s1))])
+        report = merge_store(root)
+        assert report.superseded_failures == 1
+        assert report.failures == 0
+        with TrialStore(root / CANONICAL_NAME, readonly=True) as store:
+            assert store.failures() == []
+            assert len(store) == 1
+
+    def test_existing_canonical_is_a_member(self, tmp_path):
+        root = tmp_path / "root"
+        s1, s2 = spec_for(1), spec_for(2)
+        with ShardedStore(root) as coordinator:
+            coordinator.put(s1, outcome_for(s1))
+        build_shard(root, "w1", [(s2, outcome_for(s2))])
+        report = merge_store(root)
+        assert report.trials == 2
+        assert CANONICAL_NAME in report.members
+
+
+class TestHousekeeping:
+    def test_shards_removed_by_default(self, tmp_path):
+        root = tmp_path / "root"
+        build_shard(root, "w1", [(spec_for(1), outcome_for(spec_for(1)))])
+        report = merge_store(root)
+        assert shard_paths(root) == []
+        assert report.removed_shards == (shard_name("w1"),)
+
+    def test_keep_shards_leaves_them(self, tmp_path):
+        root = tmp_path / "root"
+        build_shard(root, "w1", [(spec_for(1), outcome_for(spec_for(1)))])
+        report = merge_store(root, keep_shards=True)
+        assert [p.name for p in shard_paths(root)] == [shard_name("w1")]
+        assert report.removed_shards == ()
+
+    def test_no_wal_sidecars_after_merge(self, tmp_path):
+        root = tmp_path / "root"
+        build_shard(root, "w1", [(spec_for(1), outcome_for(spec_for(1)))])
+        merge_store(root)
+        leftovers = [
+            p.name
+            for p in root.iterdir()
+            if p.name.endswith(("-wal", "-shm", ".merge-tmp"))
+        ]
+        assert leftovers == []
+
+    def test_merged_canonical_opens_as_plain_store(self, tmp_path):
+        root = tmp_path / "root"
+        s1 = spec_for(1)
+        build_shard(root, "w1", [(s1, outcome_for(s1))])
+        merge_store(root)
+        with TrialStore(root / CANONICAL_NAME) as store:
+            assert store.get(s1) == outcome_for(s1)
+            assert store.journal_mode() == "wal"  # writable open re-arms
+
+    def test_empty_root_refuses(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        with pytest.raises(ExperimentError, match="nothing to merge"):
+            merge_store(root)
+
+    def test_non_directory_refuses(self, tmp_path):
+        with pytest.raises(ExperimentError, match="not a sharded store"):
+            merge_store(tmp_path / "absent")

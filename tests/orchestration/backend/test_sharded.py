@@ -1,0 +1,233 @@
+"""Tests for the sharded store backend (federated multi-writer reads)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.orchestration.backend import is_sharded_root, open_store
+from repro.orchestration.backend.sharded import (
+    CANONICAL_NAME,
+    ShardedStore,
+    shard_name,
+    shard_paths,
+)
+from repro.orchestration.spec import TrialOutcome, TrialSpec
+from repro.orchestration.store import TrialStore
+
+
+def spec_for(seed: int, n: int = 8) -> TrialSpec:
+    return TrialSpec.create("angluin", n, seed)
+
+
+def outcome_for(spec: TrialSpec, steps: int = 100) -> TrialOutcome:
+    return TrialOutcome(
+        seed=spec.seed,
+        steps=steps,
+        parallel_time=steps / spec.n,
+        leader_count=1,
+        distinct_states=4,
+    )
+
+
+class TestOpenStore:
+    def test_file_path_opens_single_file_backend(self, tmp_path):
+        path = tmp_path / "t.sqlite"
+        with open_store(path) as store:
+            assert isinstance(store, TrialStore)
+        assert not is_sharded_root(path)
+
+    def test_directory_opens_sharded_backend(self, tmp_path):
+        root = tmp_path / "shards"
+        root.mkdir()
+        with open_store(root) as store:
+            assert isinstance(store, ShardedStore)
+        assert is_sharded_root(root)
+
+    def test_worker_forces_sharded_backend(self, tmp_path):
+        root = tmp_path / "fresh"
+        with open_store(root, worker="w1") as store:
+            assert isinstance(store, ShardedStore)
+            assert store.worker == "w1"
+        assert root.is_dir()
+
+
+class TestShardedStoreModes:
+    def test_worker_writes_land_in_private_shard(self, tmp_path):
+        root = tmp_path / "shards"
+        spec = spec_for(1)
+        with ShardedStore(root, worker="w1") as store:
+            store.put(spec, outcome_for(spec))
+        assert (root / shard_name("w1")).exists()
+        assert not (root / CANONICAL_NAME).exists()
+        with TrialStore(root / shard_name("w1"), readonly=True) as shard:
+            assert len(shard) == 1
+
+    def test_coordinator_writes_land_in_canonical(self, tmp_path):
+        root = tmp_path / "shards"
+        spec = spec_for(1)
+        with ShardedStore(root) as store:
+            store.put(spec, outcome_for(spec))
+        assert (root / CANONICAL_NAME).exists()
+        assert shard_paths(root) == []
+
+    def test_rejects_unsafe_worker_id(self, tmp_path):
+        with pytest.raises(ExperimentError, match="filename-safe"):
+            ShardedStore(tmp_path / "s", worker="../evil")
+
+    def test_rejects_readonly_worker(self, tmp_path):
+        with pytest.raises(ExperimentError, match="readonly"):
+            ShardedStore(tmp_path / "s", worker="w1", readonly=True)
+
+    def test_readonly_missing_root_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no such directory"):
+            ShardedStore(tmp_path / "absent", readonly=True)
+
+    def test_file_path_rejected(self, tmp_path):
+        path = tmp_path / "t.sqlite"
+        TrialStore(path).close()
+        with pytest.raises(ExperimentError, match="regular file"):
+            ShardedStore(path)
+
+    def test_readonly_store_rejects_writes(self, tmp_path):
+        root = tmp_path / "shards"
+        root.mkdir()
+        spec = spec_for(1)
+        with ShardedStore(root, readonly=True) as store:
+            with pytest.raises(ExperimentError, match="readonly"):
+                store.put(spec, outcome_for(spec))
+
+
+class TestFederatedReads:
+    def test_reads_union_all_shards_and_canonical(self, tmp_path):
+        root = tmp_path / "shards"
+        s1, s2, s3 = spec_for(1), spec_for(2), spec_for(3)
+        with ShardedStore(root, worker="w1") as w1:
+            w1.put(s1, outcome_for(s1))
+        with ShardedStore(root, worker="w2") as w2:
+            w2.put(s2, outcome_for(s2))
+        with ShardedStore(root) as coordinator:  # canonical
+            coordinator.put(s3, outcome_for(s3))
+        with ShardedStore(root, readonly=True) as view:
+            assert len(view) == 3
+            assert view.get(s1) == outcome_for(s1)
+            assert view.get(s2) == outcome_for(s2)
+            assert view.get(s3) == outcome_for(s3)
+            assert {r["seed"] for r in view.rows()} == {1, 2, 3}
+
+    def test_worker_sees_sibling_rows(self, tmp_path):
+        root = tmp_path / "shards"
+        s1 = spec_for(1)
+        with ShardedStore(root, worker="w1") as w1:
+            w1.put(s1, outcome_for(s1))
+            with ShardedStore(root, worker="w2") as w2:
+                assert w2.get(s1) == outcome_for(s1)
+                assert s1 in w2
+
+    def test_new_shards_appear_between_reads(self, tmp_path):
+        root = tmp_path / "shards"
+        s1, s2 = spec_for(1), spec_for(2)
+        with ShardedStore(root, readonly=False) as view:
+            with ShardedStore(root, worker="w1") as w1:
+                w1.put(s1, outcome_for(s1))
+            assert len(view) == 1
+            # A second worker joins after the first federated read.
+            with ShardedStore(root, worker="w2") as w2:
+                w2.put(s2, outcome_for(s2))
+            assert len(view) == 2
+
+    def test_duplicate_rows_resolve_identically(self, tmp_path):
+        root = tmp_path / "shards"
+        s1 = spec_for(1)
+        with ShardedStore(root, worker="w1") as w1:
+            w1.put(s1, outcome_for(s1))
+        with ShardedStore(root, worker="w2") as w2:
+            w2.put(s1, outcome_for(s1))
+        with ShardedStore(root, readonly=True) as view:
+            assert len(view) == 1
+            assert [r["seed"] for r in view.rows()] == [1]
+
+    def test_rows_sorted_like_single_store(self, tmp_path):
+        root = tmp_path / "shards"
+        specs = [spec_for(seed) for seed in (3, 1, 2)]
+        for worker, spec in zip(("w1", "w2", "w3"), specs):
+            with ShardedStore(root, worker=worker) as store:
+                store.put(spec, outcome_for(spec))
+        with ShardedStore(root, readonly=True) as view:
+            assert [r["seed"] for r in view.rows()] == [1, 2, 3]
+
+
+class TestFederatedFailures:
+    def test_trial_row_anywhere_wins_over_failure(self, tmp_path):
+        root = tmp_path / "shards"
+        s1 = spec_for(1)
+        with ShardedStore(root, worker="w1") as w1:
+            w1.record_failure(s1, attempts=2, error="boom")
+        with ShardedStore(root, worker="w2") as w2:
+            w2.put(s1, outcome_for(s1))
+        with ShardedStore(root, readonly=True) as view:
+            assert view.failures() == []
+
+    def test_most_failed_duplicate_wins(self, tmp_path):
+        root = tmp_path / "shards"
+        s1 = spec_for(1)
+        with ShardedStore(root, worker="w1") as w1:
+            w1.record_failure(s1, attempts=1, error="first")
+        with ShardedStore(root, worker="w2") as w2:
+            w2.record_failure(s1, attempts=3, error="third", quarantined=True)
+        with ShardedStore(root, readonly=True) as view:
+            (row,) = view.failures()
+            assert row["attempts"] == 3
+            assert row["quarantined"] is True
+
+
+class TestGracefulDegradation:
+    def test_coordinator_spills_when_canonical_unopenable(self, tmp_path):
+        root = tmp_path / "shards"
+        root.mkdir()
+        # A directory squatting on the canonical path makes every open
+        # fail — the worst case of an unreachable canonical store.
+        (root / CANONICAL_NAME).mkdir()
+        spec = spec_for(1)
+        with ShardedStore(root) as store:
+            store.put(spec, outcome_for(spec))
+            assert store.get(spec) == outcome_for(spec)
+        spill = [p for p in shard_paths(root) if "spill" in p.name]
+        assert len(spill) == 1
+        with TrialStore(spill[0], readonly=True) as shard:
+            assert len(shard) == 1
+
+    def test_reads_survive_unreadable_canonical(self, tmp_path):
+        root = tmp_path / "shards"
+        root.mkdir()
+        (root / CANONICAL_NAME).mkdir()
+        s1 = spec_for(1)
+        with ShardedStore(root, worker="w1") as w1:
+            w1.put(s1, outcome_for(s1))
+        with ShardedStore(root, readonly=True) as view:
+            assert len(view) == 1
+
+
+class TestCoverage:
+    def test_shard_coverage_counts_scope(self, tmp_path):
+        root = tmp_path / "shards"
+        s1, s2 = spec_for(1), spec_for(2)
+        with ShardedStore(root, worker="w1") as w1:
+            w1.put(s1, outcome_for(s1))
+            w1.put(s2, outcome_for(s2))
+        with ShardedStore(root, readonly=True) as view:
+            (cov,) = view.shard_coverage({s1.content_hash()})
+            assert cov.name == shard_name("w1")
+            assert cov.rows == 2
+            assert cov.in_scope == 1
+
+    def test_live_leases_empty_without_lease_file(self, tmp_path):
+        root = tmp_path / "shards"
+        root.mkdir()
+        with ShardedStore(root, readonly=True) as view:
+            assert view.live_leases() == []
+
+    def test_lease_manager_requires_worker_mode(self, tmp_path):
+        root = tmp_path / "shards"
+        root.mkdir()
+        with ShardedStore(root, readonly=True) as view:
+            with pytest.raises(ExperimentError, match="worker mode"):
+                view.lease_manager()

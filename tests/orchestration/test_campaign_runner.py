@@ -118,3 +118,54 @@ class TestCampaignRunner:
         assert "angluin" in rendered
         lines = [line for line in rendered.splitlines() if "angluin" in line]
         assert len(lines) == 2  # one row per n
+
+class TestShardedStatus:
+    def test_status_reports_shard_coverage_and_leases(self, tmp_path):
+        from repro.orchestration.backend.fabric import run_sharded_campaign
+        from repro.orchestration.backend.sharded import ShardedStore
+
+        campaign = small_campaign()
+        root = tmp_path / "root"
+        run_sharded_campaign(
+            campaign.trials, root, worker="w1", lease_ttl=30
+        )
+        with ShardedStore(root, readonly=True) as view:
+            status = CampaignRunner(view).status(campaign)
+        assert status.complete
+        (shard,) = status.shards
+        assert shard.name == "shard-w1.sqlite"
+        assert shard.rows == len(campaign)
+        assert shard.in_campaign == len(campaign)
+        assert status.leases == ()
+        rendered = status.render()
+        assert "shard-w1.sqlite" in rendered
+        assert "live leases" not in rendered  # nothing held: stay quiet
+
+    def test_status_renders_live_lease_holders(self, tmp_path):
+        from repro.orchestration.backend.leases import LeaseManager
+        from repro.orchestration.backend.sharded import ShardedStore
+
+        campaign = small_campaign()
+        root = tmp_path / "root"
+        root.mkdir()
+        spec = campaign.trials[0]
+        manager = LeaseManager(root / "leases.sqlite", "busy", ttl_secs=60)
+        manager.claim([spec.content_hash()])
+        manager.close()
+        with ShardedStore(root, readonly=True) as view:
+            status = CampaignRunner(view).status(campaign)
+        assert len(status.leases) == 1
+        lease = status.leases[0]
+        assert lease.worker == "busy"
+        assert lease.spec_hash == spec.content_hash()
+        rendered = status.render()
+        assert "live leases: 1" in rendered
+        assert "busy" in rendered
+
+    def test_single_file_store_status_has_no_shard_sections(self):
+        campaign = small_campaign()
+        with TrialStore(":memory:") as store:
+            status = CampaignRunner(store).status(campaign)
+        assert status.shards == ()
+        assert status.leases == ()
+        assert "shards:" not in status.render()

@@ -1,0 +1,127 @@
+"""Concurrency hardening of the single-file store (WAL + busy timeout).
+
+The distributed campaign fabric's default backend is still one SQLite
+file; these tests pin the pragmas that make N writer processes safe on
+it and hammer one store from four concurrent writers to prove the
+``database is locked`` era stays closed.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.orchestration.spec import TrialOutcome, TrialSpec
+from repro.orchestration.store import (
+    BUSY_TIMEOUT_ENV,
+    DEFAULT_BUSY_TIMEOUT_MS,
+    TrialStore,
+    busy_timeout_ms,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def outcome_for(spec: TrialSpec, steps: int = 100) -> TrialOutcome:
+    return TrialOutcome(
+        seed=spec.seed,
+        steps=steps,
+        parallel_time=steps / spec.n,
+        leader_count=1,
+        distinct_states=4,
+    )
+
+
+class TestBusyTimeout:
+    def test_default(self):
+        assert busy_timeout_ms() == DEFAULT_BUSY_TIMEOUT_MS
+
+    def test_ctor_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BUSY_TIMEOUT_ENV, "1000")
+        assert busy_timeout_ms(250) == 250
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BUSY_TIMEOUT_ENV, "5000")
+        assert busy_timeout_ms() == 5000
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(BUSY_TIMEOUT_ENV, "soon")
+        assert busy_timeout_ms() == DEFAULT_BUSY_TIMEOUT_MS
+
+    def test_negative_clamped_to_zero(self):
+        assert busy_timeout_ms(-5) == 0
+
+
+class TestJournalMode:
+    def test_writable_file_store_runs_wal(self, tmp_path):
+        with TrialStore(tmp_path / "t.sqlite") as store:
+            assert store.journal_mode() == "wal"
+
+    def test_wal_sticks_for_readonly_opens(self, tmp_path):
+        path = tmp_path / "t.sqlite"
+        TrialStore(path).close()
+        with TrialStore(path, readonly=True) as store:
+            assert store.journal_mode() == "wal"
+
+    def test_memory_store_has_no_wal(self):
+        with TrialStore(":memory:") as store:
+            assert store.journal_mode() == "memory"
+
+
+#: Worker script: hammer one store with interleaved writes and reads.
+#: Each worker writes its own seed range (content hashes differ), so
+#: success = every row from every worker present at the end.
+_HAMMER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.orchestration.spec import TrialOutcome, TrialSpec
+from repro.orchestration.store import TrialStore
+
+worker, per_worker = int(sys.argv[1]), int(sys.argv[2])
+store = TrialStore({path!r})
+for i in range(per_worker):
+    seed = worker * per_worker + i
+    spec = TrialSpec.create("angluin", 8, seed)
+    outcome = TrialOutcome(
+        seed=seed, steps=100 + i, parallel_time=1.0,
+        leader_count=1, distinct_states=4,
+    )
+    store.put(spec, outcome)
+    store.record_failure(spec, attempts=1, error="transient")
+    store.clear_failure(spec)
+    len(store)  # interleave reads with the other writers' commits
+store.close()
+"""
+
+
+class TestConcurrentWriters:
+    def test_four_processes_hammer_one_store(self, tmp_path):
+        path = str(tmp_path / "hammer.sqlite")
+        TrialStore(path).close()  # pre-create so WAL is on from the start
+        workers, per_worker = 4, 25
+        env = dict(os.environ)
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    _HAMMER.format(src=REPO_SRC, path=path),
+                    str(worker),
+                    str(per_worker),
+                ],
+                env=env,
+                stderr=subprocess.PIPE,
+            )
+            for worker in range(workers)
+        ]
+        failures = []
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=120)
+            if proc.returncode != 0:
+                failures.append(stderr.decode())
+        assert not failures, "\n".join(failures)
+        with TrialStore(path, readonly=True) as store:
+            assert len(store) == workers * per_worker
+            assert store.failures() == []
+            seeds = {row["seed"] for row in store.rows()}
+            assert seeds == set(range(workers * per_worker))

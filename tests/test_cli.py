@@ -106,6 +106,50 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
 
+    def test_campaign_run_shard_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "E1", "--shard", "w1", "--lease-ttl", "30"]
+        )
+        assert args.shard == "w1"
+        assert args.lease_ttl == 30.0
+
+    def test_campaign_run_shard_defaults_off(self):
+        args = build_parser().parse_args(["campaign", "run", "E1"])
+        assert args.shard is None
+        assert args.lease_ttl is None
+
+    def test_store_merge_parser(self):
+        args = build_parser().parse_args(["store", "merge", "shards/"])
+        assert args.command == "store"
+        assert args.action == "merge"
+        assert args.root == "shards/"
+        assert args.keep_shards is False
+        args = build_parser().parse_args(
+            ["store", "merge", "shards/", "--keep-shards"]
+        )
+        assert args.keep_shards is True
+
+    def test_store_status_parser_defaults(self):
+        args = build_parser().parse_args(["store", "status"])
+        assert args.action == "status"
+        assert args.store == ".repro-store.sqlite"
+        args = build_parser().parse_args(["store", "status", "shards/"])
+        assert args.store == "shards/"
+
+    def test_store_gc_parser_defaults(self):
+        args = build_parser().parse_args(["store", "gc"])
+        assert args.action == "gc"
+        assert args.store == ".repro-store.sqlite"
+        assert args.checkpoint_dir is None
+        args = build_parser().parse_args(
+            ["store", "gc", "x.sqlite", "--checkpoint-dir", "ckpt/"]
+        )
+        assert args.checkpoint_dir == "ckpt/"
+
+    def test_store_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
 
 class TestCommands:
     def test_list_prints_registry(self, capsys):
@@ -300,3 +344,77 @@ class TestProgressPrinter:
         line = capsys.readouterr().out
         assert "1/4 trials already cached" in line
         assert "steps/s" not in line
+
+
+class TestStoreCommands:
+    """`repro store merge|status|gc` and the sharded campaign flow."""
+
+    def test_lease_ttl_without_shard_is_an_error(self, capsys, tmp_path):
+        store = str(tmp_path / "trials.sqlite")
+        assert main(["campaign", "run", "E12", "--scale", "0.125",
+                     "--store", store, "--lease-ttl", "30"]) == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_shard_root_without_shard_flag_is_an_error(
+        self, capsys, tmp_path
+    ):
+        root = tmp_path / "shards"
+        root.mkdir()
+        assert main(["campaign", "run", "E12", "--scale", "0.125",
+                     "--store", str(root)]) == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_sharded_campaign_status_merge_gc_flow(self, capsys, tmp_path):
+        root = str(tmp_path / "shards")
+        argv = ["campaign", "run", "E12", "--scale", "0.125",
+                "--store", root, "--shard", "w1", "--lease-ttl", "30"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "worker w1: 6 executed" in out
+        assert "repro store merge" in out
+
+        # Federated status before the merge: the shard root reads as a
+        # complete campaign even though canonical.sqlite doesn't exist.
+        assert main(["campaign", "status", "E12", "--scale", "0.125",
+                     "--store", root]) == 0
+        assert "6/6" in capsys.readouterr().out
+
+        assert main(["store", "status", root]) == 0
+        status = capsys.readouterr().out
+        assert "6 trials" in status
+        assert "shard-w1.sqlite" in status
+        assert "live leases: none" in status
+
+        assert main(["store", "merge", root]) == 0
+        merged = capsys.readouterr().out
+        assert "trials:   6" in merged
+        import os
+        assert os.path.exists(os.path.join(root, "canonical.sqlite"))
+        assert not os.path.exists(os.path.join(root, "shard-w1.sqlite"))
+
+        # Post-merge the same commands read the canonical member.
+        assert main(["campaign", "report", "E12", "--scale", "0.125",
+                     "--store", root]) == 0
+        assert "backup-only" in capsys.readouterr().out
+
+        ckpt_dir = tmp_path / "ckpt"
+        ckpt_dir.mkdir()
+        (ckpt_dir / "orphan.ckpt12345.tmp").write_bytes(b"partial")
+        assert main(["store", "gc", root,
+                     "--checkpoint-dir", str(ckpt_dir)]) == 0
+        assert "1 orphaned checkpoint" in capsys.readouterr().out
+        assert list(ckpt_dir.iterdir()) == []
+
+    def test_store_status_on_single_file_store(self, capsys, tmp_path):
+        store = str(tmp_path / "trials.sqlite")
+        assert main(["campaign", "run", "E12", "--scale", "0.125",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "status", store]) == 0
+        out = capsys.readouterr().out
+        assert "6 trials" in out
+        assert "journal mode: wal" in out
+
+    def test_store_merge_refuses_non_sharded_path(self, capsys, tmp_path):
+        assert main(["store", "merge", str(tmp_path / "nope")]) == 2
+        assert "not a sharded store" in capsys.readouterr().err
